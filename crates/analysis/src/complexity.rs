@@ -1,0 +1,139 @@
+//! Running-time complexity expressions of Table 5.1.
+//!
+//! Table 5.1 decomposes each algorithm's cost into computation and
+//! communication terms under the BSP model with pipelined collectives:
+//!
+//! * local sort: `N/p · log(N/p)` (computation only);
+//! * splitter determination: `sample size · log N` computation plus
+//!   `sample size` communication (gather + histogram reductions are both
+//!   proportional to the sample);
+//! * data movement: `N/p` communication plus `N/p · log p` merge
+//!   computation;
+//! * broadcast of splitters: `p` communication.
+//!
+//! The functions here evaluate those expressions in abstract "operations" /
+//! "words" so benchmark output can print the same rows as the table and
+//! compare their growth against the measured simulator costs.
+
+use serde::{Deserialize, Serialize};
+
+use crate::sample_size::Algorithm;
+
+/// The evaluated cost expression of one Table 5.1 row.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostBreakdown {
+    /// Local sort computation (`N/p log N/p`).
+    pub local_sort_ops: f64,
+    /// Splitter-determination computation (`sample · log N`).
+    pub splitter_ops: f64,
+    /// Merge computation after the exchange (`N/p · log p`).
+    pub merge_ops: f64,
+    /// Splitter-determination communication (`sample + p`).
+    pub splitter_comm_words: f64,
+    /// Data-movement communication (`N/p`).
+    pub exchange_comm_words: f64,
+}
+
+impl CostBreakdown {
+    /// Total computation operations.
+    pub fn total_ops(&self) -> f64 {
+        self.local_sort_ops + self.splitter_ops + self.merge_ops
+    }
+
+    /// Total communication words.
+    pub fn total_comm_words(&self) -> f64 {
+        self.splitter_comm_words + self.exchange_comm_words
+    }
+}
+
+/// Evaluate the Table 5.1 cost expression for `algorithm` at `p` processors,
+/// `n_total` keys and threshold `epsilon`.
+pub fn table_5_1_costs(
+    algorithm: Algorithm,
+    p: usize,
+    n_total: u64,
+    epsilon: f64,
+) -> CostBreakdown {
+    assert!(p >= 2);
+    let pf = p as f64;
+    let n = n_total.max(2) as f64;
+    let n_per_p = (n / pf).max(2.0);
+    let sample = algorithm.sample_size_keys(p, n_total, epsilon);
+    CostBreakdown {
+        local_sort_ops: n_per_p * n_per_p.log2(),
+        splitter_ops: sample * n.log2(),
+        merge_ops: n_per_p * pf.log2(),
+        splitter_comm_words: sample + pf,
+        exchange_comm_words: n_per_p,
+    }
+}
+
+/// Whether splitter determination dominates the data-movement terms for the
+/// given configuration — the regime in which the sampling cost matters
+/// (§5.1: "For large p, the sampling cost dominates the running time of
+/// sample sort").
+pub fn sampling_dominates(algorithm: Algorithm, p: usize, n_total: u64, epsilon: f64) -> bool {
+    let c = table_5_1_costs(algorithm, p, n_total, epsilon);
+    c.splitter_ops > c.local_sort_ops + c.merge_ops
+        || c.splitter_comm_words > c.exchange_comm_words
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regular_sampling_splitter_cost_dominates_and_dwarfs_hss() {
+        // Table 5.1 regime: p = 10^5, eps = 5 %, 10^6 keys per processor.
+        // Regular sampling's splitter determination dominates its own
+        // running time and exceeds the HSS splitter cost by orders of
+        // magnitude; HSS keeps it within a small factor of the local sort.
+        let p = 100_000;
+        let n_total = 100_000u64 * 1_000_000;
+        let eps = 0.05;
+        assert!(sampling_dominates(Algorithm::SampleSortRegular, p, n_total, eps));
+        let regular = table_5_1_costs(Algorithm::SampleSortRegular, p, n_total, eps);
+        let hss = table_5_1_costs(Algorithm::HssConstantOversampling, p, n_total, eps);
+        assert!(regular.splitter_ops / hss.splitter_ops > 1e4);
+        // HSS's splitter cost stays within an order of magnitude of the
+        // (algorithm-independent) local sort; regular sampling's does not.
+        assert!(hss.splitter_ops < 10.0 * hss.local_sort_ops);
+        assert!(regular.splitter_ops > 1_000.0 * regular.local_sort_ops);
+    }
+
+    #[test]
+    fn local_sort_and_exchange_terms_are_algorithm_independent() {
+        let p = 4096;
+        let n_total = 1u64 << 32;
+        let a = table_5_1_costs(Algorithm::SampleSortRegular, p, n_total, 0.05);
+        let b = table_5_1_costs(Algorithm::HssRounds(2), p, n_total, 0.05);
+        assert_eq!(a.local_sort_ops, b.local_sort_ops);
+        assert_eq!(a.exchange_comm_words, b.exchange_comm_words);
+        assert_eq!(a.merge_ops, b.merge_ops);
+        assert!(a.splitter_ops > b.splitter_ops);
+    }
+
+    #[test]
+    fn totals_sum_their_parts() {
+        let c = table_5_1_costs(Algorithm::HssOneRound, 1024, 1 << 30, 0.05);
+        assert!((c.total_ops() - (c.local_sort_ops + c.splitter_ops + c.merge_ops)).abs() < 1e-6);
+        assert!(
+            (c.total_comm_words() - (c.splitter_comm_words + c.exchange_comm_words)).abs() < 1e-6
+        );
+    }
+
+    #[test]
+    fn hss_total_cost_beats_sample_sort_at_scale() {
+        // The paper's conclusion: HSS is asymptotically (and at realistic
+        // scales, concretely) cheaper than both sample sort variants.
+        let p = 65_536;
+        let n_total = (p as u64) * 1_000_000;
+        let eps = 0.05;
+        let hss = table_5_1_costs(Algorithm::HssRounds(2), p, n_total, eps);
+        for other in [Algorithm::SampleSortRegular, Algorithm::SampleSortRandom] {
+            let o = table_5_1_costs(other, p, n_total, eps);
+            assert!(hss.total_ops() < o.total_ops(), "{other:?}");
+            assert!(hss.total_comm_words() < o.total_comm_words(), "{other:?}");
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! `hss-analysis` — the paper's closed-form cost model.
+//!
+//! Everything in this crate is *analytic*: no data is generated and no
+//! simulator is involved.  It evaluates the sample-size formulas behind
+//! Figure 4.1 and the running-time expressions of Table 5.1 so the
+//! benchmark harness can print the paper's analytic rows next to the
+//! measured ones.
+//!
+//! ```
+//! use hss_analysis::Algorithm;
+//!
+//! // The introduction's running example: p = 64,000 cores, eps = 5%.
+//! let p = 64_000;
+//! let n_total = p as u64 * 1_000_000;
+//! let regular = Algorithm::SampleSortRegular.sample_size_bytes(p, n_total, 0.05, 8);
+//! let hss2 = Algorithm::HssRounds(2).sample_size_bytes(p, n_total, 0.05, 8);
+//! assert!(regular / hss2 > 1_000.0); // hundreds of GB vs tens of MB
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod complexity;
+pub mod sample_size;
+
+pub use complexity::{sampling_dominates, table_5_1_costs, CostBreakdown};
+pub use sample_size::{figure_4_1_processor_counts, Algorithm};

@@ -1,0 +1,195 @@
+//! Closed-form overall sample sizes for every algorithm the paper compares
+//! (the second and third columns of Table 5.1 and all series of Figure 4.1).
+//!
+//! All formulas give the *overall* sample collected at the central
+//! processor (summed over all processors and, for HSS, over all rounds),
+//! measured in keys; multiply by the key width to get bytes (the paper's
+//! intro quotes 8-byte keys).
+
+use serde::{Deserialize, Serialize};
+
+/// An algorithm whose sample size the paper analyses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// Sample sort with regular sampling: `p²/ε` keys (Lemma 4.1.1).
+    SampleSortRegular,
+    /// Sample sort with random sampling: `4(1+ε)·p·ln N/ε²` keys
+    /// (Theorem 4.1.1 with the constant the paper derives).
+    SampleSortRandom,
+    /// HSS with one histogramming round: `2·p·ln p/ε` keys (Lemma 3.2.1).
+    HssOneRound,
+    /// HSS with `k` rounds: `k · p · (2 ln p/ε)^{1/k}` keys (Lemma 3.3.1).
+    HssRounds(usize),
+    /// HSS with `k = log(log p/ε)` rounds and constant oversampling:
+    /// `c·p·log(log p/ε)` keys (Lemma 3.3.2); the constant-oversampling
+    /// series of Figure 4.1 uses `c = 5` samples per processor per round
+    /// like the implementation.
+    HssConstantOversampling,
+}
+
+impl Algorithm {
+    /// Stable name used in experiment output (matches the Figure 4.1
+    /// legend).
+    pub fn name(&self) -> String {
+        match self {
+            Algorithm::SampleSortRegular => "regular sampling".to_string(),
+            Algorithm::SampleSortRandom => "random sampling".to_string(),
+            Algorithm::HssOneRound => "HSS - 1 round".to_string(),
+            Algorithm::HssRounds(k) => format!("HSS - {k} rounds"),
+            Algorithm::HssConstantOversampling => "HSS - constant oversampling".to_string(),
+        }
+    }
+
+    /// Overall sample size in keys for `p` processors, `n_total` keys and
+    /// load-imbalance threshold `epsilon`.
+    pub fn sample_size_keys(&self, p: usize, n_total: u64, epsilon: f64) -> f64 {
+        assert!(p >= 2, "need at least two processors");
+        assert!(epsilon > 0.0);
+        let pf = p as f64;
+        match self {
+            Algorithm::SampleSortRegular => pf * pf / epsilon,
+            Algorithm::SampleSortRandom => {
+                let n = (n_total.max(2)) as f64;
+                4.0 * (1.0 + epsilon) * pf * n.ln() / (epsilon * epsilon)
+            }
+            Algorithm::HssOneRound => 2.0 * pf * pf.ln() / epsilon,
+            Algorithm::HssRounds(k) => {
+                let k = (*k).max(1) as f64;
+                k * pf * (2.0 * pf.ln() / epsilon).powf(1.0 / k)
+            }
+            Algorithm::HssConstantOversampling => {
+                let rounds = ((pf.ln() / epsilon).ln()).ceil().max(1.0);
+                5.0 * pf * rounds
+            }
+        }
+    }
+
+    /// Overall sample size in bytes assuming `key_bytes`-byte keys.
+    pub fn sample_size_bytes(&self, p: usize, n_total: u64, epsilon: f64, key_bytes: u64) -> f64 {
+        self.sample_size_keys(p, n_total, epsilon) * key_bytes as f64
+    }
+
+    /// The five series plotted in Figure 4.1, in legend order.
+    pub fn figure_4_1_series() -> Vec<Algorithm> {
+        vec![
+            Algorithm::SampleSortRegular,
+            Algorithm::SampleSortRandom,
+            Algorithm::HssOneRound,
+            Algorithm::HssRounds(2),
+            Algorithm::HssConstantOversampling,
+        ]
+    }
+}
+
+/// The processor counts on the x-axis of Figure 4.1 (4 → 256 K, powers of
+/// four).
+pub fn figure_4_1_processor_counts() -> Vec<usize> {
+    (1..=9).map(|i| 4usize.pow(i)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GB: f64 = 1024.0 * 1024.0 * 1024.0;
+    const MB: f64 = 1024.0 * 1024.0;
+
+    /// The introduction's running example: p = 64·10³, ε = 0.05,
+    /// N/p = 10⁶, 8-byte keys.
+    fn intro_example(alg: Algorithm) -> f64 {
+        let p = 64_000;
+        let n_total = 64_000u64 * 1_000_000;
+        alg.sample_size_bytes(p, n_total, 0.05, 8)
+    }
+
+    #[test]
+    fn intro_example_regular_sampling_is_hundreds_of_gigabytes() {
+        // Paper: "655 GB for sample sort with regular sampling".
+        let bytes = intro_example(Algorithm::SampleSortRegular);
+        assert!(bytes / GB > 400.0 && bytes / GB < 900.0, "{} GB", bytes / GB);
+    }
+
+    #[test]
+    fn intro_example_random_sampling_is_a_few_gigabytes() {
+        // Paper: "5 GB for Sample sort with random sampling".
+        let bytes = intro_example(Algorithm::SampleSortRandom);
+        assert!(bytes / GB > 1.0 && bytes / GB < 20.0, "{} GB", bytes / GB);
+    }
+
+    #[test]
+    fn intro_example_hss_one_round_is_hundreds_of_megabytes() {
+        // Paper: "250 MB ... for Histogram sort with sampling with one round".
+        let bytes = intro_example(Algorithm::HssOneRound);
+        assert!(bytes / MB > 100.0 && bytes / MB < 500.0, "{} MB", bytes / MB);
+    }
+
+    #[test]
+    fn intro_example_hss_two_rounds_is_tens_of_megabytes() {
+        // Paper: "22 MB ... with two rounds".
+        let bytes = intro_example(Algorithm::HssRounds(2));
+        assert!(bytes / MB > 5.0 && bytes / MB < 60.0, "{} MB", bytes / MB);
+    }
+
+    #[test]
+    fn table_5_1_ordering_holds_for_p_1e5() {
+        // Table 5.1's numeric column: regular ≫ random ≫ HSS-1 ≫ HSS-2 ≫
+        // HSS-log-log for p = 10^5, eps = 5%.
+        let p = 100_000;
+        let n_total = 100_000u64 * 1_000_000;
+        let eps = 0.05;
+        let sizes: Vec<f64> = [
+            Algorithm::SampleSortRegular,
+            Algorithm::SampleSortRandom,
+            Algorithm::HssOneRound,
+            Algorithm::HssRounds(2),
+            Algorithm::HssConstantOversampling,
+        ]
+        .iter()
+        .map(|a| a.sample_size_keys(p, n_total, eps))
+        .collect();
+        for w in sizes.windows(2) {
+            assert!(w[0] > w[1], "ordering violated: {sizes:?}");
+        }
+        // Regular sampling vs HSS-2: at least three orders of magnitude.
+        assert!(sizes[0] / sizes[3] > 1e3);
+    }
+
+    #[test]
+    fn more_rounds_means_fewer_samples_until_the_optimum() {
+        let p = 1 << 18;
+        let n_total = 1u64 << 40;
+        let eps = 0.05;
+        let k_opt = ((p as f64).ln() / eps).ln().ceil() as usize;
+        let mut prev = f64::INFINITY;
+        for k in 1..=k_opt {
+            let s = Algorithm::HssRounds(k).sample_size_keys(p, n_total, eps);
+            assert!(s < prev, "k = {k}: {s} >= {prev}");
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn figure_4_1_series_and_axis_have_expected_shape() {
+        let series = Algorithm::figure_4_1_series();
+        assert_eq!(series.len(), 5);
+        let xs = figure_4_1_processor_counts();
+        assert_eq!(xs.first().copied(), Some(4));
+        assert_eq!(xs.last().copied(), Some(262_144));
+        // Every series is monotone increasing in p.
+        for alg in series {
+            let mut prev = 0.0;
+            for &p in &xs {
+                let s = alg.sample_size_keys(p, (p as u64) * 1_000_000, 0.05);
+                assert!(s > prev, "{} not increasing at p = {p}", alg.name());
+                prev = s;
+            }
+        }
+    }
+
+    #[test]
+    fn names_match_figure_legend() {
+        assert_eq!(Algorithm::SampleSortRegular.name(), "regular sampling");
+        assert_eq!(Algorithm::HssRounds(2).name(), "HSS - 2 rounds");
+        assert_eq!(Algorithm::HssConstantOversampling.name(), "HSS - constant oversampling");
+    }
+}

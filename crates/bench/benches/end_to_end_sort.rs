@@ -1,0 +1,88 @@
+//! Criterion micro-benchmark: end-to-end distributed sort, HSS versus every
+//! baseline, on the same uniform input (the measured counterpart of the
+//! "who wins overall" comparison in §5.1/§6.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hss_baselines::{
+    bitonic_sort, histogram_sort, over_partitioning_sort, radix_partition_sort, sample_sort,
+    HistogramSortConfig, OverPartitioningConfig, RadixConfig, SampleSortConfig,
+};
+use hss_core::{HssConfig, HssSorter};
+use hss_keygen::KeyDistribution;
+use hss_sim::Machine;
+
+const P: usize = 16;
+const KEYS_PER_RANK: usize = 4_000;
+const EPS: f64 = 0.05;
+
+fn input() -> Vec<Vec<u64>> {
+    KeyDistribution::Uniform.generate_per_rank(P, KEYS_PER_RANK, 7)
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let data = input();
+    let total_keys = (P * KEYS_PER_RANK) as u64;
+    let mut group = c.benchmark_group("end_to_end_sort");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(total_keys));
+
+    group.bench_function(BenchmarkId::new("sort", "hss"), |b| {
+        let sorter = HssSorter::new(HssConfig { epsilon: EPS, ..HssConfig::default() });
+        b.iter(|| {
+            let mut machine = Machine::flat(P);
+            sorter.sort(&mut machine, data.clone())
+        })
+    });
+
+    group.bench_function(BenchmarkId::new("sort", "sample_sort_regular"), |b| {
+        let cfg = SampleSortConfig::regular(EPS);
+        b.iter(|| {
+            let mut machine = Machine::flat(P);
+            sample_sort(&mut machine, &cfg, data.clone())
+        })
+    });
+
+    group.bench_function(BenchmarkId::new("sort", "sample_sort_random"), |b| {
+        let cfg = SampleSortConfig::random(EPS);
+        b.iter(|| {
+            let mut machine = Machine::flat(P);
+            sample_sort(&mut machine, &cfg, data.clone())
+        })
+    });
+
+    group.bench_function(BenchmarkId::new("sort", "histogram_sort_classic"), |b| {
+        let cfg = HistogramSortConfig::new(EPS, P);
+        b.iter(|| {
+            let mut machine = Machine::flat(P);
+            histogram_sort(&mut machine, &cfg, data.clone())
+        })
+    });
+
+    group.bench_function(BenchmarkId::new("sort", "over_partitioning"), |b| {
+        let cfg = OverPartitioningConfig::recommended(P);
+        b.iter(|| {
+            let mut machine = Machine::flat(P);
+            over_partitioning_sort(&mut machine, &cfg, data.clone())
+        })
+    });
+
+    group.bench_function(BenchmarkId::new("sort", "bitonic"), |b| {
+        b.iter(|| {
+            let mut machine = Machine::flat(P);
+            bitonic_sort(&mut machine, data.clone())
+        })
+    });
+
+    group.bench_function(BenchmarkId::new("sort", "radix_partition"), |b| {
+        let cfg = RadixConfig::recommended(P);
+        b.iter(|| {
+            let mut machine = Machine::flat(P);
+            radix_partition_sort(&mut machine, &cfg, data.clone())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion micro-benchmark of the local building blocks: histogram rank
+//! queries (binary search vs merge sweep regimes), bucket partitioning and
+//! k-way merging — the per-rank kernels whose costs Table 5.1 composes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hss_keygen::KeyDistribution;
+use hss_partition::{kway_merge, local_ranks, partition_sorted, SplitterSet};
+
+fn sorted_keys(n: usize, seed: u64) -> Vec<u64> {
+    let mut v = KeyDistribution::Uniform.generate_rank(0, 1, n, seed);
+    v.sort_unstable();
+    v
+}
+
+fn bench_local_phases(c: &mut Criterion) {
+    let data = sorted_keys(100_000, 1);
+    let mut group = c.benchmark_group("local_phases");
+    group.sample_size(20);
+
+    // Histogram rank queries: few probes (binary search regime) vs many
+    // probes (merge sweep regime).
+    for probes in [64usize, 4_096, 65_536] {
+        let probe_keys: Vec<u64> =
+            (1..=probes as u64).map(|i| i * (u64::MAX / (probes as u64 + 1))).collect();
+        group.bench_function(BenchmarkId::new("local_ranks", probes), |b| {
+            b.iter(|| local_ranks(&data, &probe_keys))
+        });
+    }
+
+    // Bucket partitioning by a splitter set.
+    for buckets in [16usize, 256, 4096] {
+        let splitters = SplitterSet::new(
+            (1..buckets as u64).map(|i| i * (u64::MAX / buckets as u64)).collect(),
+        );
+        group.bench_function(BenchmarkId::new("partition_sorted", buckets), |b| {
+            b.iter(|| partition_sorted(&data, &splitters))
+        });
+    }
+
+    // K-way merge of received runs.
+    for runs in [4usize, 64, 512] {
+        let per_run = 100_000 / runs;
+        let run_vecs: Vec<Vec<u64>> = (0..runs).map(|r| sorted_keys(per_run, r as u64)).collect();
+        group.bench_function(BenchmarkId::new("kway_merge", runs), |b| {
+            b.iter(|| kway_merge(run_vecs.clone()))
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_local_phases);
+criterion_main!(benches);

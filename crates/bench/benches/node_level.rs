@@ -1,0 +1,39 @@
+//! Criterion micro-benchmark / ablation: node-level partitioning (§6.1) on
+//! versus off, on a multicore-node topology.  The node-level variant should
+//! move the same data with far fewer messages and a much smaller histogram.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hss_core::{HssConfig, HssSorter};
+use hss_keygen::KeyDistribution;
+use hss_sim::{CostModel, Machine, Topology};
+
+const P: usize = 64;
+const CORES_PER_NODE: usize = 16;
+const KEYS_PER_RANK: usize = 2_000;
+
+fn input() -> Vec<Vec<u64>> {
+    KeyDistribution::Uniform.generate_per_rank(P, KEYS_PER_RANK, 3)
+}
+
+fn bench_node_level(c: &mut Criterion) {
+    let data = input();
+    let mut group = c.benchmark_group("node_level_ablation");
+    group.sample_size(10);
+
+    for (name, node_level) in [("rank_level", false), ("node_level", true)] {
+        group.bench_function(BenchmarkId::new("partitioning", name), |b| {
+            let mut config = HssConfig::paper_cluster();
+            config.node_level = node_level;
+            let sorter = HssSorter::new(config);
+            b.iter(|| {
+                let mut machine =
+                    Machine::new(Topology::new(P, CORES_PER_NODE), CostModel::bluegene_like());
+                sorter.sort(&mut machine, data.clone())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_node_level);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion micro-benchmark: splitter determination cost of HSS (one
+//! round, two rounds, constant oversampling) versus the sample-gathering
+//! phase of sample sort and classic histogram sort, on the same input.
+//!
+//! This is the measured counterpart of Table 5.1's splitter-determination
+//! column: HSS gathers orders of magnitude fewer keys, so its splitter
+//! phase is cheaper even though it runs several histogram rounds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hss_baselines::{histogram_sort_splitters, HistogramSortConfig};
+use hss_core::{determine_splitters, HssConfig, RoundSchedule};
+use hss_keygen::KeyDistribution;
+use hss_sim::Machine;
+
+const P: usize = 64;
+const KEYS_PER_RANK: usize = 4_000;
+const EPS: f64 = 0.05;
+
+fn sorted_input() -> Vec<Vec<u64>> {
+    let mut data = KeyDistribution::Uniform.generate_per_rank(P, KEYS_PER_RANK, 42);
+    for v in &mut data {
+        v.sort_unstable();
+    }
+    data
+}
+
+fn bench_splitter_determination(c: &mut Criterion) {
+    let data = sorted_input();
+    let mut group = c.benchmark_group("splitter_determination");
+    group.sample_size(10);
+
+    let hss_configs = [
+        ("hss_one_round", RoundSchedule::Theoretical { rounds: 1 }),
+        ("hss_two_rounds", RoundSchedule::Theoretical { rounds: 2 }),
+        (
+            "hss_constant_oversampling",
+            RoundSchedule::ConstantOversampling { oversampling: 5.0, max_rounds: 64 },
+        ),
+    ];
+    for (name, schedule) in hss_configs {
+        let config = HssConfig { epsilon: EPS, schedule, ..HssConfig::default() };
+        group.bench_function(BenchmarkId::new("hss", name), |b| {
+            b.iter(|| {
+                let mut machine = Machine::flat(P);
+                determine_splitters(&mut machine, &data, P, &config)
+            })
+        });
+    }
+
+    group.bench_function(BenchmarkId::new("baseline", "classic_histogram_sort"), |b| {
+        let cfg = HistogramSortConfig::new(EPS, P);
+        b.iter(|| {
+            let mut machine = Machine::flat(P);
+            histogram_sort_splitters(&mut machine, &data, P, &cfg)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_splitter_determination);
+criterion_main!(benches);

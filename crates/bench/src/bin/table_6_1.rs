@@ -1,0 +1,35 @@
+//! Regenerates Table 6.1: the number of histogramming rounds HSS needs with
+//! a constant oversampling of 5 keys per processor per round at ε = 0.02,
+//! compared with the analytical bound, for a sweep of processor counts
+//! (the paper: 4 K, 8 K, 16 K, 32 K — select with
+//! `HSS_EXPERIMENT_SCALE=full`).
+
+use hss_bench::experiments::table_6_1_rows;
+use hss_bench::output::{print_table, save_json};
+use hss_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("experiment scale: {scale} (set HSS_EXPERIMENT_SCALE=smoke|default|full)");
+    let rows = table_6_1_rows(scale, hss_bench::experiment_seed());
+    let printable: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}", r.processors),
+                format!("{}", r.sample_per_round_factor),
+                format!("{}", r.rounds_observed),
+                format!("{}", r.rounds_bound),
+                format!("{}", r.all_finalized),
+                format!("{}", r.total_keys),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 6.1 — histogramming rounds, eps = 0.02, 5 samples/processor/round, no shared-memory optimisation",
+        &["p", "sample/round (x p)", "rounds observed", "bound", "finalized", "total keys"],
+        &printable,
+    );
+    println!("\nPaper reference: 4 rounds observed (bound 8) for p = 4K, 8K, 16K, 32K.");
+    save_json("table_6_1.json", &rows);
+}

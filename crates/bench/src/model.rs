@@ -1,0 +1,140 @@
+//! BSP cost-model projection of Figure 6.1 at the paper's full scale.
+//!
+//! The executed experiments reproduce the weak-scaling *shape* at a reduced
+//! per-core key count; this module evaluates the same per-phase cost
+//! expressions at the paper's configuration (1 M keys + 4-byte payload per
+//! core, 16 cores per node, 512 → 32 K cores) directly from the
+//! [`CostModel`], producing the "modelled" series printed next to the
+//! executed one.
+
+use hss_sim::{CostModel, Topology};
+use serde::{Deserialize, Serialize};
+
+/// Per-phase projected times (seconds) for one weak-scaling point, grouped
+/// exactly like Figure 6.1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ModelledBreakdown {
+    /// Number of processor cores.
+    pub processors: usize,
+    /// Keys per core.
+    pub keys_per_core: u64,
+    /// Local sort seconds.
+    pub local_sort: f64,
+    /// Histogramming (sampling + gather + broadcast + local histogram +
+    /// reduction) seconds.
+    pub histogramming: f64,
+    /// Data exchange (all-to-all + merge) seconds.
+    pub data_exchange: f64,
+}
+
+impl ModelledBreakdown {
+    /// Total projected seconds.
+    pub fn total(&self) -> f64 {
+        self.local_sort + self.histogramming + self.data_exchange
+    }
+}
+
+/// Project one Figure 6.1 point: HSS with node-level partitioning,
+/// constant oversampling of `oversampling` keys per *node* per round,
+/// `rounds` histogramming rounds, keys of `key_bytes` bytes (8-byte key +
+/// 4-byte payload = 12 in the paper's runs).
+#[allow(clippy::too_many_arguments)]
+pub fn modelled_figure_6_1_point(
+    cost: &CostModel,
+    processors: usize,
+    cores_per_node: usize,
+    keys_per_core: u64,
+    oversampling: f64,
+    rounds: usize,
+    key_bytes: u64,
+    payload_bytes: u64,
+) -> ModelledBreakdown {
+    let topo = Topology::new(processors, cores_per_node);
+    let n_nodes = topo.nodes();
+    let n_total = keys_per_core * processors as u64;
+    let record_words = (key_bytes + payload_bytes).div_ceil(8).max(1);
+
+    // Local sort: n/p log(n/p) comparisons, embarrassingly parallel.
+    let local_sort = cost.compute(CostModel::sort_ops(keys_per_core));
+
+    // Histogramming (per round): the sample (≈ oversampling × n_nodes keys)
+    // is gathered at the root, sorted there, broadcast as probes; every
+    // core answers the probes against its local keys (merge sweep, so
+    // n/p + S ops) and the histograms are reduced.
+    let sample = (oversampling * n_nodes as f64).ceil() as u64;
+    let mut histogramming = 0.0;
+    for _ in 0..rounds {
+        let words = sample; // 8-byte keys, one word each
+        histogramming += cost.gather(words, processors);
+        histogramming += cost.compute(CostModel::sort_ops(sample));
+        histogramming += cost.broadcast(words, processors);
+        histogramming += cost.compute(keys_per_core + sample);
+        histogramming += cost.reduce(words, processors) + cost.compute(sample);
+    }
+    // Splitter broadcast.
+    histogramming += cost.broadcast(n_nodes as u64, processors);
+
+    // Data exchange: every core sends/receives ~keys_per_core records; the
+    // node-combined exchange talks to n_nodes - 1 peers.  Merging the
+    // received runs costs n/p log(pieces) comparisons; the within-node
+    // split adds another linear pass.
+    let exchange_words = keys_per_core * record_words;
+    let mut data_exchange = cost.all_to_allv(exchange_words, (n_nodes.saturating_sub(1)) as u64);
+    data_exchange += cost.compute(CostModel::merge_ops(keys_per_core, n_nodes.max(2) as u64));
+    data_exchange += cost.compute(keys_per_core);
+
+    let _ = n_total;
+    ModelledBreakdown {
+        processors,
+        keys_per_core,
+        local_sort,
+        histogramming,
+        data_exchange,
+    }
+}
+
+/// The full modelled weak-scaling series for the paper's configuration
+/// (1 M keys/core, 16 cores/node, 4-byte payload, 512 → 32 768 cores).
+pub fn modelled_figure_6_1_series(cost: &CostModel) -> Vec<ModelledBreakdown> {
+    [512usize, 2048, 8192, 32768]
+        .iter()
+        .map(|&p| modelled_figure_6_1_point(cost, p, 16, 1_000_000, 5.0, 4, 8, 4))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modelled_series_has_paper_shape() {
+        // Figure 6.1's qualitative claims: (a) the histogramming phase is a
+        // small fraction of the total at every scale; (b) data exchange is
+        // the dominant cost; (c) local sort time is flat under weak scaling.
+        let series = modelled_figure_6_1_series(&CostModel::bluegene_like());
+        assert_eq!(series.len(), 4);
+        for point in &series {
+            assert!(
+                point.histogramming < 0.2 * point.total(),
+                "histogramming {} not small at p = {}",
+                point.histogramming,
+                point.processors
+            );
+            assert!(point.data_exchange > point.local_sort * 0.2);
+        }
+        let first = &series[0];
+        let last = &series[series.len() - 1];
+        assert!((first.local_sort - last.local_sort).abs() / first.local_sort < 1e-9);
+        // Total grows moderately with p (collective latencies, merge log p).
+        assert!(last.total() >= first.total());
+    }
+
+    #[test]
+    fn histogramming_grows_with_rounds() {
+        let cost = CostModel::bluegene_like();
+        let a = modelled_figure_6_1_point(&cost, 4096, 16, 100_000, 5.0, 2, 8, 4);
+        let b = modelled_figure_6_1_point(&cost, 4096, 16, 100_000, 5.0, 8, 8, 4);
+        assert!(b.histogramming > a.histogramming);
+        assert_eq!(a.data_exchange, b.data_exchange);
+    }
+}

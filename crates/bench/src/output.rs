@@ -1,0 +1,141 @@
+//! Plain-text table output and JSON result persistence for the experiment
+//! binaries.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use serde::Serialize;
+
+/// Directory experiment results are written to (`HSS_RESULTS_DIR`, default
+/// `results/`).
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("HSS_RESULTS_DIR").unwrap_or_else(|_| "results".to_string());
+    PathBuf::from(dir)
+}
+
+/// Serialise `value` as pretty JSON under the results directory.
+/// Errors are reported but not fatal (the console output is the primary
+/// artifact).
+pub fn save_json<T: Serialize>(name: &str, value: &T) {
+    let dir = results_dir();
+    if let Err(e) = fs::create_dir_all(&dir) {
+        eprintln!("warning: could not create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(name);
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(e) = fs::write(&path, json) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            } else {
+                println!("[saved {}]", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialise {name}: {e}"),
+    }
+}
+
+/// Render an ASCII table with a header row.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let line = |out: &mut String, cells: &[String]| {
+        for (i, cell) in cells.iter().enumerate() {
+            out.push_str(&format!("{:<width$}  ", cell, width = widths.get(i).copied().unwrap_or(8)));
+        }
+        out.push('\n');
+    };
+    line(&mut out, &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    let total: usize = widths.iter().map(|w| w + 2).sum();
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        line(&mut out, row);
+    }
+    out
+}
+
+/// Print an ASCII table with a caption.
+pub fn print_table(caption: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {caption} ==");
+    print!("{}", render_table(headers, rows));
+}
+
+/// Human-readable byte count (KB/MB/GB with binary prefixes).
+pub fn human_bytes(bytes: f64) -> String {
+    const UNITS: [&str; 5] = ["B", "KB", "MB", "GB", "TB"];
+    let mut value = bytes;
+    let mut unit = 0;
+    while value >= 1024.0 && unit + 1 < UNITS.len() {
+        value /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{value:.0} {}", UNITS[unit])
+    } else {
+        format!("{value:.1} {}", UNITS[unit])
+    }
+}
+
+/// Format seconds with adaptive precision.
+pub fn format_seconds(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else {
+        format!("{:.3} us", s * 1e6)
+    }
+}
+
+/// Write `path` (relative to the results dir) with plain text content.
+pub fn save_text(name: &str, content: &str) {
+    let dir = results_dir();
+    if fs::create_dir_all(&dir).is_ok() {
+        let path: PathBuf = dir.join(name);
+        if fs::write(&path, content).is_ok() {
+            println!("[saved {}]", path.display());
+        }
+    }
+}
+
+/// Whether a results file already exists (used by `run_all` to report).
+pub fn result_exists(name: &str) -> bool {
+    Path::new(&results_dir()).join(name).exists()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn human_bytes_picks_sensible_units() {
+        assert_eq!(human_bytes(512.0), "512 B");
+        assert_eq!(human_bytes(2048.0), "2.0 KB");
+        assert!(human_bytes(655.0 * 1024.0 * 1024.0 * 1024.0).ends_with("GB"));
+    }
+
+    #[test]
+    fn format_seconds_adapts_units() {
+        assert!(format_seconds(2.5).ends_with(" s"));
+        assert!(format_seconds(0.002).ends_with(" ms"));
+        assert!(format_seconds(2e-6).ends_with(" us"));
+    }
+
+    #[test]
+    fn render_table_aligns_columns() {
+        let s = render_table(
+            &["p", "rounds"],
+            &[vec!["1024".to_string(), "4".to_string()], vec!["32768".to_string(), "5".to_string()]],
+        );
+        assert!(s.contains("p      rounds"));
+        assert!(s.lines().count() >= 4);
+    }
+}

@@ -1,0 +1,140 @@
+//! Experiment scale selection.
+//!
+//! The paper's experiments ran on up to 32 K Blue Gene/Q cores with 10⁶ keys
+//! per core.  On a single host the same *algorithmic* quantities (rounds,
+//! sample sizes, load balance, per-phase cost shape) are reproducible at a
+//! reduced scale; the `HSS_EXPERIMENT_SCALE` environment variable selects
+//! how hard the harness tries:
+//!
+//! * `smoke` — tiny sizes, a few seconds end to end (used by CI / tests);
+//! * `default` — the normal setting: large enough for the trends to be
+//!   unambiguous, minutes end to end;
+//! * `full` — the paper's processor counts where memory permits (splitter
+//!   determination runs at the paper's `p`; the data-exchange experiments
+//!   stay at `default` sizes and the full-scale series is produced by the
+//!   BSP cost model).
+
+use std::fmt;
+
+/// How big the executed experiments should be.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Tiny sizes for smoke tests.
+    Smoke,
+    /// The normal reduced scale.
+    Default,
+    /// The paper's processor counts where feasible.
+    Full,
+}
+
+impl Scale {
+    /// Read the scale from `HSS_EXPERIMENT_SCALE` (defaults to `Default`).
+    pub fn from_env() -> Self {
+        match std::env::var("HSS_EXPERIMENT_SCALE").unwrap_or_default().to_lowercase().as_str() {
+            "smoke" => Scale::Smoke,
+            "full" => Scale::Full,
+            _ => Scale::Default,
+        }
+    }
+
+    /// Processor counts for Table 6.1 (paper: 4 K, 8 K, 16 K, 32 K).
+    pub fn table_6_1_processors(&self) -> Vec<usize> {
+        match self {
+            Scale::Smoke => vec![256, 512],
+            Scale::Default => vec![1024, 2048, 4096, 8192],
+            Scale::Full => vec![4096, 8192, 16384, 32768],
+        }
+    }
+
+    /// Keys per rank for Table 6.1 runs.
+    pub fn table_6_1_keys_per_rank(&self) -> usize {
+        match self {
+            Scale::Smoke => 500,
+            Scale::Default => 1000,
+            Scale::Full => 1000,
+        }
+    }
+
+    /// Processor counts for the executed part of Figure 6.1 (paper: 512 …
+    /// 32 K cores; the executed sweep is capped so the dense exchange
+    /// matrices stay in memory, the paper-scale series comes from the BSP
+    /// model).
+    pub fn figure_6_1_executed_processors(&self) -> Vec<usize> {
+        match self {
+            Scale::Smoke => vec![64, 128],
+            Scale::Default => vec![512, 1024, 2048, 4096],
+            Scale::Full => vec![512, 1024, 2048, 4096, 8192],
+        }
+    }
+
+    /// Keys per core for the executed part of Figure 6.1.
+    pub fn figure_6_1_keys_per_core(&self) -> usize {
+        match self {
+            Scale::Smoke => 500,
+            Scale::Default => 2000,
+            Scale::Full => 8000,
+        }
+    }
+
+    /// Processor counts for Figure 6.2 (paper: 256 … 64 K).
+    pub fn figure_6_2_processors(&self) -> Vec<usize> {
+        match self {
+            Scale::Smoke => vec![64, 128],
+            Scale::Default => vec![256, 512, 1024, 2048],
+            Scale::Full => vec![256, 512, 1024, 2048, 4096],
+        }
+    }
+
+    /// Particles per rank for Figure 6.2.
+    pub fn figure_6_2_keys_per_rank(&self) -> usize {
+        match self {
+            Scale::Smoke => 500,
+            Scale::Default => 2000,
+            Scale::Full => 4000,
+        }
+    }
+
+    /// Processor counts for Figure 3.1 (interval shrinkage traces).
+    pub fn figure_3_1_processors(&self) -> Vec<usize> {
+        match self {
+            Scale::Smoke => vec![64],
+            Scale::Default => vec![256, 1024],
+            Scale::Full => vec![1024, 4096],
+        }
+    }
+}
+
+impl fmt::Display for Scale {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scale::Smoke => write!(f, "smoke"),
+            Scale::Default => write!(f, "default"),
+            Scale::Full => write!(f, "full"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_produce_increasing_sizes() {
+        assert!(Scale::Smoke.table_6_1_processors().last() < Scale::Full.table_6_1_processors().last());
+        assert!(
+            Scale::Smoke.figure_6_1_keys_per_core() <= Scale::Default.figure_6_1_keys_per_core()
+        );
+    }
+
+    #[test]
+    fn full_scale_matches_paper_table_6_1() {
+        assert_eq!(Scale::Full.table_6_1_processors(), vec![4096, 8192, 16384, 32768]);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Scale::Smoke.to_string(), "smoke");
+        assert_eq!(Scale::Default.to_string(), "default");
+        assert_eq!(Scale::Full.to_string(), "full");
+    }
+}

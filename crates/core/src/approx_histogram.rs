@@ -1,0 +1,209 @@
+//! Approximate histogramming with a representative sample (§3.4).
+//!
+//! When the per-processor data is huge, answering every histogram round
+//! against the full local input costs `O(S log(N/p))` per round.  The paper
+//! shows that a *representative sample* of `s = √(2 p ln p)/ε` keys per
+//! processor — one uniformly random key from each of `s` equal blocks of the
+//! sorted local input (Blelloch-style block sampling) — answers rank queries
+//! to within `εN/p` of the true rank w.h.p. (Theorem 3.4.1).  Rank queries
+//! against the sample cost `O(S log s)` instead, and the same sample can be
+//! reused across rounds, which is what makes the scheme "of independent
+//! interest for answering general [rank] queries".
+
+use hss_keygen::Keyed;
+use hss_partition::sampling::random_block_sample;
+use hss_sim::{Machine, Phase, Work};
+
+use serde::{Deserialize, Serialize};
+
+/// Per-rank representative sample plus the block size needed to convert
+/// sample counts back into rank estimates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RepresentativeSample<K> {
+    /// One sampled key per block, sorted.
+    samples: Vec<K>,
+    /// Number of local keys each sample represents (`N/(p·s)` in the paper;
+    /// here exactly `local_len / samples.len()` up to rounding).
+    local_len: usize,
+}
+
+impl<K: Ord + Copy> RepresentativeSample<K> {
+    /// Number of sampled keys held.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the sample is empty (empty local data).
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Estimated number of *local* keys strictly below `key`:
+    /// `(local count of samples <= key) × block size`.
+    pub fn estimated_local_rank(&self, key: K) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let below = self.samples.partition_point(|s| *s <= key);
+        below as f64 * self.local_len as f64 / self.samples.len() as f64
+    }
+}
+
+/// The distributed approximate-histogram oracle: builds one representative
+/// sample per rank and answers global rank queries from the samples alone.
+#[derive(Debug, Clone)]
+pub struct ApproxHistogrammer<K> {
+    per_rank: Vec<RepresentativeSample<K>>,
+}
+
+impl<K: hss_keygen::Key> ApproxHistogrammer<K> {
+    /// The per-processor sample size `√(2 p ln p)/ε` prescribed by
+    /// Theorem 3.4.1.
+    pub fn prescribed_sample_size(ranks: usize, epsilon: f64) -> usize {
+        assert!(ranks >= 2, "need at least two ranks");
+        assert!(epsilon > 0.0);
+        let p = ranks as f64;
+        ((2.0 * p * p.ln()).sqrt() / epsilon).ceil() as usize
+    }
+
+    /// Build the representative samples: each rank divides its sorted local
+    /// data into `sample_size` equal blocks and keeps one uniformly random
+    /// key per block.  Charged to [`Phase::Sampling`].
+    pub fn build<T: Keyed<K = K>>(
+        machine: &mut Machine,
+        per_rank_sorted: &[Vec<T>],
+        sample_size: usize,
+        seed: u64,
+    ) -> Self {
+        let per_rank = machine.map_phase(Phase::Sampling, per_rank_sorted, |rank, local| {
+            let mut rng = hss_keygen::rank_rng(seed ^ 0x5A5A, rank);
+            let mut samples = random_block_sample(local, sample_size, &mut rng);
+            samples.sort_unstable();
+            let work = Work::scan(samples.len());
+            (RepresentativeSample { samples, local_len: local.len() }, work)
+        });
+        Self { per_rank }
+    }
+
+    /// Number of ranks contributing samples.
+    pub fn ranks(&self) -> usize {
+        self.per_rank.len()
+    }
+
+    /// Total number of sampled keys across all ranks.
+    pub fn total_sample_size(&self) -> usize {
+        self.per_rank.iter().map(|s| s.len()).sum()
+    }
+
+    /// Estimate the global ranks of `queries` using only the representative
+    /// samples.  One reduction of `|queries|` partial sums is charged, just
+    /// like an ordinary histogramming round but against the (much smaller)
+    /// samples.
+    pub fn estimated_global_ranks(&self, machine: &mut Machine, queries: &[K]) -> Vec<f64> {
+        // Compute per-rank estimated local ranks (scaled counts).  The
+        // reduction works on u64 fixed-point values (1/1024 key) so it can
+        // reuse the integer histogram reduction path.
+        const FIXED: f64 = 1024.0;
+        let per_rank_data: Vec<Vec<K>> = self.per_rank.iter().map(|s| s.samples.clone()).collect();
+        let local_lens: Vec<usize> = self.per_rank.iter().map(|s| s.local_len).collect();
+        let partials: Vec<Vec<u64>> = machine.map_phase(Phase::Histogramming, &per_rank_data, |rank, samples| {
+            let local_len = local_lens[rank];
+            let est: Vec<u64> = queries
+                .iter()
+                .map(|q| {
+                    if samples.is_empty() {
+                        0
+                    } else {
+                        let below = samples.partition_point(|s| *s <= *q);
+                        ((below as f64 * local_len as f64 / samples.len() as f64) * FIXED) as u64
+                    }
+                })
+                .collect();
+            (est, Work::binary_search(queries.len(), samples.len()))
+        });
+        let summed = machine.reduce_sum(Phase::Histogramming, &partials);
+        summed.into_iter().map(|x| x as f64 / FIXED).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hss_keygen::KeyDistribution;
+    use hss_partition::exact_rank;
+
+    fn sorted_input(p: usize, n: usize, seed: u64) -> Vec<Vec<u64>> {
+        let mut data = KeyDistribution::Uniform.generate_per_rank(p, n, seed);
+        for v in &mut data {
+            v.sort_unstable();
+        }
+        data
+    }
+
+    #[test]
+    fn prescribed_sample_size_matches_formula() {
+        let s = ApproxHistogrammer::<u64>::prescribed_sample_size(10_000, 0.05);
+        let expect = ((2.0 * 10_000f64 * 10_000f64.ln()).sqrt() / 0.05).ceil() as usize;
+        assert_eq!(s, expect);
+        // O(sqrt(p) log p / eps): tiny compared to N/p for realistic inputs.
+        assert!(s < 10_000);
+    }
+
+    #[test]
+    fn representative_sample_estimates_local_rank() {
+        let local: Vec<u64> = (0..10_000).collect();
+        let mut rng = hss_keygen::rank_rng(3, 0);
+        let mut samples = random_block_sample(&local, 100, &mut rng);
+        samples.sort_unstable();
+        let rs = RepresentativeSample { samples, local_len: local.len() };
+        // True local rank of 5000 is 5000; block size is 100, so the
+        // estimate is within one block of the truth.
+        let est = rs.estimated_local_rank(5000);
+        assert!((est - 5000.0).abs() <= 200.0, "estimate {est}");
+    }
+
+    #[test]
+    fn empty_local_data_estimates_zero() {
+        let rs: RepresentativeSample<u64> = RepresentativeSample { samples: vec![], local_len: 0 };
+        assert!(rs.is_empty());
+        assert_eq!(rs.estimated_local_rank(42), 0.0);
+    }
+
+    #[test]
+    fn global_rank_estimates_are_within_theorem_bound() {
+        // Theorem 3.4.1: with s = sqrt(2 p ln p)/eps the estimate is within
+        // eps*N/p of the true rank w.h.p.  Use a generous check (2x) to
+        // absorb the finite-size constants.
+        let p = 16;
+        let n = 5_000;
+        let eps = 0.25;
+        let data = sorted_input(p, n, 17);
+        let total = (p * n) as u64;
+        let mut machine = Machine::flat(p);
+        let s = ApproxHistogrammer::<u64>::prescribed_sample_size(p, eps);
+        let oracle = ApproxHistogrammer::build(&mut machine, &data, s, 99);
+        assert_eq!(oracle.ranks(), p);
+
+        let queries: Vec<u64> = (1..8).map(|i| i * (u64::MAX / 8)).collect();
+        let estimates = oracle.estimated_global_ranks(&mut machine, &queries);
+        let allowed = 2.0 * eps * total as f64 / p as f64;
+        for (q, est) in queries.iter().zip(estimates.iter()) {
+            let truth = exact_rank(&data, *q) as f64;
+            assert!(
+                (est - truth).abs() <= allowed,
+                "query {q}: estimate {est} vs truth {truth} (allowed {allowed})"
+            );
+        }
+    }
+
+    #[test]
+    fn sample_is_much_smaller_than_input() {
+        let p = 16;
+        let n = 5_000;
+        let data = sorted_input(p, n, 23);
+        let mut machine = Machine::flat(p);
+        let oracle = ApproxHistogrammer::build(&mut machine, &data, 50, 1);
+        assert_eq!(oracle.total_sample_size(), p * 50);
+        assert!(oracle.total_sample_size() < p * n / 10);
+    }
+}

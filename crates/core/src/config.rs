@@ -1,0 +1,227 @@
+//! Configuration of the HSS sorter.
+
+use serde::{Deserialize, Serialize};
+
+/// How sampling ratios are chosen across histogramming rounds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RoundSchedule {
+    /// The theoretical schedule of §3.3: exactly `k` rounds with sampling
+    /// ratio `s_j = (2 ln p / ε)^(j/k)` in round `j`.  `k = 1` is "HSS with
+    /// one round" (Lemma 3.2.1), `k = 2` the two-round variant of Table 5.1.
+    Theoretical {
+        /// Number of histogramming rounds `k`.
+        rounds: usize,
+    },
+    /// The practical schedule of the paper's implementation (§6.1.2,
+    /// Table 6.1): every round gathers an expected `oversampling × p` keys
+    /// (drawn only from the open splitter intervals) and the algorithm
+    /// keeps iterating until every splitter is finalized, up to
+    /// `max_rounds`.
+    ConstantOversampling {
+        /// Expected per-rank sample count per round (the paper uses 5).
+        oversampling: f64,
+        /// Safety cap on the number of rounds.
+        max_rounds: usize,
+    },
+    /// The asymptotically optimal `k = log(log p / ε)` rounds schedule of
+    /// Lemma 3.3.2 (constant per-processor samples per round).
+    OptimalRounds,
+}
+
+impl Default for RoundSchedule {
+    fn default() -> Self {
+        RoundSchedule::ConstantOversampling { oversampling: 5.0, max_rounds: 64 }
+    }
+}
+
+/// Which algorithm turns the final histogram into splitters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SplitterRule {
+    /// HSS's rule: for each target rank pick the sampled key whose global
+    /// rank is closest (§3.3 step 5).  Works for any number of rounds.
+    ClosestRank,
+    /// The scanning algorithm of Axtmann et al. (§3.2): greedily assign
+    /// histogram buckets to processors until each reaches `N(1+ε)/p`.
+    /// Only meaningful for a single round of histogramming.
+    Scanning,
+}
+
+/// Configuration for [`HssSorter`](crate::sorter::HssSorter) and
+/// [`determine_splitters`](crate::multi_round::determine_splitters).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HssConfig {
+    /// Load-imbalance threshold ε: no rank may end up with more than
+    /// `N(1 + ε)/p` keys.
+    pub epsilon: f64,
+    /// The sampling/round schedule.
+    pub schedule: RoundSchedule,
+    /// How splitters are finalized.
+    pub splitter_rule: SplitterRule,
+    /// Use node-level data partitioning and message combining (§6.1): the
+    /// histogram determines `n − 1` node splitters, the exchange combines
+    /// messages per node pair, and data is re-split among the cores of each
+    /// node afterwards with regular-sampling sample sort.
+    pub node_level: bool,
+    /// Load-imbalance threshold used for the within-node split when
+    /// `node_level` is set (the paper uses 5% within nodes, 2% across).
+    pub within_node_epsilon: f64,
+    /// Break ties among duplicate keys by implicitly tagging every key with
+    /// `(PE, local index)` (§4.3).  Required for the load-balance guarantee
+    /// on duplicate-heavy inputs.
+    pub tag_duplicates: bool,
+    /// Answer histogram rounds from a per-rank representative sample of
+    /// `O(√(p log p)/ε)` keys (§3.4) instead of the full local data.  The
+    /// histogram becomes approximate (within `εN/p` per query w.h.p.,
+    /// Theorem 3.4.1), so the effective tolerance used to finalize splitters
+    /// is tightened accordingly; in exchange each histogramming round costs
+    /// `O(S log s)` instead of `O(S log(N/p))` per rank.
+    pub approximate_histograms: bool,
+    /// Seed for all sampling randomness (deterministic runs).
+    pub seed: u64,
+}
+
+impl Default for HssConfig {
+    fn default() -> Self {
+        Self {
+            epsilon: 0.05,
+            schedule: RoundSchedule::default(),
+            splitter_rule: SplitterRule::ClosestRank,
+            node_level: false,
+            within_node_epsilon: 0.05,
+            tag_duplicates: false,
+            approximate_histograms: false,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl HssConfig {
+    /// A configuration matching the paper's cluster experiments (§6.1.2):
+    /// 2% load-balance threshold across nodes, 5% within nodes, constant
+    /// oversampling of 5 keys per processor per round, node-level
+    /// partitioning enabled.
+    pub fn paper_cluster() -> Self {
+        Self {
+            epsilon: 0.02,
+            schedule: RoundSchedule::ConstantOversampling { oversampling: 5.0, max_rounds: 64 },
+            splitter_rule: SplitterRule::ClosestRank,
+            node_level: true,
+            within_node_epsilon: 0.05,
+            tag_duplicates: false,
+            approximate_histograms: false,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// HSS with exactly one histogramming round (Lemma 3.2.1).
+    pub fn one_round(epsilon: f64) -> Self {
+        Self { epsilon, schedule: RoundSchedule::Theoretical { rounds: 1 }, ..Self::default() }
+    }
+
+    /// HSS with exactly two histogramming rounds (the "HSS with two rounds"
+    /// row of Table 5.1).
+    pub fn two_rounds(epsilon: f64) -> Self {
+        Self { epsilon, schedule: RoundSchedule::Theoretical { rounds: 2 }, ..Self::default() }
+    }
+
+    /// Set the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enable duplicate tagging.
+    pub fn with_duplicate_tagging(mut self) -> Self {
+        self.tag_duplicates = true;
+        self
+    }
+
+    /// Enable node-level partitioning.
+    pub fn with_node_level(mut self) -> Self {
+        self.node_level = true;
+        self
+    }
+
+    /// Answer histogram rounds from representative samples (§3.4).
+    pub fn with_approximate_histograms(mut self) -> Self {
+        self.approximate_histograms = true;
+        self
+    }
+
+    /// Basic sanity checks; called by the sorter before running.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.epsilon > 0.0) {
+            return Err(format!("epsilon must be positive (got {})", self.epsilon));
+        }
+        if !(self.within_node_epsilon > 0.0) {
+            return Err("within_node_epsilon must be positive".to_string());
+        }
+        match self.schedule {
+            RoundSchedule::Theoretical { rounds } if rounds == 0 => {
+                Err("theoretical schedule needs at least one round".to_string())
+            }
+            RoundSchedule::ConstantOversampling { oversampling, max_rounds } => {
+                if oversampling <= 0.0 {
+                    Err("oversampling must be positive".to_string())
+                } else if max_rounds == 0 {
+                    Err("max_rounds must be at least 1".to_string())
+                } else {
+                    Ok(())
+                }
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        assert!(HssConfig::default().validate().is_ok());
+        assert!(HssConfig::paper_cluster().validate().is_ok());
+        assert!(HssConfig::one_round(0.05).validate().is_ok());
+        assert!(HssConfig::two_rounds(0.1).validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut c = HssConfig::default();
+        c.epsilon = 0.0;
+        assert!(c.validate().is_err());
+
+        let mut c = HssConfig::default();
+        c.schedule = RoundSchedule::Theoretical { rounds: 0 };
+        assert!(c.validate().is_err());
+
+        let mut c = HssConfig::default();
+        c.schedule = RoundSchedule::ConstantOversampling { oversampling: -1.0, max_rounds: 8 };
+        assert!(c.validate().is_err());
+
+        let mut c = HssConfig::default();
+        c.schedule = RoundSchedule::ConstantOversampling { oversampling: 5.0, max_rounds: 0 };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn builders_set_flags() {
+        let c = HssConfig::default().with_seed(7).with_duplicate_tagging().with_node_level();
+        assert_eq!(c.seed, 7);
+        assert!(c.tag_duplicates);
+        assert!(c.node_level);
+    }
+
+    #[test]
+    fn paper_cluster_matches_section_6() {
+        let c = HssConfig::paper_cluster();
+        assert_eq!(c.epsilon, 0.02);
+        assert_eq!(c.within_node_epsilon, 0.05);
+        assert!(c.node_level);
+        match c.schedule {
+            RoundSchedule::ConstantOversampling { oversampling, .. } => assert_eq!(oversampling, 5.0),
+            _ => panic!("expected constant oversampling"),
+        }
+    }
+}

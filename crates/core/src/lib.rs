@@ -1,0 +1,64 @@
+//! `hss-core` — Histogram Sort with Sampling (HSS), the paper's primary
+//! contribution.
+//!
+//! HSS is a splitter-based parallel sorting algorithm that interleaves
+//! *sampling* and *histogramming*: each histogramming round is preceded by a
+//! Bernoulli sampling phase restricted to the current splitter intervals, so
+//! the probes converge on the true splitters with an overall sample of only
+//! `O(k·p·(log p/ε)^{1/k})` keys over `k` rounds (Lemmas 3.2.1, 3.3.1,
+//! 3.3.2 of the paper) — orders of magnitude below what sample sort needs
+//! for the same `(1 + ε)` load-balance guarantee.
+//!
+//! The crate exposes:
+//!
+//! * [`HssSorter`] / [`HssConfig`] — the end-to-end distributed sorter
+//!   (local sort → splitter determination → all-to-all → merge) with
+//!   theoretical (§3.1/§3.3) and practical (§6.1.2, constant oversampling)
+//!   round schedules, optional node-level partitioning (§6.1) and optional
+//!   duplicate tagging (§4.3);
+//! * [`multi_round::determine_splitters`] — the splitter-determination
+//!   kernel on its own, reporting per-round sample sizes and splitter
+//!   interval shrinkage (the Table 6.1 / Figure 3.1 quantities);
+//! * [`scanning`] — the one-round scanning splitter selection of Axtmann et
+//!   al. (§3.2, Theorem 3.2.1);
+//! * [`approx_histogram`] — the representative-sample rank oracle of §3.4
+//!   (Theorem 3.4.1);
+//! * [`theory`] — the sampling-ratio schedules and round-count bounds used
+//!   throughout the evaluation.
+//!
+//! # Quick start
+//!
+//! ```
+//! use hss_core::{HssConfig, HssSorter};
+//! use hss_keygen::KeyDistribution;
+//! use hss_sim::Machine;
+//!
+//! // 16 simulated ranks, 1000 uniform 64-bit keys each.
+//! let input = KeyDistribution::Uniform.generate_per_rank(16, 1_000, 42);
+//! let mut machine = Machine::flat(16);
+//! let outcome = HssSorter::new(HssConfig::default()).sort(&mut machine, input);
+//!
+//! // Globally sorted, and no rank holds more than (1 + eps) * N/p keys.
+//! assert!(outcome.report.load_balance.satisfies(0.05));
+//! println!("{}", outcome.report.metrics);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod approx_histogram;
+pub mod config;
+pub mod duplicates;
+pub mod multi_round;
+pub mod node_level;
+pub mod report;
+pub mod scanning;
+pub mod sorter;
+pub mod theory;
+
+pub use approx_histogram::{ApproxHistogrammer, RepresentativeSample};
+pub use config::{HssConfig, RoundSchedule, SplitterRule};
+pub use duplicates::Tagged;
+pub use multi_round::determine_splitters;
+pub use report::{RoundStats, SortReport, SplitterReport};
+pub use scanning::{scanning_splitters, splitters_from_histogram};
+pub use sorter::{HssSorter, SortOutcome};

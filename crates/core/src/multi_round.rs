@@ -1,0 +1,538 @@
+//! Multi-round splitter determination — the core of Histogram Sort with
+//! Sampling (§3.3).
+//!
+//! Every round consists of a *sampling phase* (each key inside the open
+//! splitter intervals is picked with a round-specific probability — Sampling
+//! Method 1), a gather of the sample at the root, a broadcast of the sorted
+//! sample as histogram probes, a *histogramming phase* (local rank counts +
+//! global reduction) and an update of the per-splitter bracketing intervals
+//! (`L_j(i)`, `U_j(i)`).  Because later rounds only sample from the — ever
+//! shrinking — splitter intervals, the total sample stays tiny
+//! (Theorems 3.3.1–3.3.4).
+
+use hss_keygen::{rank_rng, Key, Keyed};
+use hss_partition::{
+    global_ranks, merge_key_intervals, sampling, SplitterIntervals, SplitterSet,
+};
+use hss_sim::{CostModel, Machine, Phase, Work};
+
+use crate::approx_histogram::ApproxHistogrammer;
+use crate::config::{HssConfig, RoundSchedule, SplitterRule};
+use crate::report::{RoundStats, SplitterReport};
+use crate::scanning;
+use crate::theory;
+
+/// Determine `buckets − 1` splitters over the per-rank *sorted* data using
+/// Histogram Sort with Sampling.
+///
+/// Returns the splitter set plus a [`SplitterReport`] describing every
+/// round (sample sizes, interval shrinkage, finalization).  All sampling
+/// randomness derives from `config.seed`, so runs are reproducible.
+///
+/// `buckets` is `p` for flat partitioning or the node count `n` for the
+/// node-level optimisation (§6.1.1).
+pub fn determine_splitters<T: Keyed>(
+    machine: &mut Machine,
+    per_rank_sorted: &[Vec<T>],
+    buckets: usize,
+    config: &HssConfig,
+) -> (SplitterSet<T::K>, SplitterReport) {
+    config.validate().expect("invalid HSS configuration");
+    assert!(buckets >= 1, "need at least one bucket");
+    let total_keys: u64 = per_rank_sorted.iter().map(|v| v.len() as u64).sum();
+    // With approximate histograms (§3.4) every reported rank can be off by
+    // up to εN/p ≈ 2·tol, so the finalization tolerance is widened
+    // accordingly (the paper makes the same observation: a key reported
+    // within εN/p of the target is truly within 2εN/p).
+    let base_tolerance = theory::rank_tolerance(total_keys, buckets, config.epsilon);
+    let tolerance =
+        if config.approximate_histograms { base_tolerance * 3 } else { base_tolerance };
+    let mut intervals: SplitterIntervals<T::K> = SplitterIntervals::new(total_keys, buckets);
+    let mut report = SplitterReport {
+        buckets,
+        total_keys,
+        tolerance,
+        rounds: Vec::new(),
+        total_sample_size: 0,
+        all_finalized: buckets <= 1,
+    };
+
+    if buckets <= 1 || total_keys == 0 {
+        // Nothing to split.
+        let keys = if buckets <= 1 { Vec::new() } else { intervals.best_splitter_keys() };
+        return (SplitterSet::new(keys), report);
+    }
+
+    // Per-round sampling probabilities are derived from the schedule.
+    let plan = RoundPlan::new(&config.schedule, buckets, config.epsilon);
+
+    // Optional §3.4 speed-up: answer every histogram round from a per-rank
+    // representative sample instead of the full local data.  The ranks it
+    // returns are within εN/p of the truth w.h.p. (Theorem 3.4.1), so the
+    // achieved load balance degrades from (1 + ε) to roughly (1 + 2ε).
+    let rank_oracle = if config.approximate_histograms {
+        let sample_size = ApproxHistogrammer::<T::K>::prescribed_sample_size(
+            machine.ranks().max(2),
+            config.epsilon,
+        );
+        Some(ApproxHistogrammer::build(
+            machine,
+            per_rank_sorted,
+            sample_size,
+            config.seed ^ 0xA44A_1970,
+        ))
+    } else {
+        None
+    };
+
+    // Keep the probes of the last round around for the scanning rule.
+    #[allow(unused_assignments)]
+    let mut last_round: Option<(Vec<T::K>, Vec<u64>)> = None;
+
+    let mut round = 0usize;
+    loop {
+        round += 1;
+        let open_before = intervals.unfinalized_count(tolerance);
+
+        // The key ranges the sampling phase draws from: the whole key space
+        // in round 1, the open splitter intervals afterwards.
+        let key_intervals: Vec<(T::K, T::K)> = if round == 1 {
+            vec![(T::K::MIN_KEY, T::K::MAX_KEY)]
+        } else {
+            merge_key_intervals(intervals.open_key_intervals(tolerance))
+        };
+        // Number of input keys those ranges cover (G_{j-1}); exact because
+        // the interval bookkeeping tracks ranks.
+        let covered_keys = if round == 1 { total_keys } else { intervals.union_rank_size(tolerance) };
+
+        let probability = plan.probability(round, total_keys, covered_keys);
+
+        // --- Sampling phase -------------------------------------------------
+        let seed = config.seed ^ (round as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let per_rank_samples: Vec<Vec<T::K>> =
+            machine.map_phase(Phase::Sampling, per_rank_sorted, |rank, local| {
+                let mut rng = rank_rng(seed, rank);
+                let sample =
+                    sampling::bernoulli_sample_in_intervals(local, &key_intervals, probability, &mut rng);
+                let work = Work::binary_search(2 * key_intervals.len(), local.len())
+                    .and(Work::scan(sample.len()));
+                (sample, work)
+            });
+
+        // Gather the sample at the central processor and sort it there.
+        let mut probes: Vec<T::K> = machine.gather_to_root(Phase::Sampling, per_rank_samples);
+        let sample_size = probes.len();
+        machine.charge_modelled_compute(Phase::Histogramming, CostModel::sort_ops(sample_size as u64));
+        probes.sort_unstable();
+        probes.dedup();
+
+        // --- Histogramming phase --------------------------------------------
+        // Broadcast the probes, compute local histograms (exact or from the
+        // representative samples), reduce.
+        machine.broadcast(Phase::Histogramming, &probes);
+        let ranks = match &rank_oracle {
+            Some(oracle) => {
+                let estimates = oracle.estimated_global_ranks(machine, &probes);
+                // Round, clamp to the valid rank range and force the
+                // sequence non-decreasing (fixed-point rounding can create
+                // one-off inversions on equal estimates).
+                let mut prev = 0u64;
+                estimates
+                    .into_iter()
+                    .map(|x| {
+                        let mut r = x.clamp(0.0, total_keys as f64) as u64;
+                        if r < prev {
+                            r = prev;
+                        }
+                        prev = r;
+                        r
+                    })
+                    .collect()
+            }
+            None => global_ranks(machine, per_rank_sorted, &probes, Phase::Histogramming),
+        };
+        intervals.update(&probes, &ranks);
+
+        let open_after = intervals.unfinalized_count(tolerance);
+        let widths = intervals.interval_widths();
+        let max_w = widths.iter().copied().max().unwrap_or(0);
+        let mean_w = if widths.is_empty() {
+            0.0
+        } else {
+            widths.iter().sum::<u64>() as f64 / widths.len() as f64
+        };
+        report.rounds.push(RoundStats {
+            round,
+            sample_size,
+            open_before,
+            open_after,
+            max_interval_width: max_w,
+            mean_interval_width: mean_w,
+            union_rank_size: intervals.union_rank_size(tolerance),
+            covered_fraction: intervals.covered_fraction(tolerance),
+        });
+        report.total_sample_size += sample_size;
+        last_round = Some((probes, ranks));
+
+        if plan.is_done(round, open_after) {
+            break;
+        }
+    }
+
+    report.all_finalized = intervals.all_finalized(tolerance);
+
+    // --- Finalize splitters --------------------------------------------------
+    let splitters = match config.splitter_rule {
+        SplitterRule::ClosestRank => SplitterSet::new(intervals.best_splitter_keys()),
+        SplitterRule::Scanning => {
+            let (probes, ranks) = last_round.expect("scanning rule requires at least one round");
+            scanning::splitters_from_histogram(&probes, &ranks, total_keys, buckets, config.epsilon)
+        }
+    };
+    // Splitters are broadcast to all processors before the data movement.
+    machine.broadcast(Phase::SplitterBroadcast, splitters.keys());
+    (splitters, report)
+}
+
+/// Internal description of how many rounds to run and with which sampling
+/// probability.
+struct RoundPlan {
+    kind: PlanKind,
+    buckets: usize,
+}
+
+enum PlanKind {
+    /// Fixed number of rounds with precomputed sampling ratios.
+    Fixed { ratios: Vec<f64> },
+    /// Run until all splitters are finalized, targeting an expected overall
+    /// sample of `oversampling × buckets` per round.
+    UntilDone { oversampling: f64, max_rounds: usize },
+}
+
+impl RoundPlan {
+    fn new(schedule: &RoundSchedule, buckets: usize, epsilon: f64) -> Self {
+        // The sampling-ratio formulas need p >= 2; a single bucket never
+        // reaches this code path.
+        let p = buckets.max(2);
+        match *schedule {
+            RoundSchedule::Theoretical { rounds } => Self {
+                kind: PlanKind::Fixed { ratios: theory::sampling_ratios(rounds, p, epsilon) },
+                buckets,
+            },
+            RoundSchedule::OptimalRounds => {
+                let k = theory::optimal_rounds(p, epsilon);
+                Self {
+                    kind: PlanKind::Fixed { ratios: theory::sampling_ratios(k, p, epsilon) },
+                    buckets,
+                }
+            }
+            RoundSchedule::ConstantOversampling { oversampling, max_rounds } => {
+                Self { kind: PlanKind::UntilDone { oversampling, max_rounds }, buckets }
+            }
+        }
+    }
+
+    /// Per-key sampling probability for `round` (1-based), given the total
+    /// input size and the number of keys covered by the open intervals.
+    fn probability(&self, round: usize, total_keys: u64, covered_keys: u64) -> f64 {
+        if total_keys == 0 {
+            return 0.0;
+        }
+        match &self.kind {
+            PlanKind::Fixed { ratios } => {
+                // Sampling Method 1: each key of G is picked with
+                // probability p·s_j / N.
+                let s = ratios[(round - 1).min(ratios.len() - 1)];
+                (self.buckets as f64 * s / total_keys as f64).min(1.0)
+            }
+            PlanKind::UntilDone { oversampling, .. } => {
+                // Target an expected overall sample of `oversampling × p`
+                // drawn from the `covered_keys` keys inside the open
+                // intervals (the 5/δ rule of §6.1.2 expressed as a
+                // probability).
+                let target = oversampling * self.buckets as f64;
+                if covered_keys == 0 {
+                    0.0
+                } else {
+                    (target / covered_keys as f64).min(1.0)
+                }
+            }
+        }
+    }
+
+    /// Whether the algorithm stops after `round` with `open_after` splitters
+    /// still unfinalized.
+    fn is_done(&self, round: usize, open_after: usize) -> bool {
+        match &self.kind {
+            PlanKind::Fixed { ratios } => round >= ratios.len(),
+            PlanKind::UntilDone { max_rounds, .. } => open_after == 0 || round >= *max_rounds,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hss_keygen::KeyDistribution;
+    use hss_partition::{bucket_counts, exact_rank, LoadBalance};
+
+    fn sorted_input(dist: KeyDistribution, p: usize, n: usize, seed: u64) -> Vec<Vec<u64>> {
+        let mut data = dist.generate_per_rank(p, n, seed);
+        for v in &mut data {
+            v.sort_unstable();
+        }
+        data
+    }
+
+    fn check_splitter_quality(
+        data: &[Vec<u64>],
+        splitters: &SplitterSet<u64>,
+        epsilon: f64,
+    ) -> LoadBalance {
+        let counts: Vec<u64> = {
+            let mut totals = vec![0u64; splitters.buckets()];
+            for local in data {
+                for (i, c) in bucket_counts(local, splitters).iter().enumerate() {
+                    totals[i] += c;
+                }
+            }
+            totals
+        };
+        let lb = LoadBalance::from_counts(&counts);
+        assert!(
+            lb.satisfies(epsilon),
+            "load imbalance {} exceeds 1 + {} (max {} allowed {})",
+            lb.imbalance,
+            epsilon,
+            lb.max_keys,
+            lb.allowed_max(epsilon)
+        );
+        lb
+    }
+
+    #[test]
+    fn constant_oversampling_finalizes_uniform_input() {
+        let p = 32;
+        let data = sorted_input(KeyDistribution::Uniform, p, 2000, 7);
+        let mut machine = Machine::flat(p);
+        let config = HssConfig {
+            epsilon: 0.05,
+            schedule: RoundSchedule::ConstantOversampling { oversampling: 5.0, max_rounds: 64 },
+            ..HssConfig::default()
+        };
+        let (splitters, report) = determine_splitters(&mut machine, &data, p, &config);
+        assert!(report.all_finalized, "report: {report:?}");
+        assert_eq!(splitters.buckets(), p);
+        assert!(report.rounds_executed() >= 1);
+        check_splitter_quality(&data, &splitters, 0.05);
+    }
+
+    #[test]
+    fn skewed_input_is_balanced_too() {
+        let p = 24;
+        let data = sorted_input(KeyDistribution::PowerLaw { gamma: 5.0 }, p, 1500, 11);
+        let mut machine = Machine::flat(p);
+        let config = HssConfig { epsilon: 0.1, ..HssConfig::default() };
+        let (splitters, report) = determine_splitters(&mut machine, &data, p, &config);
+        assert!(report.all_finalized);
+        check_splitter_quality(&data, &splitters, 0.1);
+    }
+
+    #[test]
+    fn one_round_theoretical_schedule_balances_whp() {
+        let p = 16;
+        let data = sorted_input(KeyDistribution::Uniform, p, 4000, 3);
+        let mut machine = Machine::flat(p);
+        let config = HssConfig::one_round(0.2).with_seed(5);
+        let (splitters, report) = determine_splitters(&mut machine, &data, p, &config);
+        assert_eq!(report.rounds_executed(), 1);
+        // One theoretical round gathers ~p * 2 ln p / eps samples.
+        assert!(report.total_sample_size > 0);
+        check_splitter_quality(&data, &splitters, 0.2);
+    }
+
+    #[test]
+    fn intervals_shrink_round_over_round() {
+        let p = 32;
+        let data = sorted_input(KeyDistribution::Uniform, p, 3000, 13);
+        let mut machine = Machine::flat(p);
+        let config = HssConfig {
+            epsilon: 0.02,
+            schedule: RoundSchedule::ConstantOversampling { oversampling: 4.0, max_rounds: 32 },
+            ..HssConfig::default()
+        };
+        let (_splitters, report) = determine_splitters(&mut machine, &data, p, &config);
+        assert!(report.rounds_executed() >= 2, "expected multiple rounds");
+        // The union of open intervals must be non-increasing (Figure 3.1).
+        for w in report.rounds.windows(2) {
+            assert!(
+                w[1].union_rank_size <= w[0].union_rank_size,
+                "G_j grew: {:?} -> {:?}",
+                w[0].union_rank_size,
+                w[1].union_rank_size
+            );
+        }
+        // And the number of open splitters must reach zero.
+        assert_eq!(report.rounds.last().unwrap().open_after, 0);
+    }
+
+    #[test]
+    fn later_rounds_use_smaller_samples_than_one_round_would() {
+        // The whole point of HSS: the sum of per-round samples with the
+        // constant-oversampling schedule is far below the one-shot sample
+        // sample sort would need (p/eps per Theorem 4.1.2).
+        let p = 64;
+        let data = sorted_input(KeyDistribution::Uniform, p, 1000, 17);
+        let mut machine = Machine::flat(p);
+        let config = HssConfig {
+            epsilon: 0.02,
+            schedule: RoundSchedule::ConstantOversampling { oversampling: 5.0, max_rounds: 64 },
+            ..HssConfig::default()
+        };
+        let (_s, report) = determine_splitters(&mut machine, &data, p, &config);
+        let regular_sampling_needs = (p * p) as f64 / 0.02;
+        assert!(
+            (report.total_sample_size as f64) < regular_sampling_needs / 10.0,
+            "HSS used {} samples, regular sampling would use {}",
+            report.total_sample_size,
+            regular_sampling_needs
+        );
+    }
+
+    #[test]
+    fn scanning_rule_with_one_round_balances() {
+        let p = 16;
+        let data = sorted_input(KeyDistribution::Uniform, p, 2000, 23);
+        let mut machine = Machine::flat(p);
+        let config = HssConfig {
+            epsilon: 0.1,
+            schedule: RoundSchedule::Theoretical { rounds: 1 },
+            splitter_rule: SplitterRule::Scanning,
+            ..HssConfig::default()
+        };
+        let (splitters, _report) = determine_splitters(&mut machine, &data, p, &config);
+        check_splitter_quality(&data, &splitters, 0.1);
+    }
+
+    #[test]
+    fn single_bucket_needs_no_splitters() {
+        let data = sorted_input(KeyDistribution::Uniform, 4, 100, 1);
+        let mut machine = Machine::flat(4);
+        let (splitters, report) =
+            determine_splitters(&mut machine, &data, 1, &HssConfig::default());
+        assert_eq!(splitters.buckets(), 1);
+        assert!(report.all_finalized);
+        assert_eq!(report.rounds_executed(), 0);
+    }
+
+    #[test]
+    fn empty_input_is_handled() {
+        let data: Vec<Vec<u64>> = vec![vec![]; 4];
+        let mut machine = Machine::flat(4);
+        let (splitters, report) =
+            determine_splitters(&mut machine, &data, 4, &HssConfig::default());
+        assert_eq!(splitters.buckets(), 4);
+        assert_eq!(report.total_keys, 0);
+        assert_eq!(report.rounds_executed(), 0);
+    }
+
+    #[test]
+    fn splitter_ranks_are_within_tolerance() {
+        // Check the conservative condition S_i ∈ T_i (§2.1) directly.
+        let p = 16;
+        let n = 2000;
+        let data = sorted_input(KeyDistribution::Normal { mean_frac: 0.5, std_frac: 0.1 }, p, n, 31);
+        let mut machine = Machine::flat(p);
+        let config = HssConfig { epsilon: 0.05, ..HssConfig::default() };
+        let (splitters, report) = determine_splitters(&mut machine, &data, p, &config);
+        assert!(report.all_finalized);
+        let total = (p * n) as u64;
+        let tol = theory::rank_tolerance(total, p, 0.05);
+        for (i, &s) in splitters.keys().iter().enumerate() {
+            let target = total * (i as u64 + 1) / p as u64;
+            let rank = exact_rank(&data, s);
+            let dist = rank.abs_diff(target);
+            assert!(
+                dist <= tol,
+                "splitter {i} rank {rank} is {dist} away from target {target} (tol {tol})"
+            );
+        }
+    }
+
+    #[test]
+    fn approximate_histograms_still_produce_good_splitters() {
+        // §3.4: histogramming against the representative samples keeps the
+        // splitters within the (slightly loosened) tolerance.
+        let p = 24;
+        let n = 4000;
+        let eps = 0.1;
+        let data = sorted_input(KeyDistribution::Uniform, p, n, 51);
+        let mut machine = Machine::flat(p);
+        let config = HssConfig { epsilon: eps, ..HssConfig::default() }
+            .with_approximate_histograms()
+            .with_seed(3);
+        let (splitters, report) = determine_splitters(&mut machine, &data, p, &config);
+        assert!(report.rounds_executed() >= 1);
+        // The guarantee degrades from (1 + eps) to roughly (1 + 2 eps).
+        check_splitter_quality(&data, &splitters, 2.0 * eps);
+    }
+
+    #[test]
+    fn approximate_histograms_charge_less_histogram_compute() {
+        // The point of §3.4: each histogram round answers probes against the
+        // O(sqrt(p) log p / eps) sample instead of the N/p local keys.
+        let p = 16;
+        let n = 20_000;
+        let data = sorted_input(KeyDistribution::Uniform, p, n, 9);
+        let config_exact = HssConfig { epsilon: 0.1, ..HssConfig::default() };
+        let config_approx = config_exact.clone().with_approximate_histograms();
+
+        let mut exact_machine = Machine::flat(p);
+        let _ = determine_splitters(&mut exact_machine, &data, p, &config_exact);
+        let mut approx_machine = Machine::flat(p);
+        let _ = determine_splitters(&mut approx_machine, &data, p, &config_approx);
+
+        let exact_ops = exact_machine.metrics().phase(Phase::Histogramming).compute_ops;
+        let approx_ops = approx_machine.metrics().phase(Phase::Histogramming).compute_ops;
+        assert!(
+            approx_ops < exact_ops,
+            "approximate histogramming ({approx_ops} ops) not cheaper than exact ({exact_ops} ops)"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let p = 8;
+        let data = sorted_input(KeyDistribution::Uniform, p, 500, 3);
+        let cfg = HssConfig::default().with_seed(99);
+        let mut m1 = Machine::flat(p);
+        let mut m2 = Machine::flat(p);
+        let (s1, r1) = determine_splitters(&mut m1, &data, p, &cfg);
+        let (s2, r2) = determine_splitters(&mut m2, &data, p, &cfg);
+        assert_eq!(s1.keys(), s2.keys());
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn sample_sizes_track_oversampling_target() {
+        let p = 64;
+        let data = sorted_input(KeyDistribution::Uniform, p, 500, 41);
+        let mut machine = Machine::flat(p);
+        let config = HssConfig {
+            epsilon: 0.05,
+            schedule: RoundSchedule::ConstantOversampling { oversampling: 5.0, max_rounds: 64 },
+            ..HssConfig::default()
+        };
+        let (_s, report) = determine_splitters(&mut machine, &data, p, &config);
+        // Expected sample per round is 5p = 320; allow generous slack for
+        // the Bernoulli variance and interval rounding.
+        for r in &report.rounds {
+            assert!(
+                r.sample_size < 5 * 5 * p,
+                "round {} sample {} far above the 5p target",
+                r.round,
+                r.sample_size
+            );
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! Node-level partitioning and message combining (§6.1).
+//!
+//! On clusters with many cores per node it is wasteful to send `p(p−1)`
+//! fine-grained messages and to determine `p−1` splitters.  The paper's
+//! shared-memory optimisation:
+//!
+//! 1. data is partitioned across *physical nodes* only — the histogramming
+//!    phase determines `n−1` splitters instead of `p−1`, shrinking the
+//!    histogram and the sample dramatically (the §6.1.1 example: 250 MB →
+//!    12 MB on 8K BG/Q nodes);
+//! 2. all messages travelling between the same pair of nodes are combined,
+//!    so the network sees at most `n(n−1)` messages;
+//! 3. once a node holds all keys of its bucket, the data is re-split among
+//!    the node's cores entirely in shared memory, using sample sort with
+//!    regular sampling (§6.1.2 "final within node sorting"), which injects
+//!    no network traffic.
+
+use rayon::prelude::*;
+
+use hss_keygen::Keyed;
+use hss_partition::{kway_merge, partition_sorted, regular_sample, SplitterSet};
+use hss_sim::{CostModel, Machine, Phase, Work};
+
+use crate::config::HssConfig;
+use crate::multi_round::determine_splitters;
+use crate::report::SplitterReport;
+
+/// Sort `per_rank_sorted` (locally sorted input) into a globally sorted
+/// per-rank output using node-level partitioning.
+///
+/// Returns the per-rank output and the splitter report of the node-level
+/// histogramming phase.
+pub fn node_level_sort<T: Keyed + Ord>(
+    machine: &mut Machine,
+    per_rank_sorted: &[Vec<T>],
+    config: &HssConfig,
+) -> (Vec<Vec<T>>, SplitterReport) {
+    let topo = machine.topology();
+    let p = topo.ranks();
+    let n = topo.nodes();
+
+    // --- Node-level splitter determination (n - 1 splitters). --------------
+    let (node_splitters, report) = determine_splitters(machine, per_rank_sorted, n, config);
+
+    // --- Exchange: every rank routes its keys to the *leader* of the
+    // destination node; messages are combined per node pair. ----------------
+    let leader_of_bucket: Vec<usize> = (0..n).map(|b| topo.leader_of(b)).collect();
+    let sends: Vec<Vec<Vec<T>>> =
+        machine.map_phase(Phase::DataExchange, per_rank_sorted, |_rank, local| {
+            let node_buckets = partition_sorted(local, &node_splitters);
+            let mut per_dest: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();
+            for (b, bucket) in node_buckets.into_iter().enumerate() {
+                per_dest[leader_of_bucket[b]] = bucket;
+            }
+            (
+                per_dest,
+                Work::binary_search(node_splitters.keys().len(), local.len())
+                    .and(Work::scan(local.len())),
+            )
+        });
+    let received = machine.all_to_allv_node_combined(Phase::DataExchange, sends);
+
+    // --- Within-node redistribution and merge (shared memory only). --------
+    let within_eps = config.within_node_epsilon;
+    let per_node: Vec<(usize, Vec<Vec<T>>, u64)> = (0..n)
+        .into_par_iter()
+        .map(|node| {
+            let leader = topo.leader_of(node);
+            let runs: Vec<Vec<T>> =
+                received[leader].iter().filter(|r| !r.is_empty()).cloned().collect();
+            let cores = topo.node_size(node);
+            let total: usize = runs.iter().map(|r| r.len()).sum();
+            let (chunks, ops) = split_within_node(runs, cores, within_eps);
+            let ops = ops + CostModel::merge_ops(total as u64, cores.max(1) as u64);
+            (node, chunks, ops)
+        })
+        .collect();
+
+    // Assemble the per-rank output and charge the slowest node's work.
+    let mut output: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();
+    let mut max_ops = 0u64;
+    for (node, chunks, ops) in per_node {
+        max_ops = max_ops.max(ops);
+        for (core_idx, chunk) in chunks.into_iter().enumerate() {
+            let rank = topo.ranks_of(node).start + core_idx;
+            output[rank] = chunk;
+        }
+    }
+    machine.charge_modelled_compute(Phase::NodeLocalSort, max_ops);
+
+    (output, report)
+}
+
+/// Split the sorted runs a node received into `cores` per-core sorted
+/// chunks using sample sort with regular sampling, entirely in shared
+/// memory.  Returns the per-core chunks and the number of compute ops spent.
+fn split_within_node<T: Keyed + Ord>(
+    runs: Vec<Vec<T>>,
+    cores: usize,
+    within_eps: f64,
+) -> (Vec<Vec<T>>, u64) {
+    let total: usize = runs.iter().map(|r| r.len()).sum();
+    if cores <= 1 {
+        let ops = CostModel::merge_ops(total as u64, runs.len().max(1) as u64);
+        return (vec![kway_merge(runs)], ops);
+    }
+    if total == 0 {
+        return ((0..cores).map(|_| Vec::new()).collect(), 0);
+    }
+
+    // Regular sampling: s evenly spaced keys from each sorted run, with the
+    // oversampling ratio `cores / within_eps` of Lemma 4.1.1 (capped so tiny
+    // runs are not oversampled beyond their size).
+    let s = ((cores as f64 / within_eps).ceil() as usize).max(cores);
+    let mut sample: Vec<T::K> = Vec::new();
+    for run in &runs {
+        sample.extend(regular_sample(run, s));
+    }
+    sample.sort_unstable();
+    let splitters = SplitterSet::from_sorted_sample(&sample, cores);
+
+    // Partition every run by the within-node splitters and merge per core.
+    let mut per_core_runs: Vec<Vec<Vec<T>>> = (0..cores).map(|_| Vec::new()).collect();
+    let mut ops = sample.len() as u64 * (sample.len().max(2) as f64).log2().ceil() as u64;
+    for run in runs {
+        ops += CostModel::binary_search_ops(splitters.keys().len() as u64, run.len() as u64);
+        for (c, chunk) in partition_sorted(&run, &splitters).into_iter().enumerate() {
+            if !chunk.is_empty() {
+                per_core_runs[c].push(chunk);
+            }
+        }
+    }
+    let chunks: Vec<Vec<T>> = per_core_runs
+        .into_iter()
+        .map(|runs| {
+            let t: usize = runs.iter().map(|r| r.len()).sum();
+            ops += CostModel::merge_ops(t as u64, runs.len().max(1) as u64);
+            kway_merge(runs)
+        })
+        .collect();
+    (chunks, ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hss_keygen::KeyDistribution;
+    use hss_partition::{verify_global_sort, LoadBalance};
+    use hss_sim::{CostModel as Cm, Topology};
+
+    fn sorted_input(p: usize, nkeys: usize, seed: u64) -> Vec<Vec<u64>> {
+        let mut data = KeyDistribution::Uniform.generate_per_rank(p, nkeys, seed);
+        for v in &mut data {
+            v.sort_unstable();
+        }
+        data
+    }
+
+    #[test]
+    fn split_within_node_balances_and_sorts() {
+        let runs: Vec<Vec<u64>> = vec![
+            (0..500).map(|i| i * 4).collect(),
+            (0..500).map(|i| i * 4 + 1).collect(),
+            (0..500).map(|i| i * 4 + 2).collect(),
+        ];
+        let (chunks, _ops) = split_within_node(runs, 4, 0.05);
+        assert_eq!(chunks.len(), 4);
+        // Concatenation is sorted.
+        let flat: Vec<u64> = chunks.iter().flatten().copied().collect();
+        assert!(flat.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(flat.len(), 1500);
+        // Every core holds a reasonable share.
+        let lb = LoadBalance::from_rank_data(&chunks);
+        assert!(lb.satisfies(0.10), "within-node imbalance {}", lb.imbalance);
+    }
+
+    #[test]
+    fn split_within_single_core_just_merges() {
+        let runs: Vec<Vec<u64>> = vec![vec![3, 6], vec![1, 9]];
+        let (chunks, _ops) = split_within_node(runs, 1, 0.05);
+        assert_eq!(chunks, vec![vec![1, 3, 6, 9]]);
+    }
+
+    #[test]
+    fn split_within_node_empty_input() {
+        let (chunks, ops) = split_within_node::<u64>(vec![], 4, 0.05);
+        assert_eq!(chunks.len(), 4);
+        assert!(chunks.iter().all(|c| c.is_empty()));
+        assert_eq!(ops, 0);
+    }
+
+    #[test]
+    fn node_level_sort_is_correct_and_balanced() {
+        let p = 32;
+        let topo = Topology::new(p, 8); // 4 nodes
+        let data = sorted_input(p, 1500, 99);
+        let mut machine = Machine::new(topo, Cm::bluegene_like());
+        let config = HssConfig { epsilon: 0.05, within_node_epsilon: 0.05, ..HssConfig::default() };
+        let (out, report) = node_level_sort(&mut machine, &data, &config);
+        verify_global_sort(&data, &out).unwrap();
+        assert!(report.all_finalized);
+        assert_eq!(report.buckets, 4);
+        // Combined node + within-node slack.
+        let lb = LoadBalance::from_rank_data(&out);
+        assert!(lb.satisfies(0.15), "imbalance {}", lb.imbalance);
+        // The histogramming phase determined only n-1 = 3 splitters worth of
+        // intervals, so its sample is tiny.
+        assert!(report.total_sample_size < 1000);
+    }
+
+    #[test]
+    fn node_level_message_count_is_node_squared() {
+        let p = 16;
+        let topo = Topology::new(p, 4); // 4 nodes
+        let data = sorted_input(p, 800, 5);
+        let mut machine = Machine::new(topo, Cm::bluegene_like());
+        let config = HssConfig::default();
+        let _ = node_level_sort(&mut machine, &data, &config);
+        let messages = machine.metrics().phase(Phase::DataExchange).messages;
+        // At most n(n-1) = 12 inter-node messages in the exchange.
+        assert!(messages <= 12, "saw {messages} messages");
+    }
+
+    #[test]
+    fn flat_topology_degenerates_gracefully() {
+        // cores_per_node = 1 means node-level == rank-level.
+        let p = 8;
+        let data = sorted_input(p, 400, 21);
+        let mut machine = Machine::new(Topology::flat(p), Cm::bluegene_like());
+        let (out, report) = node_level_sort(&mut machine, &data, &HssConfig::default());
+        verify_global_sort(&data, &out).unwrap();
+        assert_eq!(report.buckets, p);
+    }
+}

@@ -1,0 +1,144 @@
+//! Execution reports: what HSS did, round by round, and how well it did it.
+//!
+//! These reports are the raw data behind Table 6.1 (number of
+//! histogramming rounds), Figure 3.1 (shrinking splitter intervals) and the
+//! load-balance claims; the benchmark harness serialises them.
+
+use hss_partition::LoadBalance;
+use hss_sim::MetricsRegistry;
+use serde::{Deserialize, Serialize};
+
+/// Statistics of one sampling + histogramming round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundStats {
+    /// 1-based round index.
+    pub round: usize,
+    /// Overall sample size gathered at the root this round.
+    pub sample_size: usize,
+    /// Number of splitters not yet finalized *before* this round.
+    pub open_before: usize,
+    /// Number of splitters not yet finalized *after* this round.
+    pub open_after: usize,
+    /// Largest splitter-interval width (in ranks) after this round.
+    pub max_interval_width: u64,
+    /// Mean splitter-interval width (in ranks) after this round.
+    pub mean_interval_width: f64,
+    /// Size of the union of open splitter intervals after this round
+    /// (`G_j`, Theorem 3.3.1/3.3.2).
+    pub union_rank_size: u64,
+    /// `G_j / N`: fraction of the input still being sampled from.
+    pub covered_fraction: f64,
+}
+
+/// Report of one splitter-determination run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SplitterReport {
+    /// Number of buckets the splitters partition the data into.
+    pub buckets: usize,
+    /// Total number of keys.
+    pub total_keys: u64,
+    /// The per-splitter rank tolerance `εN/(2·buckets)` used for
+    /// finalization.
+    pub tolerance: u64,
+    /// Per-round statistics, in execution order.
+    pub rounds: Vec<RoundStats>,
+    /// Sum of per-round sample sizes.
+    pub total_sample_size: usize,
+    /// Whether every splitter was within tolerance when the algorithm
+    /// stopped (always true for the constant-oversampling schedule unless
+    /// `max_rounds` was hit; true w.h.p. for the theoretical schedules).
+    pub all_finalized: bool,
+}
+
+impl SplitterReport {
+    /// Number of histogramming rounds executed (the Table 6.1 quantity).
+    pub fn rounds_executed(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Largest per-round sample size.
+    pub fn max_round_sample(&self) -> usize {
+        self.rounds.iter().map(|r| r.sample_size).max().unwrap_or(0)
+    }
+}
+
+/// Report of a full end-to-end sort.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SortReport {
+    /// Name of the algorithm that produced this report.
+    pub algorithm: String,
+    /// Number of ranks the data was sorted onto.
+    pub ranks: usize,
+    /// Total number of keys sorted.
+    pub total_keys: u64,
+    /// The splitter-determination report (absent for algorithms that do not
+    /// use splitters, e.g. bitonic sort).
+    pub splitters: Option<SplitterReport>,
+    /// Load balance of the final distribution.
+    pub load_balance: LoadBalance,
+    /// Per-phase cost breakdown from the simulator.
+    pub metrics: MetricsRegistry,
+}
+
+impl SortReport {
+    /// Achieved load imbalance (`max / average` final rank load).
+    pub fn imbalance(&self) -> f64 {
+        self.load_balance.imbalance
+    }
+
+    /// Whether the result satisfies the `N(1+ε)/p` bound for the given ε.
+    pub fn satisfies(&self, epsilon: f64) -> bool {
+        self.load_balance.satisfies(epsilon)
+    }
+
+    /// Total simulated seconds across all phases.
+    pub fn simulated_seconds(&self) -> f64 {
+        self.metrics.total_simulated_seconds()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round(i: usize, sample: usize) -> RoundStats {
+        RoundStats {
+            round: i,
+            sample_size: sample,
+            open_before: 10,
+            open_after: 5,
+            max_interval_width: 100,
+            mean_interval_width: 50.0,
+            union_rank_size: 500,
+            covered_fraction: 0.5,
+        }
+    }
+
+    #[test]
+    fn splitter_report_aggregates_rounds() {
+        let rep = SplitterReport {
+            buckets: 8,
+            total_keys: 1000,
+            tolerance: 3,
+            rounds: vec![round(1, 40), round(2, 25)],
+            total_sample_size: 65,
+            all_finalized: true,
+        };
+        assert_eq!(rep.rounds_executed(), 2);
+        assert_eq!(rep.max_round_sample(), 40);
+    }
+
+    #[test]
+    fn empty_report_has_zero_rounds() {
+        let rep = SplitterReport {
+            buckets: 1,
+            total_keys: 0,
+            tolerance: 0,
+            rounds: vec![],
+            total_sample_size: 0,
+            all_finalized: true,
+        };
+        assert_eq!(rep.rounds_executed(), 0);
+        assert_eq!(rep.max_round_sample(), 0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Sampling-ratio schedules and round-count bounds (§3.3, Table 6.1).
+//!
+//! The analysis sets the sampling ratio of round `j` (of `k`) to
+//! `s_j = (2 ln p / ε)^(j/k)`, which makes the per-round sample size
+//! `O(p (log p / ε)^(1/k))` (Theorem 3.3.3) and finalizes every splitter by
+//! round `k` (Theorem 3.3.4).  Minimising total samples over `k` gives
+//! `k = log(log p / ε)` rounds with `O(p)` samples per round
+//! (Lemma 3.3.2).  Table 6.1 compares the observed number of rounds with
+//! the bound `⌈ln(2 ln p / ε) / ln(f / 2)⌉` for a per-round sample of `f·p`.
+
+/// `2 ln p / ε` — the total sampling ratio the analysis requires by the last
+/// round (Theorem 3.3.4).
+pub fn final_sampling_ratio(p: usize, epsilon: f64) -> f64 {
+    assert!(p >= 2, "need at least two processors");
+    assert!(epsilon > 0.0, "epsilon must be positive");
+    2.0 * (p as f64).ln() / epsilon
+}
+
+/// The sampling ratios `s_1..s_k` of the theoretical schedule:
+/// `s_j = (2 ln p / ε)^(j/k)`.
+pub fn sampling_ratios(k: usize, p: usize, epsilon: f64) -> Vec<f64> {
+    assert!(k >= 1, "need at least one round");
+    let total = final_sampling_ratio(p, epsilon);
+    (1..=k).map(|j| total.powf(j as f64 / k as f64)).collect()
+}
+
+/// Expected overall sample size of round `j` (1-based) under the theoretical
+/// schedule: `p·s_1` for the first round and `≈ p·s_j/s_{j-1}` afterwards
+/// (expected interval mass `2N/s_{j-1}` times sampling probability
+/// `p·s_j/N`, Theorem 3.3.1).
+pub fn expected_round_sample_size(j: usize, k: usize, p: usize, epsilon: f64) -> f64 {
+    let ratios = sampling_ratios(k, p, epsilon);
+    assert!(j >= 1 && j <= k, "round out of range");
+    if j == 1 {
+        p as f64 * ratios[0]
+    } else {
+        2.0 * p as f64 * ratios[j - 1] / ratios[j - 2]
+    }
+}
+
+/// The asymptotically optimal number of rounds `k = log(log p / ε)`
+/// (Lemma 3.3.2), at least 1.
+pub fn optimal_rounds(p: usize, epsilon: f64) -> usize {
+    let x = ((p as f64).ln() / epsilon).ln();
+    x.ceil().max(1.0) as usize
+}
+
+/// Bound on the number of constant-oversampling rounds needed to finalize
+/// all splitters when every round gathers `f·p` samples (§6.2):
+/// `⌈ln(2 ln p / ε) / ln(f / 2)⌉`.
+pub fn round_bound_constant_oversampling(p: usize, epsilon: f64, oversampling: f64) -> usize {
+    assert!(oversampling > 2.0, "oversampling must exceed 2 for the bound to converge");
+    let total = final_sampling_ratio(p, epsilon);
+    (total.ln() / (oversampling / 2.0).ln()).ceil().max(1.0) as usize
+}
+
+/// The per-splitter rank tolerance `εN/(2p)` used to decide when a splitter
+/// is finalized (§2.1's conservative condition `S_i ∈ T_i`).
+pub fn rank_tolerance(total_keys: u64, buckets: usize, epsilon: f64) -> u64 {
+    ((total_keys as f64) * epsilon / (2.0 * buckets as f64)).floor() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn final_ratio_matches_formula() {
+        let p = 1024;
+        let eps = 0.05;
+        let expect = 2.0 * (1024f64).ln() / 0.05;
+        assert!((final_sampling_ratio(p, eps) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ratios_are_increasing_and_end_at_final() {
+        let p = 4096;
+        let eps = 0.02;
+        for k in 1..6 {
+            let ratios = sampling_ratios(k, p, eps);
+            assert_eq!(ratios.len(), k);
+            assert!(ratios.windows(2).all(|w| w[0] < w[1]));
+            assert!((ratios[k - 1] - final_sampling_ratio(p, eps)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn one_round_ratio_is_the_lemma_3_2_1_sample() {
+        // With k = 1 the per-round sample is p * 2 ln p / eps = O(p log p / eps).
+        let p = 1 << 16;
+        let eps = 0.05;
+        let s = expected_round_sample_size(1, 1, p, eps);
+        assert!((s - p as f64 * final_sampling_ratio(p, eps)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn two_round_samples_are_much_smaller_than_one_round() {
+        // Table 5.1 example: p = 64 * 10^3, eps = 0.05.
+        let p = 64_000;
+        let eps = 0.05;
+        let one = expected_round_sample_size(1, 1, p, eps);
+        let two_first = expected_round_sample_size(1, 2, p, eps);
+        let two_second = expected_round_sample_size(2, 2, p, eps);
+        assert!(two_first + two_second < one / 5.0, "{two_first} + {two_second} vs {one}");
+    }
+
+    #[test]
+    fn optimal_rounds_grows_very_slowly() {
+        let eps = 0.05;
+        let k_small = optimal_rounds(1 << 10, eps);
+        let k_large = optimal_rounds(1 << 20, eps);
+        assert!(k_small >= 1);
+        assert!(k_large >= k_small);
+        assert!(k_large <= k_small + 2, "log log growth should be tiny");
+    }
+
+    #[test]
+    fn round_bound_matches_table_6_1() {
+        // Table 6.1: p in {4K, 8K, 16K, 32K}, eps = 0.02, 5 samples per
+        // processor per round -> bound 8 in every row.
+        for p in [4_000usize, 8_000, 16_000, 32_000] {
+            let bound = round_bound_constant_oversampling(p, 0.02, 5.0);
+            assert_eq!(bound, 8, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn rank_tolerance_matches_definition() {
+        assert_eq!(rank_tolerance(1_000_000, 100, 0.02), 100);
+        assert_eq!(rank_tolerance(1_000, 10, 0.05), 2);
+        assert_eq!(rank_tolerance(0, 10, 0.05), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "oversampling")]
+    fn round_bound_requires_oversampling_above_two() {
+        let _ = round_bound_constant_oversampling(1000, 0.05, 2.0);
+    }
+}

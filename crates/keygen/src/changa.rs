@@ -1,0 +1,308 @@
+//! ChaNGa-like cosmological particle datasets (synthetic stand-ins for the
+//! paper's *Lambb* and *Dwarf* datasets, Figure 6.2).
+//!
+//! ChaNGa sorts particles by a space-filling-curve key at the beginning of
+//! every simulation step (§1, §6.3).  The real datasets are proprietary
+//! snapshots; what matters for the *sorting* experiment is the key
+//! distribution they induce: highly clustered (particles concentrate in
+//! halos), therefore extremely non-uniform in SFC-key space — the regime in
+//! which classic histogram sort needs many probe-refinement rounds and HSS's
+//! sampled histogramming shines.
+//!
+//! This module generates synthetic particle sets with the same character:
+//! a configurable number of Plummer-sphere clusters (dense halos) embedded
+//! in a uniform low-density background, mapped to 63-bit Morton keys.  Two
+//! presets, [`ChangaDataset::lambb_like`] and [`ChangaDataset::dwarf_like`],
+//! mirror the qualitative difference between the paper's datasets: *Lambb*
+//! (a cosmological volume, many halos of varying mass) versus *Dwarf* (a
+//! zoom-in dominated by one dense dwarf galaxy).
+
+use rand::Rng;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::distributions::rank_rng;
+
+/// Number of bits used per coordinate when quantizing positions for the
+/// Morton key (3 × 21 = 63 bits total).
+pub const MORTON_BITS_PER_AXIS: u32 = 21;
+
+/// A particle position in the unit cube `[0, 1)^3`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Particle {
+    /// X coordinate in `[0, 1)`.
+    pub x: f64,
+    /// Y coordinate in `[0, 1)`.
+    pub y: f64,
+    /// Z coordinate in `[0, 1)`.
+    pub z: f64,
+}
+
+impl Particle {
+    /// The particle's Morton (Z-order) key.
+    pub fn morton_key(&self) -> u64 {
+        morton_key(self.x, self.y, self.z)
+    }
+}
+
+/// Interleave the bits of the three quantized coordinates into a Morton
+/// (Z-order) key.  Coordinates outside `[0, 1)` are clamped.
+pub fn morton_key(x: f64, y: f64, z: f64) -> u64 {
+    let scale = (1u64 << MORTON_BITS_PER_AXIS) as f64;
+    let qx = quantize(x, scale);
+    let qy = quantize(y, scale);
+    let qz = quantize(z, scale);
+    spread_bits(qx) | (spread_bits(qy) << 1) | (spread_bits(qz) << 2)
+}
+
+fn quantize(c: f64, scale: f64) -> u64 {
+    let clamped = c.clamp(0.0, 1.0 - f64::EPSILON);
+    (clamped * scale) as u64
+}
+
+/// Spread the low 21 bits of `v` so consecutive bits land three positions
+/// apart (the standard Morton bit-dilation).
+fn spread_bits(v: u64) -> u64 {
+    let mut x = v & 0x1F_FFFF; // 21 bits
+    x = (x | (x << 32)) & 0x1F00_0000_00FF_FFFF;
+    x = (x | (x << 16)) & 0x1F00_00FF_0000_FFFF;
+    x = (x | (x << 8)) & 0x100F_00F0_0F00_F00F;
+    x = (x | (x << 4)) & 0x10C3_0C30_C30C_30C3;
+    x = (x | (x << 2)) & 0x1249_2492_4924_9249;
+    x
+}
+
+/// Description of one Plummer-sphere cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Cluster {
+    /// Cluster centre in the unit cube.
+    pub centre: [f64; 3],
+    /// Plummer scale radius (smaller = denser core).
+    pub scale_radius: f64,
+    /// Fraction of the dataset's particles belonging to this cluster.
+    pub mass_fraction: f64,
+}
+
+/// Configuration of a synthetic ChaNGa-like dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChangaDataset {
+    /// Human-readable dataset name used in experiment output.
+    pub name: String,
+    /// The clusters (halos); their `mass_fraction`s plus
+    /// `background_fraction` should sum to 1 (validated on generation).
+    pub clusters: Vec<Cluster>,
+    /// Fraction of particles spread uniformly through the volume.
+    pub background_fraction: f64,
+}
+
+impl ChangaDataset {
+    /// A *Lambb*-like cosmological volume: a few dozen halos of varying
+    /// mass and size plus a diffuse background.
+    pub fn lambb_like(seed: u64) -> Self {
+        let mut rng = rank_rng(seed, usize::MAX - 1);
+        let n_clusters = 32;
+        let background_fraction = 0.2;
+        let mut remaining = 1.0 - background_fraction;
+        let mut clusters = Vec::with_capacity(n_clusters);
+        for i in 0..n_clusters {
+            // Halo mass function: a few large halos, many small ones.
+            let frac = if i + 1 == n_clusters { remaining } else { remaining * 0.15 };
+            remaining -= frac;
+            clusters.push(Cluster {
+                centre: [rng.gen::<f64>(), rng.gen::<f64>(), rng.gen::<f64>()],
+                scale_radius: 0.002 + rng.gen::<f64>() * 0.03,
+                mass_fraction: frac,
+            });
+        }
+        Self { name: "lambb-like".to_string(), clusters, background_fraction }
+    }
+
+    /// A *Dwarf*-like zoom-in: one extremely dense central object holding
+    /// most of the mass, a couple of satellites, and a thin background —
+    /// the most skewed key distribution of the two.
+    pub fn dwarf_like(seed: u64) -> Self {
+        let mut rng = rank_rng(seed, usize::MAX - 2);
+        let clusters = vec![
+            Cluster {
+                centre: [0.5, 0.5, 0.5],
+                scale_radius: 0.001,
+                mass_fraction: 0.80,
+            },
+            Cluster {
+                centre: [0.52 + rng.gen::<f64>() * 0.02, 0.47, 0.5],
+                scale_radius: 0.004,
+                mass_fraction: 0.10,
+            },
+            Cluster {
+                centre: [0.3, 0.7, 0.45],
+                scale_radius: 0.01,
+                mass_fraction: 0.05,
+            },
+        ];
+        Self { name: "dwarf-like".to_string(), clusters, background_fraction: 0.05 }
+    }
+
+    /// Total mass fraction covered by clusters plus background (should be 1).
+    pub fn total_fraction(&self) -> f64 {
+        self.background_fraction + self.clusters.iter().map(|c| c.mass_fraction).sum::<f64>()
+    }
+
+    /// Generate `particles_per_rank` particles on each of `ranks` ranks.
+    /// Particles are *not* pre-sorted or pre-partitioned: every rank draws
+    /// from the full global distribution, as after a simulation step in
+    /// which particles have moved arbitrarily.
+    pub fn generate_particles_per_rank(
+        &self,
+        ranks: usize,
+        particles_per_rank: usize,
+        seed: u64,
+    ) -> Vec<Vec<Particle>> {
+        let total = self.total_fraction();
+        assert!(
+            (total - 1.0).abs() < 1e-6,
+            "cluster + background fractions must sum to 1 (got {total})"
+        );
+        (0..ranks)
+            .into_par_iter()
+            .map(|rank| {
+                let mut rng = rank_rng(seed, rank);
+                (0..particles_per_rank).map(|_| self.sample_particle(&mut rng)).collect()
+            })
+            .collect()
+    }
+
+    /// Generate Morton keys directly (the form the sorter consumes).
+    pub fn generate_keys_per_rank(
+        &self,
+        ranks: usize,
+        particles_per_rank: usize,
+        seed: u64,
+    ) -> Vec<Vec<u64>> {
+        self.generate_particles_per_rank(ranks, particles_per_rank, seed)
+            .into_iter()
+            .map(|v| v.into_iter().map(|p| p.morton_key()).collect())
+            .collect()
+    }
+
+    fn sample_particle<R: Rng>(&self, rng: &mut R) -> Particle {
+        let mut pick: f64 = rng.gen::<f64>() * self.total_fraction();
+        for cluster in &self.clusters {
+            if pick < cluster.mass_fraction {
+                return sample_plummer(cluster, rng);
+            }
+            pick -= cluster.mass_fraction;
+        }
+        // Background: uniform in the unit cube.
+        Particle { x: rng.gen(), y: rng.gen(), z: rng.gen() }
+    }
+}
+
+/// Sample one particle from a Plummer sphere centred on `cluster.centre`
+/// with scale radius `cluster.scale_radius`, clamped to the unit cube.
+fn sample_plummer<R: Rng>(cluster: &Cluster, rng: &mut R) -> Particle {
+    // Plummer radial CDF inversion: r = a / sqrt(u^(-2/3) - 1).
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let r = cluster.scale_radius / (u.powf(-2.0 / 3.0) - 1.0).sqrt();
+    // Truncate the (formally infinite) Plummer tail at 20 scale radii.
+    let r = r.min(cluster.scale_radius * 20.0);
+    // Uniform direction on the sphere.
+    let cos_theta: f64 = rng.gen_range(-1.0..1.0);
+    let sin_theta = (1.0 - cos_theta * cos_theta).sqrt();
+    let phi: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+    let (dx, dy, dz) = (r * sin_theta * phi.cos(), r * sin_theta * phi.sin(), r * cos_theta);
+    Particle {
+        x: (cluster.centre[0] + dx).clamp(0.0, 1.0 - f64::EPSILON),
+        y: (cluster.centre[1] + dy).clamp(0.0, 1.0 - f64::EPSILON),
+        z: (cluster.centre[2] + dz).clamp(0.0, 1.0 - f64::EPSILON),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn morton_key_is_monotone_in_octants() {
+        // A point in the low octant must have a smaller key than a point in
+        // the high octant (the top bits of the key are the octant index).
+        let low = morton_key(0.1, 0.1, 0.1);
+        let high = morton_key(0.9, 0.9, 0.9);
+        assert!(low < high);
+    }
+
+    #[test]
+    fn morton_key_distinguishes_axes() {
+        let kx = morton_key(0.9, 0.1, 0.1);
+        let ky = morton_key(0.1, 0.9, 0.1);
+        let kz = morton_key(0.1, 0.1, 0.9);
+        assert_ne!(kx, ky);
+        assert_ne!(ky, kz);
+        assert_ne!(kx, kz);
+    }
+
+    #[test]
+    fn morton_key_fits_in_63_bits() {
+        let k = morton_key(1.0, 1.0, 1.0);
+        assert!(k < (1u64 << 63));
+    }
+
+    #[test]
+    fn spread_bits_interleaves() {
+        // 0b111 spread -> bits at positions 0, 3, 6.
+        assert_eq!(spread_bits(0b111), 0b1001001);
+        assert_eq!(spread_bits(0), 0);
+        assert_eq!(spread_bits(1), 1);
+    }
+
+    #[test]
+    fn presets_have_unit_total_fraction() {
+        assert!((ChangaDataset::lambb_like(1).total_fraction() - 1.0).abs() < 1e-9);
+        assert!((ChangaDataset::dwarf_like(1).total_fraction() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let ds = ChangaDataset::dwarf_like(7);
+        let a = ds.generate_keys_per_rank(4, 100, 3);
+        let b = ds.generate_keys_per_rank(4, 100, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn generation_sizes_match() {
+        let ds = ChangaDataset::lambb_like(7);
+        let v = ds.generate_keys_per_rank(6, 250, 3);
+        assert_eq!(v.len(), 6);
+        assert!(v.iter().all(|r| r.len() == 250));
+    }
+
+    #[test]
+    fn dwarf_is_more_concentrated_than_uniform() {
+        // Most dwarf-like keys fall into a tiny fraction of the key space:
+        // measure the span of the middle 80% of sorted keys.
+        let ds = ChangaDataset::dwarf_like(11);
+        let mut keys: Vec<u64> =
+            ds.generate_keys_per_rank(4, 2_000, 5).into_iter().flatten().collect();
+        keys.sort_unstable();
+        let n = keys.len();
+        let span = keys[n * 9 / 10] as f64 - keys[n / 10] as f64;
+        let full = (1u64 << 63) as f64;
+        assert!(
+            span / full < 0.5,
+            "dwarf-like keys not concentrated: span fraction {}",
+            span / full
+        );
+    }
+
+    #[test]
+    fn particles_stay_in_unit_cube() {
+        let ds = ChangaDataset::dwarf_like(3);
+        for rank in ds.generate_particles_per_rank(2, 500, 9) {
+            for p in rank {
+                assert!((0.0..1.0).contains(&p.x));
+                assert!((0.0..1.0).contains(&p.y));
+                assert!((0.0..1.0).contains(&p.z));
+            }
+        }
+    }
+}

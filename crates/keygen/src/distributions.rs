@@ -1,0 +1,385 @@
+//! Synthetic input distributions.
+//!
+//! Splitter-based sorting algorithms are sensitive to the *shape* of the key
+//! distribution: skew concentrates many keys into few candidate splitter
+//! ranges (slowing classic histogram sort down), duplicates break load
+//! balance guarantees unless tie-breaking is used (§4.3), and per-rank
+//! locality ("staggered" inputs) defeats naive sampling.  This module
+//! provides deterministic, seeded generators for all of these shapes so the
+//! experiments and property tests can sweep over them.
+//!
+//! Generation is per rank: rank `r` derives its RNG stream from
+//! `(seed, r)`, so the same `(distribution, seed, p, n/p)` tuple always
+//! produces the same global input regardless of host parallelism.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::key::Record;
+
+/// Families of synthetic key distributions used in experiments and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum KeyDistribution {
+    /// Keys drawn uniformly at random from the full `u64` range — the
+    /// distribution of the Mira weak-scaling experiment (Figure 6.1).
+    Uniform,
+    /// Gaussian keys centred at `mean_frac * u64::MAX` with standard
+    /// deviation `std_frac * u64::MAX` (clamped to the key range).
+    Normal {
+        /// Centre of the distribution as a fraction of the key range.
+        mean_frac: f64,
+        /// Standard deviation as a fraction of the key range.
+        std_frac: f64,
+    },
+    /// Exponentially distributed keys: heavy concentration near zero with a
+    /// long tail, `scale_frac` controlling the tail length.
+    Exponential {
+        /// Mean of the exponential as a fraction of the key range.
+        scale_frac: f64,
+    },
+    /// Power-law ("Zipf-like") skew: `key = u^gamma * MAX` for uniform `u`,
+    /// so larger `gamma` concentrates probability mass near zero.
+    PowerLaw {
+        /// Skew exponent; `gamma = 1` degenerates to uniform.
+        gamma: f64,
+    },
+    /// Every rank's keys fall into a narrow slice of the key space, and the
+    /// slices are assigned round-robin with a large stride — locally
+    /// clustered, globally interleaved.  A classic adversarial case for
+    /// sampling-based partitioning.
+    Staggered,
+    /// The input is already globally sorted across ranks: rank `r` holds
+    /// the `r`-th contiguous chunk of the sorted order.
+    Sorted,
+    /// Globally reverse-sorted across ranks.
+    ReverseSorted,
+    /// Every key is identical — the degenerate duplicate case that defeats
+    /// any sample-based splitter selection without tie-breaking.
+    AllEqual,
+    /// Keys drawn uniformly from a small set of `distinct` values — a
+    /// duplicate-heavy input (§4.3).
+    FewDistinct {
+        /// Number of distinct key values in the whole input.
+        distinct: u64,
+    },
+}
+
+impl KeyDistribution {
+    /// A short, stable identifier used in experiment output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            KeyDistribution::Uniform => "uniform",
+            KeyDistribution::Normal { .. } => "normal",
+            KeyDistribution::Exponential { .. } => "exponential",
+            KeyDistribution::PowerLaw { .. } => "powerlaw",
+            KeyDistribution::Staggered => "staggered",
+            KeyDistribution::Sorted => "sorted",
+            KeyDistribution::ReverseSorted => "reverse_sorted",
+            KeyDistribution::AllEqual => "all_equal",
+            KeyDistribution::FewDistinct { .. } => "few_distinct",
+        }
+    }
+
+    /// A representative set of distributions covering the interesting
+    /// regimes (uniform, skewed, adversarial, duplicate-heavy) with default
+    /// parameters; used by integration tests and the robustness benches.
+    pub fn catalogue() -> Vec<KeyDistribution> {
+        vec![
+            KeyDistribution::Uniform,
+            KeyDistribution::Normal { mean_frac: 0.5, std_frac: 0.05 },
+            KeyDistribution::Exponential { scale_frac: 0.01 },
+            KeyDistribution::PowerLaw { gamma: 4.0 },
+            KeyDistribution::Staggered,
+            KeyDistribution::Sorted,
+            KeyDistribution::ReverseSorted,
+            KeyDistribution::FewDistinct { distinct: 64 },
+        ]
+    }
+
+    /// Generate `keys_per_rank` keys on each of `ranks` ranks.
+    ///
+    /// The result is indexed by rank.  Deterministic in `(self, ranks,
+    /// keys_per_rank, seed)`.
+    pub fn generate_per_rank(
+        &self,
+        ranks: usize,
+        keys_per_rank: usize,
+        seed: u64,
+    ) -> Vec<Vec<u64>> {
+        (0..ranks)
+            .into_par_iter()
+            .map(|rank| self.generate_rank(rank, ranks, keys_per_rank, seed))
+            .collect()
+    }
+
+    /// Generate the keys of a single rank (see [`Self::generate_per_rank`]).
+    pub fn generate_rank(
+        &self,
+        rank: usize,
+        ranks: usize,
+        keys_per_rank: usize,
+        seed: u64,
+    ) -> Vec<u64> {
+        let mut rng = rank_rng(seed, rank);
+        let n = keys_per_rank;
+        match *self {
+            KeyDistribution::Uniform => (0..n).map(|_| rng.gen::<u64>()).collect(),
+            KeyDistribution::Normal { mean_frac, std_frac } => {
+                let mean = mean_frac * u64::MAX as f64;
+                let std = std_frac * u64::MAX as f64;
+                (0..n)
+                    .map(|_| {
+                        let z = sample_standard_normal(&mut rng);
+                        clamp_to_u64(mean + z * std)
+                    })
+                    .collect()
+            }
+            KeyDistribution::Exponential { scale_frac } => {
+                let scale = scale_frac * u64::MAX as f64;
+                (0..n)
+                    .map(|_| {
+                        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                        clamp_to_u64(-u.ln() * scale)
+                    })
+                    .collect()
+            }
+            KeyDistribution::PowerLaw { gamma } => (0..n)
+                .map(|_| {
+                    let u: f64 = rng.gen_range(0.0..1.0);
+                    clamp_to_u64(u.powf(gamma) * u64::MAX as f64)
+                })
+                .collect(),
+            KeyDistribution::Staggered => {
+                // Rank r draws from slice ((r * stride) mod p) of the key
+                // space, where stride is a large odd constant, so that
+                // neighbouring ranks hold far-apart slices.
+                let p = ranks as u64;
+                let stride = 0x9E37_79B9_7F4A_7C15u64 % p.max(1) | 1;
+                let slice = (rank as u64 * stride) % p.max(1);
+                let width = u64::MAX / p.max(1);
+                let lo = slice * width;
+                (0..n).map(|_| lo + rng.gen_range(0..width.max(1))).collect()
+            }
+            KeyDistribution::Sorted => {
+                let p = ranks as u64;
+                let width = u64::MAX / p.max(1);
+                let lo = rank as u64 * width;
+                let mut v: Vec<u64> = (0..n).map(|_| lo + rng.gen_range(0..width.max(1))).collect();
+                v.sort_unstable();
+                v
+            }
+            KeyDistribution::ReverseSorted => {
+                let p = ranks as u64;
+                let width = u64::MAX / p.max(1);
+                let lo = (p - 1 - rank as u64) * width;
+                let mut v: Vec<u64> = (0..n).map(|_| lo + rng.gen_range(0..width.max(1))).collect();
+                v.sort_unstable_by(|a, b| b.cmp(a));
+                v
+            }
+            KeyDistribution::AllEqual => vec![0x5EED_5EED_5EED_5EEDu64; n],
+            KeyDistribution::FewDistinct { distinct } => {
+                let d = distinct.max(1);
+                let spacing = u64::MAX / d;
+                (0..n).map(|_| rng.gen_range(0..d) * spacing).collect()
+            }
+        }
+    }
+
+    /// Generate key+payload records ([`Record`]) instead of bare keys, with
+    /// payloads derived from the keys so tests can verify payloads travel
+    /// with their keys.
+    pub fn generate_records_per_rank(
+        &self,
+        ranks: usize,
+        keys_per_rank: usize,
+        seed: u64,
+    ) -> Vec<Vec<Record>> {
+        self.generate_per_rank(ranks, keys_per_rank, seed)
+            .into_iter()
+            .map(|v| v.into_iter().map(Record::with_derived_payload).collect())
+            .collect()
+    }
+
+    /// Generate an *uneven* division of the input: rank `r` gets a key count
+    /// scaled by a deterministic factor in `[1 - spread, 1 + spread]`.  The
+    /// paper notes (§2.1) its proofs do not rely on even input divisions;
+    /// this generator exercises that path.
+    pub fn generate_uneven_per_rank(
+        &self,
+        ranks: usize,
+        mean_keys_per_rank: usize,
+        spread: f64,
+        seed: u64,
+    ) -> Vec<Vec<u64>> {
+        assert!((0.0..1.0).contains(&spread), "spread must be in [0, 1)");
+        (0..ranks)
+            .into_par_iter()
+            .map(|rank| {
+                let mut meta_rng = rank_rng(seed ^ 0xA5A5_A5A5, rank);
+                let factor = 1.0 + spread * (meta_rng.gen::<f64>() * 2.0 - 1.0);
+                let n = ((mean_keys_per_rank as f64) * factor).round().max(0.0) as usize;
+                self.generate_rank(rank, ranks, n, seed)
+            })
+            .collect()
+    }
+}
+
+/// Deterministic per-rank RNG derived from a global seed.
+pub fn rank_rng(seed: u64, rank: usize) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(rank as u64))
+}
+
+/// One standard normal variate via Box–Muller (avoids a dependency on
+/// `rand_distr`).
+fn sample_standard_normal<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+fn clamp_to_u64(x: f64) -> u64 {
+    if x <= 0.0 {
+        0
+    } else if x >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        x as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn total_len(v: &[Vec<u64>]) -> usize {
+        v.iter().map(|x| x.len()).sum()
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        for dist in KeyDistribution::catalogue() {
+            let a = dist.generate_per_rank(8, 100, 42);
+            let b = dist.generate_per_rank(8, 100, 42);
+            assert_eq!(a, b, "distribution {} not deterministic", dist.name());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = KeyDistribution::Uniform.generate_per_rank(4, 100, 1);
+        let b = KeyDistribution::Uniform.generate_per_rank(4, 100, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn sizes_match_request() {
+        for dist in KeyDistribution::catalogue() {
+            let v = dist.generate_per_rank(5, 37, 7);
+            assert_eq!(v.len(), 5);
+            for rank in &v {
+                assert_eq!(rank.len(), 37);
+            }
+        }
+    }
+
+    #[test]
+    fn sorted_distribution_is_globally_sorted() {
+        let v = KeyDistribution::Sorted.generate_per_rank(6, 50, 3);
+        let flat: Vec<u64> = v.iter().flatten().copied().collect();
+        assert!(flat.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn reverse_sorted_distribution_is_globally_reverse_sorted() {
+        let v = KeyDistribution::ReverseSorted.generate_per_rank(6, 50, 3);
+        let flat: Vec<u64> = v.iter().flatten().copied().collect();
+        assert!(flat.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn all_equal_has_one_distinct_value() {
+        let v = KeyDistribution::AllEqual.generate_per_rank(3, 20, 0);
+        let first = v[0][0];
+        assert!(v.iter().flatten().all(|&k| k == first));
+    }
+
+    #[test]
+    fn few_distinct_has_bounded_value_count() {
+        let v = KeyDistribution::FewDistinct { distinct: 5 }.generate_per_rank(4, 1000, 9);
+        let mut values: Vec<u64> = v.iter().flatten().copied().collect();
+        values.sort_unstable();
+        values.dedup();
+        assert!(values.len() <= 5, "got {} distinct values", values.len());
+    }
+
+    #[test]
+    fn powerlaw_is_skewed_towards_small_keys() {
+        let v = KeyDistribution::PowerLaw { gamma: 4.0 }.generate_per_rank(2, 10_000, 11);
+        let below_mid = v.iter().flatten().filter(|&&k| k < u64::MAX / 2).count();
+        // With gamma = 4, the median of u^4 is 0.0625, so the vast majority
+        // of keys are below the midpoint.
+        assert!(below_mid > 15_000, "only {below_mid} of 20000 keys below midpoint");
+    }
+
+    #[test]
+    fn normal_is_concentrated_around_mean() {
+        let dist = KeyDistribution::Normal { mean_frac: 0.5, std_frac: 0.01 };
+        let v = dist.generate_per_rank(2, 5_000, 13);
+        let lo = (0.4 * u64::MAX as f64) as u64;
+        let hi = (0.6 * u64::MAX as f64) as u64;
+        let inside = v.iter().flatten().filter(|&&k| k > lo && k < hi).count();
+        assert!(inside > 9_900, "only {inside} of 10000 keys near the mean");
+    }
+
+    #[test]
+    fn staggered_ranks_cover_disjoint_slices() {
+        let v = KeyDistribution::Staggered.generate_per_rank(8, 200, 5);
+        // Each rank's keys span at most 1/8 of the key range.
+        for rank in &v {
+            let min = rank.iter().min().unwrap();
+            let max = rank.iter().max().unwrap();
+            assert!(max - min <= u64::MAX / 8 + 1);
+        }
+    }
+
+    #[test]
+    fn records_carry_keys() {
+        let recs = KeyDistribution::Uniform.generate_records_per_rank(3, 10, 21);
+        let keys = KeyDistribution::Uniform.generate_per_rank(3, 10, 21);
+        for (rr, kr) in recs.iter().zip(keys.iter()) {
+            for (r, k) in rr.iter().zip(kr.iter()) {
+                assert_eq!(r.key, *k);
+                assert_eq!(*r, Record::with_derived_payload(*k));
+            }
+        }
+    }
+
+    #[test]
+    fn uneven_generation_respects_spread() {
+        let v = KeyDistribution::Uniform.generate_uneven_per_rank(16, 1000, 0.5, 3);
+        assert_eq!(v.len(), 16);
+        for rank in &v {
+            assert!(rank.len() >= 500 && rank.len() <= 1500, "len = {}", rank.len());
+        }
+        // Not all ranks should have exactly the mean.
+        assert!(v.iter().any(|r| r.len() != 1000));
+        let _ = total_len(&v);
+    }
+
+    #[test]
+    #[should_panic(expected = "spread")]
+    fn uneven_generation_rejects_bad_spread() {
+        let _ = KeyDistribution::Uniform.generate_uneven_per_rank(2, 10, 1.5, 0);
+    }
+
+    #[test]
+    fn per_rank_matches_single_rank_generation() {
+        let dist = KeyDistribution::Exponential { scale_frac: 0.1 };
+        let all = dist.generate_per_rank(4, 64, 99);
+        for rank in 0..4 {
+            assert_eq!(all[rank], dist.generate_rank(rank, 4, 64, 99));
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Key and record types used throughout the reproduction.
+//!
+//! The paper sorts *keys* (8-byte integers in the Mira experiments, §6.2)
+//! optionally carrying a small *payload* (4 bytes in Figure 6.1).  Splitter
+//! based algorithms only need a total order plus known minimum/maximum
+//! sentinels (the paper defines `S_0 = −∞`, `S_p = +∞` for numeric keys);
+//! the [`Key`] trait captures exactly that.  The [`Keyed`] trait lets the
+//! sorting algorithms move whole records while comparing only their keys.
+
+use std::cmp::Ordering;
+
+use serde::{Deserialize, Serialize};
+
+/// A sortable key: totally ordered, copyable, with global minimum and
+/// maximum sentinel values (the paper's `Min Key` / `Max Key`).
+pub trait Key: Copy + Ord + Send + Sync + std::fmt::Debug + 'static {
+    /// The smallest representable key (`S_0` in the paper).
+    const MIN_KEY: Self;
+    /// The largest representable key (`S_p` in the paper).
+    const MAX_KEY: Self;
+}
+
+macro_rules! impl_key_for_int {
+    ($($t:ty),*) => {
+        $(impl Key for $t {
+            const MIN_KEY: Self = <$t>::MIN;
+            const MAX_KEY: Self = <$t>::MAX;
+        })*
+    };
+}
+
+impl_key_for_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+/// An item that carries a [`Key`]: either a bare key or a record with a
+/// payload.  Parallel sorting algorithms are generic over `Keyed` so that
+/// the same code path sorts keys and key+payload records.
+pub trait Keyed: Clone + Send + Sync + 'static {
+    /// The key type this item is ordered by.
+    type K: Key;
+
+    /// The item's key.
+    fn key(&self) -> Self::K;
+}
+
+impl<K: Key> Keyed for K {
+    type K = K;
+
+    fn key(&self) -> K {
+        *self
+    }
+}
+
+/// The record type of the Mira weak-scaling experiment (Figure 6.1): an
+/// 8-byte integer key with a 4-byte payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Record {
+    /// The sort key.
+    pub key: u64,
+    /// Application payload carried along with the key.
+    pub payload: u32,
+}
+
+impl Record {
+    /// A record whose payload is derived from the key (handy in tests: the
+    /// payload lets tests verify that payloads travel with their keys).
+    pub fn with_derived_payload(key: u64) -> Self {
+        Self { key, payload: (key ^ (key >> 32)) as u32 }
+    }
+}
+
+impl PartialOrd for Record {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Record {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.key.cmp(&other.key).then(self.payload.cmp(&other.payload))
+    }
+}
+
+impl Keyed for Record {
+    type K = u64;
+
+    fn key(&self) -> u64 {
+        self.key
+    }
+}
+
+/// A key implicitly tagged with its origin, used to break ties among
+/// duplicates (§4.3): "every input key `k` can be thought of as a triplet
+/// `(k, PE, ind)`", where `PE` is the processor the key resides on and
+/// `ind` its index in the local data structure.  Tagging imposes a strict
+/// total order on inputs with arbitrarily many duplicates without growing
+/// the input itself; only histogram probe keys are explicitly tagged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TaggedKey<K: Key> {
+    /// The original key value.
+    pub key: K,
+    /// The processor (rank) the key resides on.
+    pub pe: u32,
+    /// The index of the key in the local data structure.
+    pub index: u32,
+}
+
+impl<K: Key> TaggedKey<K> {
+    /// Tag `key` with its location.
+    pub fn new(key: K, pe: u32, index: u32) -> Self {
+        Self { key, pe, index }
+    }
+
+    /// The smallest tagged key with the given key value: compares `<=` every
+    /// occurrence of `key` in the input.  Used to build probe keys.
+    pub fn lower_sentinel(key: K) -> Self {
+        Self { key, pe: 0, index: 0 }
+    }
+
+    /// The largest tagged key with the given key value.
+    pub fn upper_sentinel(key: K) -> Self {
+        Self { key, pe: u32::MAX, index: u32::MAX }
+    }
+}
+
+impl<K: Key> Key for TaggedKey<K> {
+    const MIN_KEY: Self = TaggedKey { key: K::MIN_KEY, pe: 0, index: 0 };
+    const MAX_KEY: Self = TaggedKey { key: K::MAX_KEY, pe: u32::MAX, index: u32::MAX };
+}
+
+/// A totally ordered `f64` wrapper so floating-point keys (particle
+/// positions, ChaNGa-style) can be sorted.  NaNs order greater than every
+/// other value; this is sufficient for the synthetic datasets which never
+/// generate NaN.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OrderedF64(pub f64);
+
+impl Eq for OrderedF64 {}
+
+impl PartialOrd for OrderedF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrderedF64 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl Key for OrderedF64 {
+    const MIN_KEY: Self = OrderedF64(f64::NEG_INFINITY);
+    const MAX_KEY: Self = OrderedF64(f64::INFINITY);
+}
+
+impl From<f64> for OrderedF64 {
+    fn from(x: f64) -> Self {
+        OrderedF64(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_sentinels_bracket_everything() {
+        assert!(u64::MIN_KEY <= 0 && u64::MAX_KEY >= u64::MAX - 1);
+        assert!(i64::MIN_KEY < 0 && i64::MAX_KEY > 0);
+    }
+
+    #[test]
+    fn keyed_blanket_impl_returns_self() {
+        let k: u64 = 42;
+        assert_eq!(k.key(), 42);
+        let k: i32 = -7;
+        assert_eq!(k.key(), -7);
+    }
+
+    #[test]
+    fn record_orders_by_key_then_payload() {
+        let a = Record { key: 1, payload: 9 };
+        let b = Record { key: 2, payload: 0 };
+        let c = Record { key: 1, payload: 10 };
+        assert!(a < b);
+        assert!(a < c);
+        assert_eq!(a.key(), 1);
+    }
+
+    #[test]
+    fn record_derived_payload_is_deterministic() {
+        assert_eq!(Record::with_derived_payload(7), Record::with_derived_payload(7));
+    }
+
+    #[test]
+    fn tagged_key_breaks_ties_by_pe_then_index() {
+        let a = TaggedKey::new(5u64, 0, 3);
+        let b = TaggedKey::new(5u64, 1, 0);
+        let c = TaggedKey::new(5u64, 0, 4);
+        assert!(a < b);
+        assert!(a < c);
+        assert!(c < b);
+        // Different key values dominate the tag.
+        assert!(TaggedKey::new(4u64, 9, 9) < a);
+    }
+
+    #[test]
+    fn tagged_key_sentinels_bracket_all_tags() {
+        let lo = TaggedKey::lower_sentinel(5u64);
+        let hi = TaggedKey::upper_sentinel(5u64);
+        let mid = TaggedKey::new(5u64, 17, 3);
+        assert!(lo <= mid && mid <= hi);
+        assert!(TaggedKey::<u64>::MIN_KEY <= lo);
+        assert!(TaggedKey::<u64>::MAX_KEY >= hi);
+    }
+
+    #[test]
+    fn ordered_f64_total_order() {
+        let mut v = vec![OrderedF64(3.5), OrderedF64(-1.0), OrderedF64(0.0), OrderedF64(f64::NAN)];
+        v.sort();
+        assert_eq!(v[0], OrderedF64(-1.0));
+        assert_eq!(v[1], OrderedF64(0.0));
+        assert_eq!(v[2], OrderedF64(3.5));
+        assert!(v[3].0.is_nan());
+        assert!(OrderedF64::MIN_KEY < OrderedF64(-1e300));
+        assert!(OrderedF64::MAX_KEY > OrderedF64(1e300));
+    }
+}

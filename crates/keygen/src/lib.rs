@@ -1,0 +1,40 @@
+//! `hss-keygen` — key types and workload generators for the HSS reproduction.
+//!
+//! The crate provides:
+//!
+//! * [`key`]: the [`Key`](key::Key) / [`Keyed`](key::Keyed) traits the
+//!   sorting algorithms are generic over, plus concrete types — bare integer
+//!   keys, the Mira experiment's 8-byte-key + 4-byte-payload
+//!   [`Record`](key::Record), the duplicate-breaking
+//!   [`TaggedKey`](key::TaggedKey) of §4.3 and a totally ordered `f64`.
+//! * [`distributions`]: seeded, deterministic per-rank input generators for
+//!   uniform, Gaussian, exponential, power-law, staggered, pre-sorted,
+//!   reverse-sorted and duplicate-heavy key distributions.
+//! * [`changa`]: synthetic clustered particle datasets standing in for the
+//!   ChaNGa *Lambb* and *Dwarf* snapshots of Figure 6.2, keyed by Morton
+//!   (Z-order) index.
+//!
+//! # Example
+//!
+//! ```
+//! use hss_keygen::{KeyDistribution, Keyed, Record};
+//!
+//! // 4 ranks, 1000 keys each, drawn from a skewed power law.
+//! let per_rank = KeyDistribution::PowerLaw { gamma: 4.0 }.generate_per_rank(4, 1000, 42);
+//! assert_eq!(per_rank.len(), 4);
+//! assert_eq!(per_rank[0].len(), 1000);
+//!
+//! // Records carry payloads but sort by their key.
+//! let r = Record::with_derived_payload(17);
+//! assert_eq!(r.key(), 17);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod changa;
+pub mod distributions;
+pub mod key;
+
+pub use changa::{morton_key, ChangaDataset, Cluster, Particle};
+pub use distributions::{rank_rng, KeyDistribution};
+pub use key::{Key, Keyed, OrderedF64, Record, TaggedKey};

@@ -1,0 +1,109 @@
+//! Load-balance metrics.
+//!
+//! The paper's quality criterion (§1, §2.1): after sorting, no processor may
+//! hold more than `N(1 + ε)/p` keys; equivalently the *load imbalance* —
+//! the ratio of the maximum load to the average load — must be at most
+//! `1 + ε`.  [`LoadBalance`] computes both forms from the final per-rank
+//! counts.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary of how evenly keys ended up distributed across ranks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadBalance {
+    /// Number of ranks.
+    pub ranks: usize,
+    /// Total number of keys.
+    pub total_keys: u64,
+    /// Largest per-rank key count.
+    pub max_keys: u64,
+    /// Smallest per-rank key count.
+    pub min_keys: u64,
+    /// Load imbalance `max / (total / ranks)`; 1.0 is perfect.
+    pub imbalance: f64,
+}
+
+impl LoadBalance {
+    /// Compute load-balance statistics from per-rank key counts.
+    pub fn from_counts(counts: &[u64]) -> Self {
+        assert!(!counts.is_empty(), "need at least one rank");
+        let total: u64 = counts.iter().sum();
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        let avg = total as f64 / counts.len() as f64;
+        let imbalance = if total == 0 { 1.0 } else { max as f64 / avg };
+        Self { ranks: counts.len(), total_keys: total, max_keys: max, min_keys: min, imbalance }
+    }
+
+    /// Compute load-balance statistics from the final per-rank data.
+    pub fn from_rank_data<T>(data: &[Vec<T>]) -> Self {
+        let counts: Vec<u64> = data.iter().map(|v| v.len() as u64).collect();
+        Self::from_counts(&counts)
+    }
+
+    /// Whether the imbalance satisfies the paper's requirement: every rank
+    /// holds at most `N(1 + epsilon)/p` keys.
+    pub fn satisfies(&self, epsilon: f64) -> bool {
+        let bound = (self.total_keys as f64) * (1.0 + epsilon) / self.ranks as f64;
+        // Allow the integer ceiling: a rank holding ceil(bound) keys is fine.
+        (self.max_keys as f64) <= bound.ceil()
+    }
+
+    /// The paper's bound `N(1 + epsilon)/p` on per-rank keys.
+    pub fn allowed_max(&self, epsilon: f64) -> f64 {
+        (self.total_keys as f64) * (1.0 + epsilon) / self.ranks as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_balance_has_imbalance_one() {
+        let lb = LoadBalance::from_counts(&[100, 100, 100, 100]);
+        assert_eq!(lb.imbalance, 1.0);
+        assert!(lb.satisfies(0.0));
+        assert_eq!(lb.total_keys, 400);
+        assert_eq!(lb.max_keys, 100);
+        assert_eq!(lb.min_keys, 100);
+    }
+
+    #[test]
+    fn imbalance_is_max_over_average() {
+        let lb = LoadBalance::from_counts(&[150, 50, 100, 100]);
+        assert!((lb.imbalance - 1.5).abs() < 1e-12);
+        assert!(!lb.satisfies(0.05));
+        assert!(lb.satisfies(0.5));
+    }
+
+    #[test]
+    fn from_rank_data_counts_lengths() {
+        let data: Vec<Vec<u8>> = vec![vec![0; 3], vec![0; 5]];
+        let lb = LoadBalance::from_rank_data(&data);
+        assert_eq!(lb.max_keys, 5);
+        assert_eq!(lb.min_keys, 3);
+        assert_eq!(lb.ranks, 2);
+    }
+
+    #[test]
+    fn empty_total_is_balanced() {
+        let lb = LoadBalance::from_counts(&[0, 0, 0]);
+        assert_eq!(lb.imbalance, 1.0);
+        assert!(lb.satisfies(0.0));
+    }
+
+    #[test]
+    fn integer_rounding_is_tolerated() {
+        // 10 keys over 3 ranks: perfect split is 3.33; a rank with 4 keys is
+        // within ceil(N(1+0)/p) = 4.
+        let lb = LoadBalance::from_counts(&[4, 3, 3]);
+        assert!(lb.satisfies(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn empty_counts_panic() {
+        let _ = LoadBalance::from_counts(&[]);
+    }
+}

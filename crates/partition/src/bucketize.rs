@@ -1,0 +1,94 @@
+//! Splitting local data into per-destination buckets for the all-to-all
+//! exchange (the "data movement" step shared by every splitter-based
+//! algorithm, §2.2 step 3).
+
+use hss_keygen::Keyed;
+
+use crate::splitters::SplitterSet;
+
+/// Partition a rank's *sorted* local data into one bucket per destination,
+/// according to `splitters`.  Bucket `i` receives the keys in
+/// `[S_i, S_{i+1})`.  The concatenation of the buckets equals the input.
+pub fn partition_sorted<T: Keyed>(sorted: &[T], splitters: &SplitterSet<T::K>) -> Vec<Vec<T>> {
+    debug_assert!(crate::histogram::is_sorted_by_key(sorted));
+    let bounds = splitters.bucket_boundaries(sorted);
+    bounds
+        .windows(2)
+        .map(|w| sorted[w[0]..w[1]].to_vec())
+        .collect()
+}
+
+/// Partition *unsorted* local data into buckets by routing each key
+/// individually (`O(n log p)`).  Used when the algorithm has not sorted its
+/// local data first (e.g. the over-partitioning baseline's task queues).
+pub fn partition_unsorted<T: Keyed>(data: &[T], splitters: &SplitterSet<T::K>) -> Vec<Vec<T>> {
+    let mut buckets: Vec<Vec<T>> = (0..splitters.buckets()).map(|_| Vec::new()).collect();
+    for item in data {
+        buckets[splitters.bucket_of(item.key())].push(item.clone());
+    }
+    buckets
+}
+
+/// Per-bucket counts without materialising the buckets (cheap load check).
+pub fn bucket_counts<T: Keyed>(sorted: &[T], splitters: &SplitterSet<T::K>) -> Vec<u64> {
+    let bounds = splitters.bucket_boundaries(sorted);
+    bounds.windows(2).map(|w| (w[1] - w[0]) as u64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::splitters::SplitterSet;
+
+    #[test]
+    fn partition_sorted_concatenates_back_to_input() {
+        let data: Vec<u64> = vec![1, 3, 5, 7, 9, 11, 13];
+        let s = SplitterSet::new(vec![4u64, 10]);
+        let buckets = partition_sorted(&data, &s);
+        assert_eq!(buckets.len(), 3);
+        assert_eq!(buckets[0], vec![1, 3]);
+        assert_eq!(buckets[1], vec![5, 7, 9]);
+        assert_eq!(buckets[2], vec![11, 13]);
+        let concat: Vec<u64> = buckets.into_iter().flatten().collect();
+        assert_eq!(concat, data);
+    }
+
+    #[test]
+    fn partition_unsorted_routes_like_bucket_of() {
+        let data: Vec<u64> = vec![9, 1, 13, 5, 3, 11, 7];
+        let s = SplitterSet::new(vec![4u64, 10]);
+        let buckets = partition_unsorted(&data, &s);
+        assert_eq!(buckets[0], vec![1, 3]);
+        assert_eq!(buckets[1], vec![9, 5, 7]);
+        assert_eq!(buckets[2], vec![13, 11]);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_buckets() {
+        let data: Vec<u64> = vec![];
+        let s = SplitterSet::new(vec![4u64, 10]);
+        assert!(partition_sorted(&data, &s).iter().all(|b| b.is_empty()));
+        assert_eq!(bucket_counts(&data, &s), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn keys_equal_to_splitter_go_right() {
+        let data: Vec<u64> = vec![4, 4, 4];
+        let s = SplitterSet::new(vec![4u64]);
+        let buckets = partition_sorted(&data, &s);
+        assert!(buckets[0].is_empty());
+        assert_eq!(buckets[1], vec![4, 4, 4]);
+    }
+
+    #[test]
+    fn bucket_counts_match_partition() {
+        let data: Vec<u64> = (0..100).collect();
+        let s = SplitterSet::new(vec![10u64, 40, 90]);
+        let counts = bucket_counts(&data, &s);
+        let buckets = partition_sorted(&data, &s);
+        for (c, b) in counts.iter().zip(buckets.iter()) {
+            assert_eq!(*c, b.len() as u64);
+        }
+        assert_eq!(counts.iter().sum::<u64>(), 100);
+    }
+}

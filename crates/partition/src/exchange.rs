@@ -1,0 +1,113 @@
+//! The data-movement step shared by every splitter-based algorithm:
+//! partition local sorted data by the splitters, run the all-to-all
+//! exchange, merge the received runs (§2.2 step 3).
+
+use hss_keygen::Keyed;
+use hss_sim::{Machine, Phase, Work};
+
+use crate::merge::kway_merge;
+use crate::splitters::SplitterSet;
+
+/// How the all-to-all exchange injects messages into the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExchangeMode {
+    /// One message per (source rank, destination rank) pair.
+    RankLevel,
+    /// Messages between the same pair of physical nodes are combined
+    /// (§6.1.1), reducing the message count from `p(p-1)` to `n(n-1)`.
+    NodeCombined,
+}
+
+/// Move every key to the rank that owns its bucket and merge the received
+/// sorted runs.  `per_rank_sorted` must be sorted within each rank;
+/// `splitters` must define exactly `machine.ranks()` buckets.
+///
+/// Returns the per-rank output (globally sorted across ranks, sorted within
+/// each rank).  Charges the bucketize work, the exchange and the merge to
+/// [`Phase::DataExchange`] / [`Phase::Merge`].
+pub fn exchange_and_merge<T: Keyed + Ord>(
+    machine: &mut Machine,
+    per_rank_sorted: &[Vec<T>],
+    splitters: &SplitterSet<T::K>,
+    mode: ExchangeMode,
+) -> Vec<Vec<T>> {
+    assert_eq!(
+        splitters.buckets(),
+        machine.ranks(),
+        "splitter set must define one bucket per rank"
+    );
+    // Partition each rank's sorted data into destination buckets.
+    let sends: Vec<Vec<Vec<T>>> = machine.map_phase(Phase::DataExchange, per_rank_sorted, |_r, local| {
+        let buckets = crate::bucketize::partition_sorted(local, splitters);
+        (
+            buckets,
+            Work::binary_search(splitters.keys().len(), local.len()).and(Work::scan(local.len())),
+        )
+    });
+    // Exchange.
+    let received = match mode {
+        ExchangeMode::RankLevel => machine.all_to_allv(Phase::DataExchange, sends),
+        ExchangeMode::NodeCombined => machine.all_to_allv_node_combined(Phase::DataExchange, sends),
+    };
+    // Merge the p sorted runs each rank received.
+    machine.transform_phase(Phase::Merge, received, |_r, runs| {
+        let pieces = runs.iter().filter(|b| !b.is_empty()).count();
+        let total: usize = runs.iter().map(|b| b.len()).sum();
+        (kway_merge(runs), Work::merge(total, pieces.max(1)))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::select::verify_global_sort;
+    use hss_sim::{CostModel, Topology};
+
+    fn sorted_input(p: usize, n: usize) -> Vec<Vec<u64>> {
+        // Deterministic pseudo-random per-rank data, locally sorted.
+        (0..p)
+            .map(|r| {
+                let mut v: Vec<u64> =
+                    (0..n).map(|i| ((r * n + i) as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 3).collect();
+                v.sort_unstable();
+                v
+            })
+            .collect()
+    }
+
+    #[test]
+    fn exchange_produces_global_sort_with_exact_splitters() {
+        let p = 8;
+        let input = sorted_input(p, 200);
+        let splitter_keys = crate::select::exact_splitters(&input, p);
+        let splitters = SplitterSet::new(splitter_keys);
+        let mut machine = Machine::flat(p);
+        let out = exchange_and_merge(&mut machine, &input, &splitters, ExchangeMode::RankLevel);
+        verify_global_sort(&input, &out).unwrap();
+    }
+
+    #[test]
+    fn node_combined_exchange_gives_identical_data() {
+        let p = 8;
+        let input = sorted_input(p, 100);
+        let splitters = SplitterSet::new(crate::select::exact_splitters(&input, p));
+        let mut m1 = Machine::new(Topology::new(p, 4), CostModel::bluegene_like());
+        let mut m2 = Machine::new(Topology::new(p, 4), CostModel::bluegene_like());
+        let a = exchange_and_merge(&mut m1, &input, &splitters, ExchangeMode::RankLevel);
+        let b = exchange_and_merge(&mut m2, &input, &splitters, ExchangeMode::NodeCombined);
+        assert_eq!(a, b);
+        assert!(
+            m2.metrics().phase(Phase::DataExchange).messages
+                < m1.metrics().phase(Phase::DataExchange).messages
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one bucket per rank")]
+    fn wrong_bucket_count_panics() {
+        let input = sorted_input(4, 10);
+        let splitters = SplitterSet::new(vec![1u64, 2]); // 3 buckets, 4 ranks
+        let mut machine = Machine::flat(4);
+        let _ = exchange_and_merge(&mut machine, &input, &splitters, ExchangeMode::RankLevel);
+    }
+}

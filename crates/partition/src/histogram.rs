@@ -1,0 +1,182 @@
+//! Histogram (rank-query) computation over sorted local data.
+//!
+//! A "histogram" in the paper's sense (§2.3) is the vector of global ranks
+//! of a set of probe keys: every processor counts how many of its local keys
+//! are below each probe (cheap binary searches over its sorted local data,
+//! §5.1.2) and the per-processor counts are summed by a reduction.  The
+//! global rank of a probe tells the splitter-determination algorithm where
+//! that probe sits in the global order.
+
+use hss_keygen::Keyed;
+use hss_sim::{Machine, Phase, Work};
+
+/// Number of local keys strictly less than each probe.
+///
+/// `sorted_local` must be sorted by key; `probes` must be sorted too (the
+/// result is then non-decreasing).
+///
+/// Two strategies are used depending on the shapes: binary searches
+/// (`O(|probes| log |local|)`) when there are few probes, and a linear
+/// merge sweep (`O(|probes| + |local|)`) when the probe set is large
+/// relative to the local data — the situation in large-`p` histogramming
+/// rounds where the probe count (`~5p`) dwarfs the per-rank key count.
+pub fn local_ranks<T: Keyed>(sorted_local: &[T], probes: &[T::K]) -> Vec<u64> {
+    debug_assert!(is_sorted_by_key(sorted_local), "local data must be sorted");
+    debug_assert!(probes.windows(2).all(|w| w[0] <= w[1]), "probes must be sorted");
+    let n = sorted_local.len();
+    let m = probes.len();
+    // Heuristic crossover: binary searches cost ~m log2 n, the sweep costs
+    // ~n + m.
+    let log_n = (usize::BITS - n.max(2).leading_zeros()) as usize;
+    if m * log_n <= n + m {
+        probes
+            .iter()
+            .map(|p| sorted_local.partition_point(|x| x.key() < *p) as u64)
+            .collect()
+    } else {
+        let mut out = Vec::with_capacity(m);
+        let mut i = 0usize;
+        for p in probes {
+            while i < n && sorted_local[i].key() < *p {
+                i += 1;
+            }
+            out.push(i as u64);
+        }
+        out
+    }
+}
+
+/// Per-bucket counts for the ranges defined by consecutive probes:
+/// `counts[0]` = keys `< probes[0]`, `counts[i]` = keys in
+/// `[probes[i-1], probes[i])`, `counts[len]` = keys `>= probes.last()`.
+/// This is the "count the number of keys in each range" formulation of the
+/// histogram (§2.3, step 2); it carries the same information as
+/// [`local_ranks`].
+pub fn local_range_counts<T: Keyed>(sorted_local: &[T], probes: &[T::K]) -> Vec<u64> {
+    let ranks = local_ranks(sorted_local, probes);
+    let n = sorted_local.len() as u64;
+    let mut counts = Vec::with_capacity(probes.len() + 1);
+    let mut prev = 0u64;
+    for r in &ranks {
+        counts.push(r - prev);
+        prev = *r;
+    }
+    counts.push(n - prev);
+    counts
+}
+
+/// Compute the *global* ranks of `probes` over the distributed, per-rank
+/// sorted data: every rank computes its local ranks (charged as binary
+/// search work in the given `phase`), and the per-rank vectors are summed by
+/// a reduction on `machine`.
+///
+/// This is exactly one histogramming step of Histogram sort / HSS.
+pub fn global_ranks<T: Keyed>(
+    machine: &mut Machine,
+    per_rank_sorted: &[Vec<T>],
+    probes: &[T::K],
+    phase: Phase,
+) -> Vec<u64> {
+    let local = machine.map_phase(phase, per_rank_sorted, |_rank, data| {
+        (
+            local_ranks(data, probes),
+            Work::binary_search(probes.len(), data.len()),
+        )
+    });
+    machine.reduce_sum(phase, &local)
+}
+
+/// Whether a slice is sorted by key (used in debug assertions).
+pub fn is_sorted_by_key<T: Keyed>(data: &[T]) -> bool {
+    data.windows(2).all(|w| w[0].key() <= w[1].key())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hss_sim::Machine;
+
+    #[test]
+    fn local_ranks_counts_strictly_smaller_keys() {
+        let data: Vec<u64> = vec![10, 20, 20, 30, 40];
+        assert_eq!(local_ranks(&data, &[5, 10, 20, 25, 40, 100]), vec![0, 0, 1, 3, 4, 5]);
+    }
+
+    #[test]
+    fn binary_search_and_merge_sweep_strategies_agree() {
+        // Large probe set relative to the data triggers the merge sweep;
+        // compare against explicit partition_point results.
+        let data: Vec<u64> = (0..50).map(|i| i * 7 + 3).collect();
+        let probes: Vec<u64> = (0..400).map(|i| i * 217 % 400).collect::<Vec<_>>();
+        let mut probes = probes;
+        probes.sort_unstable();
+        let expect: Vec<u64> =
+            probes.iter().map(|p| data.partition_point(|x| x < p) as u64).collect();
+        assert_eq!(local_ranks(&data, &probes), expect);
+    }
+
+    #[test]
+    fn merge_sweep_handles_probes_beyond_data_range() {
+        let data: Vec<u64> = vec![100, 200, 300];
+        let probes: Vec<u64> = (0..64).map(|i| i * 10).collect();
+        let got = local_ranks(&data, &probes);
+        assert_eq!(got[0], 0);
+        assert_eq!(*got.last().unwrap(), 3);
+    }
+
+    #[test]
+    fn local_ranks_on_empty_data_is_zero() {
+        let data: Vec<u64> = vec![];
+        assert_eq!(local_ranks(&data, &[1, 2, 3]), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn local_ranks_with_no_probes_is_empty() {
+        let data: Vec<u64> = vec![1, 2, 3];
+        assert!(local_ranks(&data, &[]).is_empty());
+    }
+
+    #[test]
+    fn range_counts_sum_to_local_size() {
+        let data: Vec<u64> = vec![1, 5, 5, 7, 9, 11, 30];
+        let counts = local_range_counts(&data, &[5, 10, 20]);
+        assert_eq!(counts, vec![1, 4, 1, 1]);
+        assert_eq!(counts.iter().sum::<u64>(), data.len() as u64);
+    }
+
+    #[test]
+    fn range_counts_with_no_probes_is_total() {
+        let data: Vec<u64> = vec![1, 2, 3];
+        assert_eq!(local_range_counts(&data, &[]), vec![3]);
+    }
+
+    #[test]
+    fn global_ranks_sum_local_contributions() {
+        let mut machine = Machine::flat(3);
+        let per_rank: Vec<Vec<u64>> = vec![vec![0, 10, 20], vec![5, 15, 25], vec![2, 12, 22]];
+        let probes = vec![10u64, 20, 26];
+        let ranks = global_ranks(&mut machine, &per_rank, &probes, Phase::Histogramming);
+        // Keys < 10: {0,5,2} -> 3; < 20: +{10,15,12} -> 6; < 26: +{20,25,22} -> 9.
+        assert_eq!(ranks, vec![3, 6, 9]);
+        assert!(machine.metrics().phase(Phase::Histogramming).simulated_seconds > 0.0);
+    }
+
+    #[test]
+    fn global_ranks_work_with_records() {
+        use hss_keygen::Record;
+        let mut machine = Machine::flat(2);
+        let per_rank: Vec<Vec<Record>> = vec![
+            vec![Record { key: 1, payload: 0 }, Record { key: 3, payload: 0 }],
+            vec![Record { key: 2, payload: 0 }, Record { key: 4, payload: 0 }],
+        ];
+        let ranks = global_ranks(&mut machine, &per_rank, &[3u64], Phase::Histogramming);
+        assert_eq!(ranks, vec![2]);
+    }
+
+    #[test]
+    fn is_sorted_by_key_detects_order() {
+        assert!(is_sorted_by_key(&[1u64, 2, 2, 3]));
+        assert!(!is_sorted_by_key(&[2u64, 1]));
+        assert!(is_sorted_by_key::<u64>(&[]));
+    }
+}

@@ -1,0 +1,46 @@
+//! `hss-partition` — partitioning primitives shared by HSS and every
+//! baseline algorithm in the reproduction.
+//!
+//! Splitter-based parallel sorting algorithms (§2) all share the same
+//! skeleton: determine `p − 1` splitter keys, route every key to the bucket
+//! owner, merge what arrives.  This crate provides the pieces of that
+//! skeleton that are *not* specific to how splitters are chosen:
+//!
+//! * [`histogram`] — local / global rank queries over sorted data (the
+//!   histogramming primitive);
+//! * [`splitters`] — the [`SplitterSet`](splitters::SplitterSet) type and key
+//!   routing;
+//! * [`intervals`] — splitter-interval bookkeeping
+//!   ([`SplitterIntervals`](intervals::SplitterIntervals), the `L_j/U_j`
+//!   bounds of §3.3);
+//! * [`bucketize`] — partitioning local data by a splitter set;
+//! * [`merge`] — k-way merging of received sorted runs;
+//! * [`exchange`] — the full data-movement step (partition → all-to-all →
+//!   merge), rank-level or node-combined;
+//! * [`balance`] — load-imbalance metrics (`max / average` load);
+//! * [`select`] — exact ground-truth oracles used by tests and verifiers.
+
+#![warn(missing_docs)]
+
+pub mod balance;
+pub mod bucketize;
+pub mod exchange;
+pub mod histogram;
+pub mod intervals;
+pub mod merge;
+pub mod sampling;
+pub mod select;
+pub mod splitters;
+
+pub use balance::LoadBalance;
+pub use bucketize::{bucket_counts, partition_sorted, partition_unsorted};
+pub use exchange::{exchange_and_merge, ExchangeMode};
+pub use histogram::{global_ranks, is_sorted_by_key, local_range_counts, local_ranks};
+pub use intervals::{Bound, SplitterIntervals};
+pub use merge::{concat_sort_merge, kway_merge};
+pub use sampling::{
+    bernoulli_sample, bernoulli_sample_in_intervals, bernoulli_sample_range, count_in_intervals,
+    merge_key_intervals, random_block_sample, regular_sample, uniform_sample_discarding,
+};
+pub use select::{exact_rank, exact_splitters, global_sorted, verify_global_sort};
+pub use splitters::SplitterSet;

@@ -1,0 +1,297 @@
+//! Sampling primitives shared by HSS and the sample-sort baselines.
+//!
+//! Three families of samplers appear in the paper:
+//!
+//! * **Bernoulli sampling** ("Sampling Method 1", §3): every key of a subset
+//!   `G` of the input is picked independently with probability `p·s/N`.
+//!   Implemented with geometric gap skipping so the cost is proportional to
+//!   the number of *samples*, not the number of keys scanned.
+//! * **Regular sampling** (§4.1.2): `s` evenly spaced keys from the sorted
+//!   local data.
+//! * **Random block sampling** (Blelloch et al., §4.1.1 / §3.4): the sorted
+//!   local data is divided into `s` equal blocks and one uniformly random
+//!   key is taken from each block.
+
+use std::ops::Range;
+
+use hss_keygen::Keyed;
+use rand::Rng;
+
+/// Bernoulli-sample the keys of `sorted[range]`: each key is included
+/// independently with probability `prob`.  Uses geometric skips, so the
+/// running time is `O(1 + prob·|range|)` in expectation.
+pub fn bernoulli_sample_range<T: Keyed, R: Rng>(
+    sorted: &[T],
+    range: Range<usize>,
+    prob: f64,
+    rng: &mut R,
+) -> Vec<T::K> {
+    assert!((0.0..=1.0).contains(&prob), "probability must be in [0, 1]");
+    let mut out = Vec::new();
+    if prob == 0.0 || range.is_empty() {
+        return out;
+    }
+    if prob >= 1.0 {
+        out.extend(sorted[range].iter().map(|x| x.key()));
+        return out;
+    }
+    let log_q = (1.0 - prob).ln();
+    let mut idx = range.start;
+    loop {
+        // Geometric(prob) gap: number of failures before the next success.
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let gap = (u.ln() / log_q).floor() as usize;
+        idx = match idx.checked_add(gap) {
+            Some(i) => i,
+            None => break,
+        };
+        if idx >= range.end {
+            break;
+        }
+        out.push(sorted[idx].key());
+        idx += 1;
+    }
+    out
+}
+
+/// Bernoulli-sample a whole sorted slice.
+pub fn bernoulli_sample<T: Keyed, R: Rng>(sorted: &[T], prob: f64, rng: &mut R) -> Vec<T::K> {
+    bernoulli_sample_range(sorted, 0..sorted.len(), prob, rng)
+}
+
+/// Merge possibly-overlapping inclusive key intervals into a minimal sorted
+/// set of disjoint intervals.  Used before interval-restricted sampling so
+/// keys covered by several splitter intervals are not sampled twice.
+pub fn merge_key_intervals<K: Ord + Copy>(mut intervals: Vec<(K, K)>) -> Vec<(K, K)> {
+    intervals.retain(|(lo, hi)| lo <= hi);
+    intervals.sort_unstable();
+    let mut out: Vec<(K, K)> = Vec::with_capacity(intervals.len());
+    for (lo, hi) in intervals {
+        match out.last_mut() {
+            Some((_, chi)) if lo <= *chi => {
+                if hi > *chi {
+                    *chi = hi;
+                }
+            }
+            _ => out.push((lo, hi)),
+        }
+    }
+    out
+}
+
+/// Bernoulli-sample only the keys that fall inside one of the (disjoint,
+/// sorted) inclusive key `intervals` — the restricted sampling of §3.3
+/// step 4.  `sorted` must be sorted by key.
+pub fn bernoulli_sample_in_intervals<T: Keyed, R: Rng>(
+    sorted: &[T],
+    intervals: &[(T::K, T::K)],
+    prob: f64,
+    rng: &mut R,
+) -> Vec<T::K> {
+    let mut out = Vec::new();
+    for &(lo, hi) in intervals {
+        let start = sorted.partition_point(|x| x.key() < lo);
+        let end = sorted.partition_point(|x| x.key() <= hi);
+        out.extend(bernoulli_sample_range(sorted, start..end, prob, rng));
+    }
+    out
+}
+
+/// Number of local keys falling inside the (disjoint, sorted) intervals.
+pub fn count_in_intervals<T: Keyed>(sorted: &[T], intervals: &[(T::K, T::K)]) -> usize {
+    intervals
+        .iter()
+        .map(|&(lo, hi)| {
+            let start = sorted.partition_point(|x| x.key() < lo);
+            let end = sorted.partition_point(|x| x.key() <= hi);
+            end - start
+        })
+        .sum()
+}
+
+/// Draw `count` keys uniformly at random (with replacement) from the whole
+/// local data, keeping only those inside the intervals — the paper's
+/// implementation trick (§6.1.2): pick `5/δ` keys from the entire input and
+/// discard the ones that miss the splitter intervals.
+pub fn uniform_sample_discarding<T: Keyed, R: Rng>(
+    sorted: &[T],
+    intervals: &[(T::K, T::K)],
+    count: usize,
+    rng: &mut R,
+) -> Vec<T::K> {
+    if sorted.is_empty() {
+        return Vec::new();
+    }
+    (0..count)
+        .filter_map(|_| {
+            let k = sorted[rng.gen_range(0..sorted.len())].key();
+            let inside = intervals
+                .binary_search_by(|&(lo, hi)| {
+                    if k < lo {
+                        std::cmp::Ordering::Greater
+                    } else if k > hi {
+                        std::cmp::Ordering::Less
+                    } else {
+                        std::cmp::Ordering::Equal
+                    }
+                })
+                .is_ok();
+            inside.then_some(k)
+        })
+        .collect()
+}
+
+/// `s` evenly spaced keys from the sorted local data — regular sampling
+/// (§4.1.2).  Picks the largest key of each of `s` equal blocks, i.e. keys
+/// at positions `N/(ps)·j − 1` for `j = 1..=s`.
+pub fn regular_sample<T: Keyed>(sorted: &[T], s: usize) -> Vec<T::K> {
+    let n = sorted.len();
+    if n == 0 || s == 0 {
+        return Vec::new();
+    }
+    let s = s.min(n);
+    (1..=s).map(|j| sorted[(j * n / s).max(1) - 1].key()).collect()
+}
+
+/// One uniformly random key from each of `s` equal blocks of the sorted
+/// local data — random block sampling (Blelloch et al., §4.1.1), also the
+/// representative sample of §3.4.
+pub fn random_block_sample<T: Keyed, R: Rng>(sorted: &[T], s: usize, rng: &mut R) -> Vec<T::K> {
+    let n = sorted.len();
+    if n == 0 || s == 0 {
+        return Vec::new();
+    }
+    let s = s.min(n);
+    (0..s)
+        .map(|j| {
+            let start = j * n / s;
+            let end = ((j + 1) * n / s).max(start + 1);
+            sorted[rng.gen_range(start..end)].key()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(12345)
+    }
+
+    #[test]
+    fn bernoulli_sample_prob_one_takes_everything() {
+        let data: Vec<u64> = (0..100).collect();
+        let s = bernoulli_sample(&data, 1.0, &mut rng());
+        assert_eq!(s, data);
+    }
+
+    #[test]
+    fn bernoulli_sample_prob_zero_takes_nothing() {
+        let data: Vec<u64> = (0..100).collect();
+        assert!(bernoulli_sample(&data, 0.0, &mut rng()).is_empty());
+    }
+
+    #[test]
+    fn bernoulli_sample_size_close_to_expectation() {
+        let data: Vec<u64> = (0..200_000).collect();
+        let prob = 0.01;
+        let s = bernoulli_sample(&data, prob, &mut rng());
+        let expected = 2000.0;
+        assert!(
+            (s.len() as f64) > expected * 0.7 && (s.len() as f64) < expected * 1.3,
+            "sample size {} too far from expectation {}",
+            s.len(),
+            expected
+        );
+        // Samples come out in sorted order and belong to the data.
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+        assert!(s.iter().all(|&k| k < 200_000));
+    }
+
+    #[test]
+    fn bernoulli_sample_range_respects_bounds() {
+        let data: Vec<u64> = (0..1000).collect();
+        let s = bernoulli_sample_range(&data, 100..200, 0.5, &mut rng());
+        assert!(s.iter().all(|&k| (100..200).contains(&k)));
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn merge_key_intervals_merges_overlaps() {
+        let merged = merge_key_intervals(vec![(10u64, 20), (15, 30), (40, 50), (50, 60), (5, 8)]);
+        assert_eq!(merged, vec![(5, 8), (10, 30), (40, 60)]);
+    }
+
+    #[test]
+    fn merge_key_intervals_drops_empty() {
+        let merged = merge_key_intervals(vec![(10u64, 5)]);
+        assert!(merged.is_empty());
+    }
+
+    #[test]
+    fn interval_sampling_only_returns_keys_inside() {
+        let data: Vec<u64> = (0..10_000).collect();
+        let intervals = vec![(100u64, 200), (5_000, 5_100)];
+        let s = bernoulli_sample_in_intervals(&data, &intervals, 0.5, &mut rng());
+        assert!(!s.is_empty());
+        assert!(s
+            .iter()
+            .all(|&k| (100..=200).contains(&k) || (5_000..=5_100).contains(&k)));
+    }
+
+    #[test]
+    fn count_in_intervals_is_exact() {
+        let data: Vec<u64> = (0..1000).collect();
+        assert_eq!(count_in_intervals(&data, &[(100, 199), (500, 500)]), 101);
+        assert_eq!(count_in_intervals(&data, &[]), 0);
+        assert_eq!(count_in_intervals(&data, &[(2000, 3000)]), 0);
+    }
+
+    #[test]
+    fn uniform_sample_discarding_respects_intervals() {
+        let data: Vec<u64> = (0..1000).collect();
+        let intervals = vec![(0u64, 99)];
+        let s = uniform_sample_discarding(&data, &intervals, 1000, &mut rng());
+        // Roughly 10% of draws survive the discarding.
+        assert!(s.len() > 40 && s.len() < 250, "kept {}", s.len());
+        assert!(s.iter().all(|&k| k < 100));
+    }
+
+    #[test]
+    fn regular_sample_is_evenly_spaced() {
+        let data: Vec<u64> = (1..=100).collect();
+        let s = regular_sample(&data, 4);
+        assert_eq!(s, vec![25, 50, 75, 100]);
+        assert_eq!(regular_sample(&data, 0), Vec::<u64>::new());
+        let all = regular_sample(&data, 100);
+        assert_eq!(all.len(), 100);
+    }
+
+    #[test]
+    fn regular_sample_caps_at_data_len() {
+        let data: Vec<u64> = vec![1, 2, 3];
+        assert_eq!(regular_sample(&data, 10).len(), 3);
+    }
+
+    #[test]
+    fn random_block_sample_takes_one_per_block() {
+        let data: Vec<u64> = (0..100).collect();
+        let s = random_block_sample(&data, 10, &mut rng());
+        assert_eq!(s.len(), 10);
+        for (j, &k) in s.iter().enumerate() {
+            assert!((k as usize) >= j * 10 && (k as usize) < (j + 1) * 10, "sample {k} outside block {j}");
+        }
+    }
+
+    #[test]
+    fn samplers_handle_empty_data() {
+        let data: Vec<u64> = vec![];
+        assert!(bernoulli_sample(&data, 0.5, &mut rng()).is_empty());
+        assert!(regular_sample(&data, 5).is_empty());
+        assert!(random_block_sample(&data, 5, &mut rng()).is_empty());
+        assert!(uniform_sample_discarding(&data, &[(0, 10)], 5, &mut rng()).is_empty());
+    }
+}

@@ -1,0 +1,152 @@
+//! Exact (ground-truth) helpers used by tests and experiment verifiers.
+//!
+//! These are *not* part of any scalable algorithm: they gather the whole
+//! input in one place to compute exact global ranks, exact splitters and the
+//! exact sorted order, which tests compare the distributed algorithms
+//! against.  (Cheng et al.'s exact splitting algorithm, which the paper
+//! cites as being of mostly theoretical interest, is deliberately not
+//! reproduced; an oracle is all the evaluation needs.)
+
+use hss_keygen::Keyed;
+
+/// The globally sorted multiset of all keys (by key order, stable within
+/// equal keys per concatenation order).
+pub fn global_sorted<T: Keyed>(per_rank: &[Vec<T>]) -> Vec<T> {
+    let mut all: Vec<T> = per_rank.iter().flatten().cloned().collect();
+    all.sort_by(|a, b| a.key().cmp(&b.key()));
+    all
+}
+
+/// Exact global rank (number of keys strictly smaller) of `key`.
+pub fn exact_rank<T: Keyed>(per_rank: &[Vec<T>], key: T::K) -> u64 {
+    per_rank
+        .iter()
+        .flatten()
+        .filter(|item| item.key() < key)
+        .count() as u64
+}
+
+/// The exact ideal splitters: the keys of rank `N·i/p` for `i = 1..p`.
+/// With these splitters every bucket holds between `floor(N/p)` and
+/// `ceil(N/p)` keys (up to duplicates).
+pub fn exact_splitters<T: Keyed>(per_rank: &[Vec<T>], buckets: usize) -> Vec<T::K> {
+    assert!(buckets >= 1);
+    let sorted = global_sorted(per_rank);
+    let n = sorted.len();
+    (1..buckets)
+        .map(|i| {
+            let idx = (n as u128 * i as u128 / buckets as u128) as usize;
+            sorted[idx.min(n.saturating_sub(1))].key()
+        })
+        .collect()
+}
+
+/// Verify that `result` (per-rank output data) is a correct parallel sort of
+/// `input` (per-rank input data): globally sorted across ranks, sorted
+/// within each rank and a permutation of the input keys.  Returns an error
+/// description on failure (so tests can give useful messages).
+pub fn verify_global_sort<T: Keyed>(input: &[Vec<T>], result: &[Vec<T>]) -> Result<(), String> {
+    // Permutation check on keys.
+    let mut in_keys: Vec<T::K> = input.iter().flatten().map(|x| x.key()).collect();
+    let mut out_keys: Vec<T::K> = result.iter().flatten().map(|x| x.key()).collect();
+    if in_keys.len() != out_keys.len() {
+        return Err(format!(
+            "key count changed: input {} vs output {}",
+            in_keys.len(),
+            out_keys.len()
+        ));
+    }
+    in_keys.sort_unstable();
+    out_keys.sort_unstable();
+    if in_keys != out_keys {
+        return Err("output keys are not a permutation of input keys".to_string());
+    }
+    // Sorted within each rank.
+    for (r, local) in result.iter().enumerate() {
+        if !crate::histogram::is_sorted_by_key(local) {
+            return Err(format!("rank {r} output is not locally sorted"));
+        }
+    }
+    // Sorted across ranks: last key of rank r <= first key of rank r+1.
+    let mut prev_last: Option<T::K> = None;
+    for (r, local) in result.iter().enumerate() {
+        if let (Some(prev), Some(first)) = (prev_last, local.first().map(|x| x.key())) {
+            if prev > first {
+                return Err(format!("rank {} starts below the end of rank {}", r, r - 1));
+            }
+        }
+        if let Some(last) = local.last().map(|x| x.key()) {
+            prev_last = Some(last);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_sorted_flattens_and_sorts() {
+        let per_rank: Vec<Vec<u64>> = vec![vec![5, 1], vec![4, 2], vec![3]];
+        assert_eq!(global_sorted(&per_rank), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn exact_rank_counts_strictly_smaller() {
+        let per_rank: Vec<Vec<u64>> = vec![vec![1, 2, 2], vec![3, 4]];
+        assert_eq!(exact_rank(&per_rank, 2), 1);
+        assert_eq!(exact_rank(&per_rank, 3), 3);
+        assert_eq!(exact_rank(&per_rank, 100), 5);
+        assert_eq!(exact_rank(&per_rank, 0), 0);
+    }
+
+    #[test]
+    fn exact_splitters_split_evenly() {
+        let per_rank: Vec<Vec<u64>> = vec![(0..50).collect(), (50..100).collect()];
+        let s = exact_splitters(&per_rank, 4);
+        assert_eq!(s, vec![25, 50, 75]);
+    }
+
+    #[test]
+    fn verify_accepts_correct_sort() {
+        let input: Vec<Vec<u64>> = vec![vec![3, 1], vec![2, 0]];
+        let output: Vec<Vec<u64>> = vec![vec![0, 1], vec![2, 3]];
+        assert!(verify_global_sort(&input, &output).is_ok());
+    }
+
+    #[test]
+    fn verify_rejects_unsorted_within_rank() {
+        let input: Vec<Vec<u64>> = vec![vec![1, 2], vec![3, 4]];
+        let output: Vec<Vec<u64>> = vec![vec![2, 1], vec![3, 4]];
+        assert!(verify_global_sort(&input, &output).unwrap_err().contains("locally sorted"));
+    }
+
+    #[test]
+    fn verify_rejects_cross_rank_inversion() {
+        let input: Vec<Vec<u64>> = vec![vec![1, 2], vec![3, 4]];
+        let output: Vec<Vec<u64>> = vec![vec![3, 4], vec![1, 2]];
+        assert!(verify_global_sort(&input, &output).is_err());
+    }
+
+    #[test]
+    fn verify_rejects_lost_keys() {
+        let input: Vec<Vec<u64>> = vec![vec![1, 2], vec![3, 4]];
+        let output: Vec<Vec<u64>> = vec![vec![1, 2], vec![3]];
+        assert!(verify_global_sort(&input, &output).unwrap_err().contains("key count"));
+    }
+
+    #[test]
+    fn verify_rejects_substituted_keys() {
+        let input: Vec<Vec<u64>> = vec![vec![1, 2], vec![3, 4]];
+        let output: Vec<Vec<u64>> = vec![vec![1, 2], vec![3, 5]];
+        assert!(verify_global_sort(&input, &output).is_err());
+    }
+
+    #[test]
+    fn verify_accepts_empty_ranks() {
+        let input: Vec<Vec<u64>> = vec![vec![], vec![1], vec![]];
+        let output: Vec<Vec<u64>> = vec![vec![], vec![], vec![1]];
+        assert!(verify_global_sort(&input, &output).is_ok());
+    }
+}

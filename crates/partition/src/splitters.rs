@@ -1,0 +1,163 @@
+//! Splitter sets: the `p - 1` keys that partition the key range into `p`
+//! buckets, one per destination processor.
+//!
+//! All splitter-based algorithms in this repository (HSS and every baseline)
+//! produce a [`SplitterSet`]; the data-movement step then only needs
+//! [`SplitterSet::bucket_of`] to route keys.  Following the paper (§2.1),
+//! bucket `i` owns the key range `[S_i, S_{i+1})` with `S_0 = MIN` and
+//! `S_p = MAX`, so a key equal to a splitter goes to the *right* bucket of
+//! that splitter.
+
+use hss_keygen::Key;
+use serde::{Deserialize, Serialize};
+
+/// A sorted sequence of `buckets - 1` splitter keys partitioning the key
+/// space into `buckets` contiguous ranges.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SplitterSet<K: Key> {
+    splitters: Vec<K>,
+}
+
+impl<K: Key> SplitterSet<K> {
+    /// Build a splitter set from already-sorted splitter keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the keys are not sorted in non-decreasing order.
+    pub fn new(splitters: Vec<K>) -> Self {
+        assert!(
+            splitters.windows(2).all(|w| w[0] <= w[1]),
+            "splitters must be sorted"
+        );
+        Self { splitters }
+    }
+
+    /// Build a splitter set for `buckets` buckets by picking evenly spaced
+    /// keys from a *sorted* sample (the classic sample-sort rule: the
+    /// `(i * |sample| / buckets)`-th sample key becomes splitter `i`).
+    pub fn from_sorted_sample(sample: &[K], buckets: usize) -> Self {
+        assert!(buckets >= 1, "need at least one bucket");
+        debug_assert!(sample.windows(2).all(|w| w[0] <= w[1]), "sample must be sorted");
+        if buckets == 1 || sample.is_empty() {
+            return Self { splitters: Vec::new() };
+        }
+        let m = sample.len();
+        let mut splitters = Vec::with_capacity(buckets - 1);
+        for i in 1..buckets {
+            let idx = (i * m / buckets).min(m - 1);
+            splitters.push(sample[idx]);
+        }
+        Self::new(splitters)
+    }
+
+    /// Number of buckets this splitter set defines (`len() + 1`).
+    pub fn buckets(&self) -> usize {
+        self.splitters.len() + 1
+    }
+
+    /// The splitter keys, sorted.
+    pub fn keys(&self) -> &[K] {
+        &self.splitters
+    }
+
+    /// The bucket (destination processor) a key belongs to: the number of
+    /// splitters `<= key`, so bucket `i` receives `[S_i, S_{i+1})`.
+    pub fn bucket_of(&self, key: K) -> usize {
+        self.splitters.partition_point(|s| *s <= key)
+    }
+
+    /// Boundaries of each bucket within a *sorted* slice of keyed items:
+    /// returns `buckets + 1` offsets `b` such that bucket `i` is
+    /// `sorted[b[i]..b[i+1]]`.
+    pub fn bucket_boundaries<T: hss_keygen::Keyed<K = K>>(&self, sorted: &[T]) -> Vec<usize> {
+        let mut bounds = Vec::with_capacity(self.buckets() + 1);
+        bounds.push(0);
+        for s in &self.splitters {
+            bounds.push(sorted.partition_point(|x| x.key() < *s));
+        }
+        bounds.push(sorted.len());
+        // Guard against unsorted splitters interacting with duplicate keys:
+        // boundaries must be monotone.
+        debug_assert!(bounds.windows(2).all(|w| w[0] <= w[1]));
+        bounds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_of_routes_keys_to_half_open_ranges() {
+        let s = SplitterSet::new(vec![10u64, 20, 30]);
+        assert_eq!(s.buckets(), 4);
+        assert_eq!(s.bucket_of(0), 0);
+        assert_eq!(s.bucket_of(9), 0);
+        assert_eq!(s.bucket_of(10), 1); // key equal to splitter goes right
+        assert_eq!(s.bucket_of(19), 1);
+        assert_eq!(s.bucket_of(20), 2);
+        assert_eq!(s.bucket_of(30), 3);
+        assert_eq!(s.bucket_of(u64::MAX), 3);
+    }
+
+    #[test]
+    fn single_bucket_has_no_splitters() {
+        let s: SplitterSet<u64> = SplitterSet::from_sorted_sample(&[1, 2, 3], 1);
+        assert_eq!(s.buckets(), 1);
+        assert_eq!(s.bucket_of(42), 0);
+    }
+
+    #[test]
+    fn from_sorted_sample_picks_evenly_spaced_keys() {
+        let sample: Vec<u64> = (0..100).collect();
+        let s = SplitterSet::from_sorted_sample(&sample, 4);
+        assert_eq!(s.keys(), &[25, 50, 75]);
+    }
+
+    #[test]
+    fn from_empty_sample_gives_empty_splitters() {
+        let s: SplitterSet<u64> = SplitterSet::from_sorted_sample(&[], 8);
+        assert_eq!(s.buckets(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_splitters_panic() {
+        let _ = SplitterSet::new(vec![5u64, 3]);
+    }
+
+    #[test]
+    fn duplicate_splitters_are_allowed() {
+        // With heavy duplicates, evenly spaced sample keys can repeat; the
+        // middle bucket is then empty, which is legal.
+        let s = SplitterSet::new(vec![10u64, 10]);
+        assert_eq!(s.bucket_of(9), 0);
+        assert_eq!(s.bucket_of(10), 2);
+    }
+
+    #[test]
+    fn bucket_boundaries_partition_sorted_data() {
+        let data: Vec<u64> = vec![1, 5, 10, 10, 15, 20, 25];
+        let s = SplitterSet::new(vec![10u64, 20]);
+        let b = s.bucket_boundaries(&data);
+        assert_eq!(b, vec![0, 2, 5, 7]);
+        // Bucket 0: keys < 10; bucket 1: [10, 20); bucket 2: >= 20.
+        assert_eq!(&data[b[0]..b[1]], &[1, 5]);
+        assert_eq!(&data[b[1]..b[2]], &[10, 10, 15]);
+        assert_eq!(&data[b[2]..b[3]], &[20, 25]);
+    }
+
+    #[test]
+    fn bucket_boundaries_consistent_with_bucket_of() {
+        let data: Vec<u64> = (0..1000).map(|i| i * 7 % 997).collect();
+        let mut sorted = data.clone();
+        sorted.sort_unstable();
+        let s = SplitterSet::new(vec![100, 300, 500, 900]);
+        let b = s.bucket_boundaries(&sorted);
+        for (i, w) in b.windows(2).enumerate() {
+            for &k in &sorted[w[0]..w[1]] {
+                assert_eq!(s.bucket_of(k), i, "key {k} routed inconsistently");
+            }
+        }
+    }
+}

@@ -1,0 +1,391 @@
+//! Collective communication operations on the simulated machine.
+//!
+//! Every collective the paper's algorithms use is implemented here as a
+//! method on [`Machine`]: gather-to-root, broadcast, element-wise histogram
+//! reduction, and the irregular all-to-all exchange (rank-level and
+//! node-combined, §6.1.1).  All of them move real data between the caller's
+//! per-rank buffers *and* charge the BSP cost model, so both correctness and
+//! scaling shape come out of the same code path.
+//!
+//! Message sizes are accounted in 8-byte words computed from
+//! `std::mem::size_of` of the element type.
+
+use crate::cost::CollectiveAlgo;
+use crate::machine::{words_of, Machine};
+use crate::metrics::{Phase, PhaseMetrics};
+
+impl Machine {
+    /// Gather per-rank contributions at a central root, preserving rank
+    /// order (rank 0's elements first).  This is the "collect the sample at
+    /// a central processor" step of sample sort and HSS.
+    ///
+    /// Charges `O(total_words)` bandwidth plus one latency per tree level,
+    /// and `p - 1` messages.
+    pub fn gather_to_root<U: Clone + Send>(
+        &mut self,
+        phase: Phase,
+        per_rank: Vec<Vec<U>>,
+    ) -> Vec<U> {
+        assert_eq!(per_rank.len(), self.ranks(), "one contribution per rank");
+        let p = self.ranks();
+        let total_elems: usize = per_rank.iter().map(|v| v.len()).sum();
+        let words = words_of::<U>(total_elems);
+        let cost = self.cost_model().gather(words, p);
+        let mut out = Vec::with_capacity(total_elems);
+        for v in per_rank {
+            out.extend(v);
+        }
+        let metrics = PhaseMetrics {
+            simulated_seconds: cost,
+            messages: (p - 1) as u64,
+            comm_words: words,
+            supersteps: 1,
+            ..Default::default()
+        };
+        self.record(phase, "gather_to_root", metrics);
+        out
+    }
+
+    /// Broadcast a message from the root to every rank.  Since all ranks
+    /// live in one address space the caller keeps using the same slice; this
+    /// method only charges the broadcast's communication cost
+    /// (`O(S + log p)` pipelined or `O(S log p)` binomial) and `p - 1`
+    /// messages.
+    pub fn broadcast<U>(&mut self, phase: Phase, message: &[U]) {
+        let p = self.ranks();
+        let words = words_of::<U>(message.len());
+        let cost = self.cost_model().broadcast(words, p);
+        let metrics = PhaseMetrics {
+            simulated_seconds: cost,
+            messages: (p.saturating_sub(1)) as u64,
+            comm_words: words * (p.saturating_sub(1)) as u64,
+            supersteps: 1,
+            ..Default::default()
+        };
+        self.record(phase, "broadcast", metrics);
+    }
+
+    /// Reduce per-rank vectors of counts into their element-wise sum at the
+    /// root — exactly the "sum up all local histograms" step.  All per-rank
+    /// vectors must have equal length.
+    ///
+    /// Charges the reduction's communication cost plus the combine compute
+    /// (`S log p` ops binomial, `S` ops pipelined — §5.1.2).
+    pub fn reduce_sum(&mut self, phase: Phase, per_rank: &[Vec<u64>]) -> Vec<u64> {
+        assert_eq!(per_rank.len(), self.ranks(), "one contribution per rank");
+        let p = self.ranks();
+        let len = per_rank.first().map(|v| v.len()).unwrap_or(0);
+        for (r, v) in per_rank.iter().enumerate() {
+            assert_eq!(v.len(), len, "rank {r} histogram length mismatch");
+        }
+        let mut sum = vec![0u64; len];
+        for v in per_rank {
+            for (acc, x) in sum.iter_mut().zip(v.iter()) {
+                *acc += *x;
+            }
+        }
+        let words = words_of::<u64>(len);
+        let comm = self.cost_model().reduce(words, p);
+        let combine_ops = match self.cost_model().collective {
+            CollectiveAlgo::Binomial => len as u64 * u64::from(crate::cost::CostModel::log2_ceil(p)),
+            CollectiveAlgo::Pipelined => len as u64,
+        };
+        let metrics = PhaseMetrics {
+            simulated_seconds: comm + self.cost_model().compute(combine_ops),
+            messages: (p.saturating_sub(1)) as u64,
+            comm_words: words * (p.saturating_sub(1)) as u64,
+            compute_ops: combine_ops,
+            supersteps: 1,
+            ..Default::default()
+        };
+        self.record(phase, "reduce_sum", metrics);
+        sum
+    }
+
+    /// Irregular all-to-all exchange ("MPI_Alltoallv"): `sends[src][dst]` is
+    /// the buffer rank `src` sends to rank `dst`; the result `recv` satisfies
+    /// `recv[dst][src] == sends[src][dst]`.
+    ///
+    /// The BSP charge is `alpha * max_peers + beta * max(send, recv)` where
+    /// the max is over ranks — the most loaded rank holds up the superstep.
+    /// Message count is the number of non-empty off-rank buffers, i.e. what
+    /// a rank-level implementation would inject into the network.
+    pub fn all_to_allv<U: Send>(
+        &mut self,
+        phase: Phase,
+        sends: Vec<Vec<Vec<U>>>,
+    ) -> Vec<Vec<Vec<U>>> {
+        let p = self.ranks();
+        assert_eq!(sends.len(), p, "one send matrix row per rank");
+        for (src, row) in sends.iter().enumerate() {
+            assert_eq!(row.len(), p, "rank {src} must provide one buffer per destination");
+        }
+
+        // Per-rank send/receive volumes in elements.
+        let mut send_elems = vec![0usize; p];
+        let mut recv_elems = vec![0usize; p];
+        let mut messages = 0u64;
+        let mut total_elems = 0usize;
+        for (src, row) in sends.iter().enumerate() {
+            for (dst, buf) in row.iter().enumerate() {
+                send_elems[src] += buf.len();
+                recv_elems[dst] += buf.len();
+                total_elems += buf.len();
+                if src != dst && !buf.is_empty() {
+                    messages += 1;
+                }
+            }
+        }
+        let max_elems = send_elems
+            .iter()
+            .zip(recv_elems.iter())
+            .map(|(s, r)| (*s).max(*r))
+            .max()
+            .unwrap_or(0);
+        let max_peers = (p - 1) as u64;
+        let cost = self
+            .cost_model()
+            .all_to_allv(words_of::<U>(max_elems), max_peers.min(messages.max(1)));
+
+        // Transpose the send matrix into the receive matrix.
+        let mut recv: Vec<Vec<Vec<U>>> = (0..p).map(|_| Vec::with_capacity(p)).collect();
+        // Build column by column: recv[dst][src] = sends[src][dst].
+        let mut sends = sends;
+        for src_row in sends.iter_mut().rev() {
+            // Pop from the back so each row is consumed exactly once without cloning.
+            for (dst, buf) in src_row.drain(..).enumerate() {
+                recv[dst].push(buf);
+            }
+        }
+        // Rows were pushed in reverse source order; restore rank order.
+        for row in recv.iter_mut() {
+            row.reverse();
+        }
+
+        let metrics = PhaseMetrics {
+            simulated_seconds: cost,
+            messages,
+            comm_words: words_of::<U>(total_elems),
+            supersteps: 1,
+            ..Default::default()
+        };
+        self.record(phase, "all_to_allv", metrics);
+        recv
+    }
+
+    /// Node-combined all-to-all (§6.1.1): all buffers travelling between the
+    /// same pair of physical nodes are combined into a single message, so the
+    /// network sees at most `n (n - 1)` messages instead of `p (p - 1)`.
+    /// Intra-node traffic stays in shared memory and is charged as compute
+    /// (one op per element copied) rather than network time.
+    ///
+    /// Data-wise the result is identical to [`Machine::all_to_allv`]; only
+    /// the accounting differs.
+    pub fn all_to_allv_node_combined<U: Send>(
+        &mut self,
+        phase: Phase,
+        sends: Vec<Vec<Vec<U>>>,
+    ) -> Vec<Vec<Vec<U>>> {
+        let p = self.ranks();
+        let topo = self.topology();
+        assert_eq!(sends.len(), p, "one send matrix row per rank");
+
+        let n = topo.nodes();
+        // Volume aggregated at node granularity.
+        let mut node_send = vec![0usize; n];
+        let mut node_recv = vec![0usize; n];
+        let mut intra_node_elems = 0usize;
+        let mut total_elems = 0usize;
+        // Count distinct non-empty node pairs.
+        let mut pair_nonempty = vec![false; n * n];
+        for (src, row) in sends.iter().enumerate() {
+            assert_eq!(row.len(), p, "rank {src} must provide one buffer per destination");
+            let src_node = topo.node_of(src);
+            for (dst, buf) in row.iter().enumerate() {
+                if buf.is_empty() {
+                    continue;
+                }
+                let dst_node = topo.node_of(dst);
+                total_elems += buf.len();
+                if src_node == dst_node {
+                    intra_node_elems += buf.len();
+                } else {
+                    node_send[src_node] += buf.len();
+                    node_recv[dst_node] += buf.len();
+                    pair_nonempty[src_node * n + dst_node] = true;
+                }
+            }
+        }
+        let messages = pair_nonempty.iter().filter(|&&x| x).count() as u64;
+        let max_node_elems = node_send
+            .iter()
+            .zip(node_recv.iter())
+            .map(|(s, r)| (*s).max(*r))
+            .max()
+            .unwrap_or(0);
+        // A node injects through `cores_per_node` cores, so its effective
+        // per-word cost is the per-core cost divided by the injecting cores.
+        let cores = topo.cores_per_node().max(1) as u64;
+        let node_words = words_of::<U>(max_node_elems).div_ceil(cores);
+        let max_peer_nodes = (n.saturating_sub(1)) as u64;
+        let comm_cost = self
+            .cost_model()
+            .all_to_allv(node_words, max_peer_nodes.min(messages.max(1)));
+        let copy_ops = intra_node_elems as u64 / topo.cores_per_node().max(1) as u64;
+        let cost = comm_cost + self.cost_model().compute(copy_ops);
+
+        // Actual data movement is identical to the rank-level exchange.
+        let mut recv: Vec<Vec<Vec<U>>> = (0..p).map(|_| Vec::with_capacity(p)).collect();
+        let mut sends = sends;
+        for src_row in sends.iter_mut().rev() {
+            for (dst, buf) in src_row.drain(..).enumerate() {
+                recv[dst].push(buf);
+            }
+        }
+        for row in recv.iter_mut() {
+            row.reverse();
+        }
+
+        let metrics = PhaseMetrics {
+            simulated_seconds: cost,
+            messages,
+            comm_words: words_of::<U>(total_elems - intra_node_elems),
+            compute_ops: copy_ops,
+            supersteps: 1,
+            ..Default::default()
+        };
+        self.record(phase, "all_to_allv_node_combined", metrics);
+        recv
+    }
+
+    /// Gather contributions from every rank of each node at the node leader
+    /// through shared memory (no network traffic; charged as compute, one op
+    /// per element).  Returns one combined vector per node, in node order.
+    pub fn node_shared_memory_combine<U: Clone + Send>(
+        &mut self,
+        phase: Phase,
+        per_rank: Vec<Vec<U>>,
+    ) -> Vec<Vec<U>> {
+        assert_eq!(per_rank.len(), self.ranks(), "one contribution per rank");
+        let topo = self.topology();
+        let n = topo.nodes();
+        let mut per_node: Vec<Vec<U>> = (0..n).map(|_| Vec::new()).collect();
+        let mut total = 0usize;
+        for (rank, v) in per_rank.into_iter().enumerate() {
+            total += v.len();
+            per_node[topo.node_of(rank)].extend(v);
+        }
+        let ops = total as u64 / topo.cores_per_node().max(1) as u64;
+        let metrics = PhaseMetrics {
+            simulated_seconds: self.cost_model().compute(ops),
+            compute_ops: ops,
+            supersteps: 1,
+            ..Default::default()
+        };
+        self.record(phase, "node_shared_memory_combine", metrics);
+        per_node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::machine::Machine;
+    use crate::topology::Topology;
+
+    #[test]
+    fn gather_preserves_rank_order() {
+        let mut m = Machine::flat(4);
+        let per_rank = vec![vec![0u64, 1], vec![10], vec![], vec![20, 21, 22]];
+        let gathered = m.gather_to_root(Phase::Histogramming, per_rank);
+        assert_eq!(gathered, vec![0, 1, 10, 20, 21, 22]);
+        let ph = m.metrics().phase(Phase::Histogramming);
+        assert_eq!(ph.messages, 3);
+        assert_eq!(ph.comm_words, 6);
+    }
+
+    #[test]
+    fn reduce_sum_is_elementwise() {
+        let mut m = Machine::flat(3);
+        let per_rank = vec![vec![1u64, 2, 3], vec![10, 20, 30], vec![100, 200, 300]];
+        let sum = m.reduce_sum(Phase::Histogramming, &per_rank);
+        assert_eq!(sum, vec![111, 222, 333]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn reduce_sum_rejects_ragged_input() {
+        let mut m = Machine::flat(2);
+        let per_rank = vec![vec![1u64, 2], vec![1u64]];
+        let _ = m.reduce_sum(Phase::Histogramming, &per_rank);
+    }
+
+    #[test]
+    fn all_to_allv_transposes() {
+        let mut m = Machine::flat(3);
+        // sends[src][dst] = vec![src*10 + dst]
+        let sends: Vec<Vec<Vec<u32>>> = (0..3)
+            .map(|src| (0..3).map(|dst| vec![(src * 10 + dst) as u32]).collect())
+            .collect();
+        let recv = m.all_to_allv(Phase::DataExchange, sends);
+        for dst in 0..3 {
+            for src in 0..3 {
+                assert_eq!(recv[dst][src], vec![(src * 10 + dst) as u32]);
+            }
+        }
+        // 3 ranks, all off-diagonal buffers non-empty: 6 messages.
+        assert_eq!(m.metrics().phase(Phase::DataExchange).messages, 6);
+    }
+
+    #[test]
+    fn all_to_allv_empty_buffers_send_no_messages() {
+        let mut m = Machine::flat(4);
+        let mut sends: Vec<Vec<Vec<u8>>> = vec![vec![Vec::new(); 4]; 4];
+        sends[1][2] = vec![7, 8];
+        let recv = m.all_to_allv(Phase::DataExchange, sends);
+        assert_eq!(recv[2][1], vec![7, 8]);
+        assert_eq!(m.metrics().phase(Phase::DataExchange).messages, 1);
+    }
+
+    #[test]
+    fn node_combined_exchange_moves_same_data_with_fewer_messages() {
+        let topo = Topology::new(8, 4); // 2 nodes of 4 cores
+        let sends: Vec<Vec<Vec<u64>>> = (0..8)
+            .map(|src| (0..8).map(|dst| vec![(src * 100 + dst) as u64]).collect())
+            .collect();
+
+        let mut rank_level = Machine::new(topo, CostModel::bluegene_like());
+        let recv_a = rank_level.all_to_allv(Phase::DataExchange, sends.clone());
+
+        let mut node_level = Machine::new(topo, CostModel::bluegene_like());
+        let recv_b = node_level.all_to_allv_node_combined(Phase::DataExchange, sends);
+
+        assert_eq!(recv_a, recv_b);
+        let msgs_rank = rank_level.metrics().phase(Phase::DataExchange).messages;
+        let msgs_node = node_level.metrics().phase(Phase::DataExchange).messages;
+        assert_eq!(msgs_rank, 8 * 7);
+        assert_eq!(msgs_node, 2 * 1);
+        assert!(msgs_node < msgs_rank);
+    }
+
+    #[test]
+    fn node_shared_memory_combine_groups_by_node() {
+        let mut m = Machine::new(Topology::new(4, 2), CostModel::free());
+        let per_rank = vec![vec![1u8], vec![2], vec![3], vec![4]];
+        let per_node = m.node_shared_memory_combine(Phase::DataExchange, per_rank);
+        assert_eq!(per_node, vec![vec![1, 2], vec![3, 4]]);
+        // Shared-memory combine injects no network messages.
+        assert_eq!(m.metrics().phase(Phase::DataExchange).messages, 0);
+    }
+
+    #[test]
+    fn broadcast_charges_cost_but_moves_no_data() {
+        let mut m = Machine::flat(16);
+        let msg = vec![0u64; 1000];
+        m.broadcast(Phase::SplitterBroadcast, &msg);
+        let ph = m.metrics().phase(Phase::SplitterBroadcast);
+        assert_eq!(ph.messages, 15);
+        assert!(ph.simulated_seconds > 0.0);
+    }
+}

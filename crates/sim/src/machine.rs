@@ -1,0 +1,447 @@
+//! The simulated machine: topology + cost model + accounting context.
+//!
+//! A [`Machine`] is the object every algorithm in this repository runs
+//! against.  It does not own the application data — algorithms keep their
+//! per-rank data as `Vec<Vec<T>>` (index = rank id) — it owns the
+//! *accounting*: which rank's work bounds each BSP superstep, how much
+//! simulated time the cost model charges, how many messages and words the
+//! collectives move, and the wall-clock time actually spent.
+//!
+//! Local phases execute for real, in parallel across ranks using rayon
+//! (each simulated rank's closure runs on some worker thread), so all data
+//! movement and all results are exact; only *time* is additionally modelled.
+
+use std::time::Instant;
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::cost::CostModel;
+use crate::metrics::{MetricsRegistry, Phase, PhaseMetrics};
+use crate::topology::{RankId, Topology};
+use crate::trace::{Trace, TraceEvent};
+
+/// How local phases are executed on the host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Parallelism {
+    /// Run per-rank closures in parallel on the rayon thread pool.
+    Rayon,
+    /// Run per-rank closures sequentially on the calling thread.  Useful for
+    /// debugging and for deterministic wall-time measurements.
+    Sequential,
+}
+
+/// Work report returned by a per-rank closure: how many units of local
+/// computation (comparisons, key moves) the closure performed.  The cost
+/// model converts this into simulated time; the BSP rule charges the
+/// maximum over ranks for the superstep.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Work {
+    /// Units of computation performed by this rank in this superstep.
+    pub ops: u64,
+}
+
+impl Work {
+    /// No work.
+    pub fn none() -> Self {
+        Self { ops: 0 }
+    }
+
+    /// `ops` units of computation.
+    pub fn ops(ops: u64) -> Self {
+        Self { ops }
+    }
+
+    /// Work of comparison-sorting `n` keys.
+    pub fn sort(n: usize) -> Self {
+        Self { ops: CostModel::sort_ops(n as u64) }
+    }
+
+    /// Work of merging `n` keys from `pieces` sorted runs.
+    pub fn merge(n: usize, pieces: usize) -> Self {
+        Self { ops: CostModel::merge_ops(n as u64, pieces as u64) }
+    }
+
+    /// Work of `queries` binary searches over `n` sorted keys.
+    pub fn binary_search(queries: usize, n: usize) -> Self {
+        Self { ops: CostModel::binary_search_ops(queries as u64, n as u64) }
+    }
+
+    /// Work of a linear pass over `n` keys.
+    pub fn scan(n: usize) -> Self {
+        Self { ops: n as u64 }
+    }
+
+    /// Combine two work reports (sequential composition on one rank).
+    pub fn and(self, other: Work) -> Self {
+        Self { ops: self.ops + other.ops }
+    }
+}
+
+/// The simulated machine an algorithm executes on.
+///
+/// Create one with [`Machine::new`], run phases and collectives against it,
+/// then read the per-phase breakdown from [`Machine::metrics`].
+#[derive(Debug)]
+pub struct Machine {
+    topology: Topology,
+    cost: CostModel,
+    parallelism: Parallelism,
+    metrics: MetricsRegistry,
+    trace: Trace,
+    superstep: u64,
+}
+
+impl Machine {
+    /// A machine with the given topology and cost model, executing local
+    /// phases in parallel with rayon and with tracing disabled.
+    pub fn new(topology: Topology, cost: CostModel) -> Self {
+        Self {
+            topology,
+            cost,
+            parallelism: Parallelism::Rayon,
+            metrics: MetricsRegistry::new(),
+            trace: Trace::disabled(),
+            superstep: 0,
+        }
+    }
+
+    /// A flat machine (`p` single-core nodes) with the default cost model —
+    /// the most common configuration in tests and examples.
+    pub fn flat(ranks: usize) -> Self {
+        Self::new(Topology::flat(ranks), CostModel::default())
+    }
+
+    /// Switch between rayon-parallel and sequential execution of local
+    /// phases.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// Enable superstep tracing (records one event per phase/collective).
+    pub fn with_tracing(mut self) -> Self {
+        self.trace = Trace::enabled();
+        self
+    }
+
+    /// The machine's topology.
+    pub fn topology(&self) -> Topology {
+        self.topology
+    }
+
+    /// Number of ranks `p`.
+    pub fn ranks(&self) -> usize {
+        self.topology.ranks()
+    }
+
+    /// The cost model in force.
+    pub fn cost_model(&self) -> CostModel {
+        self.cost
+    }
+
+    /// Accumulated per-phase metrics.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Mutable access to the metrics, for algorithms that need to charge
+    /// custom costs (e.g. analytical projections).
+    pub fn metrics_mut(&mut self) -> &mut MetricsRegistry {
+        &mut self.metrics
+    }
+
+    /// The superstep trace (empty unless tracing was enabled).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Reset metrics, trace and superstep counter, keeping topology and cost
+    /// model.  Useful for running several algorithms on one machine.
+    pub fn reset_accounting(&mut self) {
+        self.metrics = MetricsRegistry::new();
+        let enabled = self.trace.is_enabled();
+        self.trace = if enabled { Trace::enabled() } else { Trace::disabled() };
+        self.superstep = 0;
+    }
+
+    /// Index of the BSP superstep about to execute.
+    pub fn current_superstep(&self) -> u64 {
+        self.superstep
+    }
+
+    fn next_superstep(&mut self) -> u64 {
+        let s = self.superstep;
+        self.superstep += 1;
+        s
+    }
+
+    pub(crate) fn record(&mut self, phase: Phase, label: &'static str, metrics: PhaseMetrics) {
+        let step = self.next_superstep();
+        self.trace.push(TraceEvent {
+            superstep: step,
+            phase,
+            label,
+            simulated_seconds: metrics.simulated_seconds,
+            comm_words: metrics.comm_words,
+            messages: metrics.messages,
+        });
+        self.metrics.charge(phase, metrics);
+    }
+
+    /// Run one BSP superstep of purely local work: `f(rank, &mut data[rank])`
+    /// for every rank, in parallel, mutating the per-rank data in place.
+    ///
+    /// The closure returns the [`Work`] it performed; the superstep is
+    /// charged `max` over ranks of that work (the BSP rule: the slowest rank
+    /// holds up the barrier).
+    pub fn local_phase<T, F>(&mut self, phase: Phase, data: &mut [Vec<T>], f: F)
+    where
+        T: Send,
+        F: Fn(RankId, &mut Vec<T>) -> Work + Sync,
+    {
+        assert_eq!(
+            data.len(),
+            self.ranks(),
+            "per-rank data must have one entry per rank"
+        );
+        let start = Instant::now();
+        let works: Vec<Work> = match self.parallelism {
+            Parallelism::Rayon => data
+                .par_iter_mut()
+                .enumerate()
+                .map(|(rank, local)| f(rank, local))
+                .collect(),
+            Parallelism::Sequential => data
+                .iter_mut()
+                .enumerate()
+                .map(|(rank, local)| f(rank, local))
+                .collect(),
+        };
+        let wall = start.elapsed().as_secs_f64();
+        let max_ops = works.iter().map(|w| w.ops).max().unwrap_or(0);
+        let total_ops = works.iter().map(|w| w.ops).sum();
+        let metrics = PhaseMetrics {
+            simulated_seconds: self.cost.compute(max_ops),
+            wall_seconds: wall,
+            compute_ops: total_ops,
+            supersteps: 1,
+            ..Default::default()
+        };
+        self.record(phase, "local_phase", metrics);
+    }
+
+    /// Run one BSP superstep of local work that *produces* a per-rank value
+    /// without mutating the input: `f(rank, &data[rank]) -> (R, Work)`.
+    /// Returns the per-rank results in rank order.
+    pub fn map_phase<T, R, F>(&mut self, phase: Phase, data: &[Vec<T>], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(RankId, &[T]) -> (R, Work) + Sync,
+    {
+        assert_eq!(
+            data.len(),
+            self.ranks(),
+            "per-rank data must have one entry per rank"
+        );
+        let start = Instant::now();
+        let results: Vec<(R, Work)> = match self.parallelism {
+            Parallelism::Rayon => data
+                .par_iter()
+                .enumerate()
+                .map(|(rank, local)| f(rank, local.as_slice()))
+                .collect(),
+            Parallelism::Sequential => data
+                .iter()
+                .enumerate()
+                .map(|(rank, local)| f(rank, local.as_slice()))
+                .collect(),
+        };
+        let wall = start.elapsed().as_secs_f64();
+        let max_ops = results.iter().map(|(_, w)| w.ops).max().unwrap_or(0);
+        let total_ops = results.iter().map(|(_, w)| w.ops).sum();
+        let metrics = PhaseMetrics {
+            simulated_seconds: self.cost.compute(max_ops),
+            wall_seconds: wall,
+            compute_ops: total_ops,
+            supersteps: 1,
+            ..Default::default()
+        };
+        self.record(phase, "map_phase", metrics);
+        results.into_iter().map(|(r, _)| r).collect()
+    }
+
+    /// Run a per-rank transformation that consumes the old per-rank data and
+    /// produces new per-rank data (e.g. replacing raw keys by tagged keys).
+    pub fn transform_phase<T, U, F>(&mut self, phase: Phase, data: Vec<Vec<T>>, f: F) -> Vec<Vec<U>>
+    where
+        T: Send,
+        U: Send,
+        F: Fn(RankId, Vec<T>) -> (Vec<U>, Work) + Sync,
+    {
+        assert_eq!(
+            data.len(),
+            self.ranks(),
+            "per-rank data must have one entry per rank"
+        );
+        let start = Instant::now();
+        let results: Vec<(Vec<U>, Work)> = match self.parallelism {
+            Parallelism::Rayon => data
+                .into_par_iter()
+                .enumerate()
+                .map(|(rank, local)| f(rank, local))
+                .collect(),
+            Parallelism::Sequential => data
+                .into_iter()
+                .enumerate()
+                .map(|(rank, local)| f(rank, local))
+                .collect(),
+        };
+        let wall = start.elapsed().as_secs_f64();
+        let max_ops = results.iter().map(|(_, w)| w.ops).max().unwrap_or(0);
+        let total_ops = results.iter().map(|(_, w)| w.ops).sum();
+        let metrics = PhaseMetrics {
+            simulated_seconds: self.cost.compute(max_ops),
+            wall_seconds: wall,
+            compute_ops: total_ops,
+            supersteps: 1,
+            ..Default::default()
+        };
+        self.record(phase, "transform_phase", metrics);
+        results.into_iter().map(|(r, _)| r).collect()
+    }
+
+    /// Charge a purely analytical amount of local compute (no real execution)
+    /// — used when projecting costs at scales that are not executed, e.g.
+    /// the modelled series of Figure 6.1.
+    pub fn charge_modelled_compute(&mut self, phase: Phase, max_ops_per_rank: u64) {
+        let metrics = PhaseMetrics {
+            simulated_seconds: self.cost.compute(max_ops_per_rank),
+            compute_ops: max_ops_per_rank,
+            supersteps: 1,
+            ..Default::default()
+        };
+        self.record(phase, "modelled_compute", metrics);
+    }
+}
+
+/// Number of cost-model words occupied by `len` values of type `T`.
+/// A word is 8 bytes; partial words round up.
+pub fn words_of<T>(len: usize) -> u64 {
+    ((len * std::mem::size_of::<T>()) as u64).div_ceil(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_phase_mutates_every_rank_and_charges_max() {
+        let mut m = Machine::new(Topology::flat(4), CostModel::bluegene_like());
+        let mut data: Vec<Vec<u64>> = (0..4).map(|r| vec![r as u64; (r + 1) * 10]).collect();
+        m.local_phase(Phase::LocalSort, &mut data, |rank, local| {
+            local.push(rank as u64 + 100);
+            Work::ops((rank as u64 + 1) * 10)
+        });
+        for (r, local) in data.iter().enumerate() {
+            assert_eq!(*local.last().unwrap(), r as u64 + 100);
+        }
+        let ls = m.metrics().phase(Phase::LocalSort);
+        // Max work is rank 3's 40 ops; total is 10+20+30+40 = 100.
+        assert!((ls.simulated_seconds - m.cost_model().compute(40)).abs() < 1e-18);
+        assert_eq!(ls.compute_ops, 100);
+        assert_eq!(ls.supersteps, 1);
+    }
+
+    #[test]
+    fn map_phase_returns_results_in_rank_order() {
+        let mut m = Machine::flat(8);
+        let data: Vec<Vec<u32>> = (0..8).map(|r| vec![r as u32; 5]).collect();
+        let sums = m.map_phase(Phase::Other, &data, |rank, local| {
+            (local.iter().map(|&x| x as u64).sum::<u64>() + rank as u64, Work::scan(local.len()))
+        });
+        for (r, s) in sums.iter().enumerate() {
+            assert_eq!(*s, (r as u64) * 5 + r as u64);
+        }
+    }
+
+    #[test]
+    fn transform_phase_changes_element_type() {
+        let mut m = Machine::flat(3).with_parallelism(Parallelism::Sequential);
+        let data: Vec<Vec<u16>> = vec![vec![1, 2], vec![3], vec![]];
+        let out: Vec<Vec<String>> = m.transform_phase(Phase::Other, data, |rank, local| {
+            let n = local.len();
+            (local.into_iter().map(|x| format!("{rank}:{x}")).collect(), Work::scan(n))
+        });
+        assert_eq!(out[0], vec!["0:1".to_string(), "0:2".to_string()]);
+        assert_eq!(out[1], vec!["1:3".to_string()]);
+        assert!(out[2].is_empty());
+    }
+
+    #[test]
+    fn sequential_and_rayon_give_identical_results() {
+        let data: Vec<Vec<u64>> = (0..16).map(|r| (0..100).map(|i| (r * 31 + i) as u64).collect()).collect();
+        let mut seq = Machine::flat(16).with_parallelism(Parallelism::Sequential);
+        let mut par = Machine::flat(16).with_parallelism(Parallelism::Rayon);
+        let a = seq.map_phase(Phase::Other, &data, |_, local| {
+            (local.iter().sum::<u64>(), Work::scan(local.len()))
+        });
+        let b = par.map_phase(Phase::Other, &data, |_, local| {
+            (local.iter().sum::<u64>(), Work::scan(local.len()))
+        });
+        assert_eq!(a, b);
+        // Simulated time is deterministic and identical in both modes.
+        assert_eq!(
+            seq.metrics().phase(Phase::Other).simulated_seconds,
+            par.metrics().phase(Phase::Other).simulated_seconds
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one entry per rank")]
+    fn wrong_rank_count_panics() {
+        let mut m = Machine::flat(4);
+        let mut data: Vec<Vec<u64>> = vec![vec![]; 3];
+        m.local_phase(Phase::Other, &mut data, |_, _| Work::none());
+    }
+
+    #[test]
+    fn words_of_rounds_up() {
+        assert_eq!(words_of::<u64>(10), 10);
+        assert_eq!(words_of::<u32>(10), 5);
+        assert_eq!(words_of::<u32>(9), 5);
+        assert_eq!(words_of::<u8>(1), 1);
+        assert_eq!(words_of::<u8>(0), 0);
+        assert_eq!(words_of::<[u64; 2]>(3), 6);
+    }
+
+    #[test]
+    fn superstep_counter_advances() {
+        let mut m = Machine::flat(2);
+        assert_eq!(m.current_superstep(), 0);
+        let mut data = vec![vec![0u8], vec![1u8]];
+        m.local_phase(Phase::Other, &mut data, |_, _| Work::none());
+        assert_eq!(m.current_superstep(), 1);
+        m.local_phase(Phase::Other, &mut data, |_, _| Work::none());
+        assert_eq!(m.current_superstep(), 2);
+    }
+
+    #[test]
+    fn reset_accounting_clears_metrics() {
+        let mut m = Machine::flat(2);
+        let mut data = vec![vec![0u8], vec![1u8]];
+        m.local_phase(Phase::Other, &mut data, |_, _| Work::ops(10));
+        assert!(m.metrics().total_simulated_seconds() > 0.0);
+        m.reset_accounting();
+        assert_eq!(m.metrics().total_simulated_seconds(), 0.0);
+        assert_eq!(m.current_superstep(), 0);
+    }
+
+    #[test]
+    fn modelled_compute_charges_without_execution() {
+        let mut m = Machine::flat(2);
+        m.charge_modelled_compute(Phase::LocalSort, 1_000_000);
+        assert!(m.metrics().phase(Phase::LocalSort).simulated_seconds > 0.0);
+    }
+}

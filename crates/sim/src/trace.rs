@@ -1,0 +1,119 @@
+//! Optional superstep-level trace of a simulated execution.
+//!
+//! When enabled on a [`Machine`](crate::machine::Machine), every superstep
+//! (local phase or collective) appends one [`TraceEvent`].  The trace is the
+//! raw material for Figure 3.1-style visualisations (how splitter intervals
+//! shrink round over round is recorded by the algorithm itself; the trace
+//! records the time/volume of each round) and for debugging cost anomalies.
+
+use crate::metrics::Phase;
+
+/// One superstep's worth of trace information.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// Index of the superstep (0-based, in execution order).
+    pub superstep: u64,
+    /// Phase the superstep was attributed to.
+    pub phase: Phase,
+    /// Static label identifying the operation ("gather", "all_to_allv", ...).
+    pub label: &'static str,
+    /// Simulated seconds charged for this superstep.
+    pub simulated_seconds: f64,
+    /// Words moved across the network in this superstep.
+    pub comm_words: u64,
+    /// Messages injected in this superstep.
+    pub messages: u64,
+}
+
+/// A (possibly disabled) sequence of [`TraceEvent`]s.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    enabled: bool,
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// A trace that records events.
+    pub fn enabled() -> Self {
+        Self { enabled: true, events: Vec::new() }
+    }
+
+    /// A trace that silently drops events (the default; avoids unbounded
+    /// memory growth in long benchmark runs).
+    pub fn disabled() -> Self {
+        Self { enabled: false, events: Vec::new() }
+    }
+
+    /// Whether events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Append an event (no-op when disabled).
+    pub fn push(&mut self, event: TraceEvent) {
+        if self.enabled {
+            self.events.push(event);
+        }
+    }
+
+    /// The recorded events, in execution order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events belonging to one phase.
+    pub fn phase_events(&self, phase: Phase) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.phase == phase)
+    }
+
+    /// Total simulated time across recorded events.
+    pub fn total_simulated_seconds(&self) -> f64 {
+        self.events.iter().map(|e| e.simulated_seconds).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(step: u64, phase: Phase, t: f64) -> TraceEvent {
+        TraceEvent {
+            superstep: step,
+            phase,
+            label: "test",
+            simulated_seconds: t,
+            comm_words: 0,
+            messages: 0,
+        }
+    }
+
+    #[test]
+    fn disabled_trace_drops_events() {
+        let mut t = Trace::disabled();
+        t.push(event(0, Phase::Other, 1.0));
+        assert!(t.is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn enabled_trace_records_in_order() {
+        let mut t = Trace::enabled();
+        t.push(event(0, Phase::Sampling, 1.0));
+        t.push(event(1, Phase::Histogramming, 2.0));
+        t.push(event(2, Phase::Sampling, 3.0));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.events()[1].phase, Phase::Histogramming);
+        assert_eq!(t.phase_events(Phase::Sampling).count(), 2);
+        assert_eq!(t.total_simulated_seconds(), 6.0);
+    }
+}

@@ -1,0 +1,62 @@
+//! A TeraSort-style bulk sort on adversarial inputs: heavy skew and heavy
+//! duplication.  Shows why splitter quality matters — the same data is
+//! sorted with HSS (with duplicate tagging), sample sort with regular
+//! sampling, and radix partitioning, and the resulting load balance is
+//! compared.
+//!
+//! ```text
+//! cargo run --release --example skewed_terasort
+//! ```
+
+use hss_baselines::{radix_partition_sort, sample_sort, RadixConfig, SampleSortConfig};
+use hss_repro::prelude::*;
+
+const RANKS: usize = 32;
+const KEYS_PER_RANK: usize = 50_000;
+const EPSILON: f64 = 0.05;
+
+fn main() {
+    let workloads = vec![
+        ("exponential skew", KeyDistribution::Exponential { scale_frac: 1e-4 }),
+        ("power-law skew", KeyDistribution::PowerLaw { gamma: 6.0 }),
+        ("64 distinct values", KeyDistribution::FewDistinct { distinct: 64 }),
+    ];
+
+    println!(
+        "{:<22} {:<26} {:>12} {:>14} {:>12}",
+        "workload", "algorithm", "imbalance", "sim seconds", "sample keys"
+    );
+    for (name, dist) in workloads {
+        let input = dist.generate_per_rank(RANKS, KEYS_PER_RANK, 99);
+
+        // HSS with duplicate tagging.
+        let mut m = Machine::flat(RANKS);
+        let hss = HssSorter::new(
+            HssConfig { epsilon: EPSILON, ..HssConfig::default() }.with_duplicate_tagging(),
+        )
+        .sort(&mut m, input.clone());
+        print_row(name, "HSS (tagged)", hss.report.imbalance(), hss.report.simulated_seconds(),
+            hss.report.splitters.as_ref().map(|s| s.total_sample_size).unwrap_or(0));
+
+        // Sample sort with regular sampling.
+        let mut m = Machine::flat(RANKS);
+        let (_, ss) = sample_sort(&mut m, &SampleSortConfig::regular(EPSILON), input.clone());
+        print_row(name, "sample sort (regular)", ss.imbalance(), ss.simulated_seconds(),
+            ss.splitters.as_ref().map(|s| s.total_sample_size).unwrap_or(0));
+
+        // Radix partitioning (no comparison-based splitters).
+        let mut m = Machine::flat(RANKS);
+        let (_, rx) = radix_partition_sort(&mut m, &RadixConfig::recommended(RANKS), input);
+        print_row(name, "radix partition", rx.imbalance(), rx.simulated_seconds(), 0);
+    }
+
+    println!(
+        "\nHSS achieves the requested (1 + {EPSILON}) balance with a tiny sample even under skew \
+         and duplicates; radix partitioning collapses under skew, and regular sampling needs a \
+         sample that grows as p^2/eps."
+    );
+}
+
+fn print_row(workload: &str, algo: &str, imbalance: f64, seconds: f64, sample: usize) {
+    println!("{workload:<22} {algo:<26} {imbalance:>12.3} {seconds:>14.6} {sample:>12}");
+}

@@ -1,0 +1,241 @@
+//! `hss-demo` — a small command-line front end for the reproduction.
+//!
+//! Generates a synthetic workload, sorts it on the simulated cluster with a
+//! chosen algorithm and prints the execution report.  No external argument
+//! parser is used; the flag grammar is deliberately tiny.
+//!
+//! ```text
+//! cargo run --release --bin hss-demo -- --ranks 64 --keys 100000 --dist powerlaw \
+//!     --algorithm hss --epsilon 0.05 --cores-per-node 16 --node-level
+//! cargo run --release --bin hss-demo -- --help
+//! ```
+
+use std::process::exit;
+
+use hss_repro::baselines::{
+    bitonic_sort, histogram_sort, over_partitioning_sort, radix_partition_sort, sample_sort,
+    HistogramSortConfig, OverPartitioningConfig, RadixConfig, SampleSortConfig,
+};
+use hss_repro::core::SortReport;
+use hss_repro::partition::verify_global_sort;
+use hss_repro::prelude::*;
+
+const HELP: &str = "\
+hss-demo — sort a synthetic workload on the simulated cluster
+
+USAGE:
+    hss-demo [OPTIONS]
+
+OPTIONS:
+    --ranks <N>            number of simulated processor cores   [default: 64]
+    --cores-per-node <N>   cores per shared-memory node          [default: 16]
+    --keys <N>             keys per core                         [default: 50000]
+    --dist <NAME>          uniform | normal | exponential | powerlaw | staggered |
+                           sorted | reverse | allequal | fewdistinct | lambb | dwarf
+                                                                  [default: uniform]
+    --algorithm <NAME>     hss | hss-one-round | hss-scanning | sample-regular |
+                           sample-random | histogram | overpartition | bitonic | radix
+                                                                  [default: hss]
+    --epsilon <F>          load-imbalance threshold               [default: 0.05]
+    --node-level           enable node-level partitioning (hss only)
+    --tag-duplicates       enable duplicate tagging (hss only)
+    --approx-histograms    answer histograms from representative samples (hss only)
+    --seed <N>             RNG seed                               [default: 2019]
+    --verify               verify the output is a correct global sort
+    --help                 print this help
+";
+
+#[derive(Debug, Clone)]
+struct Args {
+    ranks: usize,
+    cores_per_node: usize,
+    keys: usize,
+    dist: String,
+    algorithm: String,
+    epsilon: f64,
+    node_level: bool,
+    tag_duplicates: bool,
+    approx_histograms: bool,
+    seed: u64,
+    verify: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self {
+            ranks: 64,
+            cores_per_node: 16,
+            keys: 50_000,
+            dist: "uniform".to_string(),
+            algorithm: "hss".to_string(),
+            epsilon: 0.05,
+            node_level: false,
+            tag_duplicates: false,
+            approx_histograms: false,
+            seed: 2019,
+            verify: false,
+        }
+    }
+}
+
+fn parse_args() -> Args {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--ranks" => args.ranks = value("--ranks").parse().expect("--ranks must be an integer"),
+            "--cores-per-node" => {
+                args.cores_per_node =
+                    value("--cores-per-node").parse().expect("--cores-per-node must be an integer")
+            }
+            "--keys" => args.keys = value("--keys").parse().expect("--keys must be an integer"),
+            "--dist" => args.dist = value("--dist"),
+            "--algorithm" => args.algorithm = value("--algorithm"),
+            "--epsilon" => {
+                args.epsilon = value("--epsilon").parse().expect("--epsilon must be a float")
+            }
+            "--seed" => args.seed = value("--seed").parse().expect("--seed must be an integer"),
+            "--node-level" => args.node_level = true,
+            "--tag-duplicates" => args.tag_duplicates = true,
+            "--approx-histograms" => args.approx_histograms = true,
+            "--verify" => args.verify = true,
+            "--help" | "-h" => {
+                print!("{HELP}");
+                exit(0);
+            }
+            other => {
+                eprintln!("unknown flag {other}\n\n{HELP}");
+                exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn generate(args: &Args) -> Vec<Vec<u64>> {
+    let (ranks, keys, seed) = (args.ranks, args.keys, args.seed);
+    match args.dist.as_str() {
+        "uniform" => KeyDistribution::Uniform.generate_per_rank(ranks, keys, seed),
+        "normal" => KeyDistribution::Normal { mean_frac: 0.5, std_frac: 0.05 }
+            .generate_per_rank(ranks, keys, seed),
+        "exponential" => KeyDistribution::Exponential { scale_frac: 0.001 }
+            .generate_per_rank(ranks, keys, seed),
+        "powerlaw" => {
+            KeyDistribution::PowerLaw { gamma: 4.0 }.generate_per_rank(ranks, keys, seed)
+        }
+        "staggered" => KeyDistribution::Staggered.generate_per_rank(ranks, keys, seed),
+        "sorted" => KeyDistribution::Sorted.generate_per_rank(ranks, keys, seed),
+        "reverse" => KeyDistribution::ReverseSorted.generate_per_rank(ranks, keys, seed),
+        "allequal" => KeyDistribution::AllEqual.generate_per_rank(ranks, keys, seed),
+        "fewdistinct" => KeyDistribution::FewDistinct { distinct: 64 }
+            .generate_per_rank(ranks, keys, seed),
+        "lambb" => ChangaDataset::lambb_like(seed).generate_keys_per_rank(ranks, keys, seed),
+        "dwarf" => ChangaDataset::dwarf_like(seed).generate_keys_per_rank(ranks, keys, seed),
+        other => {
+            eprintln!("unknown distribution {other}\n\n{HELP}");
+            exit(2);
+        }
+    }
+}
+
+fn run(args: &Args, input: Vec<Vec<u64>>) -> (Vec<Vec<u64>>, SortReport) {
+    let mut machine = Machine::new(
+        Topology::new(args.ranks, args.cores_per_node),
+        CostModel::bluegene_like(),
+    );
+    match args.algorithm.as_str() {
+        "hss" | "hss-one-round" | "hss-scanning" => {
+            let mut config = HssConfig { epsilon: args.epsilon, ..HssConfig::default() }
+                .with_seed(args.seed);
+            if args.algorithm == "hss-one-round" {
+                config.schedule = RoundSchedule::Theoretical { rounds: 1 };
+            }
+            if args.algorithm == "hss-scanning" {
+                config.schedule = RoundSchedule::Theoretical { rounds: 1 };
+                config.splitter_rule = SplitterRule::Scanning;
+            }
+            config.node_level = args.node_level;
+            config.tag_duplicates = args.tag_duplicates;
+            config.approximate_histograms = args.approx_histograms;
+            let outcome = HssSorter::new(config).sort(&mut machine, input);
+            (outcome.data, outcome.report)
+        }
+        "sample-regular" => {
+            let (out, rep) =
+                sample_sort(&mut machine, &SampleSortConfig::regular(args.epsilon), input);
+            (out, rep)
+        }
+        "sample-random" => {
+            let (out, rep) =
+                sample_sort(&mut machine, &SampleSortConfig::random(args.epsilon), input);
+            (out, rep)
+        }
+        "histogram" => {
+            let cfg = HistogramSortConfig::new(args.epsilon, args.ranks);
+            let (out, rep) = histogram_sort(&mut machine, &cfg, input);
+            (out, rep)
+        }
+        "overpartition" => {
+            let cfg = OverPartitioningConfig::recommended(args.ranks);
+            let (out, rep) = over_partitioning_sort(&mut machine, &cfg, input);
+            (out, rep)
+        }
+        "bitonic" => {
+            let (out, rep) = bitonic_sort(&mut machine, input);
+            (out, rep)
+        }
+        "radix" => {
+            let cfg = RadixConfig::recommended(args.ranks);
+            let (out, rep) = radix_partition_sort(&mut machine, &cfg, input);
+            (out, rep)
+        }
+        other => {
+            eprintln!("unknown algorithm {other}\n\n{HELP}");
+            exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    println!(
+        "generating {} x {} = {} keys ({}) ...",
+        args.ranks,
+        args.keys,
+        args.ranks * args.keys,
+        args.dist
+    );
+    let input = generate(&args);
+    let reference = if args.verify { Some(input.clone()) } else { None };
+
+    let start = std::time::Instant::now();
+    let (output, report) = run(&args, input);
+    let wall = start.elapsed().as_secs_f64();
+
+    println!("\nalgorithm        : {}", report.algorithm);
+    println!("simulated time   : {:.6} s", report.simulated_seconds());
+    println!("host wall time   : {wall:.3} s");
+    println!("load imbalance   : {:.4}", report.imbalance());
+    if let Some(sp) = &report.splitters {
+        println!("histogram rounds : {}", sp.rounds_executed());
+        println!("sample keys      : {}", sp.total_sample_size);
+    }
+    println!("messages         : {}", report.metrics.total_messages());
+    println!("\nper-phase breakdown:\n{}", report.metrics);
+
+    if let Some(reference) = reference {
+        match verify_global_sort(&reference, &output) {
+            Ok(()) => println!("verification: output is a correct global sort"),
+            Err(e) => {
+                eprintln!("verification FAILED: {e}");
+                exit(1);
+            }
+        }
+    }
+}

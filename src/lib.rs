@@ -1,0 +1,40 @@
+//! `hss-repro` — umbrella crate for the *Histogram Sort with Sampling*
+//! reproduction.
+//!
+//! This crate re-exports the workspace members so examples, integration
+//! tests and downstream users can depend on a single crate:
+//!
+//! * [`sim`] — the BSP cluster simulator substrate ([`hss_sim`]);
+//! * [`keygen`] — key types and workload generators ([`hss_keygen`]);
+//! * [`partition`] — shared partitioning primitives ([`hss_partition`]);
+//! * [`core`] — Histogram Sort with Sampling itself ([`hss_core`]);
+//! * [`baselines`] — the comparison algorithms ([`hss_baselines`]);
+//! * [`analysis`] — the paper's closed-form cost model ([`hss_analysis`]).
+//!
+//! The [`prelude`] pulls in the handful of types most programs need.
+//!
+//! ```
+//! use hss_repro::prelude::*;
+//!
+//! let input = KeyDistribution::Uniform.generate_per_rank(8, 1_000, 1);
+//! let mut machine = Machine::flat(8);
+//! let outcome = HssSorter::new(HssConfig::default()).sort(&mut machine, input);
+//! assert!(outcome.report.load_balance.satisfies(0.05));
+//! ```
+
+#![warn(missing_docs)]
+
+pub use hss_analysis as analysis;
+pub use hss_baselines as baselines;
+pub use hss_core as core;
+pub use hss_keygen as keygen;
+pub use hss_partition as partition;
+pub use hss_sim as sim;
+
+/// The most commonly used types, for glob import.
+pub mod prelude {
+    pub use hss_core::{HssConfig, HssSorter, RoundSchedule, SortOutcome, SplitterRule};
+    pub use hss_keygen::{ChangaDataset, Key, KeyDistribution, Keyed, Record, TaggedKey};
+    pub use hss_partition::{LoadBalance, SplitterSet};
+    pub use hss_sim::{CostModel, Machine, Phase, Topology};
+}

@@ -1,0 +1,197 @@
+//! Cross-crate integration tests: every sorting algorithm in the
+//! repository, run end to end on the simulator over a matrix of input
+//! distributions, must produce a correct global sort; the algorithms with a
+//! load-balance guarantee must honour it.
+
+use hss_repro::baselines::{
+    bitonic_sort, histogram_sort, over_partitioning_sort, radix_partition_sort, sample_sort,
+    HistogramSortConfig, OverPartitioningConfig, RadixConfig, SampleSortConfig,
+};
+use hss_repro::partition::verify_global_sort;
+use hss_repro::prelude::*;
+
+const P: usize = 16;
+const KEYS_PER_RANK: usize = 800;
+const EPS: f64 = 0.1;
+
+fn distributions() -> Vec<KeyDistribution> {
+    vec![
+        KeyDistribution::Uniform,
+        KeyDistribution::Normal { mean_frac: 0.5, std_frac: 0.05 },
+        KeyDistribution::Exponential { scale_frac: 0.001 },
+        KeyDistribution::PowerLaw { gamma: 4.0 },
+        KeyDistribution::Staggered,
+        KeyDistribution::Sorted,
+        KeyDistribution::ReverseSorted,
+    ]
+}
+
+#[test]
+fn hss_sorts_and_balances_every_distribution() {
+    for dist in distributions() {
+        let input = dist.generate_per_rank(P, KEYS_PER_RANK, 21);
+        let mut machine = Machine::flat(P);
+        let sorter = HssSorter::new(HssConfig { epsilon: EPS, ..HssConfig::default() });
+        let outcome = sorter.sort(&mut machine, input.clone());
+        verify_global_sort(&input, &outcome.data)
+            .unwrap_or_else(|e| panic!("HSS on {}: {e}", dist.name()));
+        assert!(
+            outcome.report.satisfies(EPS),
+            "HSS on {}: imbalance {}",
+            dist.name(),
+            outcome.report.imbalance()
+        );
+        assert!(outcome.report.splitters.as_ref().unwrap().all_finalized);
+    }
+}
+
+#[test]
+fn hss_one_and_two_round_schedules_sort_correctly() {
+    for rounds in [1usize, 2, 3] {
+        let input = KeyDistribution::Uniform.generate_per_rank(P, KEYS_PER_RANK, 5);
+        let mut machine = Machine::flat(P);
+        let sorter = HssSorter::new(HssConfig {
+            epsilon: EPS,
+            schedule: RoundSchedule::Theoretical { rounds },
+            ..HssConfig::default()
+        });
+        let outcome = sorter.sort(&mut machine, input.clone());
+        verify_global_sort(&input, &outcome.data).unwrap();
+        assert_eq!(
+            outcome.report.splitters.as_ref().unwrap().rounds_executed(),
+            rounds,
+            "theoretical schedule must run exactly k rounds"
+        );
+        assert!(outcome.report.satisfies(EPS), "k = {rounds}: {}", outcome.report.imbalance());
+    }
+}
+
+#[test]
+fn hss_scanning_rule_sorts_and_balances() {
+    let input = KeyDistribution::Uniform.generate_per_rank(P, 2_000, 9);
+    let mut machine = Machine::flat(P);
+    let sorter = HssSorter::new(HssConfig {
+        epsilon: 0.15,
+        schedule: RoundSchedule::Theoretical { rounds: 1 },
+        splitter_rule: SplitterRule::Scanning,
+        ..HssConfig::default()
+    });
+    let outcome = sorter.sort(&mut machine, input.clone());
+    verify_global_sort(&input, &outcome.data).unwrap();
+    assert!(outcome.report.satisfies(0.15), "imbalance {}", outcome.report.imbalance());
+}
+
+#[test]
+fn sample_sort_baselines_sort_every_distribution() {
+    for dist in distributions() {
+        let input = dist.generate_per_rank(P, KEYS_PER_RANK, 33);
+        for cfg in [SampleSortConfig::regular(EPS), SampleSortConfig::random(EPS)] {
+            let mut machine = Machine::flat(P);
+            let (out, report) = sample_sort(&mut machine, &cfg, input.clone());
+            verify_global_sort(&input, &out)
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", report.algorithm, dist.name()));
+        }
+    }
+}
+
+#[test]
+fn regular_sampling_guarantee_is_deterministic() {
+    // Lemma 4.1.1 is a deterministic guarantee (no "w.h.p."): check it on a
+    // skewed input too.
+    for dist in [KeyDistribution::Uniform, KeyDistribution::PowerLaw { gamma: 5.0 }] {
+        let input = dist.generate_per_rank(P, KEYS_PER_RANK, 17);
+        let mut machine = Machine::flat(P);
+        let (_out, report) = sample_sort(&mut machine, &SampleSortConfig::regular(EPS), input);
+        assert!(
+            report.load_balance.satisfies(EPS),
+            "{}: imbalance {}",
+            dist.name(),
+            report.imbalance()
+        );
+    }
+}
+
+#[test]
+fn classic_histogram_sort_matches_hss_output() {
+    let input = KeyDistribution::Exponential { scale_frac: 0.01 }.generate_per_rank(P, KEYS_PER_RANK, 3);
+    let mut m1 = Machine::flat(P);
+    let (out_classic, _r) =
+        histogram_sort(&mut m1, &HistogramSortConfig::new(EPS, P), input.clone());
+    let mut m2 = Machine::flat(P);
+    let hss = HssSorter::new(HssConfig { epsilon: EPS, ..HssConfig::default() })
+        .sort(&mut m2, input.clone());
+    // Different splitters are allowed, but both must be valid sorts of the
+    // same multiset.
+    verify_global_sort(&input, &out_classic).unwrap();
+    verify_global_sort(&input, &hss.data).unwrap();
+    let a: Vec<u64> = out_classic.into_iter().flatten().collect();
+    let b: Vec<u64> = hss.data.into_iter().flatten().collect();
+    assert_eq!(a, b, "the two sorted sequences must be identical");
+}
+
+#[test]
+fn other_baselines_sort_correctly() {
+    let input = KeyDistribution::Uniform.generate_per_rank(P, KEYS_PER_RANK, 13);
+
+    let mut machine = Machine::flat(P);
+    let (out, _) = over_partitioning_sort(&mut machine, &OverPartitioningConfig::recommended(P), input.clone());
+    verify_global_sort(&input, &out).unwrap();
+
+    let mut machine = Machine::flat(P);
+    let (out, _) = bitonic_sort(&mut machine, input.clone());
+    verify_global_sort(&input, &out).unwrap();
+
+    let mut machine = Machine::flat(P);
+    let (out, _) = radix_partition_sort(&mut machine, &RadixConfig::recommended(P), input.clone());
+    verify_global_sort(&input, &out).unwrap();
+}
+
+#[test]
+fn records_keep_their_payloads_through_every_splitter_algorithm() {
+    let input = KeyDistribution::Uniform.generate_records_per_rank(P, 400, 77);
+    // HSS.
+    let mut machine = Machine::flat(P);
+    let outcome = HssSorter::default().sort(&mut machine, input.clone());
+    for rec in outcome.data.iter().flatten() {
+        assert_eq!(*rec, Record::with_derived_payload(rec.key));
+    }
+    // Sample sort.
+    let mut machine = Machine::flat(P);
+    let (out, _) = sample_sort(&mut machine, &SampleSortConfig::regular(0.1), input);
+    for rec in out.iter().flatten() {
+        assert_eq!(*rec, Record::with_derived_payload(rec.key));
+    }
+}
+
+#[test]
+fn hss_report_metrics_cover_all_phases_and_costs_are_positive() {
+    let input = KeyDistribution::Uniform.generate_per_rank(P, KEYS_PER_RANK, 1);
+    let mut machine = Machine::flat(P);
+    let outcome = HssSorter::default().sort(&mut machine, input);
+    let m = &outcome.report.metrics;
+    assert!(m.phase(Phase::LocalSort).simulated_seconds > 0.0);
+    assert!(m.phase(Phase::Sampling).simulated_seconds > 0.0);
+    assert!(m.phase(Phase::Histogramming).simulated_seconds > 0.0);
+    assert!(m.phase(Phase::DataExchange).simulated_seconds > 0.0);
+    assert!(m.phase(Phase::Merge).simulated_seconds > 0.0);
+    assert!(m.total_messages() > 0);
+    assert!(m.total_comm_words() > 0);
+}
+
+#[test]
+fn changa_datasets_end_to_end_with_all_algorithms() {
+    for ds in [ChangaDataset::lambb_like(5), ChangaDataset::dwarf_like(5)] {
+        let input = ds.generate_keys_per_rank(P, 600, 11);
+        let mut machine = Machine::flat(P);
+        let outcome = HssSorter::new(
+            HssConfig { epsilon: EPS, ..HssConfig::default() }.with_duplicate_tagging(),
+        )
+        .sort(&mut machine, input.clone());
+        verify_global_sort(&input, &outcome.data).unwrap();
+        assert!(outcome.report.satisfies(EPS), "{}: {}", ds.name, outcome.report.imbalance());
+
+        let mut machine = Machine::flat(P);
+        let (out, _) = histogram_sort(&mut machine, &HistogramSortConfig::new(EPS, P), input.clone());
+        verify_global_sort(&input, &out).unwrap();
+    }
+}

@@ -1,0 +1,173 @@
+//! Property-based tests (proptest) of the core invariants: any input that
+//! the generators can produce must sort correctly, splitter routing must be
+//! consistent, interval bookkeeping must bracket targets, and the
+//! bucketize/merge pair must be lossless.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use hss_repro::core::{determine_splitters, HssConfig, RoundSchedule};
+use hss_repro::partition::{
+    kway_merge, local_ranks, merge_key_intervals, partition_sorted, verify_global_sort,
+    LoadBalance, SplitterIntervals, SplitterSet,
+};
+use hss_repro::prelude::*;
+
+/// Arbitrary per-rank input: between 1 and 8 ranks, each with 0..200 keys.
+fn per_rank_input() -> impl Strategy<Value = Vec<Vec<u64>>> {
+    vec(vec(any::<u64>(), 0..200), 1..8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn hss_sorts_arbitrary_inputs(input in per_rank_input()) {
+        let p = input.len();
+        let mut machine = Machine::flat(p);
+        let sorter = HssSorter::new(
+            HssConfig { epsilon: 0.5, ..HssConfig::default() }.with_duplicate_tagging(),
+        );
+        let outcome = sorter.sort(&mut machine, input.clone());
+        prop_assert!(verify_global_sort(&input, &outcome.data).is_ok());
+    }
+
+    #[test]
+    fn hss_balances_arbitrary_inputs_with_tagging(
+        seed in 0u64..1000,
+        p in 2usize..12,
+        keys_per_rank in 50usize..300,
+        gamma in 1.0f64..6.0,
+    ) {
+        // Tagging makes the (1+eps) guarantee hold regardless of duplicates
+        // or skew; epsilon is kept moderate so the test stays cheap.
+        let eps = 0.25;
+        let input = KeyDistribution::PowerLaw { gamma }.generate_per_rank(p, keys_per_rank, seed);
+        let mut machine = Machine::flat(p);
+        let sorter = HssSorter::new(
+            HssConfig { epsilon: eps, ..HssConfig::default() }
+                .with_duplicate_tagging()
+                .with_seed(seed),
+        );
+        let outcome = sorter.sort(&mut machine, input);
+        prop_assert!(
+            outcome.report.load_balance.satisfies(eps),
+            "imbalance {}", outcome.report.imbalance()
+        );
+    }
+
+    #[test]
+    fn splitter_routing_is_consistent_with_boundaries(
+        mut keys in vec(any::<u64>(), 1..300),
+        mut splitter_keys in vec(any::<u64>(), 0..16),
+    ) {
+        keys.sort_unstable();
+        splitter_keys.sort_unstable();
+        let s = SplitterSet::new(splitter_keys);
+        let bounds = s.bucket_boundaries(&keys);
+        prop_assert_eq!(bounds.len(), s.buckets() + 1);
+        prop_assert_eq!(*bounds.last().unwrap(), keys.len());
+        for (bucket, w) in bounds.windows(2).enumerate() {
+            for &k in &keys[w[0]..w[1]] {
+                prop_assert_eq!(s.bucket_of(k), bucket);
+            }
+        }
+    }
+
+    #[test]
+    fn partition_then_merge_is_identity(mut keys in vec(any::<u64>(), 0..400), buckets in 1usize..12) {
+        keys.sort_unstable();
+        let step = u64::MAX / buckets as u64;
+        let splitters = SplitterSet::new((1..buckets as u64).map(|i| i * step).collect());
+        let parts = partition_sorted(&keys, &splitters);
+        prop_assert_eq!(parts.len(), buckets);
+        let merged = kway_merge(parts);
+        prop_assert_eq!(merged, keys);
+    }
+
+    #[test]
+    fn local_ranks_are_monotone_and_bounded(
+        mut keys in vec(any::<u64>(), 0..300),
+        mut probes in vec(any::<u64>(), 0..300),
+    ) {
+        keys.sort_unstable();
+        probes.sort_unstable();
+        let ranks = local_ranks(&keys, &probes);
+        prop_assert_eq!(ranks.len(), probes.len());
+        prop_assert!(ranks.windows(2).all(|w| w[0] <= w[1]));
+        prop_assert!(ranks.iter().all(|&r| r <= keys.len() as u64));
+    }
+
+    #[test]
+    fn merged_intervals_are_disjoint_and_cover_inputs(
+        intervals in vec((any::<u32>(), any::<u32>()), 0..24)
+    ) {
+        let intervals: Vec<(u32, u32)> = intervals;
+        let merged = merge_key_intervals(intervals.clone());
+        // Disjoint and sorted.
+        prop_assert!(merged.windows(2).all(|w| w[0].1 < w[1].0));
+        // Every non-empty input interval is covered by some merged one.
+        for (lo, hi) in intervals.into_iter().filter(|(lo, hi)| lo <= hi) {
+            prop_assert!(
+                merged.iter().any(|&(mlo, mhi)| mlo <= lo && hi <= mhi),
+                "({lo}, {hi}) not covered by {merged:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn splitter_intervals_always_bracket_targets(
+        total in 1u64..100_000,
+        buckets in 2usize..32,
+        probes in vec(any::<u64>(), 1..64),
+    ) {
+        let mut probes: Vec<u64> = probes;
+        probes.sort_unstable();
+        probes.dedup();
+        // Fabricate consistent ranks: rank of probe = probe scaled into [0, total].
+        let ranks: Vec<u64> = probes.iter().map(|&p| ((p as u128 * total as u128) >> 64) as u64).collect();
+        let mut iv: SplitterIntervals<u64> = SplitterIntervals::new(total, buckets);
+        iv.update(&probes, &ranks);
+        for i in 0..iv.splitter_count() {
+            let t = iv.target_rank(i);
+            prop_assert!(iv.lower(i).rank <= t);
+            prop_assert!(iv.upper(i).rank >= t);
+            prop_assert!(iv.lower(i).rank <= iv.upper(i).rank);
+        }
+        // Best splitter keys are sorted.
+        let keys = iv.best_splitter_keys();
+        prop_assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn load_balance_metrics_are_consistent(counts in vec(0u64..10_000, 1..64)) {
+        let lb = LoadBalance::from_counts(&counts);
+        prop_assert_eq!(lb.total_keys, counts.iter().sum::<u64>());
+        prop_assert!(lb.max_keys >= lb.min_keys);
+        prop_assert!(lb.imbalance >= 1.0 - 1e-9);
+        // satisfies() is monotone in epsilon.
+        prop_assert!(!lb.satisfies(0.0) || lb.satisfies(1.0));
+    }
+
+    #[test]
+    fn theoretical_schedule_runs_exactly_k_rounds(
+        k in 1usize..4,
+        p in 2usize..10,
+        seed in 0u64..500,
+    ) {
+        let input = {
+            let mut d = KeyDistribution::Uniform.generate_per_rank(p, 200, seed);
+            for v in &mut d { v.sort_unstable(); }
+            d
+        };
+        let mut machine = Machine::flat(p);
+        let config = HssConfig {
+            epsilon: 0.3,
+            schedule: RoundSchedule::Theoretical { rounds: k },
+            ..HssConfig::default()
+        };
+        let (splitters, report) = determine_splitters(&mut machine, &input, p, &config);
+        prop_assert_eq!(report.rounds_executed(), k);
+        prop_assert_eq!(splitters.buckets(), p);
+    }
+}

@@ -1,0 +1,149 @@
+//! Integration tests for the *scaling shapes* the evaluation section relies
+//! on: how simulated per-phase costs, message counts and sample volumes move
+//! as the processor count grows.  These are the claims behind Figures 4.1,
+//! 6.1 and 6.2, checked at a small executed scale.
+
+use hss_repro::analysis::Algorithm;
+use hss_repro::baselines::{bitonic_sort, sample_sort, SampleSortConfig};
+use hss_repro::prelude::*;
+use hss_repro::sim::Phase as SimPhase;
+
+fn run_hss(p: usize, keys_per_rank: usize, cores_per_node: usize) -> hss_repro::core::SortReport {
+    let input = KeyDistribution::Uniform.generate_per_rank(p, keys_per_rank, 7);
+    let mut machine =
+        Machine::new(Topology::new(p, cores_per_node), CostModel::bluegene_like());
+    let config = if cores_per_node > 1 {
+        HssConfig::paper_cluster()
+    } else {
+        HssConfig { epsilon: 0.05, ..HssConfig::default() }
+    };
+    HssSorter::new(config).sort(&mut machine, input).report
+}
+
+#[test]
+fn weak_scaling_local_sort_is_flat_and_exchange_grows() {
+    // Figure 6.1's shape at a tiny executed scale: under weak scaling the
+    // local-sort time stays constant while the exchange (latency-dominated
+    // at this size) grows with p.
+    let keys = 2_000;
+    let small = run_hss(64, keys, 16);
+    let large = run_hss(256, keys, 16);
+    let ls_small = small.metrics.phase(SimPhase::LocalSort).simulated_seconds;
+    let ls_large = large.metrics.phase(SimPhase::LocalSort).simulated_seconds;
+    assert!((ls_small - ls_large).abs() / ls_small < 0.05, "{ls_small} vs {ls_large}");
+    let ex_small = small.metrics.phase(SimPhase::DataExchange).simulated_seconds;
+    let ex_large = large.metrics.phase(SimPhase::DataExchange).simulated_seconds;
+    assert!(ex_large > ex_small, "exchange did not grow: {ex_small} -> {ex_large}");
+}
+
+#[test]
+fn histogramming_stays_a_minor_fraction_as_p_grows() {
+    for p in [64usize, 128, 256] {
+        let report = run_hss(p, 4_000, 16);
+        let groups = report.metrics.figure_6_1_breakdown();
+        let hist = groups.get("histogramming").copied().unwrap_or(0.0);
+        let total: f64 = groups.values().sum();
+        assert!(
+            hist < 0.5 * total,
+            "p = {p}: histogramming {hist} is not a minor fraction of {total}"
+        );
+    }
+}
+
+#[test]
+fn hss_sample_volume_grows_much_slower_than_regular_sampling() {
+    // The Figure 4.1 claim, measured: quadruple p and compare how the
+    // gathered sample grows for HSS vs sample sort with regular sampling.
+    let keys = 1_000;
+    let eps = 0.05;
+    let measure = |p: usize| -> (usize, usize) {
+        let input = KeyDistribution::Uniform.generate_per_rank(p, keys, 3);
+        let mut m1 = Machine::flat(p);
+        let hss = HssSorter::new(HssConfig { epsilon: eps, ..HssConfig::default() })
+            .sort(&mut m1, input.clone());
+        let mut m2 = Machine::flat(p);
+        let (_o, reg) = sample_sort(&mut m2, &SampleSortConfig::regular(eps), input);
+        (
+            hss.report.splitters.as_ref().unwrap().total_sample_size,
+            reg.splitters.as_ref().unwrap().total_sample_size,
+        )
+    };
+    let (hss_small, reg_small) = measure(16);
+    let (hss_large, reg_large) = measure(64);
+    let hss_growth = hss_large as f64 / hss_small as f64;
+    let reg_growth = reg_large as f64 / reg_small as f64;
+    // Regular sampling grows ~quadratically (16x for 4x p), HSS ~linearly.
+    assert!(reg_growth > 8.0, "regular sampling growth only {reg_growth}");
+    assert!(hss_growth < reg_growth / 1.5, "HSS growth {hss_growth} vs regular {reg_growth}");
+    // And at equal p the HSS sample is far smaller.
+    assert!(hss_large * 10 < reg_large);
+}
+
+#[test]
+fn node_combining_reduces_exchange_messages_quadratically_in_cores() {
+    // §6.1.1: combining messages per node pair divides the message count by
+    // roughly (cores per node)^2.
+    let p = 64;
+    let keys = 500;
+    let input = KeyDistribution::Uniform.generate_per_rank(p, keys, 5);
+
+    let mut flat = Machine::new(Topology::flat(p), CostModel::bluegene_like());
+    let _ = HssSorter::new(HssConfig { epsilon: 0.05, ..HssConfig::default() })
+        .sort(&mut flat, input.clone());
+    let flat_msgs = flat.metrics().phase(SimPhase::DataExchange).messages;
+
+    let mut node = Machine::new(Topology::new(p, 8), CostModel::bluegene_like());
+    let _ = HssSorter::new(HssConfig { epsilon: 0.05, ..HssConfig::default() }.with_node_level())
+        .sort(&mut node, input);
+    let node_msgs = node.metrics().phase(SimPhase::DataExchange).messages;
+
+    assert!(flat_msgs >= (p * (p - 1) / 2) as u64, "flat exchange only {flat_msgs} messages");
+    assert!(node_msgs <= (8 * 7) as u64, "node-combined exchange sent {node_msgs} messages");
+    assert!(flat_msgs / node_msgs.max(1) >= 16, "reduction factor too small");
+}
+
+#[test]
+fn bitonic_data_movement_grows_with_log_squared_p() {
+    // §4.2: merge-based sorts move every key Θ(log² p) times, splitter-based
+    // sorts move it once; the gap widens with p.
+    let keys = 500;
+    let words_moved = |p: usize| -> (u64, u64) {
+        let input = KeyDistribution::Uniform.generate_per_rank(p, keys, 9);
+        let mut m1 = Machine::flat(p);
+        let _ = bitonic_sort(&mut m1, input.clone());
+        let bitonic_words = m1.metrics().phase(SimPhase::DataExchange).comm_words;
+        let mut m2 = Machine::flat(p);
+        let _ = HssSorter::new(HssConfig { epsilon: 0.1, ..HssConfig::default() })
+            .sort(&mut m2, input);
+        let hss_words = m2.metrics().phase(SimPhase::DataExchange).comm_words;
+        (bitonic_words, hss_words)
+    };
+    let (bitonic_8, hss_8) = words_moved(8);
+    let (bitonic_32, hss_32) = words_moved(32);
+    let ratio_8 = bitonic_8 as f64 / hss_8 as f64;
+    let ratio_32 = bitonic_32 as f64 / hss_32 as f64;
+    assert!(ratio_8 > 2.0, "bitonic/hss volume ratio at p=8 is only {ratio_8}");
+    assert!(ratio_32 > ratio_8, "ratio did not grow with p: {ratio_8} -> {ratio_32}");
+}
+
+#[test]
+fn analytic_and_measured_sample_sizes_agree_in_order_of_magnitude() {
+    // Cross-check hss-analysis against the executed algorithm: the measured
+    // HSS constant-oversampling sample should be within a small factor of
+    // the closed-form O(p log log p / eps) expression.
+    let p = 128;
+    let eps = 0.05;
+    let keys = 1_000;
+    let input = KeyDistribution::Uniform.generate_per_rank(p, keys, 13);
+    let mut machine = Machine::flat(p);
+    let outcome = HssSorter::new(HssConfig { epsilon: eps, ..HssConfig::default() })
+        .sort(&mut machine, input);
+    let measured = outcome.report.splitters.as_ref().unwrap().total_sample_size as f64;
+    let analytic =
+        Algorithm::HssConstantOversampling.sample_size_keys(p, (p * keys) as u64, eps);
+    let ratio = measured / analytic;
+    assert!(
+        (0.1..10.0).contains(&ratio),
+        "measured {measured} vs analytic {analytic} (ratio {ratio})"
+    );
+}
