@@ -74,8 +74,7 @@ pub fn table_5_1_costs(
 /// sample sort").
 pub fn sampling_dominates(algorithm: Algorithm, p: usize, n_total: u64, epsilon: f64) -> bool {
     let c = table_5_1_costs(algorithm, p, n_total, epsilon);
-    c.splitter_ops > c.local_sort_ops + c.merge_ops
-        || c.splitter_comm_words > c.exchange_comm_words
+    c.splitter_ops > c.local_sort_ops + c.merge_ops || c.splitter_comm_words > c.exchange_comm_words
 }
 
 #[cfg(test)]

@@ -7,7 +7,7 @@ use hss_partition::{exchange_and_merge, ExchangeMode, LoadBalance, SplitterSet};
 use hss_sim::{Machine, Phase, Work};
 
 /// Locally sort every rank's data in place, charging [`Phase::LocalSort`].
-pub fn local_sort_phase<T: Keyed + Ord>(machine: &mut Machine, data: &mut Vec<Vec<T>>) {
+pub fn local_sort_phase<T: Keyed + Ord>(machine: &mut Machine, data: &mut [Vec<T>]) {
     machine.local_phase(Phase::LocalSort, data, |_rank, local| {
         let n = local.len();
         local.sort_unstable();

@@ -248,7 +248,8 @@ mod tests {
         let p = 8;
         let eps = 0.05;
         let uniform = KeyDistribution::Uniform.generate_per_rank(p, 1500, 7);
-        let skewed = KeyDistribution::Exponential { scale_frac: 1e-4 }.generate_per_rank(p, 1500, 7);
+        let skewed =
+            KeyDistribution::Exponential { scale_frac: 1e-4 }.generate_per_rank(p, 1500, 7);
         let cfg = HistogramSortConfig::new(eps, p);
 
         let mut m1 = Machine::flat(p);

@@ -23,7 +23,9 @@ pub mod radix;
 pub mod sample_sort;
 
 pub use bitonic::bitonic_sort;
-pub use histogram_sort::{histogram_sort, histogram_sort_splitters, HistogramSortConfig, SubdividableKey};
+pub use histogram_sort::{
+    histogram_sort, histogram_sort_splitters, HistogramSortConfig, SubdividableKey,
+};
 pub use over_partitioning::{over_partitioning_sort, OverPartitioningConfig};
 pub use radix::{radix_partition_sort, RadixConfig, RadixKeyed};
 pub use sample_sort::{sample_sort, SampleSortConfig, SamplingMethod};

@@ -71,10 +71,8 @@ pub fn over_partitioning_sort<T: Keyed + Ord>(
     // buckets into p groups of roughly equal estimated load.
     let est_loads = estimate_bucket_loads(&sample, &candidates);
     let group_boundaries = group_contiguously(&est_loads, p);
-    let final_splitters: Vec<T::K> = group_boundaries
-        .iter()
-        .map(|&b| candidates.keys()[b - 1])
-        .collect();
+    let final_splitters: Vec<T::K> =
+        group_boundaries.iter().map(|&b| candidates.keys()[b - 1]).collect();
     let splitters = SplitterSet::new(final_splitters);
 
     let tolerance = hss_core::theory::rank_tolerance(total_keys, p, 0.05);
@@ -83,7 +81,10 @@ pub fn over_partitioning_sort<T: Keyed + Ord>(
 }
 
 /// Number of sample keys falling in each candidate bucket.
-fn estimate_bucket_loads<K: hss_keygen::Key>(sorted_sample: &[K], candidates: &SplitterSet<K>) -> Vec<u64> {
+fn estimate_bucket_loads<K: hss_keygen::Key>(
+    sorted_sample: &[K],
+    candidates: &SplitterSet<K>,
+) -> Vec<u64> {
     hss_partition::bucket_counts(sorted_sample, candidates)
 }
 

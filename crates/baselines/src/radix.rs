@@ -74,13 +74,14 @@ pub fn radix_partition_sort<T: RadixKeyed + Ord>(
     let shift = 64 - config.digit_bits;
 
     // Count keys per digit bucket on every rank and reduce.
-    let local_counts: Vec<Vec<u64>> = machine.map_phase(Phase::Histogramming, &input, |_r, local| {
-        let mut counts = vec![0u64; buckets];
-        for item in local {
-            counts[(item.radix_key() >> shift) as usize] += 1;
-        }
-        (counts, Work::scan(local.len()))
-    });
+    let local_counts: Vec<Vec<u64>> =
+        machine.map_phase(Phase::Histogramming, &input, |_r, local| {
+            let mut counts = vec![0u64; buckets];
+            for item in local {
+                counts[(item.radix_key() >> shift) as usize] += 1;
+            }
+            (counts, Work::scan(local.len()))
+        });
     let global_counts = machine.reduce_sum(Phase::Histogramming, &local_counts);
 
     // Assign contiguous digit buckets to ranks, closing a rank once its
@@ -89,15 +90,16 @@ pub fn radix_partition_sort<T: RadixKeyed + Ord>(
     machine.broadcast(Phase::SplitterBroadcast, &bucket_to_rank);
 
     // Route every key to the rank owning its digit bucket.
-    let sends: Vec<Vec<Vec<T>>> = machine.transform_phase(Phase::DataExchange, input, |_r, local| {
-        let n = local.len();
-        let mut bufs: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();
-        for item in local {
-            let b = (item.radix_key() >> shift) as usize;
-            bufs[bucket_to_rank[b]].push(item);
-        }
-        (bufs, Work::scan(n))
-    });
+    let sends: Vec<Vec<Vec<T>>> =
+        machine.transform_phase(Phase::DataExchange, input, |_r, local| {
+            let n = local.len();
+            let mut bufs: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();
+            for item in local {
+                let b = (item.radix_key() >> shift) as usize;
+                bufs[bucket_to_rank[b]].push(item);
+            }
+            (bufs, Work::scan(n))
+        });
     let received = machine.all_to_allv(Phase::DataExchange, sends);
     let mut output: Vec<Vec<T>> = machine.transform_phase(Phase::Merge, received, |_r, runs| {
         let total: usize = runs.iter().map(|r| r.len()).sum();
@@ -164,7 +166,8 @@ mod tests {
     #[test]
     fn radix_balance_degrades_on_skewed_input() {
         let p = 8;
-        let skewed = KeyDistribution::Exponential { scale_frac: 1e-5 }.generate_per_rank(p, 1500, 3);
+        let skewed =
+            KeyDistribution::Exponential { scale_frac: 1e-5 }.generate_per_rank(p, 1500, 3);
         let mut machine = Machine::flat(p);
         let cfg = RadixConfig::recommended(p);
         let (out, report) = radix_partition_sort(&mut machine, &cfg, skewed.clone());

@@ -154,7 +154,8 @@ mod tests {
 
     #[test]
     fn regular_sampling_sorts_and_balances() {
-        let (out, report, input) = run(SamplingMethod::Regular, KeyDistribution::Uniform, 8, 2000, 0.1);
+        let (out, report, input) =
+            run(SamplingMethod::Regular, KeyDistribution::Uniform, 8, 2000, 0.1);
         verify_global_sort(&input, &out).unwrap();
         // Lemma 4.1.1: regular sampling with s = p/eps guarantees the bound
         // deterministically.
@@ -172,7 +173,8 @@ mod tests {
 
     #[test]
     fn random_sampling_sorts_and_balances() {
-        let (out, report, input) = run(SamplingMethod::Random, KeyDistribution::Uniform, 8, 2000, 0.2);
+        let (out, report, input) =
+            run(SamplingMethod::Random, KeyDistribution::Uniform, 8, 2000, 0.2);
         verify_global_sort(&input, &out).unwrap();
         assert!(report.load_balance.satisfies(0.2), "imbalance {}", report.imbalance());
         assert_eq!(report.algorithm, "sample-sort-random");
@@ -182,7 +184,8 @@ mod tests {
     fn regular_sampling_uses_p_squared_over_eps_samples() {
         let p = 16;
         let eps = 0.25;
-        let (_out, report, _input) = run(SamplingMethod::Regular, KeyDistribution::Uniform, p, 1000, eps);
+        let (_out, report, _input) =
+            run(SamplingMethod::Regular, KeyDistribution::Uniform, p, 1000, eps);
         let expected = (p as f64 * p as f64 / eps) as usize;
         let actual = report.splitters.as_ref().unwrap().total_sample_size;
         // Each rank contributes min(s, n) keys; here s = p/eps = 64 < n.
@@ -194,11 +197,15 @@ mod tests {
         let p = 8;
         let n = 4000;
         let eps = 0.3;
-        let (_out, report, _input) = run(SamplingMethod::Random, KeyDistribution::Uniform, p, n, eps);
+        let (_out, report, _input) =
+            run(SamplingMethod::Random, KeyDistribution::Uniform, p, n, eps);
         let total = (p * n) as f64;
         let expected = p as f64 * 4.0 * (1.0 + eps) * total.ln() / (eps * eps);
         let actual = report.splitters.as_ref().unwrap().total_sample_size as f64;
-        assert!((actual - expected).abs() / expected < 0.05, "actual {actual} vs expected {expected}");
+        assert!(
+            (actual - expected).abs() / expected < 0.05,
+            "actual {actual} vs expected {expected}"
+        );
     }
 
     #[test]
@@ -206,10 +213,8 @@ mod tests {
         let p = 4;
         let input = KeyDistribution::Uniform.generate_per_rank(p, 500, 3);
         let mut machine = Machine::flat(p);
-        let cfg = SampleSortConfig {
-            oversampling_override: Some(10),
-            ..SampleSortConfig::regular(0.1)
-        };
+        let cfg =
+            SampleSortConfig { oversampling_override: Some(10), ..SampleSortConfig::regular(0.1) };
         let (_out, report) = sample_sort(&mut machine, &cfg, input);
         assert_eq!(report.splitters.as_ref().unwrap().total_sample_size, 40);
     }
@@ -217,7 +222,8 @@ mod tests {
     #[test]
     fn works_with_small_local_data() {
         // Oversampling ratio larger than the local data size must not panic.
-        let (out, _report, input) = run(SamplingMethod::Regular, KeyDistribution::Uniform, 8, 20, 0.5);
+        let (out, _report, input) =
+            run(SamplingMethod::Regular, KeyDistribution::Uniform, 8, 20, 0.5);
         verify_global_sort(&input, &out).unwrap();
     }
 }

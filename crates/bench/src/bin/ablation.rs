@@ -38,12 +38,7 @@ fn run_variant(name: &str, config: HssConfig, input: &[Vec<u64>]) -> AblationRow
     AblationRow {
         variant: name.to_string(),
         rounds: outcome.report.splitters.as_ref().map(|s| s.rounds_executed()).unwrap_or(0),
-        total_sample: outcome
-            .report
-            .splitters
-            .as_ref()
-            .map(|s| s.total_sample_size)
-            .unwrap_or(0),
+        total_sample: outcome.report.splitters.as_ref().map(|s| s.total_sample_size).unwrap_or(0),
         simulated_seconds: outcome.report.simulated_seconds(),
         imbalance: outcome.report.imbalance(),
         messages: outcome.report.metrics.total_messages(),
@@ -53,7 +48,8 @@ fn run_variant(name: &str, config: HssConfig, input: &[Vec<u64>]) -> AblationRow
 fn main() {
     let seed = hss_bench::experiment_seed();
     let input = KeyDistribution::PowerLaw { gamma: 3.0 }.generate_per_rank(P, KEYS_PER_RANK, seed);
-    let base = HssConfig { epsilon: EPS, node_level: false, ..HssConfig::default() }.with_seed(seed);
+    let base =
+        HssConfig { epsilon: EPS, node_level: false, ..HssConfig::default() }.with_seed(seed);
 
     let mut rows = Vec::new();
 
@@ -82,20 +78,17 @@ fn main() {
     rows.push(run_variant("node-level partitioning", base.clone().with_node_level(), &input));
 
     // Approximate histogramming.
-    rows.push(run_variant("approximate histograms (sec 3.4)", base.clone().with_approximate_histograms(), &input));
+    rows.push(run_variant(
+        "approximate histograms (sec 3.4)",
+        base.clone().with_approximate_histograms(),
+        &input,
+    ));
 
     // Duplicate-heavy input with and without tagging.
-    let dup_input = KeyDistribution::FewDistinct { distinct: 16 }.generate_per_rank(P, KEYS_PER_RANK, seed);
-    rows.push({
-        let mut r = run_variant("duplicates, no tagging", base.clone(), &dup_input);
-        r.variant = "duplicates, no tagging".to_string();
-        r
-    });
-    rows.push({
-        let mut r = run_variant("duplicates, tagged", base.with_duplicate_tagging(), &dup_input);
-        r.variant = "duplicates, tagged".to_string();
-        r
-    });
+    let dup_input =
+        KeyDistribution::FewDistinct { distinct: 16 }.generate_per_rank(P, KEYS_PER_RANK, seed);
+    rows.push(run_variant("duplicates, no tagging", base.clone(), &dup_input));
+    rows.push(run_variant("duplicates, tagged", base.with_duplicate_tagging(), &dup_input));
 
     let printable: Vec<Vec<String>> = rows
         .iter()

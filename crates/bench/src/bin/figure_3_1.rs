@@ -30,6 +30,8 @@ fn main() {
         &["distribution", "p", "round", "sample", "open after", "mean width", "G_j", "G_j / N"],
         &printable,
     );
-    println!("\nPaper claim: the splitter intervals (and hence the sampled subset) shrink every round.");
+    println!(
+        "\nPaper claim: the splitter intervals (and hence the sampled subset) shrink every round."
+    );
     save_json("figure_3_1.json", &rows);
 }

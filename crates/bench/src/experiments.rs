@@ -272,12 +272,7 @@ pub fn figure_6_1_rows(scale: Scale, seed: u64) -> Vec<Figure61Row> {
             histogramming: groups.get("histogramming").copied().unwrap_or(0.0),
             data_exchange: groups.get("data exchange").copied().unwrap_or(0.0),
             imbalance: outcome.report.imbalance(),
-            rounds: outcome
-                .report
-                .splitters
-                .as_ref()
-                .map(|s| s.rounds_executed())
-                .unwrap_or(0),
+            rounds: outcome.report.splitters.as_ref().map(|s| s.rounds_executed()).unwrap_or(0),
             wall_seconds: outcome.report.metrics.total_wall_seconds(),
         });
     }
@@ -358,8 +353,7 @@ pub fn figure_6_2_rows(scale: Scale, seed: u64) -> Vec<Figure62Row> {
                     hss_sim::Work::sort(n)
                 });
                 let cfg = HistogramSortConfig::new(eps, p);
-                let (splitters, report) =
-                    histogram_sort_splitters(&mut machine, &sorted, p, &cfg);
+                let (splitters, report) = histogram_sort_splitters(&mut machine, &sorted, p, &cfg);
                 let (_out, sort_report) = hss_baselines::common::finish_splitter_sort(
                     &mut machine,
                     "histogram-sort-classic",
@@ -405,7 +399,12 @@ mod tests {
         // Sample sizes strictly decrease from regular sampling through the
         // HSS-2 row (the paper's headline comparison)...
         for w in rows[..4].windows(2) {
-            assert!(w[0].sample_keys > w[1].sample_keys, "{} vs {}", w[0].algorithm, w[1].algorithm);
+            assert!(
+                w[0].sample_keys > w[1].sample_keys,
+                "{} vs {}",
+                w[0].algorithm,
+                w[1].algorithm
+            );
         }
         // ...and every multi-round HSS variant stays far below both sample
         // sort rows (HSS-4 and constant oversampling are within a small

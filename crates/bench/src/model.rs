@@ -84,13 +84,7 @@ pub fn modelled_figure_6_1_point(
     data_exchange += cost.compute(keys_per_core);
 
     let _ = n_total;
-    ModelledBreakdown {
-        processors,
-        keys_per_core,
-        local_sort,
-        histogramming,
-        data_exchange,
-    }
+    ModelledBreakdown { processors, keys_per_core, local_sort, histogramming, data_exchange }
 }
 
 /// The full modelled weak-scaling series for the paper's configuration

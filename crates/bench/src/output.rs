@@ -48,7 +48,11 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let mut out = String::new();
     let line = |out: &mut String, cells: &[String]| {
         for (i, cell) in cells.iter().enumerate() {
-            out.push_str(&format!("{:<width$}  ", cell, width = widths.get(i).copied().unwrap_or(8)));
+            out.push_str(&format!(
+                "{:<width$}  ",
+                cell,
+                width = widths.get(i).copied().unwrap_or(8)
+            ));
         }
         out.push('\n');
     };
@@ -133,7 +137,10 @@ mod tests {
     fn render_table_aligns_columns() {
         let s = render_table(
             &["p", "rounds"],
-            &[vec!["1024".to_string(), "4".to_string()], vec!["32768".to_string(), "5".to_string()]],
+            &[
+                vec!["1024".to_string(), "4".to_string()],
+                vec!["32768".to_string(), "5".to_string()],
+            ],
         );
         assert!(s.contains("p      rounds"));
         assert!(s.lines().count() >= 4);

@@ -120,7 +120,9 @@ mod tests {
 
     #[test]
     fn scales_produce_increasing_sizes() {
-        assert!(Scale::Smoke.table_6_1_processors().last() < Scale::Full.table_6_1_processors().last());
+        assert!(
+            Scale::Smoke.table_6_1_processors().last() < Scale::Full.table_6_1_processors().last()
+        );
         assert!(
             Scale::Smoke.figure_6_1_keys_per_core() <= Scale::Default.figure_6_1_keys_per_core()
         );

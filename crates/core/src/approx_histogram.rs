@@ -106,21 +106,23 @@ impl<K: hss_keygen::Key> ApproxHistogrammer<K> {
         const FIXED: f64 = 1024.0;
         let per_rank_data: Vec<Vec<K>> = self.per_rank.iter().map(|s| s.samples.clone()).collect();
         let local_lens: Vec<usize> = self.per_rank.iter().map(|s| s.local_len).collect();
-        let partials: Vec<Vec<u64>> = machine.map_phase(Phase::Histogramming, &per_rank_data, |rank, samples| {
-            let local_len = local_lens[rank];
-            let est: Vec<u64> = queries
-                .iter()
-                .map(|q| {
-                    if samples.is_empty() {
-                        0
-                    } else {
-                        let below = samples.partition_point(|s| *s <= *q);
-                        ((below as f64 * local_len as f64 / samples.len() as f64) * FIXED) as u64
-                    }
-                })
-                .collect();
-            (est, Work::binary_search(queries.len(), samples.len()))
-        });
+        let partials: Vec<Vec<u64>> =
+            machine.map_phase(Phase::Histogramming, &per_rank_data, |rank, samples| {
+                let local_len = local_lens[rank];
+                let est: Vec<u64> = queries
+                    .iter()
+                    .map(|q| {
+                        if samples.is_empty() {
+                            0
+                        } else {
+                            let below = samples.partition_point(|s| *s <= *q);
+                            ((below as f64 * local_len as f64 / samples.len() as f64) * FIXED)
+                                as u64
+                        }
+                    })
+                    .collect();
+                (est, Work::binary_search(queries.len(), samples.len()))
+            });
         let summed = machine.reduce_sum(Phase::Histogramming, &partials);
         summed.into_iter().map(|x| x as f64 / FIXED).collect()
     }

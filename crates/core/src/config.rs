@@ -150,14 +150,14 @@ impl HssConfig {
 
     /// Basic sanity checks; called by the sorter before running.
     pub fn validate(&self) -> Result<(), String> {
-        if !(self.epsilon > 0.0) {
+        if !self.epsilon.is_finite() || self.epsilon <= 0.0 {
             return Err(format!("epsilon must be positive (got {})", self.epsilon));
         }
-        if !(self.within_node_epsilon > 0.0) {
+        if !self.within_node_epsilon.is_finite() || self.within_node_epsilon <= 0.0 {
             return Err("within_node_epsilon must be positive".to_string());
         }
         match self.schedule {
-            RoundSchedule::Theoretical { rounds } if rounds == 0 => {
+            RoundSchedule::Theoretical { rounds: 0 } => {
                 Err("theoretical schedule needs at least one round".to_string())
             }
             RoundSchedule::ConstantOversampling { oversampling, max_rounds } => {
@@ -188,20 +188,25 @@ mod tests {
 
     #[test]
     fn invalid_configs_are_rejected() {
-        let mut c = HssConfig::default();
-        c.epsilon = 0.0;
+        let c = HssConfig { epsilon: 0.0, ..HssConfig::default() };
         assert!(c.validate().is_err());
 
-        let mut c = HssConfig::default();
-        c.schedule = RoundSchedule::Theoretical { rounds: 0 };
+        let c = HssConfig {
+            schedule: RoundSchedule::Theoretical { rounds: 0 },
+            ..HssConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = HssConfig::default();
-        c.schedule = RoundSchedule::ConstantOversampling { oversampling: -1.0, max_rounds: 8 };
+        let c = HssConfig {
+            schedule: RoundSchedule::ConstantOversampling { oversampling: -1.0, max_rounds: 8 },
+            ..HssConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = HssConfig::default();
-        c.schedule = RoundSchedule::ConstantOversampling { oversampling: 5.0, max_rounds: 0 };
+        let c = HssConfig {
+            schedule: RoundSchedule::ConstantOversampling { oversampling: 5.0, max_rounds: 0 },
+            ..HssConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 
@@ -220,7 +225,9 @@ mod tests {
         assert_eq!(c.within_node_epsilon, 0.05);
         assert!(c.node_level);
         match c.schedule {
-            RoundSchedule::ConstantOversampling { oversampling, .. } => assert_eq!(oversampling, 5.0),
+            RoundSchedule::ConstantOversampling { oversampling, .. } => {
+                assert_eq!(oversampling, 5.0)
+            }
             _ => panic!("expected constant oversampling"),
         }
     }

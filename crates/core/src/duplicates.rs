@@ -112,7 +112,7 @@ mod tests {
 
     #[test]
     fn tagged_records_sort_by_key_then_tag() {
-        let mut v = vec![
+        let mut v = [
             Tagged { item: Record { key: 2, payload: 0 }, pe: 1, index: 0 },
             Tagged { item: Record { key: 2, payload: 0 }, pe: 0, index: 5 },
             Tagged { item: Record { key: 1, payload: 0 }, pe: 9, index: 9 },

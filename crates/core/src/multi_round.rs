@@ -11,9 +11,7 @@
 //! (Theorems 3.3.1–3.3.4).
 
 use hss_keygen::{rank_rng, Key, Keyed};
-use hss_partition::{
-    global_ranks, merge_key_intervals, sampling, SplitterIntervals, SplitterSet,
-};
+use hss_partition::{global_ranks, merge_key_intervals, sampling, SplitterIntervals, SplitterSet};
 use hss_sim::{CostModel, Machine, Phase, Work};
 
 use crate::approx_histogram::ApproxHistogrammer;
@@ -45,8 +43,7 @@ pub fn determine_splitters<T: Keyed>(
     // accordingly (the paper makes the same observation: a key reported
     // within εN/p of the target is truly within 2εN/p).
     let base_tolerance = theory::rank_tolerance(total_keys, buckets, config.epsilon);
-    let tolerance =
-        if config.approximate_histograms { base_tolerance * 3 } else { base_tolerance };
+    let tolerance = if config.approximate_histograms { base_tolerance * 3 } else { base_tolerance };
     let mut intervals: SplitterIntervals<T::K> = SplitterIntervals::new(total_keys, buckets);
     let mut report = SplitterReport {
         buckets,
@@ -103,7 +100,8 @@ pub fn determine_splitters<T: Keyed>(
         };
         // Number of input keys those ranges cover (G_{j-1}); exact because
         // the interval bookkeeping tracks ranks.
-        let covered_keys = if round == 1 { total_keys } else { intervals.union_rank_size(tolerance) };
+        let covered_keys =
+            if round == 1 { total_keys } else { intervals.union_rank_size(tolerance) };
 
         let probability = plan.probability(round, total_keys, covered_keys);
 
@@ -112,8 +110,12 @@ pub fn determine_splitters<T: Keyed>(
         let per_rank_samples: Vec<Vec<T::K>> =
             machine.map_phase(Phase::Sampling, per_rank_sorted, |rank, local| {
                 let mut rng = rank_rng(seed, rank);
-                let sample =
-                    sampling::bernoulli_sample_in_intervals(local, &key_intervals, probability, &mut rng);
+                let sample = sampling::bernoulli_sample_in_intervals(
+                    local,
+                    &key_intervals,
+                    probability,
+                    &mut rng,
+                );
                 let work = Work::binary_search(2 * key_intervals.len(), local.len())
                     .and(Work::scan(sample.len()));
                 (sample, work)
@@ -122,7 +124,8 @@ pub fn determine_splitters<T: Keyed>(
         // Gather the sample at the central processor and sort it there.
         let mut probes: Vec<T::K> = machine.gather_to_root(Phase::Sampling, per_rank_samples);
         let sample_size = probes.len();
-        machine.charge_modelled_compute(Phase::Histogramming, CostModel::sort_ops(sample_size as u64));
+        machine
+            .charge_modelled_compute(Phase::Histogramming, CostModel::sort_ops(sample_size as u64));
         probes.sort_unstable();
         probes.dedup();
 
@@ -441,7 +444,8 @@ mod tests {
         // Check the conservative condition S_i ∈ T_i (§2.1) directly.
         let p = 16;
         let n = 2000;
-        let data = sorted_input(KeyDistribution::Normal { mean_frac: 0.5, std_frac: 0.1 }, p, n, 31);
+        let data =
+            sorted_input(KeyDistribution::Normal { mean_frac: 0.5, std_frac: 0.1 }, p, n, 31);
         let mut machine = Machine::flat(p);
         let config = HssConfig { epsilon: 0.05, ..HssConfig::default() };
         let (splitters, report) = determine_splitters(&mut machine, &data, p, &config);

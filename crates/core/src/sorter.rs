@@ -3,9 +3,7 @@
 //! duplicate-tagging variants).
 
 use hss_keygen::Keyed;
-use hss_partition::{
-    exchange_and_merge, verify_global_sort, ExchangeMode, LoadBalance,
-};
+use hss_partition::{exchange_and_merge, verify_global_sort, ExchangeMode, LoadBalance};
 use hss_sim::{Machine, Phase, Work};
 
 use crate::config::HssConfig;
@@ -61,7 +59,11 @@ impl HssSorter {
     ///
     /// Panics if `input.len() != machine.ranks()` or the configuration is
     /// invalid.
-    pub fn sort<T: Keyed + Ord>(&self, machine: &mut Machine, input: Vec<Vec<T>>) -> SortOutcome<T> {
+    pub fn sort<T: Keyed + Ord>(
+        &self,
+        machine: &mut Machine,
+        input: Vec<Vec<T>>,
+    ) -> SortOutcome<T> {
         self.config.validate().expect("invalid HSS configuration");
         assert_eq!(input.len(), machine.ranks(), "one input vector per rank");
         let total_keys: u64 = input.iter().map(|v| v.len() as u64).sum();
@@ -78,7 +80,11 @@ impl HssSorter {
 
         let load_balance = LoadBalance::from_rank_data(&data);
         let report = SortReport {
-            algorithm: if self.config.node_level { "hss-node-level".to_string() } else { "hss".to_string() },
+            algorithm: if self.config.node_level {
+                "hss-node-level".to_string()
+            } else {
+                "hss".to_string()
+            },
             ranks: machine.ranks(),
             total_keys,
             splitters: Some(splitter_report),
@@ -178,11 +184,7 @@ mod tests {
         let mut m2 = Machine::flat(p);
         let cfg = HssConfig::default().with_duplicate_tagging();
         let tagged = HssSorter::new(cfg).sort_verified(&mut m2, input).unwrap();
-        assert!(
-            tagged.report.satisfies(0.05),
-            "tagged imbalance {}",
-            tagged.report.imbalance()
-        );
+        assert!(tagged.report.satisfies(0.05), "tagged imbalance {}", tagged.report.imbalance());
     }
 
     #[test]
@@ -260,7 +262,8 @@ mod tests {
         assert_eq!(outcome.data, vec![vec![1, 3, 5]]);
 
         let mut machine = Machine::flat(4);
-        let outcome = HssSorter::default().sort(&mut machine, vec![vec![], vec![], vec![], Vec::<u64>::new()]);
+        let outcome = HssSorter::default()
+            .sort(&mut machine, vec![vec![], vec![], vec![], Vec::<u64>::new()]);
         assert_eq!(outcome.report.total_keys, 0);
     }
 

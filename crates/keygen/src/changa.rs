@@ -123,21 +123,13 @@ impl ChangaDataset {
     pub fn dwarf_like(seed: u64) -> Self {
         let mut rng = rank_rng(seed, usize::MAX - 2);
         let clusters = vec![
-            Cluster {
-                centre: [0.5, 0.5, 0.5],
-                scale_radius: 0.001,
-                mass_fraction: 0.80,
-            },
+            Cluster { centre: [0.5, 0.5, 0.5], scale_radius: 0.001, mass_fraction: 0.80 },
             Cluster {
                 centre: [0.52 + rng.gen::<f64>() * 0.02, 0.47, 0.5],
                 scale_radius: 0.004,
                 mass_fraction: 0.10,
             },
-            Cluster {
-                centre: [0.3, 0.7, 0.45],
-                scale_radius: 0.01,
-                mass_fraction: 0.05,
-            },
+            Cluster { centre: [0.3, 0.7, 0.45], scale_radius: 0.01, mass_fraction: 0.05 },
         ];
         Self { name: "dwarf-like".to_string(), clusters, background_fraction: 0.05 }
     }

@@ -156,7 +156,7 @@ impl KeyDistribution {
                 // space, where stride is a large odd constant, so that
                 // neighbouring ranks hold far-apart slices.
                 let p = ranks as u64;
-                let stride = 0x9E37_79B9_7F4A_7C15u64 % p.max(1) | 1;
+                let stride = (0x9E37_79B9_7F4A_7C15u64 % p.max(1)) | 1;
                 let slice = (rank as u64 * stride) % p.max(1);
                 let width = u64::MAX / p.max(1);
                 let lo = slice * width;
@@ -378,8 +378,8 @@ mod tests {
     fn per_rank_matches_single_rank_generation() {
         let dist = KeyDistribution::Exponential { scale_frac: 0.1 };
         let all = dist.generate_per_rank(4, 64, 99);
-        for rank in 0..4 {
-            assert_eq!(all[rank], dist.generate_rank(rank, 4, 64, 99));
+        for (rank, per_rank) in all.iter().enumerate() {
+            assert_eq!(*per_rank, dist.generate_rank(rank, 4, 64, 99));
         }
     }
 }

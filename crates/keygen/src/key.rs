@@ -165,8 +165,10 @@ mod tests {
 
     #[test]
     fn integer_sentinels_bracket_everything() {
-        assert!(u64::MIN_KEY <= 0 && u64::MAX_KEY >= u64::MAX - 1);
-        assert!(i64::MIN_KEY < 0 && i64::MAX_KEY > 0);
+        assert_eq!(u64::MIN_KEY, u64::MIN);
+        assert_eq!(u64::MAX_KEY, u64::MAX);
+        assert_eq!(i64::MIN_KEY, i64::MIN);
+        assert_eq!(i64::MAX_KEY, i64::MAX);
     }
 
     #[test]
@@ -216,7 +218,7 @@ mod tests {
 
     #[test]
     fn ordered_f64_total_order() {
-        let mut v = vec![OrderedF64(3.5), OrderedF64(-1.0), OrderedF64(0.0), OrderedF64(f64::NAN)];
+        let mut v = [OrderedF64(3.5), OrderedF64(-1.0), OrderedF64(0.0), OrderedF64(f64::NAN)];
         v.sort();
         assert_eq!(v[0], OrderedF64(-1.0));
         assert_eq!(v[1], OrderedF64(0.0));

@@ -12,10 +12,7 @@ use crate::splitters::SplitterSet;
 pub fn partition_sorted<T: Keyed>(sorted: &[T], splitters: &SplitterSet<T::K>) -> Vec<Vec<T>> {
     debug_assert!(crate::histogram::is_sorted_by_key(sorted));
     let bounds = splitters.bucket_boundaries(sorted);
-    bounds
-        .windows(2)
-        .map(|w| sorted[w[0]..w[1]].to_vec())
-        .collect()
+    bounds.windows(2).map(|w| sorted[w[0]..w[1]].to_vec()).collect()
 }
 
 /// Partition *unsorted* local data into buckets by routing each key

@@ -37,13 +37,15 @@ pub fn exchange_and_merge<T: Keyed + Ord>(
         "splitter set must define one bucket per rank"
     );
     // Partition each rank's sorted data into destination buckets.
-    let sends: Vec<Vec<Vec<T>>> = machine.map_phase(Phase::DataExchange, per_rank_sorted, |_r, local| {
-        let buckets = crate::bucketize::partition_sorted(local, splitters);
-        (
-            buckets,
-            Work::binary_search(splitters.keys().len(), local.len()).and(Work::scan(local.len())),
-        )
-    });
+    let sends: Vec<Vec<Vec<T>>> =
+        machine.map_phase(Phase::DataExchange, per_rank_sorted, |_r, local| {
+            let buckets = crate::bucketize::partition_sorted(local, splitters);
+            (
+                buckets,
+                Work::binary_search(splitters.keys().len(), local.len())
+                    .and(Work::scan(local.len())),
+            )
+        });
     // Exchange.
     let received = match mode {
         ExchangeMode::RankLevel => machine.all_to_allv(Phase::DataExchange, sends),
@@ -67,8 +69,9 @@ mod tests {
         // Deterministic pseudo-random per-rank data, locally sorted.
         (0..p)
             .map(|r| {
-                let mut v: Vec<u64> =
-                    (0..n).map(|i| ((r * n + i) as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 3).collect();
+                let mut v: Vec<u64> = (0..n)
+                    .map(|i| ((r * n + i) as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 3)
+                    .collect();
                 v.sort_unstable();
                 v
             })

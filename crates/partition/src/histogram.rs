@@ -29,10 +29,7 @@ pub fn local_ranks<T: Keyed>(sorted_local: &[T], probes: &[T::K]) -> Vec<u64> {
     // ~n + m.
     let log_n = (usize::BITS - n.max(2).leading_zeros()) as usize;
     if m * log_n <= n + m {
-        probes
-            .iter()
-            .map(|p| sorted_local.partition_point(|x| x.key() < *p) as u64)
-            .collect()
+        probes.iter().map(|p| sorted_local.partition_point(|x| x.key() < *p) as u64).collect()
     } else {
         let mut out = Vec::with_capacity(m);
         let mut i = 0usize;
@@ -78,10 +75,7 @@ pub fn global_ranks<T: Keyed>(
     phase: Phase,
 ) -> Vec<u64> {
     let local = machine.map_phase(phase, per_rank_sorted, |_rank, data| {
-        (
-            local_ranks(data, probes),
-            Work::binary_search(probes.len(), data.len()),
-        )
+        (local_ranks(data, probes), Work::binary_search(probes.len(), data.len()))
     });
     machine.reduce_sum(phase, &local)
 }

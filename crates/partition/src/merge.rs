@@ -38,7 +38,7 @@ pub fn kway_merge<T: Keyed + Ord>(runs: Vec<Vec<T>>) -> Vec<T> {
 /// as whole records.
 pub fn concat_sort_merge<T: Keyed>(runs: Vec<Vec<T>>) -> Vec<T> {
     let mut out: Vec<T> = runs.into_iter().flatten().collect();
-    out.sort_by(|a, b| a.key().cmp(&b.key()));
+    out.sort_by_key(|a| a.key());
     out
 }
 

@@ -237,9 +237,7 @@ mod tests {
         let intervals = vec![(100u64, 200), (5_000, 5_100)];
         let s = bernoulli_sample_in_intervals(&data, &intervals, 0.5, &mut rng());
         assert!(!s.is_empty());
-        assert!(s
-            .iter()
-            .all(|&k| (100..=200).contains(&k) || (5_000..=5_100).contains(&k)));
+        assert!(s.iter().all(|&k| (100..=200).contains(&k) || (5_000..=5_100).contains(&k)));
     }
 
     #[test]
@@ -282,7 +280,10 @@ mod tests {
         let s = random_block_sample(&data, 10, &mut rng());
         assert_eq!(s.len(), 10);
         for (j, &k) in s.iter().enumerate() {
-            assert!((k as usize) >= j * 10 && (k as usize) < (j + 1) * 10, "sample {k} outside block {j}");
+            assert!(
+                (k as usize) >= j * 10 && (k as usize) < (j + 1) * 10,
+                "sample {k} outside block {j}"
+            );
         }
     }
 

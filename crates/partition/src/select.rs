@@ -13,17 +13,13 @@ use hss_keygen::Keyed;
 /// equal keys per concatenation order).
 pub fn global_sorted<T: Keyed>(per_rank: &[Vec<T>]) -> Vec<T> {
     let mut all: Vec<T> = per_rank.iter().flatten().cloned().collect();
-    all.sort_by(|a, b| a.key().cmp(&b.key()));
+    all.sort_by_key(|a| a.key());
     all
 }
 
 /// Exact global rank (number of keys strictly smaller) of `key`.
 pub fn exact_rank<T: Keyed>(per_rank: &[Vec<T>], key: T::K) -> u64 {
-    per_rank
-        .iter()
-        .flatten()
-        .filter(|item| item.key() < key)
-        .count() as u64
+    per_rank.iter().flatten().filter(|item| item.key() < key).count() as u64
 }
 
 /// The exact ideal splitters: the keys of rank `N·i/p` for `i = 1..p`.

@@ -25,10 +25,7 @@ impl<K: Key> SplitterSet<K> {
     ///
     /// Panics if the keys are not sorted in non-decreasing order.
     pub fn new(splitters: Vec<K>) -> Self {
-        assert!(
-            splitters.windows(2).all(|w| w[0] <= w[1]),
-            "splitters must be sorted"
-        );
+        assert!(splitters.windows(2).all(|w| w[0] <= w[1]), "splitters must be sorted");
         Self { splitters }
     }
 

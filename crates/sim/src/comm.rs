@@ -87,7 +87,9 @@ impl Machine {
         let words = words_of::<u64>(len);
         let comm = self.cost_model().reduce(words, p);
         let combine_ops = match self.cost_model().collective {
-            CollectiveAlgo::Binomial => len as u64 * u64::from(crate::cost::CostModel::log2_ceil(p)),
+            CollectiveAlgo::Binomial => {
+                len as u64 * u64::from(crate::cost::CostModel::log2_ceil(p))
+            }
             CollectiveAlgo::Pipelined => len as u64,
         };
         let metrics = PhaseMetrics {
@@ -136,16 +138,11 @@ impl Machine {
                 }
             }
         }
-        let max_elems = send_elems
-            .iter()
-            .zip(recv_elems.iter())
-            .map(|(s, r)| (*s).max(*r))
-            .max()
-            .unwrap_or(0);
+        let max_elems =
+            send_elems.iter().zip(recv_elems.iter()).map(|(s, r)| (*s).max(*r)).max().unwrap_or(0);
         let max_peers = (p - 1) as u64;
-        let cost = self
-            .cost_model()
-            .all_to_allv(words_of::<U>(max_elems), max_peers.min(messages.max(1)));
+        let cost =
+            self.cost_model().all_to_allv(words_of::<U>(max_elems), max_peers.min(messages.max(1)));
 
         // Transpose the send matrix into the receive matrix.
         let mut recv: Vec<Vec<Vec<U>>> = (0..p).map(|_| Vec::with_capacity(p)).collect();
@@ -217,20 +214,15 @@ impl Machine {
             }
         }
         let messages = pair_nonempty.iter().filter(|&&x| x).count() as u64;
-        let max_node_elems = node_send
-            .iter()
-            .zip(node_recv.iter())
-            .map(|(s, r)| (*s).max(*r))
-            .max()
-            .unwrap_or(0);
+        let max_node_elems =
+            node_send.iter().zip(node_recv.iter()).map(|(s, r)| (*s).max(*r)).max().unwrap_or(0);
         // A node injects through `cores_per_node` cores, so its effective
         // per-word cost is the per-core cost divided by the injecting cores.
         let cores = topo.cores_per_node().max(1) as u64;
         let node_words = words_of::<U>(max_node_elems).div_ceil(cores);
         let max_peer_nodes = (n.saturating_sub(1)) as u64;
-        let comm_cost = self
-            .cost_model()
-            .all_to_allv(node_words, max_peer_nodes.min(messages.max(1)));
+        let comm_cost =
+            self.cost_model().all_to_allv(node_words, max_peer_nodes.min(messages.max(1)));
         let copy_ops = intra_node_elems as u64 / topo.cores_per_node().max(1) as u64;
         let cost = comm_cost + self.cost_model().compute(copy_ops);
 
@@ -325,13 +317,12 @@ mod tests {
     fn all_to_allv_transposes() {
         let mut m = Machine::flat(3);
         // sends[src][dst] = vec![src*10 + dst]
-        let sends: Vec<Vec<Vec<u32>>> = (0..3)
-            .map(|src| (0..3).map(|dst| vec![(src * 10 + dst) as u32]).collect())
-            .collect();
+        let sends: Vec<Vec<Vec<u32>>> =
+            (0..3).map(|src| (0..3).map(|dst| vec![(src * 10 + dst) as u32]).collect()).collect();
         let recv = m.all_to_allv(Phase::DataExchange, sends);
-        for dst in 0..3 {
-            for src in 0..3 {
-                assert_eq!(recv[dst][src], vec![(src * 10 + dst) as u32]);
+        for (dst, per_src) in recv.iter().enumerate() {
+            for (src, buf) in per_src.iter().enumerate() {
+                assert_eq!(*buf, vec![(src * 10 + dst) as u32]);
             }
         }
         // 3 ranks, all off-diagonal buffers non-empty: 6 messages.
@@ -351,9 +342,8 @@ mod tests {
     #[test]
     fn node_combined_exchange_moves_same_data_with_fewer_messages() {
         let topo = Topology::new(8, 4); // 2 nodes of 4 cores
-        let sends: Vec<Vec<Vec<u64>>> = (0..8)
-            .map(|src| (0..8).map(|dst| vec![(src * 100 + dst) as u64]).collect())
-            .collect();
+        let sends: Vec<Vec<Vec<u64>>> =
+            (0..8).map(|src| (0..8).map(|dst| vec![(src * 100 + dst) as u64]).collect()).collect();
 
         let mut rank_level = Machine::new(topo, CostModel::bluegene_like());
         let recv_a = rank_level.all_to_allv(Phase::DataExchange, sends.clone());
@@ -365,7 +355,8 @@ mod tests {
         let msgs_rank = rank_level.metrics().phase(Phase::DataExchange).messages;
         let msgs_node = node_level.metrics().phase(Phase::DataExchange).messages;
         assert_eq!(msgs_rank, 8 * 7);
-        assert_eq!(msgs_node, 2 * 1);
+        // 2 nodes, each sending one combined message to the other node.
+        assert_eq!(msgs_node, 2);
         assert!(msgs_node < msgs_rank);
     }
 

@@ -127,9 +127,7 @@ impl CostModel {
         let rounds = Self::log2_ceil(p) as f64;
         match self.collective {
             CollectiveAlgo::Binomial => rounds * (self.latency + self.unit_comm * words as f64),
-            CollectiveAlgo::Pipelined => {
-                rounds * self.latency + self.unit_comm * words as f64
-            }
+            CollectiveAlgo::Pipelined => rounds * self.latency + self.unit_comm * words as f64,
         }
     }
 

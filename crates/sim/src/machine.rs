@@ -200,23 +200,15 @@ impl Machine {
         T: Send,
         F: Fn(RankId, &mut Vec<T>) -> Work + Sync,
     {
-        assert_eq!(
-            data.len(),
-            self.ranks(),
-            "per-rank data must have one entry per rank"
-        );
+        assert_eq!(data.len(), self.ranks(), "per-rank data must have one entry per rank");
         let start = Instant::now();
         let works: Vec<Work> = match self.parallelism {
-            Parallelism::Rayon => data
-                .par_iter_mut()
-                .enumerate()
-                .map(|(rank, local)| f(rank, local))
-                .collect(),
-            Parallelism::Sequential => data
-                .iter_mut()
-                .enumerate()
-                .map(|(rank, local)| f(rank, local))
-                .collect(),
+            Parallelism::Rayon => {
+                data.par_iter_mut().enumerate().map(|(rank, local)| f(rank, local)).collect()
+            }
+            Parallelism::Sequential => {
+                data.iter_mut().enumerate().map(|(rank, local)| f(rank, local)).collect()
+            }
         };
         let wall = start.elapsed().as_secs_f64();
         let max_ops = works.iter().map(|w| w.ops).max().unwrap_or(0);
@@ -240,23 +232,15 @@ impl Machine {
         R: Send,
         F: Fn(RankId, &[T]) -> (R, Work) + Sync,
     {
-        assert_eq!(
-            data.len(),
-            self.ranks(),
-            "per-rank data must have one entry per rank"
-        );
+        assert_eq!(data.len(), self.ranks(), "per-rank data must have one entry per rank");
         let start = Instant::now();
         let results: Vec<(R, Work)> = match self.parallelism {
-            Parallelism::Rayon => data
-                .par_iter()
-                .enumerate()
-                .map(|(rank, local)| f(rank, local.as_slice()))
-                .collect(),
-            Parallelism::Sequential => data
-                .iter()
-                .enumerate()
-                .map(|(rank, local)| f(rank, local.as_slice()))
-                .collect(),
+            Parallelism::Rayon => {
+                data.par_iter().enumerate().map(|(rank, local)| f(rank, local.as_slice())).collect()
+            }
+            Parallelism::Sequential => {
+                data.iter().enumerate().map(|(rank, local)| f(rank, local.as_slice())).collect()
+            }
         };
         let wall = start.elapsed().as_secs_f64();
         let max_ops = results.iter().map(|(_, w)| w.ops).max().unwrap_or(0);
@@ -280,23 +264,15 @@ impl Machine {
         U: Send,
         F: Fn(RankId, Vec<T>) -> (Vec<U>, Work) + Sync,
     {
-        assert_eq!(
-            data.len(),
-            self.ranks(),
-            "per-rank data must have one entry per rank"
-        );
+        assert_eq!(data.len(), self.ranks(), "per-rank data must have one entry per rank");
         let start = Instant::now();
         let results: Vec<(Vec<U>, Work)> = match self.parallelism {
-            Parallelism::Rayon => data
-                .into_par_iter()
-                .enumerate()
-                .map(|(rank, local)| f(rank, local))
-                .collect(),
-            Parallelism::Sequential => data
-                .into_iter()
-                .enumerate()
-                .map(|(rank, local)| f(rank, local))
-                .collect(),
+            Parallelism::Rayon => {
+                data.into_par_iter().enumerate().map(|(rank, local)| f(rank, local)).collect()
+            }
+            Parallelism::Sequential => {
+                data.into_iter().enumerate().map(|(rank, local)| f(rank, local)).collect()
+            }
         };
         let wall = start.elapsed().as_secs_f64();
         let max_ops = results.iter().map(|(_, w)| w.ops).max().unwrap_or(0);
@@ -381,7 +357,8 @@ mod tests {
 
     #[test]
     fn sequential_and_rayon_give_identical_results() {
-        let data: Vec<Vec<u64>> = (0..16).map(|r| (0..100).map(|i| (r * 31 + i) as u64).collect()).collect();
+        let data: Vec<Vec<u64>> =
+            (0..16).map(|r| (0..100).map(|i| (r * 31 + i) as u64).collect()).collect();
         let mut seq = Machine::flat(16).with_parallelism(Parallelism::Sequential);
         let mut par = Machine::flat(16).with_parallelism(Parallelism::Rayon);
         let a = seq.map_phase(Phase::Other, &data, |_, local| {

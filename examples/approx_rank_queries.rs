@@ -20,8 +20,11 @@ const EPSILON: f64 = 0.05;
 
 fn main() {
     // Skewed data: exponential keys concentrated near zero.
-    let mut data =
-        KeyDistribution::Exponential { scale_frac: 0.01 }.generate_per_rank(RANKS, KEYS_PER_RANK, 7);
+    let mut data = KeyDistribution::Exponential { scale_frac: 0.01 }.generate_per_rank(
+        RANKS,
+        KEYS_PER_RANK,
+        7,
+    );
     for v in &mut data {
         v.sort_unstable();
     }
@@ -40,11 +43,13 @@ fn main() {
 
     // Query the keys that the exact 10th..90th percentiles fall on.
     let sorted = hss_partition::global_sorted(&data);
-    let queries: Vec<u64> =
-        (1..10).map(|i| sorted[(total as usize) * i / 10]).collect();
+    let queries: Vec<u64> = (1..10).map(|i| sorted[(total as usize) * i / 10]).collect();
     let estimates = oracle.estimated_global_ranks(&mut machine, &queries);
 
-    println!("\n{:>4}  {:>14}  {:>14}  {:>12}  {:>10}", "pct", "true rank", "estimated", "abs error", "eps*N/p");
+    println!(
+        "\n{:>4}  {:>14}  {:>14}  {:>12}  {:>10}",
+        "pct", "true rank", "estimated", "abs error", "eps*N/p"
+    );
     let allowed = EPSILON * total as f64 / RANKS as f64;
     for (i, (q, est)) in queries.iter().zip(estimates.iter()).enumerate() {
         let truth = exact_rank(&data, *q) as f64;

@@ -45,11 +45,8 @@ fn main() {
 
         // Classic histogram sort ("Old" in Figure 6.2).
         let mut old_machine = Machine::flat(RANKS);
-        let (_, old) = histogram_sort(
-            &mut old_machine,
-            &HistogramSortConfig::new(0.05, RANKS),
-            keys.clone(),
-        );
+        let (_, old) =
+            histogram_sort(&mut old_machine, &HistogramSortConfig::new(0.05, RANKS), keys.clone());
 
         let hss_rounds = hss.report.splitters.as_ref().map(|s| s.rounds_executed()).unwrap_or(0);
         let old_rounds = old.splitters.as_ref().map(|s| s.rounds_executed()).unwrap_or(0);
@@ -68,12 +65,7 @@ fn main() {
         keys = hss
             .data
             .into_iter()
-            .map(|local| {
-                local
-                    .into_iter()
-                    .map(|k| k.wrapping_add((k % 1024) * 7))
-                    .collect()
-            })
+            .map(|local| local.into_iter().map(|k| k.wrapping_add((k % 1024) * 7)).collect())
             .collect();
     }
     println!("\ndone: HSS kept the per-iteration splitter determination cheap on clustered keys.");

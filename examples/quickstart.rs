@@ -26,10 +26,16 @@ fn main() {
 
     let report = &outcome.report;
     println!("\nalgorithm            : {}", report.algorithm);
-    println!("load imbalance       : {:.4} (bound 1 + eps = 1.02 across nodes)", report.imbalance());
+    println!(
+        "load imbalance       : {:.4} (bound 1 + eps = 1.02 across nodes)",
+        report.imbalance()
+    );
     if let Some(sp) = &report.splitters {
         println!("histogramming rounds : {}", sp.rounds_executed());
-        println!("total sample size    : {} keys (vs {} keys of input)", sp.total_sample_size, report.total_keys);
+        println!(
+            "total sample size    : {} keys (vs {} keys of input)",
+            sp.total_sample_size, report.total_keys
+        );
     }
     println!("\nper-phase breakdown (simulated seconds):");
     for (group, seconds) in report.metrics.figure_6_1_breakdown() {

@@ -35,14 +35,24 @@ fn main() {
             HssConfig { epsilon: EPSILON, ..HssConfig::default() }.with_duplicate_tagging(),
         )
         .sort(&mut m, input.clone());
-        print_row(name, "HSS (tagged)", hss.report.imbalance(), hss.report.simulated_seconds(),
-            hss.report.splitters.as_ref().map(|s| s.total_sample_size).unwrap_or(0));
+        print_row(
+            name,
+            "HSS (tagged)",
+            hss.report.imbalance(),
+            hss.report.simulated_seconds(),
+            hss.report.splitters.as_ref().map(|s| s.total_sample_size).unwrap_or(0),
+        );
 
         // Sample sort with regular sampling.
         let mut m = Machine::flat(RANKS);
         let (_, ss) = sample_sort(&mut m, &SampleSortConfig::regular(EPSILON), input.clone());
-        print_row(name, "sample sort (regular)", ss.imbalance(), ss.simulated_seconds(),
-            ss.splitters.as_ref().map(|s| s.total_sample_size).unwrap_or(0));
+        print_row(
+            name,
+            "sample sort (regular)",
+            ss.imbalance(),
+            ss.simulated_seconds(),
+            ss.splitters.as_ref().map(|s| s.total_sample_size).unwrap_or(0),
+        );
 
         // Radix partitioning (no comparison-based splitters).
         let mut m = Machine::flat(RANKS);

@@ -124,17 +124,17 @@ fn generate(args: &Args) -> Vec<Vec<u64>> {
         "uniform" => KeyDistribution::Uniform.generate_per_rank(ranks, keys, seed),
         "normal" => KeyDistribution::Normal { mean_frac: 0.5, std_frac: 0.05 }
             .generate_per_rank(ranks, keys, seed),
-        "exponential" => KeyDistribution::Exponential { scale_frac: 0.001 }
-            .generate_per_rank(ranks, keys, seed),
-        "powerlaw" => {
-            KeyDistribution::PowerLaw { gamma: 4.0 }.generate_per_rank(ranks, keys, seed)
+        "exponential" => {
+            KeyDistribution::Exponential { scale_frac: 0.001 }.generate_per_rank(ranks, keys, seed)
         }
+        "powerlaw" => KeyDistribution::PowerLaw { gamma: 4.0 }.generate_per_rank(ranks, keys, seed),
         "staggered" => KeyDistribution::Staggered.generate_per_rank(ranks, keys, seed),
         "sorted" => KeyDistribution::Sorted.generate_per_rank(ranks, keys, seed),
         "reverse" => KeyDistribution::ReverseSorted.generate_per_rank(ranks, keys, seed),
         "allequal" => KeyDistribution::AllEqual.generate_per_rank(ranks, keys, seed),
-        "fewdistinct" => KeyDistribution::FewDistinct { distinct: 64 }
-            .generate_per_rank(ranks, keys, seed),
+        "fewdistinct" => {
+            KeyDistribution::FewDistinct { distinct: 64 }.generate_per_rank(ranks, keys, seed)
+        }
         "lambb" => ChangaDataset::lambb_like(seed).generate_keys_per_rank(ranks, keys, seed),
         "dwarf" => ChangaDataset::dwarf_like(seed).generate_keys_per_rank(ranks, keys, seed),
         other => {
@@ -145,14 +145,12 @@ fn generate(args: &Args) -> Vec<Vec<u64>> {
 }
 
 fn run(args: &Args, input: Vec<Vec<u64>>) -> (Vec<Vec<u64>>, SortReport) {
-    let mut machine = Machine::new(
-        Topology::new(args.ranks, args.cores_per_node),
-        CostModel::bluegene_like(),
-    );
+    let mut machine =
+        Machine::new(Topology::new(args.ranks, args.cores_per_node), CostModel::bluegene_like());
     match args.algorithm.as_str() {
         "hss" | "hss-one-round" | "hss-scanning" => {
-            let mut config = HssConfig { epsilon: args.epsilon, ..HssConfig::default() }
-                .with_seed(args.seed);
+            let mut config =
+                HssConfig { epsilon: args.epsilon, ..HssConfig::default() }.with_seed(args.seed);
             if args.algorithm == "hss-one-round" {
                 config.schedule = RoundSchedule::Theoretical { rounds: 1 };
             }

@@ -113,7 +113,8 @@ fn regular_sampling_guarantee_is_deterministic() {
 
 #[test]
 fn classic_histogram_sort_matches_hss_output() {
-    let input = KeyDistribution::Exponential { scale_frac: 0.01 }.generate_per_rank(P, KEYS_PER_RANK, 3);
+    let input =
+        KeyDistribution::Exponential { scale_frac: 0.01 }.generate_per_rank(P, KEYS_PER_RANK, 3);
     let mut m1 = Machine::flat(P);
     let (out_classic, _r) =
         histogram_sort(&mut m1, &HistogramSortConfig::new(EPS, P), input.clone());
@@ -134,7 +135,11 @@ fn other_baselines_sort_correctly() {
     let input = KeyDistribution::Uniform.generate_per_rank(P, KEYS_PER_RANK, 13);
 
     let mut machine = Machine::flat(P);
-    let (out, _) = over_partitioning_sort(&mut machine, &OverPartitioningConfig::recommended(P), input.clone());
+    let (out, _) = over_partitioning_sort(
+        &mut machine,
+        &OverPartitioningConfig::recommended(P),
+        input.clone(),
+    );
     verify_global_sort(&input, &out).unwrap();
 
     let mut machine = Machine::flat(P);
@@ -191,7 +196,8 @@ fn changa_datasets_end_to_end_with_all_algorithms() {
         assert!(outcome.report.satisfies(EPS), "{}: {}", ds.name, outcome.report.imbalance());
 
         let mut machine = Machine::flat(P);
-        let (out, _) = histogram_sort(&mut machine, &HistogramSortConfig::new(EPS, P), input.clone());
+        let (out, _) =
+            histogram_sort(&mut machine, &HistogramSortConfig::new(EPS, P), input.clone());
         verify_global_sort(&input, &out).unwrap();
     }
 }

@@ -13,8 +13,9 @@ fn node_level_and_flat_produce_the_same_sorted_sequence() {
     let input = KeyDistribution::Uniform.generate_per_rank(p, 1_000, 9);
 
     let mut flat_machine = Machine::new(Topology::new(p, 8), CostModel::bluegene_like());
-    let flat = HssSorter::new(HssConfig { epsilon: EPS, node_level: false, ..HssConfig::default() })
-        .sort(&mut flat_machine, input.clone());
+    let flat =
+        HssSorter::new(HssConfig { epsilon: EPS, node_level: false, ..HssConfig::default() })
+            .sort(&mut flat_machine, input.clone());
 
     let mut node_machine = Machine::new(Topology::new(p, 8), CostModel::bluegene_like());
     let node = HssSorter::new(HssConfig { epsilon: EPS, ..HssConfig::default() }.with_node_level())
@@ -34,8 +35,9 @@ fn node_level_reduces_messages_and_histogram_volume() {
     let input = KeyDistribution::Uniform.generate_per_rank(p, 1_000, 3);
 
     let mut flat_machine = Machine::new(Topology::new(p, cores), CostModel::bluegene_like());
-    let flat = HssSorter::new(HssConfig { epsilon: EPS, node_level: false, ..HssConfig::default() })
-        .sort(&mut flat_machine, input.clone());
+    let flat =
+        HssSorter::new(HssConfig { epsilon: EPS, node_level: false, ..HssConfig::default() })
+            .sort(&mut flat_machine, input.clone());
 
     let mut node_machine = Machine::new(Topology::new(p, cores), CostModel::bluegene_like());
     let node = HssSorter::new(HssConfig { epsilon: EPS, ..HssConfig::default() }.with_node_level())
@@ -135,10 +137,9 @@ fn records_with_duplicate_keys_keep_payloads_under_tagging() {
         .collect();
     let expected: usize = input.iter().map(|v| v.len()).sum();
     let mut machine = Machine::flat(p);
-    let outcome = HssSorter::new(
-        HssConfig { epsilon: EPS, ..HssConfig::default() }.with_duplicate_tagging(),
-    )
-    .sort(&mut machine, input.clone());
+    let outcome =
+        HssSorter::new(HssConfig { epsilon: EPS, ..HssConfig::default() }.with_duplicate_tagging())
+            .sort(&mut machine, input.clone());
     verify_global_sort(&input, &outcome.data).unwrap();
     assert!(outcome.report.satisfies(EPS), "imbalance {}", outcome.report.imbalance());
     // No payload lost or duplicated.

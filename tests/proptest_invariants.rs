@@ -18,8 +18,19 @@ fn per_rank_input() -> impl Strategy<Value = Vec<Vec<u64>>> {
     vec(vec(any::<u64>(), 0..200), 1..8)
 }
 
+/// Cases per property. The standard `PROPTEST_CASES` variable overrides the
+/// default of 24 so CI can bound the test job's runtime (and nightly jobs
+/// can crank it up); zero or unparsable values fall back to the default.
+fn configured_cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&c| c > 0)
+        .unwrap_or(24)
+}
+
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: configured_cases(), ..ProptestConfig::default() })]
 
     #[test]
     fn hss_sorts_arbitrary_inputs(input in per_rank_input()) {

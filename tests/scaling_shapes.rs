@@ -10,8 +10,7 @@ use hss_repro::sim::Phase as SimPhase;
 
 fn run_hss(p: usize, keys_per_rank: usize, cores_per_node: usize) -> hss_repro::core::SortReport {
     let input = KeyDistribution::Uniform.generate_per_rank(p, keys_per_rank, 7);
-    let mut machine =
-        Machine::new(Topology::new(p, cores_per_node), CostModel::bluegene_like());
+    let mut machine = Machine::new(Topology::new(p, cores_per_node), CostModel::bluegene_like());
     let config = if cores_per_node > 1 {
         HssConfig::paper_cluster()
     } else {
@@ -113,8 +112,8 @@ fn bitonic_data_movement_grows_with_log_squared_p() {
         let _ = bitonic_sort(&mut m1, input.clone());
         let bitonic_words = m1.metrics().phase(SimPhase::DataExchange).comm_words;
         let mut m2 = Machine::flat(p);
-        let _ = HssSorter::new(HssConfig { epsilon: 0.1, ..HssConfig::default() })
-            .sort(&mut m2, input);
+        let _ =
+            HssSorter::new(HssConfig { epsilon: 0.1, ..HssConfig::default() }).sort(&mut m2, input);
         let hss_words = m2.metrics().phase(SimPhase::DataExchange).comm_words;
         (bitonic_words, hss_words)
     };
@@ -139,8 +138,7 @@ fn analytic_and_measured_sample_sizes_agree_in_order_of_magnitude() {
     let outcome = HssSorter::new(HssConfig { epsilon: eps, ..HssConfig::default() })
         .sort(&mut machine, input);
     let measured = outcome.report.splitters.as_ref().unwrap().total_sample_size as f64;
-    let analytic =
-        Algorithm::HssConstantOversampling.sample_size_keys(p, (p * keys) as u64, eps);
+    let analytic = Algorithm::HssConstantOversampling.sample_size_keys(p, (p * keys) as u64, eps);
     let ratio = measured / analytic;
     assert!(
         (0.1..10.0).contains(&ratio),

@@ -5,7 +5,9 @@
 //! the interval bookkeeping and the simulator.
 
 use hss_repro::core::theory;
-use hss_repro::core::{determine_splitters, scanning_splitters, ApproxHistogrammer, HssConfig, RoundSchedule};
+use hss_repro::core::{
+    determine_splitters, scanning_splitters, ApproxHistogrammer, HssConfig, RoundSchedule,
+};
 use hss_repro::partition::{bucket_counts, exact_rank, LoadBalance};
 use hss_repro::prelude::*;
 

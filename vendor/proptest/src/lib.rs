@@ -1,0 +1,308 @@
+//! Offline vendored stub of the `proptest` API surface this workspace uses.
+//!
+//! The build container has no network access, so this crate re-implements
+//! the pieces the test-suite relies on: the [`Strategy`] trait with an
+//! associated `Value`, `any::<T>()`, range and tuple strategies,
+//! [`collection::vec`], the [`proptest!`] macro (including
+//! `#![proptest_config(..)]`), [`ProptestConfig`], and the `prop_assert*`
+//! macros.
+//!
+//! Unlike real proptest there is **no shrinking**: a failing case panics
+//! with the sampled inputs' debug output. Case counts come from
+//! [`ProptestConfig::cases`], whose default honours the `PROPTEST_CASES`
+//! environment variable so CI can bound test time.
+
+#![warn(missing_docs)]
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::ops::Range;
+
+/// The generator driving all strategies (deterministic per test).
+pub type TestRng = SmallRng;
+
+/// Runner configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases each `#[test]` inside [`proptest!`] runs.
+    pub cases: u32,
+    /// Accepted for source compatibility; the stub never shrinks.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases =
+            std::env::var("PROPTEST_CASES").ok().and_then(|s| s.parse().ok()).unwrap_or(256);
+        ProptestConfig { cases, max_shrink_iters: 0 }
+    }
+}
+
+impl ProptestConfig {
+    /// Construct a config running `cases` cases (mirrors the real crate).
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases, ..ProptestConfig::default() }
+    }
+}
+
+/// A source of arbitrary values: the stub's take on `proptest::Strategy`.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draw one value. (Real proptest builds a value *tree* to support
+    /// shrinking; the stub just samples.)
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Strategy for "any value of `T`", produced by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Uniformly sample any value of `T` (mirrors `proptest::prelude::any`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Types with a canonical "whole domain" strategy.
+pub trait Arbitrary: Sized {
+    /// Draw a uniformly arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty => $gen:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.gen::<$gen>() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => u64, i16 => u64, i32 => u64, i64 => u64, isize => u64
+);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite, sign-balanced, wide dynamic range; avoids NaN/inf which
+        // the real `any::<f64>()` also excludes by default.
+        let mag: f64 = rng.gen::<f64>() * 1e12;
+        if rng.gen::<bool>() {
+            mag
+        } else {
+            -mag
+        }
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64, f32);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// Collection strategies (mirrors `proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<T>` with a length drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `Vec` strategy: each element from `element`, length uniform in
+    /// `len` (mirrors `proptest::collection::vec`).
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let n = if self.len.start + 1 >= self.len.end {
+                self.len.start
+            } else {
+                rng.gen_range(self.len.clone())
+            };
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Build the deterministic per-test generator: seeded from the test name,
+/// or from `PROPTEST_RNG_SEED` when set (for reproducing CI failures).
+pub fn test_rng(test_name: &str) -> TestRng {
+    if let Ok(seed) = std::env::var("PROPTEST_RNG_SEED") {
+        if let Ok(seed) = seed.parse::<u64>() {
+            return TestRng::seed_from_u64(seed);
+        }
+    }
+    // FNV-1a over the test name keeps runs reproducible across processes.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    TestRng::seed_from_u64(h)
+}
+
+/// The macro-driven test runner: everything `use proptest::prelude::*`
+/// normally brings in.
+pub mod prelude {
+    pub use crate::collection::vec as prop_vec;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, ProptestConfig,
+        Strategy,
+    };
+}
+
+/// Define property tests (stub of `proptest::proptest!`).
+///
+/// Supports the forms this workspace uses: an optional leading
+/// `#![proptest_config(expr)]`, then `#[test] fn name(pat in strategy, ...)
+/// { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr); $( $(#[$meta:meta])* fn $name:ident ( $($pat:pat in $strat:expr),* $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::test_rng(stringify!($name));
+                for __case in 0..config.cases {
+                    $(let $pat = $crate::Strategy::sample(&($strat), &mut rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` under [`proptest!`] (no shrinking in the stub).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// `assert_eq!` under [`proptest!`] (no shrinking in the stub).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// `assert_ne!` under [`proptest!`] (no shrinking in the stub).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::collection::vec;
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..9, y in 0.5f64..2.0) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((0.5..2.0).contains(&y));
+        }
+
+        #[test]
+        fn vec_lengths_respect_range(v in vec(any::<u32>(), 2..5)) {
+            prop_assert!((2..5).contains(&v.len()));
+        }
+
+        #[test]
+        fn tuples_and_mut_patterns_work(mut pair in (any::<u64>(), 1usize..4)) {
+            pair.0 = pair.0.wrapping_add(1);
+            prop_assert!(pair.1 >= 1);
+            prop_assert_ne!(pair.1, 0);
+        }
+    }
+
+    #[test]
+    fn config_default_reads_env() {
+        // Whatever the ambient env, the default must be positive.
+        assert!(ProptestConfig::default().cases > 0);
+    }
+
+    #[test]
+    fn nested_vec_strategy_composes() {
+        let strat = vec(vec(any::<u64>(), 0..3), 1..4);
+        let mut rng = crate::test_rng("nested");
+        for _ in 0..50 {
+            let v = crate::Strategy::sample(&strat, &mut rng);
+            assert!((1..4).contains(&v.len()));
+            assert!(v.iter().all(|inner| inner.len() < 3));
+        }
+    }
+}

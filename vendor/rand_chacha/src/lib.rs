@@ -1,0 +1,139 @@
+//! Offline vendored stub of `rand_chacha`: a real ChaCha8 keystream
+//! generator behind the workspace's [`rand`] stub traits.
+//!
+//! The block function is the genuine ChaCha quarter-round construction with
+//! 8 rounds, keyed by a SplitMix64 expansion of the 64-bit seed, so streams
+//! are deterministic and high-quality. They are **not** byte-compatible with
+//! the real `rand_chacha` crate (which seeds differently); nothing in this
+//! workspace depends on that.
+
+#![warn(missing_docs)]
+
+use rand::{RngCore, SeedableRng};
+
+/// A ChaCha generator with 8 rounds, mirroring `rand_chacha::ChaCha8Rng`.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// Key + counter state fed to the block function.
+    state: [u32; 16],
+    /// Buffered keystream words from the current block.
+    buf: [u32; 16],
+    /// Next unread index into `buf`; 16 means "buffer exhausted".
+    idx: usize,
+}
+
+const CHACHA_CONST: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline]
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut working = self.state;
+        for _ in 0..4 {
+            // 8 rounds = 4 double-rounds (column round + diagonal round).
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (out, (w, s)) in self.buf.iter_mut().zip(working.iter().zip(self.state.iter())) {
+            *out = w.wrapping_add(*s);
+        }
+        // 64-bit block counter in words 12..14.
+        let (lo, carry) = self.state[12].overflowing_add(1);
+        self.state[12] = lo;
+        if carry {
+            self.state[13] = self.state[13].wrapping_add(1);
+        }
+        self.idx = 0;
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(state: u64) -> Self {
+        // SplitMix64 expansion of the seed into the 256-bit key.
+        let mut sm = state;
+        let mut next = move || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let mut st = [0u32; 16];
+        st[..4].copy_from_slice(&CHACHA_CONST);
+        for i in 0..4 {
+            let k = next();
+            st[4 + 2 * i] = k as u32;
+            st[5 + 2 * i] = (k >> 32) as u32;
+        }
+        // Words 12..16: block counter and nonce, all zero initially.
+        ChaCha8Rng { state: st, buf: [0; 16], idx: 16 }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u64(&mut self) -> u64 {
+        if self.idx + 2 > 16 {
+            self.refill();
+        }
+        let lo = self.buf[self.idx] as u64;
+        let hi = self.buf[self.idx + 1] as u64;
+        self.idx += 2;
+        lo | (hi << 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ChaCha8Rng;
+    use rand::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = ChaCha8Rng::seed_from_u64(0x5EED);
+        let mut b = ChaCha8Rng::seed_from_u64(0x5EED);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4, "streams should diverge, {same}/64 matched");
+    }
+
+    #[test]
+    fn keystream_is_roughly_balanced() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let ones: u32 = (0..1024).map(|_| rng.next_u64().count_ones()).sum();
+        // 1024 draws * 64 bits: expect ~32768 set bits.
+        assert!((31_000..34_000).contains(&ones), "{ones} set bits");
+    }
+
+    #[test]
+    fn works_through_rng_trait() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let x = rng.gen_range(0u64..100);
+        assert!(x < 100);
+        let f: f64 = rng.gen();
+        assert!((0.0..1.0).contains(&f));
+    }
+}

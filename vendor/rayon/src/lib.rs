@@ -1,0 +1,103 @@
+//! Offline vendored stub of the `rayon` parallel-iterator API surface this
+//! workspace uses.
+//!
+//! `par_iter` / `par_iter_mut` / `into_par_iter` simply return the standard
+//! sequential iterators, so every adapter (`map`, `zip`, `collect`, ...) is
+//! the plain [`Iterator`] machinery and results are bitwise identical to the
+//! sequential code path. The build container has no network access, so real
+//! work-stealing parallelism is deferred until the genuine crate (or a
+//! thread-pool implementation here) can be dropped in — the call sites won't
+//! have to change.
+
+#![warn(missing_docs)]
+
+/// Conversion into a "parallel" (here: sequential) iterator by value.
+pub trait IntoParallelIterator: IntoIterator + Sized {
+    /// Mirror of `rayon::iter::IntoParallelIterator::into_par_iter`.
+    fn into_par_iter(self) -> Self::IntoIter {
+        self.into_iter()
+    }
+}
+
+impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+
+/// Conversion into a "parallel" iterator over shared references.
+pub trait IntoParallelRefIterator<'data> {
+    /// The iterator produced by [`IntoParallelRefIterator::par_iter`].
+    type Iter: Iterator;
+
+    /// Mirror of `rayon::iter::IntoParallelRefIterator::par_iter`.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, T: 'data + ?Sized> IntoParallelRefIterator<'data> for T
+where
+    &'data T: IntoIterator,
+{
+    type Iter = <&'data T as IntoIterator>::IntoIter;
+
+    fn par_iter(&'data self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Conversion into a "parallel" iterator over mutable references.
+pub trait IntoParallelRefMutIterator<'data> {
+    /// The iterator produced by [`IntoParallelRefMutIterator::par_iter_mut`].
+    type Iter: Iterator;
+
+    /// Mirror of `rayon::iter::IntoParallelRefMutIterator::par_iter_mut`.
+    fn par_iter_mut(&'data mut self) -> Self::Iter;
+}
+
+impl<'data, T: 'data + ?Sized> IntoParallelRefMutIterator<'data> for T
+where
+    &'data mut T: IntoIterator,
+{
+    type Iter = <&'data mut T as IntoIterator>::IntoIter;
+
+    fn par_iter_mut(&'data mut self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Run two closures (sequentially here; in parallel under real rayon).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// The number of threads the "pool" uses (always 1 in this stub).
+pub fn current_num_threads() -> usize {
+    1
+}
+
+/// Everything call sites normally import via `use rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_adapters_match_sequential() {
+        let v = vec![3u64, 1, 2];
+        let doubled: Vec<u64> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![6, 2, 4]);
+
+        let mut w = v.clone();
+        w.par_iter_mut().for_each(|x| *x += 1);
+        assert_eq!(w, vec![4, 2, 3]);
+
+        let sum: u64 = v.into_par_iter().sum();
+        assert_eq!(sum, 6);
+
+        let (a, b) = super::join(|| 1, || 2);
+        assert_eq!((a, b), (1, 2));
+    }
+}

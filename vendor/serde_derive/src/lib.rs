@@ -1,0 +1,470 @@
+//! Offline vendored stub of `serde_derive`.
+//!
+//! The build container has no network access, so `syn`/`quote` are
+//! unavailable; this crate parses the derive input directly from
+//! [`proc_macro::TokenTree`]s. It supports the shapes this workspace
+//! actually uses: named structs, tuple structs, unit structs, and enums with
+//! unit / tuple / struct variants, all optionally generic.
+//!
+//! `#[derive(Serialize)]` generates a field-by-field
+//! `impl serde::Serialize` producing the vendored [`serde::Value`] tree with
+//! real serde's externally-tagged layout. `#[derive(Deserialize)]` emits the
+//! stub's marker impl.
+
+#![warn(missing_docs)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive the vendored `serde::Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = serialize_body(&item);
+    let impl_block = format!(
+        "impl{generics} ::serde::Serialize for {name}{ty_args} {where_clause} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}",
+        generics = item.generics_decl(),
+        name = item.name,
+        ty_args = item.generics_args(),
+        where_clause = item.where_clause("::serde::Serialize"),
+        body = body,
+    );
+    impl_block.parse().expect("serde_derive stub generated invalid Serialize impl")
+}
+
+/// Derive the vendored `serde::Deserialize` marker trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let impl_block = format!(
+        "impl{generics} ::serde::Deserialize for {name}{ty_args} {where_clause} {{}}",
+        generics = item.generics_decl(),
+        name = item.name,
+        ty_args = item.generics_args(),
+        where_clause = item.where_clause("::serde::Deserialize"),
+    );
+    impl_block.parse().expect("serde_derive stub generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Parsed item model
+// ---------------------------------------------------------------------------
+
+struct Field {
+    /// `Some(name)` for named fields, `None` for tuple positions.
+    name: Option<String>,
+    /// The field's type, as source text.
+    ty: String,
+}
+
+enum Shape {
+    NamedStruct(Vec<Field>),
+    TupleStruct(Vec<Field>),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(Vec<Field>),
+    Named(Vec<Field>),
+}
+
+struct Item {
+    name: String,
+    /// Raw generic tokens between `<` and `>`, e.g. `K: Ord + Clone`.
+    generics: String,
+    /// Just the parameter names, e.g. `K`.
+    generic_names: Vec<String>,
+    /// Raw predicates from an explicit `where` clause, if any.
+    where_predicates: String,
+    shape: Shape,
+}
+
+impl Item {
+    fn generics_decl(&self) -> String {
+        if self.generics.is_empty() {
+            String::new()
+        } else {
+            format!("<{}>", self.generics)
+        }
+    }
+
+    fn generics_args(&self) -> String {
+        if self.generic_names.is_empty() {
+            String::new()
+        } else {
+            format!("<{}>", self.generic_names.join(", "))
+        }
+    }
+
+    /// Build a `where` clause: the item's own predicates plus, for generic
+    /// items, a `FieldTy: {bound}` predicate per field (the synstructure
+    /// trick — avoids re-parsing the declared bounds).
+    fn where_clause(&self, bound: &str) -> String {
+        let mut preds: Vec<String> = Vec::new();
+        if !self.where_predicates.is_empty() {
+            preds.push(self.where_predicates.clone());
+        }
+        if !self.generic_names.is_empty() {
+            let mut seen = std::collections::BTreeSet::new();
+            for f in self.all_fields() {
+                if seen.insert(f.ty.clone()) {
+                    preds.push(format!("{}: {}", f.ty, bound));
+                }
+            }
+        }
+        if preds.is_empty() {
+            String::new()
+        } else {
+            format!("where {}", preds.join(", "))
+        }
+    }
+
+    fn all_fields(&self) -> Vec<&Field> {
+        match &self.shape {
+            Shape::NamedStruct(fs) | Shape::TupleStruct(fs) => fs.iter().collect(),
+            Shape::UnitStruct => Vec::new(),
+            Shape::Enum(vs) => vs
+                .iter()
+                .flat_map(|v| match &v.shape {
+                    VariantShape::Unit => &[] as &[Field],
+                    VariantShape::Tuple(fs) | VariantShape::Named(fs) => fs.as_slice(),
+                })
+                .collect(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn object_literal(pairs: &[(String, String)]) -> String {
+    let entries: Vec<String> =
+        pairs.iter().map(|(k, v)| format!("({:?}.to_string(), {v})", k)).collect();
+    format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+}
+
+fn serialize_body(item: &Item) -> String {
+    match &item.shape {
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::NamedStruct(fields) => {
+            let pairs: Vec<(String, String)> = fields
+                .iter()
+                .map(|f| {
+                    let name = f.name.as_ref().expect("named field");
+                    (name.clone(), format!("::serde::Serialize::to_value(&self.{name})"))
+                })
+                .collect();
+            object_literal(&pairs)
+        }
+        Shape::TupleStruct(fields) if fields.len() == 1 => {
+            // Newtype structs serialize transparently, like real serde.
+            "::serde::Serialize::to_value(&self.0)".to_string()
+        }
+        Shape::TupleStruct(fields) => {
+            let items: Vec<String> = (0..fields.len())
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    let path = format!("{}::{}", item.name, vname);
+                    match &v.shape {
+                        VariantShape::Unit => format!(
+                            "{path} => ::serde::Value::String({vname:?}.to_string()),"
+                        ),
+                        VariantShape::Tuple(fields) => {
+                            let binders: Vec<String> =
+                                (0..fields.len()).map(|i| format!("f{i}")).collect();
+                            let inner = if fields.len() == 1 {
+                                "::serde::Serialize::to_value(f0)".to_string()
+                            } else {
+                                let items: Vec<String> = binders
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect();
+                                format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                            };
+                            format!(
+                                "{path}({binds}) => ::serde::Value::Object(vec![({vname:?}.to_string(), {inner})]),",
+                                binds = binders.join(", "),
+                            )
+                        }
+                        VariantShape::Named(fields) => {
+                            let names: Vec<String> = fields
+                                .iter()
+                                .map(|f| f.name.clone().expect("named field"))
+                                .collect();
+                            let pairs: Vec<(String, String)> = names
+                                .iter()
+                                .map(|n| (n.clone(), format!("::serde::Serialize::to_value({n})")))
+                                .collect();
+                            let inner = object_literal(&pairs);
+                            format!(
+                                "{path} {{ {binds} }} => ::serde::Value::Object(vec![({vname:?}.to_string(), {inner})]),",
+                                binds = names.join(", "),
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join("\n"))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TokenTree parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+
+    skip_attributes_and_visibility(&tokens, &mut pos);
+
+    let kind = match &tokens[pos] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive stub: expected `struct` or `enum`, found {other}"),
+    };
+    pos += 1;
+
+    let name = match &tokens[pos] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive stub: expected item name, found {other}"),
+    };
+    pos += 1;
+
+    let (generics, generic_names) = parse_generics(&tokens, &mut pos);
+    let where_predicates = parse_where(&tokens, &mut pos);
+
+    let shape = match kind.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(parse_tuple_fields(g.stream()))
+            }
+            _ => Shape::UnitStruct,
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive stub: expected enum body, found {other:?}"),
+        },
+        other => panic!("serde_derive stub: cannot derive for `{other}` items"),
+    };
+
+    Item { name, generics, generic_names, where_predicates, shape }
+}
+
+/// Advance past `#[...]` attributes (including doc comments) and any
+/// `pub` / `pub(...)` visibility.
+fn skip_attributes_and_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *pos += 1; // '#'
+                if matches!(tokens.get(*pos), Some(TokenTree::Group(_))) {
+                    *pos += 1; // the [...] group
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *pos += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *pos += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parse `<...>` generics if present. Returns (raw declaration text,
+/// parameter names).
+fn parse_generics(tokens: &[TokenTree], pos: &mut usize) -> (String, Vec<String>) {
+    match tokens.get(*pos) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {}
+        _ => return (String::new(), Vec::new()),
+    }
+    *pos += 1;
+    let mut depth = 1usize;
+    let mut inner: Vec<TokenTree> = Vec::new();
+    while depth > 0 {
+        let tok = tokens.get(*pos).expect("serde_derive stub: unterminated generics").clone();
+        *pos += 1;
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        inner.push(tok);
+    }
+    let decl = tokens_to_string(&inner);
+    let names = split_top_level(&inner)
+        .into_iter()
+        .filter_map(|chunk| generic_param_name(&chunk))
+        .collect();
+    (decl, names)
+}
+
+/// First identifier of a generic-parameter chunk: the parameter name (after
+/// `const` for const generics, with the leading quote for lifetimes).
+fn generic_param_name(chunk: &[TokenTree]) -> Option<String> {
+    let mut i = 0;
+    if let Some(TokenTree::Punct(p)) = chunk.first() {
+        if p.as_char() == '\'' {
+            if let Some(TokenTree::Ident(id)) = chunk.get(1) {
+                return Some(format!("'{id}"));
+            }
+        }
+    }
+    if let Some(TokenTree::Ident(id)) = chunk.first() {
+        if id.to_string() == "const" {
+            i = 1;
+        }
+    }
+    match chunk.get(i) {
+        Some(TokenTree::Ident(id)) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+/// Parse an explicit `where` clause (predicates up to the item body).
+fn parse_where(tokens: &[TokenTree], pos: &mut usize) -> String {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "where" => {}
+        _ => return String::new(),
+    }
+    *pos += 1;
+    let mut preds: Vec<TokenTree> = Vec::new();
+    while let Some(tok) = tokens.get(*pos) {
+        if let TokenTree::Group(g) = tok {
+            if g.delimiter() == Delimiter::Brace {
+                break;
+            }
+        }
+        if let TokenTree::Punct(p) = tok {
+            if p.as_char() == ';' {
+                break;
+            }
+        }
+        preds.push(tok.clone());
+        *pos += 1;
+    }
+    tokens_to_string(&preds)
+}
+
+/// Split a token list on commas that sit outside any `<...>` nesting
+/// (grouped delimiters are already opaque `TokenTree::Group`s).
+fn split_top_level(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut chunks = Vec::new();
+    let mut current = Vec::new();
+    let mut angle = 0usize;
+    for tok in tokens {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle = angle.saturating_sub(1),
+                ',' if angle == 0 => {
+                    chunks.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(tok.clone());
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    chunks
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    split_top_level(&tokens)
+        .into_iter()
+        .filter_map(|chunk| {
+            let mut pos = 0;
+            skip_attributes_and_visibility(&chunk, &mut pos);
+            let name = match chunk.get(pos) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                _ => return None,
+            };
+            pos += 1;
+            match chunk.get(pos) {
+                Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+                _ => return None,
+            }
+            Some(Field { name: Some(name), ty: tokens_to_string(&chunk[pos..]) })
+        })
+        .collect()
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    split_top_level(&tokens)
+        .into_iter()
+        .map(|chunk| {
+            let mut pos = 0;
+            skip_attributes_and_visibility(&chunk, &mut pos);
+            Field { name: None, ty: tokens_to_string(&chunk[pos..]) }
+        })
+        .collect()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    split_top_level(&tokens)
+        .into_iter()
+        .filter_map(|chunk| {
+            let mut pos = 0;
+            skip_attributes_and_visibility(&chunk, &mut pos);
+            let name = match chunk.get(pos) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                _ => return None,
+            };
+            pos += 1;
+            let shape = match chunk.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantShape::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VariantShape::Tuple(parse_tuple_fields(g.stream()))
+                }
+                // `Variant = 3` discriminants and plain unit variants.
+                _ => VariantShape::Unit,
+            };
+            Some(Variant { name, shape })
+        })
+        .collect()
+}
+
+fn tokens_to_string(tokens: &[TokenTree]) -> String {
+    let stream: TokenStream = tokens.iter().cloned().collect();
+    stream.to_string()
+}

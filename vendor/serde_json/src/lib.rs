@@ -1,0 +1,171 @@
+//! Offline vendored stub of the `serde_json` API surface this workspace
+//! uses: pretty (and compact) printing of the vendored [`serde::Value`]
+//! tree produced by `#[derive(Serialize)]`.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+pub use serde::Value;
+
+/// Error type for JSON serialization (the stub serializer is total, so this
+/// is never produced; it exists so call sites can keep matching `Result`).
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize `value` as a human-readable, 2-space-indented JSON string.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut printer = Printer { out: String::new(), pretty: true };
+    printer.write_value(&value.to_value(), 0);
+    Ok(printer.out)
+}
+
+/// Serialize `value` as a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut printer = Printer { out: String::new(), pretty: false };
+    printer.write_value(&value.to_value(), 0);
+    Ok(printer.out)
+}
+
+struct Printer {
+    out: String,
+    pretty: bool,
+}
+
+impl Printer {
+    fn write_value(&mut self, v: &Value, indent: usize) {
+        match v {
+            Value::Null => self.out.push_str("null"),
+            Value::Bool(b) => self.out.push_str(if *b { "true" } else { "false" }),
+            Value::UInt(n) => self.out.push_str(&n.to_string()),
+            Value::Int(n) => self.out.push_str(&n.to_string()),
+            Value::Float(x) => self.write_float(*x),
+            Value::String(s) => self.write_escaped(s),
+            Value::Array(items) => {
+                self.write_seq('[', ']', items.len(), indent, |p, i, ind| {
+                    p.write_value(&items[i], ind);
+                });
+            }
+            Value::Object(entries) => {
+                self.write_seq('{', '}', entries.len(), indent, |p, i, ind| {
+                    let (k, val) = &entries[i];
+                    p.write_escaped(k);
+                    p.out.push(':');
+                    if p.pretty {
+                        p.out.push(' ');
+                    }
+                    p.write_value(val, ind);
+                });
+            }
+        }
+    }
+
+    fn write_seq(
+        &mut self,
+        open: char,
+        close: char,
+        len: usize,
+        indent: usize,
+        mut write_item: impl FnMut(&mut Self, usize, usize),
+    ) {
+        self.out.push(open);
+        if len == 0 {
+            self.out.push(close);
+            return;
+        }
+        for i in 0..len {
+            if i > 0 {
+                self.out.push(',');
+            }
+            self.newline_indent(indent + 1);
+            write_item(self, i, indent + 1);
+        }
+        self.newline_indent(indent);
+        self.out.push(close);
+    }
+
+    fn newline_indent(&mut self, indent: usize) {
+        if self.pretty {
+            self.out.push('\n');
+            for _ in 0..indent {
+                self.out.push_str("  ");
+            }
+        }
+    }
+
+    fn write_float(&mut self, x: f64) {
+        if x.is_finite() {
+            let s = x.to_string();
+            self.out.push_str(&s);
+            // Keep floats recognizably floats, as serde_json does.
+            if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+                self.out.push_str(".0");
+            }
+        } else {
+            // Real serde_json errors on non-finite floats; emitting null
+            // keeps experiment dumps usable instead of aborting a long run.
+            self.out.push_str("null");
+        }
+    }
+
+    fn write_escaped(&mut self, s: &str) {
+        self.out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                '\r' => self.out.push_str("\\r"),
+                '\t' => self.out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    self.out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{to_string, to_string_pretty, Value};
+
+    #[test]
+    fn compact_output_matches_expected_json() {
+        let v = Value::Object(vec![
+            ("name".to_string(), Value::String("hss".to_string())),
+            ("p".to_string(), Value::UInt(64)),
+            ("eps".to_string(), Value::Float(0.5)),
+            ("tags".to_string(), Value::Array(vec![Value::Bool(true), Value::Null])),
+        ]);
+        assert_eq!(to_string(&v).unwrap(), r#"{"name":"hss","p":64,"eps":0.5,"tags":[true,null]}"#);
+    }
+
+    #[test]
+    fn pretty_output_is_indented() {
+        let v = Value::Object(vec![("a".to_string(), Value::Array(vec![Value::UInt(1)]))]);
+        assert_eq!(to_string_pretty(&v).unwrap(), "{\n  \"a\": [\n    1\n  ]\n}");
+    }
+
+    #[test]
+    fn floats_stay_floats_and_strings_escape() {
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(to_string("a\"b\n").unwrap(), r#""a\"b\n""#);
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+    }
+
+    #[test]
+    fn empty_containers_render_closed() {
+        assert_eq!(to_string_pretty(&Value::Array(vec![])).unwrap(), "[]");
+        assert_eq!(to_string_pretty(&Value::Object(vec![])).unwrap(), "{}");
+    }
+}
