@@ -1,0 +1,44 @@
+//! Self-speedup sweep: how end-to-end wall-clock time scales with the
+//! number of *host* OS threads in the vendored rayon pool.
+//!
+//! This is the one experiment about real concurrency rather than simulated
+//! concurrency: the simulated cost of the sort is identical at every thread
+//! count (asserted in `experiments::tests`), while wall-clock time shrinks
+//! with threads as far as the host's cores allow.  Results are written to
+//! `results/self_speedup.json` like every other experiment.
+//!
+//! The same sweep can be driven through the demo binary, one process per
+//! point: `hss-demo --threads <N>`.
+
+use hss_bench::experiments::self_speedup_rows;
+use hss_bench::output::{print_table, save_json};
+use hss_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    let seed = hss_bench::experiment_seed();
+    let rows = self_speedup_rows(scale, seed);
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.host_threads.to_string(),
+                format!("{:.4}", r.wall_seconds),
+                format!("{:.2}x", r.speedup_vs_one_thread),
+                format!("{:.6}", r.simulated_seconds),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "Self-speedup, {} ranks x {} keys/rank, {} host CPU(s)",
+            rows.first().map(|r| r.ranks).unwrap_or(0),
+            rows.first().map(|r| r.keys_per_rank).unwrap_or(0),
+            rows.first().map(|r| r.host_cpus).unwrap_or(0),
+        ),
+        &["host threads", "wall s", "speedup", "simulated s"],
+        &table,
+    );
+    save_json("self_speedup.json", &rows);
+}

@@ -388,9 +388,95 @@ fn figure_6_2_row(
     }
 }
 
+// ---------------------------------------------------------------------------
+// Self-speedup — real host parallelism of the vendored rayon pool
+// ---------------------------------------------------------------------------
+
+/// One point of the self-speedup sweep: a full HSS sort executed on a pool
+/// with `host_threads` real OS threads.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SelfSpeedupRow {
+    /// Number of host OS threads in the pool for this run.
+    pub host_threads: usize,
+    /// Simulated ranks the sort ran on.
+    pub ranks: usize,
+    /// Keys per simulated rank.
+    pub keys_per_rank: usize,
+    /// Host wall-clock seconds for the end-to-end sort.
+    pub wall_seconds: f64,
+    /// `wall_seconds(1 thread) / wall_seconds(this run)`.
+    pub speedup_vs_one_thread: f64,
+    /// Simulated seconds charged by the cost model (must be identical
+    /// across thread counts — real host concurrency never changes the
+    /// simulated outcome).
+    pub simulated_seconds: f64,
+    /// Host CPUs visible to the process, for interpreting the curve.
+    pub host_cpus: usize,
+}
+
+/// Sweep the vendored rayon pool over the scale's thread counts, sorting
+/// the same workload end to end at each count, and report wall-clock
+/// scaling.  Unlike every other experiment here, the interesting quantity
+/// is *host* time, not simulated time: this measures whether the local
+/// phases of the simulator really run concurrently.
+pub fn self_speedup_rows(scale: Scale, seed: u64) -> Vec<SelfSpeedupRow> {
+    let (ranks, keys_per_rank) = scale.self_speedup_size();
+    let input = KeyDistribution::Uniform.generate_per_rank(ranks, keys_per_rank, seed);
+    let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut rows: Vec<SelfSpeedupRow> = Vec::new();
+    for threads in scale.self_speedup_threads() {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("self-speedup pool");
+        let (wall_seconds, simulated_seconds) = pool.install(|| {
+            let mut machine = Machine::new(Topology::flat(ranks), CostModel::bluegene_like());
+            let sorter =
+                HssSorter::new(HssConfig { epsilon: 0.05, ..HssConfig::default() }.with_seed(seed));
+            let start = std::time::Instant::now();
+            let outcome = sorter.sort(&mut machine, input.clone());
+            let wall = start.elapsed().as_secs_f64();
+            assert_eq!(
+                outcome.report.total_keys,
+                (ranks * keys_per_rank) as u64,
+                "self-speedup run lost keys"
+            );
+            (wall, outcome.report.simulated_seconds())
+        });
+        let base = rows.first().map(|r: &SelfSpeedupRow| r.wall_seconds).unwrap_or(wall_seconds);
+        rows.push(SelfSpeedupRow {
+            host_threads: threads,
+            ranks,
+            keys_per_rank,
+            wall_seconds,
+            speedup_vs_one_thread: if wall_seconds > 0.0 { base / wall_seconds } else { 1.0 },
+            simulated_seconds,
+            host_cpus,
+        });
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn self_speedup_rows_are_consistent() {
+        let rows = self_speedup_rows(Scale::Smoke, 11);
+        assert_eq!(rows.len(), Scale::Smoke.self_speedup_threads().len());
+        // The simulated outcome must not depend on host concurrency.
+        for row in &rows {
+            assert_eq!(
+                row.simulated_seconds.to_bits(),
+                rows[0].simulated_seconds.to_bits(),
+                "simulated time changed with host threads"
+            );
+            assert!(row.wall_seconds > 0.0);
+            assert!(row.speedup_vs_one_thread > 0.0);
+        }
+        assert_eq!(rows[0].speedup_vs_one_thread, 1.0);
+    }
 
     #[test]
     fn table_5_1_rows_preserve_paper_ordering() {

@@ -102,6 +102,25 @@ impl Scale {
             Scale::Full => vec![1024, 4096],
         }
     }
+
+    /// Host thread counts swept by the self-speedup experiment (real
+    /// parallelism of the vendored rayon pool, not simulated ranks).
+    pub fn self_speedup_threads(&self) -> Vec<usize> {
+        match self {
+            Scale::Smoke => vec![1, 2],
+            Scale::Default => vec![1, 2, 4, 8],
+            Scale::Full => vec![1, 2, 4, 8, 16],
+        }
+    }
+
+    /// `(simulated ranks, keys per rank)` for the self-speedup experiment.
+    pub fn self_speedup_size(&self) -> (usize, usize) {
+        match self {
+            Scale::Smoke => (32, 2_000),
+            Scale::Default => (64, 20_000),
+            Scale::Full => (128, 50_000),
+        }
+    }
 }
 
 impl fmt::Display for Scale {

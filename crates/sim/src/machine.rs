@@ -7,9 +7,15 @@
 //! simulated time the cost model charges, how many messages and words the
 //! collectives move, and the wall-clock time actually spent.
 //!
-//! Local phases execute for real, in parallel across ranks using rayon
-//! (each simulated rank's closure runs on some worker thread), so all data
-//! movement and all results are exact; only *time* is additionally modelled.
+//! Local phases execute for real, in parallel across ranks using the
+//! vendored rayon thread pool (each simulated rank's closure runs on some
+//! worker OS thread), so all data movement and all results are exact; only
+//! *time* is additionally modelled.  [`Parallelism::Sequential`] runs the
+//! same closures on the calling thread and is the determinism oracle: for
+//! every algorithm, both modes must produce bitwise-identical data and
+//! identical simulated costs (see `tests/parallel_differential.rs`), while
+//! the metrics record the real host-thread count separately so reports can
+//! distinguish host concurrency from simulated `p`-rank concurrency.
 
 use std::time::Instant;
 
@@ -176,7 +182,18 @@ impl Machine {
         s
     }
 
+    /// Host OS threads available for executing local phases under the
+    /// current parallelism mode (1 for [`Parallelism::Sequential`]).
+    pub fn host_threads(&self) -> u64 {
+        match self.parallelism {
+            Parallelism::Rayon => rayon::current_num_threads() as u64,
+            Parallelism::Sequential => 1,
+        }
+    }
+
     pub(crate) fn record(&mut self, phase: Phase, label: &'static str, metrics: PhaseMetrics) {
+        let host_threads = self.host_threads();
+        self.metrics.note_host_threads(host_threads);
         let step = self.next_superstep();
         self.trace.push(TraceEvent {
             superstep: step,
@@ -357,21 +374,68 @@ mod tests {
 
     #[test]
     fn sequential_and_rayon_give_identical_results() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+
+        // Force a pool with two real OS threads regardless of the host's
+        // core count or RAYON_NUM_THREADS, so the Rayon path is genuinely
+        // parallel (the historical version of this test ran against a
+        // sequential rayon stub and was vacuously true).
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(2).build().expect("test pool");
+
         let data: Vec<Vec<u64>> =
             (0..16).map(|r| (0..100).map(|i| (r * 31 + i) as u64).collect()).collect();
         let mut seq = Machine::flat(16).with_parallelism(Parallelism::Sequential);
-        let mut par = Machine::flat(16).with_parallelism(Parallelism::Rayon);
         let a = seq.map_phase(Phase::Other, &data, |_, local| {
             (local.iter().sum::<u64>(), Work::scan(local.len()))
         });
-        let b = par.map_phase(Phase::Other, &data, |_, local| {
-            (local.iter().sum::<u64>(), Work::scan(local.len()))
+
+        let thread_ids = Mutex::new(HashSet::new());
+        let (b, par_metrics) = pool.install(|| {
+            let mut par = Machine::flat(16).with_parallelism(Parallelism::Rayon);
+            let b = par.map_phase(Phase::Other, &data, |_, local| {
+                thread_ids.lock().unwrap().insert(std::thread::current().id());
+                (local.iter().sum::<u64>(), Work::scan(local.len()))
+            });
+            (b, par.metrics().clone())
         });
+
+        // Identical per-rank data...
         assert_eq!(a, b);
-        // Simulated time is deterministic and identical in both modes.
+        // ... and identical simulated-cost accounting, bit for bit (only
+        // wall time and host threads may differ between the modes).
+        assert_eq!(seq.metrics().deterministic_signature(), par_metrics.deterministic_signature());
+        assert_eq!(par_metrics.host_threads(), 2);
+        assert_eq!(seq.metrics().host_threads(), 1);
+        // The Rayon path really ran on pool worker threads.
+        assert!(!thread_ids.lock().unwrap().contains(&std::thread::current().id()));
+    }
+
+    #[test]
+    fn rayon_phase_uses_multiple_os_threads() {
+        use std::collections::HashSet;
+        use std::sync::{Barrier, Mutex};
+
+        // Two ranks rendezvous at a barrier inside the phase closure: the
+        // phase can only complete if two distinct OS threads execute rank
+        // closures concurrently.
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(2).build().expect("test pool");
+        let barrier = Barrier::new(2);
+        let thread_ids = Mutex::new(HashSet::new());
+        let sums = pool.install(|| {
+            let mut m = Machine::flat(2);
+            let data: Vec<Vec<u64>> = vec![vec![1, 2], vec![3, 4]];
+            m.map_phase(Phase::Other, &data, |_, local| {
+                barrier.wait();
+                thread_ids.lock().unwrap().insert(std::thread::current().id());
+                (local.iter().sum::<u64>(), Work::scan(local.len()))
+            })
+        });
+        assert_eq!(sums, vec![3, 7]);
         assert_eq!(
-            seq.metrics().phase(Phase::Other).simulated_seconds,
-            par.metrics().phase(Phase::Other).simulated_seconds
+            thread_ids.into_inner().unwrap().len(),
+            2,
+            "rank closures must have run on two distinct OS threads"
         );
     }
 

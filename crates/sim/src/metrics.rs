@@ -118,6 +118,12 @@ impl PhaseMetrics {
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct MetricsRegistry {
     phases: BTreeMap<Phase, PhaseMetrics>,
+    /// Maximum number of *host* OS threads the executing machine had
+    /// available while any phase ran (1 for sequential execution).  This is
+    /// real concurrency on the host, as opposed to the simulated `p`-rank
+    /// concurrency the cost model charges for — reports use it to make the
+    /// distinction explicit.
+    host_threads: u64,
 }
 
 impl MetricsRegistry {
@@ -157,6 +163,40 @@ impl MetricsRegistry {
                 ..Default::default()
             },
         );
+    }
+
+    /// Record that `threads` host OS threads were available for execution
+    /// (keeps the maximum seen; the machine calls this on every superstep).
+    pub fn note_host_threads(&mut self, threads: u64) {
+        self.host_threads = self.host_threads.max(threads);
+    }
+
+    /// Maximum number of host OS threads available during execution (0 if
+    /// nothing ran yet, 1 for purely sequential execution).
+    pub fn host_threads(&self) -> u64 {
+        self.host_threads
+    }
+
+    /// Parallelism-independent projection of the registry, for differential
+    /// testing: per-phase `(name, simulated_seconds bits, messages, words,
+    /// ops, supersteps)`.  Wall-clock time and host-thread counts are
+    /// excluded, and simulated seconds are compared bit-for-bit, so a
+    /// sequential and a parallel run of the same algorithm must produce
+    /// *identical* signatures.
+    pub fn deterministic_signature(&self) -> Vec<(&'static str, u64, u64, u64, u64, u64)> {
+        self.phases
+            .iter()
+            .map(|(phase, m)| {
+                (
+                    phase.name(),
+                    m.simulated_seconds.to_bits(),
+                    m.messages,
+                    m.comm_words,
+                    m.compute_ops,
+                    m.supersteps,
+                )
+            })
+            .collect()
     }
 
     /// Measurements for one phase (zeros if the phase never ran).
@@ -204,6 +244,7 @@ impl MetricsRegistry {
         for (phase, m) in other.iter() {
             self.charge(phase, *m);
         }
+        self.note_host_threads(other.host_threads);
     }
 }
 
@@ -234,7 +275,15 @@ impl fmt::Display for MetricsRegistry {
             self.total_wall_seconds(),
             self.total_messages(),
             self.total_comm_words()
-        )
+        )?;
+        if self.host_threads > 0 {
+            writeln!(
+                f,
+                "(executed on {} host thread(s); sim time is modelled)",
+                self.host_threads
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -289,6 +338,33 @@ mod tests {
         a.absorb(&b);
         assert_eq!(a.phase(Phase::LocalSort).compute_ops, 30);
         assert_eq!(a.phase(Phase::Merge).messages, 1);
+    }
+
+    #[test]
+    fn host_threads_keeps_maximum_and_survives_absorb() {
+        let mut a = MetricsRegistry::new();
+        assert_eq!(a.host_threads(), 0);
+        a.note_host_threads(2);
+        a.note_host_threads(1);
+        assert_eq!(a.host_threads(), 2);
+        let mut b = MetricsRegistry::new();
+        b.note_host_threads(4);
+        a.absorb(&b);
+        assert_eq!(a.host_threads(), 4);
+    }
+
+    #[test]
+    fn deterministic_signature_ignores_wall_time_and_host_threads() {
+        let mut a = MetricsRegistry::new();
+        a.charge_compute(Phase::LocalSort, 1.5, 0.25, 100);
+        a.note_host_threads(1);
+        let mut b = MetricsRegistry::new();
+        b.charge_compute(Phase::LocalSort, 1.5, 99.0, 100);
+        b.note_host_threads(8);
+        assert_eq!(a.deterministic_signature(), b.deterministic_signature());
+        // ... but any simulated quantity difference shows up.
+        b.charge_comm(Phase::Merge, 0.1, 1, 1);
+        assert_ne!(a.deterministic_signature(), b.deterministic_signature());
     }
 
     #[test]

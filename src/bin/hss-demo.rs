@@ -37,6 +37,9 @@ OPTIONS:
                            sample-random | histogram | overpartition | bitonic | radix
                                                                   [default: hss]
     --epsilon <F>          load-imbalance threshold               [default: 0.05]
+    --threads <N>          host OS threads for the rayon pool (0 = auto;
+                           default: RAYON_NUM_THREADS, else all cores)
+    --sequential           run local phases sequentially (determinism oracle)
     --node-level           enable node-level partitioning (hss only)
     --tag-duplicates       enable duplicate tagging (hss only)
     --approx-histograms    answer histograms from representative samples (hss only)
@@ -53,6 +56,8 @@ struct Args {
     dist: String,
     algorithm: String,
     epsilon: f64,
+    threads: Option<usize>,
+    sequential: bool,
     node_level: bool,
     tag_duplicates: bool,
     approx_histograms: bool,
@@ -69,6 +74,8 @@ impl Default for Args {
             dist: "uniform".to_string(),
             algorithm: "hss".to_string(),
             epsilon: 0.05,
+            threads: None,
+            sequential: false,
             node_level: false,
             tag_duplicates: false,
             approx_histograms: false,
@@ -101,6 +108,11 @@ fn parse_args() -> Args {
                 args.epsilon = value("--epsilon").parse().expect("--epsilon must be a float")
             }
             "--seed" => args.seed = value("--seed").parse().expect("--seed must be an integer"),
+            "--threads" => {
+                args.threads =
+                    Some(value("--threads").parse().expect("--threads must be an integer"))
+            }
+            "--sequential" => args.sequential = true,
             "--node-level" => args.node_level = true,
             "--tag-duplicates" => args.tag_duplicates = true,
             "--approx-histograms" => args.approx_histograms = true,
@@ -147,6 +159,9 @@ fn generate(args: &Args) -> Vec<Vec<u64>> {
 fn run(args: &Args, input: Vec<Vec<u64>>) -> (Vec<Vec<u64>>, SortReport) {
     let mut machine =
         Machine::new(Topology::new(args.ranks, args.cores_per_node), CostModel::bluegene_like());
+    if args.sequential {
+        machine = machine.with_parallelism(Parallelism::Sequential);
+    }
     match args.algorithm.as_str() {
         "hss" | "hss-one-round" | "hss-scanning" => {
             let mut config =
@@ -202,6 +217,14 @@ fn run(args: &Args, input: Vec<Vec<u64>>) -> (Vec<Vec<u64>>, SortReport) {
 
 fn main() {
     let args = parse_args();
+    if let Some(threads) = args.threads {
+        // Must happen before anything touches the pool (key generation
+        // below already runs on it).
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build_global()
+            .expect("--threads must be set before the global pool is used");
+    }
     println!(
         "generating {} x {} = {} keys ({}) ...",
         args.ranks,
@@ -219,6 +242,7 @@ fn main() {
     println!("\nalgorithm        : {}", report.algorithm);
     println!("simulated time   : {:.6} s", report.simulated_seconds());
     println!("host wall time   : {wall:.3} s");
+    println!("host threads     : {}", report.metrics.host_threads());
     println!("load imbalance   : {:.4}", report.imbalance());
     if let Some(sp) = &report.splitters {
         println!("histogram rounds : {}", sp.rounds_executed());

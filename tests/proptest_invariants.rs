@@ -2,6 +2,13 @@
 //! the generators can produce must sort correctly, splitter routing must be
 //! consistent, interval bookkeeping must bracket targets, and the
 //! bucketize/merge pair must be lossless.
+//!
+//! The machine-level properties run under *both* execution modes —
+//! [`Parallelism::Sequential`] and [`Parallelism::Rayon`] on a real
+//! two-thread pool — and additionally assert the two modes agree bitwise,
+//! so every generated input doubles as a differential test case.
+
+use std::sync::OnceLock;
 
 use proptest::collection::vec;
 use proptest::prelude::*;
@@ -12,10 +19,37 @@ use hss_repro::partition::{
     LoadBalance, SplitterIntervals, SplitterSet,
 };
 use hss_repro::prelude::*;
+use hss_repro::sim::Parallelism;
 
 /// Arbitrary per-rank input: between 1 and 8 ranks, each with 0..200 keys.
 fn per_rank_input() -> impl Strategy<Value = Vec<Vec<u64>>> {
     vec(vec(any::<u64>(), 0..200), 1..8)
+}
+
+/// A small but genuinely multi-threaded pool for the `Parallelism::Rayon`
+/// leg of each property (independent of the host's core count and of
+/// `RAYON_NUM_THREADS`, which only shapes the global pool).
+fn test_pool() -> &'static rayon::ThreadPool {
+    static POOL: OnceLock<rayon::ThreadPool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        rayon::ThreadPoolBuilder::new().num_threads(2).build().expect("proptest pool")
+    })
+}
+
+/// Run `op` on a fresh machine under both parallelism modes and return both
+/// results (sequential first).
+fn under_both_modes<R, OP>(ranks: usize, op: OP) -> (R, R)
+where
+    R: Send,
+    OP: Fn(&mut Machine) -> R + Send + Sync,
+{
+    let mut seq_machine = Machine::flat(ranks).with_parallelism(Parallelism::Sequential);
+    let seq = op(&mut seq_machine);
+    let par = test_pool().install(|| {
+        let mut par_machine = Machine::flat(ranks).with_parallelism(Parallelism::Rayon);
+        op(&mut par_machine)
+    });
+    (seq, par)
 }
 
 /// Cases per property. The standard `PROPTEST_CASES` variable overrides the
@@ -35,12 +69,15 @@ proptest! {
     #[test]
     fn hss_sorts_arbitrary_inputs(input in per_rank_input()) {
         let p = input.len();
-        let mut machine = Machine::flat(p);
-        let sorter = HssSorter::new(
-            HssConfig { epsilon: 0.5, ..HssConfig::default() }.with_duplicate_tagging(),
-        );
-        let outcome = sorter.sort(&mut machine, input.clone());
-        prop_assert!(verify_global_sort(&input, &outcome.data).is_ok());
+        let config = HssConfig { epsilon: 0.5, ..HssConfig::default() }.with_duplicate_tagging();
+        let (seq, par) = under_both_modes(p, |machine| {
+            let outcome = HssSorter::new(config.clone()).sort(machine, input.clone());
+            (outcome.data, machine.metrics().deterministic_signature())
+        });
+        prop_assert!(verify_global_sort(&input, &seq.0).is_ok());
+        // The parallel pool must reproduce the sequential oracle exactly.
+        prop_assert_eq!(&seq.0, &par.0);
+        prop_assert_eq!(seq.1, par.1);
     }
 
     #[test]
@@ -54,17 +91,15 @@ proptest! {
         // or skew; epsilon is kept moderate so the test stays cheap.
         let eps = 0.25;
         let input = KeyDistribution::PowerLaw { gamma }.generate_per_rank(p, keys_per_rank, seed);
-        let mut machine = Machine::flat(p);
-        let sorter = HssSorter::new(
-            HssConfig { epsilon: eps, ..HssConfig::default() }
-                .with_duplicate_tagging()
-                .with_seed(seed),
-        );
-        let outcome = sorter.sort(&mut machine, input);
-        prop_assert!(
-            outcome.report.load_balance.satisfies(eps),
-            "imbalance {}", outcome.report.imbalance()
-        );
+        let config = HssConfig { epsilon: eps, ..HssConfig::default() }
+            .with_duplicate_tagging()
+            .with_seed(seed);
+        let (seq, par) = under_both_modes(p, |machine| {
+            let outcome = HssSorter::new(config.clone()).sort(machine, input.clone());
+            (outcome.report.load_balance.clone(), outcome.data)
+        });
+        prop_assert!(seq.0.satisfies(eps), "imbalance {}", seq.0.imbalance);
+        prop_assert_eq!(seq.1, par.1);
     }
 
     #[test]
@@ -171,14 +206,18 @@ proptest! {
             for v in &mut d { v.sort_unstable(); }
             d
         };
-        let mut machine = Machine::flat(p);
         let config = HssConfig {
             epsilon: 0.3,
             schedule: RoundSchedule::Theoretical { rounds: k },
             ..HssConfig::default()
         };
-        let (splitters, report) = determine_splitters(&mut machine, &input, p, &config);
-        prop_assert_eq!(report.rounds_executed(), k);
-        prop_assert_eq!(splitters.buckets(), p);
+        let (seq, par) = under_both_modes(p, |machine| {
+            determine_splitters(machine, &input, p, &config)
+        });
+        prop_assert_eq!(seq.1.rounds_executed(), k);
+        prop_assert_eq!(seq.0.buckets(), p);
+        // Splitter determination is bitwise mode-independent too.
+        prop_assert_eq!(seq.0.keys(), par.0.keys());
+        prop_assert_eq!(seq.1, par.1);
     }
 }

@@ -1,0 +1,600 @@
+//! Parallel iterators: splittable, length-aware iterators driven by the
+//! pool in [`crate::pool`].
+//!
+//! The model is a simplified `rayon`: a [`ParallelIterator`] knows its exact
+//! length and can split itself at an index.  Terminal operations
+//! (`collect`, `for_each`, `sum`, ...) split the iterator into a few chunks
+//! per pool thread with recursive [`join`] calls, run each chunk
+//! sequentially on whichever thread picks it up, and recombine the chunk
+//! results *in order* — so every operation returns exactly what its
+//! sequential counterpart would, regardless of thread count or scheduling.
+//! On a one-thread pool the driver skips splitting entirely and the chunk
+//! runs inline on the caller.
+//!
+//! Adapters (`map`, `enumerate`, `zip`) are lazy: they wrap the underlying
+//! iterator and split with it.  Closures are shared across threads behind an
+//! [`Arc`], so they only need `Fn + Send + Sync` (no `Clone`).
+
+use std::iter::Sum;
+use std::ops::Range;
+use std::sync::Arc;
+
+use crate::pool::{current_registry, join};
+
+// ---------------------------------------------------------------------------
+// Core trait
+// ---------------------------------------------------------------------------
+
+/// An exactly-sized, splittable iterator whose chunks may be consumed on
+/// different pool threads.
+pub trait ParallelIterator: Sized + Send {
+    /// The type of element produced.
+    type Item: Send;
+    /// The sequential iterator used to drain one chunk on one thread.
+    type SeqIter: Iterator<Item = Self::Item>;
+
+    /// Exact number of remaining elements.
+    fn len(&self) -> usize;
+
+    /// Whether the iterator is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Split into the first `index` elements and the rest.
+    /// `index` must be `<= self.len()`.
+    fn split_at(self, index: usize) -> (Self, Self);
+
+    /// Convert this chunk into a sequential iterator.
+    fn into_seq_iter(self) -> Self::SeqIter;
+
+    // -- adapters ----------------------------------------------------------
+
+    /// Transform every element with `f` (applied on the consuming thread).
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Send + Sync,
+    {
+        Map { base: self, f: Arc::new(f) }
+    }
+
+    /// Pair every element with its global index, like [`Iterator::enumerate`].
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self, offset: 0 }
+    }
+
+    /// Iterate two parallel iterators in lockstep, truncating to the
+    /// shorter one.
+    fn zip<B>(self, other: B) -> Zip<Self, B::Iter>
+    where
+        B: IntoParallelIterator,
+    {
+        let other = other.into_par_iter();
+        let n = self.len().min(other.len());
+        let (a, _) = self.split_at(n);
+        let (b, _) = other.split_at(n);
+        Zip { a, b }
+    }
+
+    // -- terminals ---------------------------------------------------------
+
+    /// Apply `f` to every element.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Send + Sync,
+    {
+        execute_in_chunks(self, &|chunk: Self| {
+            for item in chunk.into_seq_iter() {
+                f(item);
+            }
+        });
+    }
+
+    /// Collect all elements, in order, into a [`FromParallelIterator`]
+    /// collection (e.g. `Vec`).
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+
+    /// Reduce all elements with `op`, seeding every chunk with `identity()`.
+    ///
+    /// The grouping of chunk-level reductions depends on the pool size, so
+    /// the result is deterministic only when `op` is associative (true for
+    /// the integer reductions this workspace performs; floating-point
+    /// addition is not associative and may differ across thread counts).
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Send + Sync,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Send + Sync,
+    {
+        let pieces =
+            execute_in_chunks(self, &|chunk: Self| chunk.into_seq_iter().fold(identity(), &op));
+        pieces.into_iter().fold(identity(), &op)
+    }
+
+    /// Sum all elements, like [`Iterator::sum`].  Deterministic across
+    /// thread counts only for associative sums (integers — see
+    /// [`ParallelIterator::reduce`] for the floating-point caveat).
+    fn sum<S>(self) -> S
+    where
+        S: Send + Sum<Self::Item> + Sum<S>,
+    {
+        execute_in_chunks(self, &|chunk: Self| chunk.into_seq_iter().sum::<S>()).into_iter().sum()
+    }
+
+    /// The maximum element, or `None` if empty.
+    fn max(self) -> Option<Self::Item>
+    where
+        Self::Item: Ord,
+    {
+        execute_in_chunks(self, &|chunk: Self| chunk.into_seq_iter().max())
+            .into_iter()
+            .flatten()
+            .max()
+    }
+
+    /// The minimum element, or `None` if empty.
+    fn min(self) -> Option<Self::Item>
+    where
+        Self::Item: Ord,
+    {
+        execute_in_chunks(self, &|chunk: Self| chunk.into_seq_iter().min())
+            .into_iter()
+            .flatten()
+            .min()
+    }
+
+    /// Number of elements, driving every element through the adapter chain
+    /// (so upstream `map` side effects run, as under genuine rayon).
+    fn count(self) -> usize {
+        execute_in_chunks(self, &|chunk: Self| chunk.into_seq_iter().count()).into_iter().sum()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Chunked execution driver
+// ---------------------------------------------------------------------------
+
+/// Split `iter` into a few chunks per pool thread, run `leaf` on every chunk
+/// (potentially on different threads via nested `join`), and return the leaf
+/// results in chunk order.  With one pool thread or one element, `leaf` runs
+/// directly on the caller.
+fn execute_in_chunks<P, R, LEAF>(iter: P, leaf: &LEAF) -> Vec<R>
+where
+    P: ParallelIterator,
+    R: Send,
+    LEAF: Fn(P) -> R + Sync,
+{
+    let threads = current_registry().num_threads();
+    let len = iter.len();
+    if threads <= 1 || len <= 1 {
+        return vec![leaf(iter)];
+    }
+    // A few chunks per thread so uneven per-element costs still balance.
+    let target_chunks = (threads * 4).min(len).max(1);
+    let depth = usize::BITS - (target_chunks - 1).leading_zeros();
+    split_recursive(iter, depth, leaf)
+}
+
+fn split_recursive<P, R, LEAF>(iter: P, depth: u32, leaf: &LEAF) -> Vec<R>
+where
+    P: ParallelIterator,
+    R: Send,
+    LEAF: Fn(P) -> R + Sync,
+{
+    if depth == 0 || iter.len() <= 1 {
+        return vec![leaf(iter)];
+    }
+    let mid = iter.len() / 2;
+    let (left, right) = iter.split_at(mid);
+    let (mut left_results, right_results) =
+        join(|| split_recursive(left, depth - 1, leaf), || split_recursive(right, depth - 1, leaf));
+    left_results.extend(right_results);
+    left_results
+}
+
+// ---------------------------------------------------------------------------
+// Conversion traits
+// ---------------------------------------------------------------------------
+
+/// Conversion into a [`ParallelIterator`] by value, like
+/// `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+    /// The resulting parallel iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Convert `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<P: ParallelIterator> IntoParallelIterator for P {
+    type Item = P::Item;
+    type Iter = P;
+
+    fn into_par_iter(self) -> Self {
+        self
+    }
+}
+
+/// Conversion into a parallel iterator over shared references
+/// (`par_iter()`).
+pub trait IntoParallelRefIterator<'data> {
+    /// The element type (a shared reference).
+    type Item: Send + 'data;
+    /// The resulting parallel iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Borrow `self` as a parallel iterator.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, T: 'data + ?Sized> IntoParallelRefIterator<'data> for T
+where
+    &'data T: IntoParallelIterator,
+{
+    type Item = <&'data T as IntoParallelIterator>::Item;
+    type Iter = <&'data T as IntoParallelIterator>::Iter;
+
+    fn par_iter(&'data self) -> Self::Iter {
+        self.into_par_iter()
+    }
+}
+
+/// Conversion into a parallel iterator over mutable references
+/// (`par_iter_mut()`).
+pub trait IntoParallelRefMutIterator<'data> {
+    /// The element type (a mutable reference).
+    type Item: Send + 'data;
+    /// The resulting parallel iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Mutably borrow `self` as a parallel iterator.
+    fn par_iter_mut(&'data mut self) -> Self::Iter;
+}
+
+impl<'data, T: 'data + ?Sized> IntoParallelRefMutIterator<'data> for T
+where
+    &'data mut T: IntoParallelIterator,
+{
+    type Item = <&'data mut T as IntoParallelIterator>::Item;
+    type Iter = <&'data mut T as IntoParallelIterator>::Iter;
+
+    fn par_iter_mut(&'data mut self) -> Self::Iter {
+        self.into_par_iter()
+    }
+}
+
+/// Collections that can be built from a parallel iterator (the contract
+/// behind [`ParallelIterator::collect`]).
+pub trait FromParallelIterator<T: Send> {
+    /// Build the collection, preserving the iterator's order.
+    fn from_par_iter<P>(iter: P) -> Self
+    where
+        P: ParallelIterator<Item = T>;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<P>(iter: P) -> Vec<T>
+    where
+        P: ParallelIterator<Item = T>,
+    {
+        let total = iter.len();
+        let mut pieces = execute_in_chunks(iter, &|chunk: P| {
+            let mut piece = Vec::with_capacity(chunk.len());
+            piece.extend(chunk.into_seq_iter());
+            piece
+        });
+        if pieces.len() == 1 {
+            return pieces.pop().expect("one piece");
+        }
+        let mut out = Vec::with_capacity(total);
+        for piece in pieces {
+            out.extend(piece);
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Producers
+// ---------------------------------------------------------------------------
+
+/// Parallel iterator over a shared slice (`&[T]` / `&Vec<T>`).
+pub struct SliceIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync + 'a> ParallelIterator for SliceIter<'a, T> {
+    type Item = &'a T;
+    type SeqIter = std::slice::Iter<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (left, right) = self.slice.split_at(index);
+        (SliceIter { slice: left }, SliceIter { slice: right })
+    }
+
+    fn into_seq_iter(self) -> Self::SeqIter {
+        self.slice.iter()
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    type Iter = SliceIter<'a, T>;
+
+    fn into_par_iter(self) -> Self::Iter {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    type Iter = SliceIter<'a, T>;
+
+    fn into_par_iter(self) -> Self::Iter {
+        SliceIter { slice: self }
+    }
+}
+
+/// Parallel iterator over a mutable slice (`&mut [T]` / `&mut Vec<T>`).
+pub struct SliceIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send + 'a> ParallelIterator for SliceIterMut<'a, T> {
+    type Item = &'a mut T;
+    type SeqIter = std::slice::IterMut<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (left, right) = self.slice.split_at_mut(index);
+        (SliceIterMut { slice: left }, SliceIterMut { slice: right })
+    }
+
+    fn into_seq_iter(self) -> Self::SeqIter {
+        self.slice.iter_mut()
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelIterator for &'a mut [T] {
+    type Item = &'a mut T;
+    type Iter = SliceIterMut<'a, T>;
+
+    fn into_par_iter(self) -> Self::Iter {
+        SliceIterMut { slice: self }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelIterator for &'a mut Vec<T> {
+    type Item = &'a mut T;
+    type Iter = SliceIterMut<'a, T>;
+
+    fn into_par_iter(self) -> Self::Iter {
+        SliceIterMut { slice: self.as_mut_slice() }
+    }
+}
+
+/// Parallel iterator that consumes a `Vec<T>`.
+pub struct VecIntoIter<T> {
+    vec: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecIntoIter<T> {
+    type Item = T;
+    type SeqIter = std::vec::IntoIter<T>;
+
+    fn len(&self) -> usize {
+        self.vec.len()
+    }
+
+    fn split_at(mut self, index: usize) -> (Self, Self) {
+        let right = self.vec.split_off(index);
+        (self, VecIntoIter { vec: right })
+    }
+
+    fn into_seq_iter(self) -> Self::SeqIter {
+        self.vec.into_iter()
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecIntoIter<T>;
+
+    fn into_par_iter(self) -> Self::Iter {
+        VecIntoIter { vec: self }
+    }
+}
+
+/// Parallel iterator over an integer range.
+pub struct RangeIter<T> {
+    range: Range<T>,
+}
+
+macro_rules! range_impl {
+    ($t:ty) => {
+        impl ParallelIterator for RangeIter<$t> {
+            type Item = $t;
+            type SeqIter = Range<$t>;
+
+            fn len(&self) -> usize {
+                if self.range.end <= self.range.start {
+                    0
+                } else {
+                    (self.range.end - self.range.start) as usize
+                }
+            }
+
+            fn split_at(self, index: usize) -> (Self, Self) {
+                let mid = self.range.start + index as $t;
+                (
+                    RangeIter { range: self.range.start..mid },
+                    RangeIter { range: mid..self.range.end },
+                )
+            }
+
+            fn into_seq_iter(self) -> Self::SeqIter {
+                self.range
+            }
+        }
+
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            type Iter = RangeIter<$t>;
+
+            fn into_par_iter(self) -> Self::Iter {
+                RangeIter { range: self }
+            }
+        }
+    };
+}
+
+range_impl!(usize);
+range_impl!(u32);
+range_impl!(u64);
+
+// ---------------------------------------------------------------------------
+// Adapters
+// ---------------------------------------------------------------------------
+
+/// Parallel `map` adapter; see [`ParallelIterator::map`].
+pub struct Map<B, F> {
+    base: B,
+    f: Arc<F>,
+}
+
+impl<B, F, R> ParallelIterator for Map<B, F>
+where
+    B: ParallelIterator,
+    F: Fn(B::Item) -> R + Send + Sync,
+    R: Send,
+{
+    type Item = R;
+    type SeqIter = SeqMap<B::SeqIter, F>;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (left, right) = self.base.split_at(index);
+        (Map { base: left, f: Arc::clone(&self.f) }, Map { base: right, f: self.f })
+    }
+
+    fn into_seq_iter(self) -> Self::SeqIter {
+        SeqMap { base: self.base.into_seq_iter(), f: self.f }
+    }
+}
+
+/// Sequential drain of one [`Map`] chunk.
+pub struct SeqMap<I, F> {
+    base: I,
+    f: Arc<F>,
+}
+
+impl<I, F, R> Iterator for SeqMap<I, F>
+where
+    I: Iterator,
+    F: Fn(I::Item) -> R,
+{
+    type Item = R;
+
+    fn next(&mut self) -> Option<R> {
+        self.base.next().map(|item| (self.f)(item))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.base.size_hint()
+    }
+}
+
+/// Parallel `enumerate` adapter; see [`ParallelIterator::enumerate`].
+pub struct Enumerate<B> {
+    base: B,
+    offset: usize,
+}
+
+impl<B: ParallelIterator> ParallelIterator for Enumerate<B> {
+    type Item = (usize, B::Item);
+    type SeqIter = SeqEnumerate<B::SeqIter>;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (left, right) = self.base.split_at(index);
+        (
+            Enumerate { base: left, offset: self.offset },
+            Enumerate { base: right, offset: self.offset + index },
+        )
+    }
+
+    fn into_seq_iter(self) -> Self::SeqIter {
+        SeqEnumerate { base: self.base.into_seq_iter(), next_index: self.offset }
+    }
+}
+
+/// Sequential drain of one [`Enumerate`] chunk (offset-aware).
+pub struct SeqEnumerate<I> {
+    base: I,
+    next_index: usize,
+}
+
+impl<I: Iterator> Iterator for SeqEnumerate<I> {
+    type Item = (usize, I::Item);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let item = self.base.next()?;
+        let index = self.next_index;
+        self.next_index += 1;
+        Some((index, item))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.base.size_hint()
+    }
+}
+
+/// Parallel `zip` adapter; see [`ParallelIterator::zip`].  Both sides are
+/// pre-truncated to the common length, so they always split in lockstep.
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A, B> ParallelIterator for Zip<A, B>
+where
+    A: ParallelIterator,
+    B: ParallelIterator,
+{
+    type Item = (A::Item, B::Item);
+    type SeqIter = std::iter::Zip<A::SeqIter, B::SeqIter>;
+
+    fn len(&self) -> usize {
+        self.a.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (al, ar) = self.a.split_at(index);
+        let (bl, br) = self.b.split_at(index);
+        (Zip { a: al, b: bl }, Zip { a: ar, b: br })
+    }
+
+    fn into_seq_iter(self) -> Self::SeqIter {
+        self.a.into_seq_iter().zip(self.b.into_seq_iter())
+    }
+}

@@ -1,88 +1,60 @@
-//! Offline vendored stub of the `rayon` parallel-iterator API surface this
-//! workspace uses.
+//! Offline vendored implementation of the `rayon` API surface this
+//! workspace uses — **a real thread pool, not a sequential stub**.
 //!
-//! `par_iter` / `par_iter_mut` / `into_par_iter` simply return the standard
-//! sequential iterators, so every adapter (`map`, `zip`, `collect`, ...) is
-//! the plain [`Iterator`] machinery and results are bitwise identical to the
-//! sequential code path. The build container has no network access, so real
-//! work-stealing parallelism is deferred until the genuine crate (or a
-//! thread-pool implementation here) can be dropped in — the call sites won't
-//! have to change.
+//! The build container has no network access, so this crate re-implements
+//! the parts of `rayon` the workspace calls on top of `std::thread`:
+//!
+//! * [`mod@iter`] — splittable parallel iterators (`par_iter`,
+//!   `par_iter_mut`, `into_par_iter` with `map`/`zip`/`enumerate`/
+//!   `collect`/`for_each`/`sum`/`reduce`), driven by chunk-splitting over
+//!   the pool;
+//! * `pool` — the worker threads, injector queue, [`join`], the lazily
+//!   created global pool (honouring `RAYON_NUM_THREADS`), and
+//!   [`ThreadPoolBuilder`]/[`ThreadPool`] for scoped custom pools;
+//! * `scope` — structured task scopes whose tasks may borrow stack data.
+//!
+//! Every element-producing operation returns *exactly* what its sequential
+//! counterpart would: chunk results are recombined in order, so `collect`/
+//! `for_each`/`map` are bitwise deterministic regardless of thread count,
+//! and so are `sum`/`reduce` for associative operations (all reductions
+//! this workspace performs are integer ones; floating-point reductions may
+//! regroup across thread counts).  The sequential execution path of the
+//! simulator remains the determinism *oracle*, and
+//! `tests/parallel_differential.rs` in the workspace root holds the proof.
+//! Panics inside workers are caught and re-thrown on the calling thread.
+//! With `RAYON_NUM_THREADS=1` (or one available core) everything degrades
+//! to inline sequential execution with no cross-thread traffic.
 
 #![warn(missing_docs)]
 
-/// Conversion into a "parallel" (here: sequential) iterator by value.
-pub trait IntoParallelIterator: IntoIterator + Sized {
-    /// Mirror of `rayon::iter::IntoParallelIterator::into_par_iter`.
-    fn into_par_iter(self) -> Self::IntoIter {
-        self.into_iter()
-    }
-}
+pub mod iter;
+mod pool;
+mod scope;
 
-impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
-
-/// Conversion into a "parallel" iterator over shared references.
-pub trait IntoParallelRefIterator<'data> {
-    /// The iterator produced by [`IntoParallelRefIterator::par_iter`].
-    type Iter: Iterator;
-
-    /// Mirror of `rayon::iter::IntoParallelRefIterator::par_iter`.
-    fn par_iter(&'data self) -> Self::Iter;
-}
-
-impl<'data, T: 'data + ?Sized> IntoParallelRefIterator<'data> for T
-where
-    &'data T: IntoIterator,
-{
-    type Iter = <&'data T as IntoIterator>::IntoIter;
-
-    fn par_iter(&'data self) -> Self::Iter {
-        self.into_iter()
-    }
-}
-
-/// Conversion into a "parallel" iterator over mutable references.
-pub trait IntoParallelRefMutIterator<'data> {
-    /// The iterator produced by [`IntoParallelRefMutIterator::par_iter_mut`].
-    type Iter: Iterator;
-
-    /// Mirror of `rayon::iter::IntoParallelRefMutIterator::par_iter_mut`.
-    fn par_iter_mut(&'data mut self) -> Self::Iter;
-}
-
-impl<'data, T: 'data + ?Sized> IntoParallelRefMutIterator<'data> for T
-where
-    &'data mut T: IntoIterator,
-{
-    type Iter = <&'data mut T as IntoIterator>::IntoIter;
-
-    fn par_iter_mut(&'data mut self) -> Self::Iter {
-        self.into_iter()
-    }
-}
-
-/// Run two closures (sequentially here; in parallel under real rayon).
-pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
-where
-    A: FnOnce() -> RA,
-    B: FnOnce() -> RB,
-{
-    (a(), b())
-}
-
-/// The number of threads the "pool" uses (always 1 in this stub).
-pub fn current_num_threads() -> usize {
-    1
-}
+pub use iter::{
+    FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator,
+    IntoParallelRefMutIterator, ParallelIterator,
+};
+pub use pool::{current_num_threads, join, ThreadPool, ThreadPoolBuildError, ThreadPoolBuilder};
+pub use scope::{scope, Scope};
 
 /// Everything call sites normally import via `use rayon::prelude::*`.
 pub mod prelude {
-    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator};
+    pub use crate::iter::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator,
+        IntoParallelRefMutIterator, ParallelIterator,
+    };
 }
 
 #[cfg(test)]
 mod tests {
+    use std::collections::HashSet;
+    use std::panic::{self, AssertUnwindSafe};
+    use std::sync::{Barrier, Mutex};
+    use std::thread;
+
     use super::prelude::*;
+    use super::{join, scope, ThreadPoolBuilder};
 
     #[test]
     fn par_adapters_match_sequential() {
@@ -97,7 +69,195 @@ mod tests {
         let sum: u64 = v.into_par_iter().sum();
         assert_eq!(sum, 6);
 
-        let (a, b) = super::join(|| 1, || 2);
+        let (a, b) = join(|| 1, || 2);
         assert_eq!((a, b), (1, 2));
+    }
+
+    #[test]
+    fn adapters_preserve_order_on_a_multithreaded_pool() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let n = 10_000usize;
+        let out: Vec<usize> = pool.install(|| (0..n).into_par_iter().map(|i| i * i).collect());
+        let expected: Vec<usize> = (0..n).map(|i| i * i).collect();
+        assert_eq!(out, expected);
+
+        let enumerated: Vec<(usize, usize)> = pool.install(|| {
+            (100..100 + n).into_par_iter().enumerate().map(|(i, x)| (i, x - 100)).collect()
+        });
+        assert!(enumerated.iter().all(|&(i, x)| i == x));
+
+        let zipped: Vec<u64> = pool.install(|| {
+            let a: Vec<u64> = (0..500).collect();
+            let b: Vec<u64> = (0..400).map(|x| x * 10).collect();
+            a.par_iter().zip(b).map(|(x, y)| x + y).collect()
+        });
+        assert_eq!(zipped.len(), 400, "zip truncates to the shorter side");
+        assert_eq!(zipped[399], 399 + 3990);
+    }
+
+    #[test]
+    fn empty_and_single_element_iterators() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        pool.install(|| {
+            let empty: Vec<u64> = Vec::new();
+            let out: Vec<u64> = empty.par_iter().map(|x| x * 2).collect();
+            assert!(out.is_empty());
+            let sum: u64 = Vec::<u64>::new().into_par_iter().sum();
+            assert_eq!(sum, 0);
+            assert_eq!(Vec::<u64>::new().par_iter().max(), None);
+
+            let single = [41u64];
+            let out: Vec<u64> = single.as_slice().par_iter().map(|x| x + 1).collect();
+            assert_eq!(out, vec![42]);
+            let mut single = vec![1u64];
+            single.par_iter_mut().for_each(|x| *x += 9);
+            assert_eq!(single, vec![10]);
+        });
+    }
+
+    #[test]
+    fn reduce_and_min_max_match_sequential() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        pool.install(|| {
+            let v: Vec<u64> = (0..1000).map(|i| (i * 2654435761u64) % 1000).collect();
+            assert_eq!(v.par_iter().max(), v.iter().max());
+            assert_eq!(v.par_iter().min(), v.iter().min());
+            let total = v.clone().into_par_iter().reduce(|| 0u64, |a, b| a + b);
+            assert_eq!(total, v.iter().sum::<u64>());
+            // count() must drive elements through the chain (side effects
+            // included), like genuine rayon.
+            let visited = std::sync::atomic::AtomicUsize::new(0);
+            let counted = v
+                .par_iter()
+                .map(|x| {
+                    visited.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    x
+                })
+                .count();
+            assert_eq!(counted, 1000);
+            assert_eq!(visited.into_inner(), 1000);
+        });
+    }
+
+    #[test]
+    fn work_executes_on_multiple_os_threads() {
+        // Two tasks rendezvous at a barrier inside the pool: this cannot
+        // complete unless two *distinct* OS threads execute closures
+        // concurrently, which is the acceptance criterion for the pool
+        // being genuinely parallel.
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let barrier = Barrier::new(2);
+        let ids = Mutex::new(HashSet::new());
+        pool.install(|| {
+            scope(|s| {
+                for _ in 0..2 {
+                    s.spawn(|_| {
+                        barrier.wait();
+                        ids.lock().unwrap().insert(thread::current().id());
+                    });
+                }
+            });
+        });
+        assert_eq!(ids.into_inner().unwrap().len(), 2, "expected two distinct worker threads");
+    }
+
+    #[test]
+    fn scope_with_borrowed_data() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let mut values = vec![0u64; 4];
+        pool.install(|| {
+            let (left, right) = values.split_at_mut(2);
+            scope(|s| {
+                s.spawn(move |_| {
+                    left[0] = 1;
+                    left[1] = 2;
+                });
+                s.spawn(move |_| {
+                    right[0] = 3;
+                    right[1] = 4;
+                });
+            });
+        });
+        assert_eq!(values, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn nested_scope_spawns_complete_before_scope_returns() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let counter = Mutex::new(0u64);
+        pool.install(|| {
+            scope(|s| {
+                for _ in 0..4 {
+                    s.spawn(|inner| {
+                        *counter.lock().unwrap() += 1;
+                        // Tasks spawned from tasks are awaited too.
+                        inner.spawn(|_| {
+                            *counter.lock().unwrap() += 10;
+                        });
+                    });
+                }
+            });
+        });
+        assert_eq!(*counter.lock().unwrap(), 44);
+    }
+
+    #[test]
+    fn panic_in_worker_propagates_to_caller() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+
+        // Through a parallel iterator...
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.install(|| {
+                let v: Vec<u64> = (0..64).collect();
+                v.par_iter().for_each(|&x| {
+                    if x == 33 {
+                        panic!("worker boom");
+                    }
+                });
+            });
+        }));
+        assert!(result.is_err(), "par_iter panic must reach the caller");
+
+        // ... and through a scope spawn.
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.install(|| {
+                scope(|s| {
+                    s.spawn(|_| panic!("scope boom"));
+                });
+            });
+        }));
+        assert!(result.is_err(), "scope panic must reach the caller");
+
+        // The pool remains usable afterwards.
+        let sum: u64 = pool.install(|| (0u64..10).into_par_iter().sum());
+        assert_eq!(sum, 45);
+    }
+
+    #[test]
+    fn one_thread_pool_degrades_to_sequential() {
+        // The documented RAYON_NUM_THREADS=1 behaviour, exercised through an
+        // explicit one-thread pool (the env var itself configures the
+        // global pool the same way; CI runs the whole suite under both
+        // RAYON_NUM_THREADS=1 and =4).
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let ids: HashSet<thread::ThreadId> = pool.install(|| {
+            let v: Vec<u64> = (0..256).collect();
+            let ids = Mutex::new(HashSet::new());
+            let doubled: Vec<u64> = v
+                .par_iter()
+                .map(|&x| {
+                    ids.lock().unwrap().insert(thread::current().id());
+                    x * 2
+                })
+                .collect();
+            assert_eq!(doubled, v.iter().map(|&x| x * 2).collect::<Vec<_>>());
+            scope(|s| {
+                s.spawn(|_| {
+                    ids.lock().unwrap().insert(thread::current().id());
+                });
+            });
+            ids.into_inner().unwrap()
+        });
+        assert_eq!(ids.len(), 1, "a one-thread pool must run everything on one thread");
     }
 }

@@ -1,0 +1,578 @@
+//! The thread pool underneath every parallel operation in this crate.
+//!
+//! A [`Registry`] owns a shared injector queue and a set of worker OS
+//! threads.  Parallel operations submit *jobs* to the queue; workers (and
+//! any thread blocked waiting for a job it submitted) pop and execute them.
+//! Two job flavours exist:
+//!
+//! * **stack jobs** ([`StackJob`]) live on the stack of a thread that blocks
+//!   until the job completes (`join`, `ThreadPool::install`); their closures
+//!   may borrow from that stack because the owner provably outlives them;
+//! * **heap jobs** (boxed closures) are detached until their owning
+//!   [`scope`](crate::scope()) waits for them.
+//!
+//! Threads that wait for a job *help* while waiting: they pop and run other
+//! queued jobs instead of blocking, which makes nested `join`/`scope` calls
+//! deadlock-free even when every worker is busy.  Panics inside a job are
+//! caught on the executing thread and re-thrown on the thread that waits for
+//! the job, mirroring `rayon`'s behaviour.
+//!
+//! The global pool is created lazily on first use and honours the standard
+//! `RAYON_NUM_THREADS` environment variable (unset, `0` or unparsable values
+//! fall back to [`std::thread::available_parallelism`]).  With one thread,
+//! every operation degrades to plain sequential execution on the caller.
+
+use std::cell::{RefCell, UnsafeCell};
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread;
+use std::time::Duration;
+
+/// How long an idle helper sleeps before re-polling the queue.  Workers are
+/// woken eagerly through the queue condvar; this bound only matters for
+/// threads waiting on a latch while the queue is empty.
+const HELP_POLL_INTERVAL: Duration = Duration::from_micros(500);
+
+// ---------------------------------------------------------------------------
+// Jobs
+// ---------------------------------------------------------------------------
+
+/// A type-erased pointer to a [`StackJob`] owned by a blocked thread.
+///
+/// Safety contract: the pointed-to job outlives its execution because the
+/// owning thread blocks on the job's latch before leaving the frame.
+#[derive(Copy, Clone)]
+pub(crate) struct JobRef {
+    data: *const (),
+    execute: unsafe fn(*const ()),
+}
+
+// The pointee is owned by a thread that keeps it alive until the latch is
+// set; executing it from another thread is externally synchronized.
+unsafe impl Send for JobRef {}
+
+/// A unit of queued work.
+pub(crate) enum Job {
+    /// Borrowed job; its owner blocks on the associated latch.
+    Stack(JobRef),
+    /// Owned job (e.g. a `scope` spawn); catches its own panics.
+    Heap(Box<dyn FnOnce() + Send>),
+}
+
+impl Job {
+    /// Execute the job on the current thread.  Never unwinds: both flavours
+    /// catch panics and forward them to whoever waits for the job.
+    pub(crate) fn run(self) {
+        match self {
+            Job::Stack(r) => unsafe { (r.execute)(r.data) },
+            Job::Heap(f) => f(),
+        }
+    }
+}
+
+/// A closure plus a slot for its result, allocated on the stack of the
+/// thread that waits for it.  The closure runs exactly once on an arbitrary
+/// pool thread; panics are captured into the result slot and re-thrown by
+/// [`StackJob::into_result`].
+pub(crate) struct StackJob<F, R> {
+    f: UnsafeCell<Option<F>>,
+    result: UnsafeCell<Option<thread::Result<R>>>,
+    pub(crate) latch: Latch,
+}
+
+impl<F, R> StackJob<F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    pub(crate) fn new(f: F) -> Self {
+        Self { f: UnsafeCell::new(Some(f)), result: UnsafeCell::new(None), latch: Latch::new() }
+    }
+
+    /// Erase the job to a queueable reference.
+    ///
+    /// # Safety
+    ///
+    /// The caller must keep `self` alive (and not move it) until the job's
+    /// latch is set.
+    pub(crate) unsafe fn as_job_ref(&self) -> JobRef {
+        JobRef { data: self as *const Self as *const (), execute: Self::execute }
+    }
+
+    unsafe fn execute(ptr: *const ()) {
+        let this = &*(ptr as *const Self);
+        let f = (*this.f.get()).take().expect("stack job executed twice");
+        let result = panic::catch_unwind(AssertUnwindSafe(f));
+        *this.result.get() = Some(result);
+        // Setting the latch releases the result write to the waiting thread
+        // (the latch mutex provides the necessary ordering).
+        this.latch.set();
+    }
+
+    /// Consume the result after the latch was observed set, re-throwing a
+    /// captured panic.
+    pub(crate) fn into_result(self) -> R {
+        let result =
+            self.result.into_inner().expect("stack job result missing after latch was set");
+        match result {
+            Ok(r) => r,
+            Err(payload) => panic::resume_unwind(payload),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Latch
+// ---------------------------------------------------------------------------
+
+/// A one-shot "done" flag a thread can block on.
+pub(crate) struct Latch {
+    done: Mutex<bool>,
+    cond: Condvar,
+}
+
+impl Latch {
+    pub(crate) fn new() -> Self {
+        Self { done: Mutex::new(false), cond: Condvar::new() }
+    }
+
+    pub(crate) fn set(&self) {
+        *self.done.lock().unwrap() = true;
+        self.cond.notify_all();
+    }
+
+    /// Block until the latch is set, executing other queued jobs while
+    /// waiting so that nested parallel calls cannot deadlock the pool.
+    pub(crate) fn wait_while_helping(&self, registry: &Registry) {
+        loop {
+            if let Some(job) = registry.try_pop() {
+                job.run();
+                continue;
+            }
+            let guard = self.done.lock().unwrap();
+            if *guard {
+                return;
+            }
+            // Re-poll the queue periodically: a job may be injected between
+            // the `try_pop` above and this wait.
+            let (guard, _timeout) = self.cond.wait_timeout(guard, HELP_POLL_INTERVAL).unwrap();
+            if *guard {
+                return;
+            }
+        }
+    }
+
+    /// Block until the latch is set without helping (used by threads that do
+    /// not belong to the pool the job runs on).
+    pub(crate) fn wait(&self) {
+        let mut guard = self.done.lock().unwrap();
+        while !*guard {
+            guard = self.cond.wait(guard).unwrap();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry (the pool proper)
+// ---------------------------------------------------------------------------
+
+/// Shared state of one thread pool: the injector queue and worker handles.
+pub(crate) struct Registry {
+    num_threads: usize,
+    queue: Mutex<VecDeque<Job>>,
+    job_available: Condvar,
+    terminate: AtomicBool,
+}
+
+impl Registry {
+    /// Create a registry and spawn its workers; returns the worker handles
+    /// so owned pools can join them on drop.
+    fn start(num_threads: usize) -> (Arc<Registry>, Vec<thread::JoinHandle<()>>) {
+        let registry = Arc::new(Registry {
+            num_threads,
+            queue: Mutex::new(VecDeque::new()),
+            job_available: Condvar::new(),
+            terminate: AtomicBool::new(false),
+        });
+        let handles = (0..num_threads)
+            .map(|i| {
+                let registry = Arc::clone(&registry);
+                thread::Builder::new()
+                    .name(format!("rayon-worker-{i}"))
+                    .spawn(move || worker_loop(&registry))
+                    .expect("failed to spawn pool worker thread")
+            })
+            .collect();
+        (registry, handles)
+    }
+
+    pub(crate) fn num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Push a job and wake one worker.
+    pub(crate) fn inject(&self, job: Job) {
+        self.queue.lock().unwrap().push_back(job);
+        self.job_available.notify_one();
+    }
+
+    /// Pop a job if one is immediately available.
+    pub(crate) fn try_pop(&self) -> Option<Job> {
+        self.queue.lock().unwrap().pop_front()
+    }
+
+    fn terminate(&self) {
+        self.terminate.store(true, Ordering::SeqCst);
+        self.job_available.notify_all();
+    }
+}
+
+/// Body of every worker thread: record the home registry in TLS, then pop
+/// and run jobs until termination.
+fn worker_loop(registry: &Arc<Registry>) {
+    CURRENT_REGISTRY.with(|current| *current.borrow_mut() = Some(Arc::clone(registry)));
+    loop {
+        let job = {
+            let mut queue = registry.queue.lock().unwrap();
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break Some(job);
+                }
+                if registry.terminate.load(Ordering::SeqCst) {
+                    break None;
+                }
+                queue = registry.job_available.wait(queue).unwrap();
+            }
+        };
+        match job {
+            Some(job) => job.run(),
+            None => return,
+        }
+    }
+}
+
+thread_local! {
+    /// The registry the current thread belongs to (workers only; other
+    /// threads fall back to the global pool).
+    static CURRENT_REGISTRY: RefCell<Option<Arc<Registry>>> = const { RefCell::new(None) };
+}
+
+/// The pool the current thread should submit work to: its home pool if it is
+/// a worker, the global pool otherwise.
+pub(crate) fn current_registry() -> Arc<Registry> {
+    CURRENT_REGISTRY
+        .with(|current| current.borrow().clone())
+        .unwrap_or_else(|| Arc::clone(global_registry()))
+}
+
+static GLOBAL_REGISTRY: OnceLock<Arc<Registry>> = OnceLock::new();
+
+fn global_registry() -> &'static Arc<Registry> {
+    GLOBAL_REGISTRY.get_or_init(|| {
+        let threads = num_threads_from_env(std::env::var("RAYON_NUM_THREADS").ok())
+            .unwrap_or_else(default_num_threads);
+        Registry::start(threads).0
+    })
+}
+
+/// Parse `RAYON_NUM_THREADS`: positive integers are honoured, everything
+/// else (unset, zero, garbage) selects the automatic default.
+fn num_threads_from_env(value: Option<String>) -> Option<usize> {
+    value.and_then(|s| s.trim().parse::<usize>().ok()).filter(|&n| n > 0)
+}
+
+fn default_num_threads() -> usize {
+    thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// The number of threads in the current thread's pool (the global pool for
+/// threads that are not pool workers).
+pub fn current_num_threads() -> usize {
+    current_registry().num_threads()
+}
+
+// ---------------------------------------------------------------------------
+// join
+// ---------------------------------------------------------------------------
+
+/// Run two closures, potentially in parallel, and return both results.
+///
+/// `a` runs on the calling thread; `b` is offered to the pool and may be
+/// executed by any worker (or by the caller itself while it waits).  If
+/// either closure panics, the panic is re-thrown here after *both* closures
+/// have finished, so borrowed data stays valid for the full call.  On a
+/// one-thread pool both closures simply run sequentially on the caller.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let registry = current_registry();
+    if registry.num_threads() <= 1 {
+        return (a(), b());
+    }
+    let b_job = StackJob::new(b);
+    registry.inject(Job::Stack(unsafe { b_job.as_job_ref() }));
+    let ra = panic::catch_unwind(AssertUnwindSafe(a));
+    // `b` may borrow from this frame, so wait for it even if `a` panicked.
+    b_job.latch.wait_while_helping(&registry);
+    match ra {
+        Ok(ra) => (ra, b_job.into_result()),
+        Err(payload) => {
+            // Drop b's result (it may itself hold a panic payload).
+            let _ = panic::catch_unwind(AssertUnwindSafe(|| b_job.into_result()));
+            panic::resume_unwind(payload);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool / ThreadPoolBuilder
+// ---------------------------------------------------------------------------
+
+/// Error returned when a [`ThreadPoolBuilder`] cannot produce a pool.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError {
+    msg: &'static str,
+}
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.msg)
+    }
+}
+
+impl Error for ThreadPoolBuildError {}
+
+/// Builder for [`ThreadPool`]s, mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with default settings (thread count from
+    /// `RAYON_NUM_THREADS`, falling back to the host parallelism).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the number of worker threads; `0` selects the automatic default.
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = if num_threads == 0 { None } else { Some(num_threads) };
+        self
+    }
+
+    fn resolved_num_threads(&self) -> usize {
+        self.num_threads
+            .or_else(|| num_threads_from_env(std::env::var("RAYON_NUM_THREADS").ok()))
+            .unwrap_or_else(default_num_threads)
+    }
+
+    /// Build an owned pool whose workers are joined when the pool is
+    /// dropped.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let (registry, workers) = Registry::start(self.resolved_num_threads());
+        Ok(ThreadPool { registry, workers })
+    }
+
+    /// Install this configuration as the global pool.  Fails if the global
+    /// pool was already initialized (lazily or explicitly).
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        let threads = self.resolved_num_threads();
+        let mut fresh = false;
+        GLOBAL_REGISTRY.get_or_init(|| {
+            fresh = true;
+            Registry::start(threads).0
+        });
+        if fresh {
+            Ok(())
+        } else {
+            Err(ThreadPoolBuildError { msg: "the global thread pool has already been initialized" })
+        }
+    }
+}
+
+/// An owned thread pool, independent of the global one.
+///
+/// Code run through [`ThreadPool::install`] — including every nested
+/// `par_iter`/`join`/`scope` call it makes — executes on this pool's
+/// workers.
+pub struct ThreadPool {
+    registry: Arc<Registry>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// The number of worker threads in this pool.
+    pub fn current_num_threads(&self) -> usize {
+        self.registry.num_threads()
+    }
+
+    /// Execute `op` on a worker of this pool and return its result.  Panics
+    /// from `op` are re-thrown on the caller.  Calling `install` from a
+    /// thread that already belongs to this pool runs `op` directly.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        let already_inside = CURRENT_REGISTRY.with(|current| {
+            current.borrow().as_ref().is_some_and(|r| Arc::ptr_eq(r, &self.registry))
+        });
+        if already_inside {
+            return op();
+        }
+        let job = StackJob::new(op);
+        self.registry.inject(Job::Stack(unsafe { job.as_job_ref() }));
+        // The caller is foreign to this pool, so it blocks without helping.
+        job.latch.wait();
+        job.into_result()
+    }
+}
+
+impl fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ThreadPool").field("num_threads", &self.registry.num_threads()).finish()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.registry.terminate();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_parsing_accepts_positive_integers_only() {
+        assert_eq!(num_threads_from_env(Some("4".to_string())), Some(4));
+        assert_eq!(num_threads_from_env(Some(" 2 ".to_string())), Some(2));
+        assert_eq!(num_threads_from_env(Some("0".to_string())), None);
+        assert_eq!(num_threads_from_env(Some("-3".to_string())), None);
+        assert_eq!(num_threads_from_env(Some("lots".to_string())), None);
+        assert_eq!(num_threads_from_env(None), None);
+    }
+
+    #[test]
+    fn builder_zero_means_default() {
+        let pool = ThreadPoolBuilder::new().num_threads(0).build().unwrap();
+        assert!(pool.current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn install_runs_on_a_pool_worker() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let caller = thread::current().id();
+        let (worker, inside_threads) =
+            pool.install(|| (thread::current().id(), current_num_threads()));
+        assert_ne!(caller, worker, "install must run on a pool worker thread");
+        assert_eq!(inside_threads, 2, "nested code must see the installed pool");
+    }
+
+    #[test]
+    fn install_propagates_panics() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.install(|| panic!("install boom"));
+        }));
+        assert!(result.is_err());
+        // The pool survives the panic and stays usable.
+        assert_eq!(pool.install(|| 7), 7);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let (a, b) = pool.install(|| join(|| 1 + 1, || 2 + 2));
+        assert_eq!((a, b), (2, 4));
+    }
+
+    #[test]
+    fn nested_join_computes_correctly() {
+        // A parallel recursive sum over 0..256 exercises nested joins and
+        // the help-while-waiting path on a small pool.
+        fn sum(range: std::ops::Range<u64>) -> u64 {
+            let len = range.end - range.start;
+            if len <= 8 {
+                range.sum()
+            } else {
+                let mid = range.start + len / 2;
+                let (a, b) = join(|| sum(range.start..mid), || sum(mid..range.end));
+                a + b
+            }
+        }
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.install(|| sum(0..256)), (0..256).sum());
+    }
+
+    #[test]
+    fn join_propagates_panic_from_either_side() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        for side in 0..2 {
+            let result = panic::catch_unwind(AssertUnwindSafe(|| {
+                pool.install(|| {
+                    join(
+                        || {
+                            if side == 0 {
+                                panic!("left boom")
+                            }
+                        },
+                        || {
+                            if side == 1 {
+                                panic!("right boom")
+                            }
+                        },
+                    )
+                });
+            }));
+            assert!(result.is_err(), "panic on side {side} must propagate");
+        }
+    }
+
+    #[test]
+    fn one_thread_pool_runs_join_inline() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let (worker, (ta, tb)) = pool.install(|| {
+            let worker = thread::current().id();
+            let pair = join(|| thread::current().id(), || thread::current().id());
+            (worker, pair)
+        });
+        // With a single thread, both closures run on the installed worker.
+        assert_eq!(worker, ta);
+        assert_eq!(worker, tb);
+    }
+
+    #[test]
+    fn two_workers_really_run_concurrently() {
+        // Both sides of the join rendezvous at a barrier, which can only
+        // succeed if two distinct OS threads execute them simultaneously.
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let barrier = std::sync::Barrier::new(2);
+        let (ta, tb) = pool.install(|| {
+            join(
+                || {
+                    barrier.wait();
+                    thread::current().id()
+                },
+                || {
+                    barrier.wait();
+                    thread::current().id()
+                },
+            )
+        });
+        assert_ne!(ta, tb, "barrier-synchronized join sides must use distinct threads");
+    }
+}

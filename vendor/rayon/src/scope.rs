@@ -1,0 +1,142 @@
+//! Structured task scopes: spawn tasks that borrow from the enclosing
+//! stack frame, like `rayon::scope`.
+//!
+//! [`scope`] creates a [`Scope`] whose [`Scope::spawn`]ed closures may
+//! borrow data with the `'scope` lifetime.  The call does not return until
+//! every spawned task (including tasks spawned by tasks) has finished, so
+//! the borrows are always valid; while waiting, the calling thread executes
+//! other queued pool jobs.  The first panic from the closure or from any
+//! spawned task is re-thrown by `scope` after all tasks completed.  On a
+//! one-thread pool, tasks run inline at the `spawn` call site — fully
+//! sequential, same results.
+
+use std::any::Any;
+use std::marker::PhantomData;
+use std::mem;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use crate::pool::{current_registry, Job, Registry};
+
+/// Shared bookkeeping of one scope: outstanding task count and the first
+/// captured panic.
+struct ScopeState {
+    registry: Arc<Registry>,
+    pending: Mutex<usize>,
+    all_done: Condvar,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+impl ScopeState {
+    fn task_started(&self) {
+        *self.pending.lock().unwrap() += 1;
+    }
+
+    fn task_finished(&self) {
+        let mut pending = self.pending.lock().unwrap();
+        *pending -= 1;
+        if *pending == 0 {
+            self.all_done.notify_all();
+        }
+    }
+
+    fn record_panic(&self, payload: Box<dyn Any + Send>) {
+        let mut slot = self.panic.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+    }
+
+    /// Wait until every spawned task finished, helping the pool meanwhile.
+    fn wait_all(&self) {
+        loop {
+            if *self.pending.lock().unwrap() == 0 {
+                return;
+            }
+            if let Some(job) = self.registry.try_pop() {
+                job.run();
+                continue;
+            }
+            let guard = self.pending.lock().unwrap();
+            if *guard == 0 {
+                return;
+            }
+            // Re-poll the queue periodically in case a job lands between
+            // the `try_pop` above and this wait.
+            let _ = self.all_done.wait_timeout(guard, Duration::from_micros(500)).unwrap();
+        }
+    }
+}
+
+/// A scope in which tasks borrowing `'scope` data can be spawned; created
+/// by [`scope`].
+pub struct Scope<'scope> {
+    state: Arc<ScopeState>,
+    // Invariant in 'scope, and neither Send nor Sync: each task gets its
+    // own `Scope` handle instead of sharing one across threads.
+    _marker: PhantomData<*mut &'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Spawn a task that may borrow anything outliving the scope.  The task
+    /// runs on some pool thread (inline on one-thread pools) before the
+    /// enclosing [`scope`] call returns.
+    pub fn spawn<BODY>(&self, body: BODY)
+    where
+        BODY: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        let state = Arc::clone(&self.state);
+        state.task_started();
+        let task = move || {
+            let task_scope = Scope { state: Arc::clone(&state), _marker: PhantomData };
+            let result = panic::catch_unwind(AssertUnwindSafe(|| body(&task_scope)));
+            if let Err(payload) = result {
+                state.record_panic(payload);
+            }
+            state.task_finished();
+        };
+        if self.state.registry.num_threads() <= 1 {
+            // Sequential degradation: run at the spawn site.
+            task();
+            return;
+        }
+        let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(task);
+        // SAFETY: `scope` blocks until `pending` drops to zero, so the task
+        // (and everything it borrows with 'scope) outlives its execution;
+        // extending the closure's lifetime to 'static never outlives the
+        // borrowed data.
+        let job: Box<dyn FnOnce() + Send + 'static> =
+            unsafe { mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, _>(job) };
+        self.state.registry.inject(Job::Heap(job));
+    }
+}
+
+/// Create a scope, run `op` in it, wait for every spawned task, and return
+/// `op`'s result.  See the module docs for the guarantees.
+pub fn scope<'scope, OP, R>(op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R + Send,
+    R: Send,
+{
+    let state = Arc::new(ScopeState {
+        registry: current_registry(),
+        pending: Mutex::new(0),
+        all_done: Condvar::new(),
+        panic: Mutex::new(None),
+    });
+    let s = Scope { state: Arc::clone(&state), _marker: PhantomData };
+    let result = panic::catch_unwind(AssertUnwindSafe(|| op(&s)));
+    // Tasks may borrow this frame: wait for all of them even on panic.
+    state.wait_all();
+    let task_panic = state.panic.lock().unwrap().take();
+    match result {
+        Err(payload) => panic::resume_unwind(payload),
+        Ok(value) => {
+            if let Some(payload) = task_panic {
+                panic::resume_unwind(payload);
+            }
+            value
+        }
+    }
+}
