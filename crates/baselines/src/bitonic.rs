@@ -10,8 +10,8 @@
 
 use hss_core::report::SortReport;
 use hss_keygen::Keyed;
-use hss_partition::LoadBalance;
-use hss_sim::{Machine, Phase, Work};
+use hss_partition::{ExchangeEngine, LoadBalance};
+use hss_sim::{ExchangePlan, Machine, Phase, Work};
 
 use crate::common::local_sort_phase;
 
@@ -19,7 +19,16 @@ use crate::common::local_sort_phase;
 /// two.
 pub fn bitonic_sort<T: Keyed + Ord>(
     machine: &mut Machine,
+    input: Vec<Vec<T>>,
+) -> (Vec<Vec<T>>, SortReport) {
+    bitonic_sort_with_engine(machine, input, ExchangeEngine::Flat)
+}
+
+/// [`bitonic_sort`] with an explicit exchange engine.
+pub fn bitonic_sort_with_engine<T: Keyed + Ord>(
+    machine: &mut Machine,
     mut input: Vec<Vec<T>>,
+    engine: ExchangeEngine,
 ) -> (Vec<Vec<T>>, SortReport) {
     let p = machine.ranks();
     assert!(p.is_power_of_two(), "bitonic sort requires a power-of-two rank count (got {p})");
@@ -31,7 +40,7 @@ pub fn bitonic_sort<T: Keyed + Ord>(
     let stages = p.trailing_zeros();
     for stage in 0..stages {
         for step in (0..=stage).rev() {
-            compare_split_step(machine, &mut input, stage, step);
+            compare_split_step(machine, &mut input, stage, step, engine);
         }
     }
 
@@ -55,28 +64,56 @@ fn compare_split_step<T: Keyed + Ord>(
     data: &mut Vec<Vec<T>>,
     stage: u32,
     step: u32,
+    engine: ExchangeEngine,
 ) {
     let p = machine.ranks();
-    // Exchange full blocks with the partner.
-    let sends: Vec<Vec<Vec<T>>> = machine.map_phase(Phase::DataExchange, data, |rank, local| {
-        let partner = rank ^ (1usize << step);
-        let mut bufs: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();
-        bufs[partner] = local.to_vec();
-        (bufs, Work::scan(local.len()))
-    });
-    let received = machine.all_to_allv(Phase::DataExchange, sends);
+    // Exchange full blocks with the partner.  Each rank's receive buffer
+    // ends up holding exactly its partner's block under either engine.
+    let partner_blocks: Vec<Vec<T>> = match engine {
+        ExchangeEngine::Flat => {
+            // The block itself is the flat send buffer; the plan routes all
+            // of it to the partner.
+            let plans: Vec<ExchangePlan> =
+                machine.map_phase(Phase::DataExchange, data, |rank, local| {
+                    let partner = rank ^ (1usize << step);
+                    let mut counts = vec![0usize; p];
+                    counts[partner] = local.len();
+                    (ExchangePlan::from_counts(counts), Work::scan(local.len()))
+                });
+            machine
+                .all_to_allv_flat(Phase::DataExchange, data, &plans)
+                .into_iter()
+                .map(|fr| fr.data)
+                .collect()
+        }
+        ExchangeEngine::Nested => {
+            let sends: Vec<Vec<Vec<T>>> =
+                machine.map_phase(Phase::DataExchange, data, |rank, local| {
+                    let partner = rank ^ (1usize << step);
+                    let mut bufs: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();
+                    bufs[partner] = local.to_vec();
+                    (bufs, Work::scan(local.len()))
+                });
+            let mut received = machine.all_to_allv(Phase::DataExchange, sends);
+            received
+                .iter_mut()
+                .enumerate()
+                .map(|(rank, per_src)| std::mem::take(&mut per_src[rank ^ (1usize << step)]))
+                .collect()
+        }
+    };
 
     // Merge own block with the partner's and keep the appropriate half.
     let own: Vec<Vec<T>> = std::mem::take(data);
     let merged: Vec<Vec<T>> = machine.transform_phase(Phase::Merge, own, |rank, local| {
         let partner = rank ^ (1usize << step);
         let keep = local.len();
-        let other = received[rank][partner].clone();
+        let other: &[T] = &partner_blocks[rank];
         let work = Work::merge(local.len() + other.len(), 2);
         let ascending = (rank >> (stage + 1)) & 1 == 0;
         let take_low = (rank < partner) == ascending;
         let mut all = local;
-        all.extend(other);
+        all.extend_from_slice(other);
         all.sort_unstable();
         let kept = if take_low {
             all[..keep.min(all.len())].to_vec()

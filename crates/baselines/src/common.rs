@@ -3,7 +3,9 @@
 
 use hss_core::report::{RoundStats, SortReport, SplitterReport};
 use hss_keygen::Keyed;
-use hss_partition::{exchange_and_merge, ExchangeMode, LoadBalance, SplitterSet};
+use hss_partition::{
+    exchange_and_merge_with, ExchangeEngine, ExchangeMode, LoadBalance, SplitterSet,
+};
 use hss_sim::{Machine, Phase, Work};
 
 /// Locally sort every rank's data in place, charging [`Phase::LocalSort`].
@@ -25,13 +27,33 @@ pub fn finish_splitter_sort<T: Keyed + Ord>(
     splitters: &SplitterSet<T::K>,
     splitter_report: SplitterReport,
 ) -> (Vec<Vec<T>>, SortReport) {
+    finish_splitter_sort_with(
+        machine,
+        algorithm,
+        per_rank_sorted,
+        splitters,
+        splitter_report,
+        ExchangeEngine::Flat,
+    )
+}
+
+/// [`finish_splitter_sort`] with an explicit exchange engine (the nested
+/// engine exists for differential testing and the exchange benchmark).
+pub fn finish_splitter_sort_with<T: Keyed + Ord>(
+    machine: &mut Machine,
+    algorithm: &str,
+    per_rank_sorted: &[Vec<T>],
+    splitters: &SplitterSet<T::K>,
+    splitter_report: SplitterReport,
+    engine: ExchangeEngine,
+) -> (Vec<Vec<T>>, SortReport) {
     machine.broadcast(Phase::SplitterBroadcast, splitters.keys());
     let mode = if machine.topology().cores_per_node() > 1 {
         ExchangeMode::NodeCombined
     } else {
         ExchangeMode::RankLevel
     };
-    let out = exchange_and_merge(machine, per_rank_sorted, splitters, mode);
+    let out = exchange_and_merge_with(machine, per_rank_sorted, splitters, mode, engine);
     let report = SortReport {
         algorithm: algorithm.to_string(),
         ranks: machine.ranks(),
@@ -58,6 +80,8 @@ pub fn single_round_report(
         rounds: vec![RoundStats {
             round: 1,
             sample_size,
+            // Sample-sort flavours broadcast no histogram probes.
+            probe_count: 0,
             open_before: buckets.saturating_sub(1),
             open_after: 0,
             max_interval_width: 0,

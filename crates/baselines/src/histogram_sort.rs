@@ -13,10 +13,10 @@
 use hss_core::report::{RoundStats, SortReport, SplitterReport};
 use hss_core::theory::rank_tolerance;
 use hss_keygen::{Key, Keyed};
-use hss_partition::{global_ranks, SplitterIntervals, SplitterSet};
+use hss_partition::{global_ranks, ExchangeEngine, SplitterIntervals, SplitterSet};
 use hss_sim::{Machine, Phase};
 
-use crate::common::{finish_splitter_sort, local_sort_phase};
+use crate::common::{finish_splitter_sort_with, local_sort_phase};
 
 /// Keys whose range can be subdivided evenly — needed by classic histogram
 /// sort, which generates probes by splitting *key space* (it has no sample
@@ -140,6 +140,9 @@ where
         report.rounds.push(RoundStats {
             round,
             sample_size: probes.len(),
+            // Classic histogram sort's probes are generated, not sampled;
+            // the deduplicated probe set is what was broadcast.
+            probe_count: probes.len(),
             open_before,
             open_after,
             max_interval_width: widths.iter().copied().max().unwrap_or(0),
@@ -166,7 +169,21 @@ where
 pub fn histogram_sort<T>(
     machine: &mut Machine,
     config: &HistogramSortConfig,
+    input: Vec<Vec<T>>,
+) -> (Vec<Vec<T>>, SortReport)
+where
+    T: Keyed + Ord,
+    T::K: SubdividableKey,
+{
+    histogram_sort_with_engine(machine, config, input, ExchangeEngine::Flat)
+}
+
+/// [`histogram_sort`] with an explicit exchange engine.
+pub fn histogram_sort_with_engine<T>(
+    machine: &mut Machine,
+    config: &HistogramSortConfig,
     mut input: Vec<Vec<T>>,
+    engine: ExchangeEngine,
 ) -> (Vec<Vec<T>>, SortReport)
 where
     T: Keyed + Ord,
@@ -176,7 +193,7 @@ where
     let p = machine.ranks();
     local_sort_phase(machine, &mut input);
     let (splitters, report) = histogram_sort_splitters(machine, &input, p, config);
-    finish_splitter_sort(machine, "histogram-sort-classic", &input, &splitters, report)
+    finish_splitter_sort_with(machine, "histogram-sort-classic", &input, &splitters, report, engine)
 }
 
 fn data_extent<T: Keyed>(per_rank_sorted: &[Vec<T>]) -> (T::K, T::K) {

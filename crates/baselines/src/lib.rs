@@ -22,10 +22,13 @@ pub mod over_partitioning;
 pub mod radix;
 pub mod sample_sort;
 
-pub use bitonic::bitonic_sort;
+pub use bitonic::{bitonic_sort, bitonic_sort_with_engine};
 pub use histogram_sort::{
-    histogram_sort, histogram_sort_splitters, HistogramSortConfig, SubdividableKey,
+    histogram_sort, histogram_sort_splitters, histogram_sort_with_engine, HistogramSortConfig,
+    SubdividableKey,
 };
-pub use over_partitioning::{over_partitioning_sort, OverPartitioningConfig};
-pub use radix::{radix_partition_sort, RadixConfig, RadixKeyed};
-pub use sample_sort::{sample_sort, SampleSortConfig, SamplingMethod};
+pub use over_partitioning::{
+    over_partitioning_sort, over_partitioning_sort_with_engine, OverPartitioningConfig,
+};
+pub use radix::{radix_partition_sort, radix_partition_sort_with_engine, RadixConfig, RadixKeyed};
+pub use sample_sort::{sample_sort, sample_sort_with_engine, SampleSortConfig, SamplingMethod};

@@ -13,10 +13,10 @@
 
 use hss_core::report::SortReport;
 use hss_keygen::{rank_rng, Keyed};
-use hss_partition::{random_block_sample, SplitterSet};
+use hss_partition::{random_block_sample, ExchangeEngine, SplitterSet};
 use hss_sim::{CostModel, Machine, Phase, Work};
 
-use crate::common::{finish_splitter_sort, local_sort_phase, single_round_report};
+use crate::common::{finish_splitter_sort_with, local_sort_phase, single_round_report};
 
 /// Configuration of the over-partitioning baseline.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -41,7 +41,17 @@ impl OverPartitioningConfig {
 pub fn over_partitioning_sort<T: Keyed + Ord>(
     machine: &mut Machine,
     config: &OverPartitioningConfig,
+    input: Vec<Vec<T>>,
+) -> (Vec<Vec<T>>, SortReport) {
+    over_partitioning_sort_with_engine(machine, config, input, ExchangeEngine::Flat)
+}
+
+/// [`over_partitioning_sort`] with an explicit exchange engine.
+pub fn over_partitioning_sort_with_engine<T: Keyed + Ord>(
+    machine: &mut Machine,
+    config: &OverPartitioningConfig,
     mut input: Vec<Vec<T>>,
+    engine: ExchangeEngine,
 ) -> (Vec<Vec<T>>, SortReport) {
     assert_eq!(input.len(), machine.ranks(), "one input vector per rank");
     assert!(config.ratio >= 1 && config.oversampling >= 1);
@@ -77,7 +87,7 @@ pub fn over_partitioning_sort<T: Keyed + Ord>(
 
     let tolerance = hss_core::theory::rank_tolerance(total_keys, p, 0.05);
     let report = single_round_report(p, total_keys, tolerance, sample_size);
-    finish_splitter_sort(machine, "over-partitioning", &input, &splitters, report)
+    finish_splitter_sort_with(machine, "over-partitioning", &input, &splitters, report, engine)
 }
 
 /// Number of sample keys falling in each candidate bucket.

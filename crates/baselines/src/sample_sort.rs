@@ -15,10 +15,10 @@
 
 use hss_core::report::SortReport;
 use hss_keygen::{rank_rng, Keyed};
-use hss_partition::{random_block_sample, regular_sample, SplitterSet};
+use hss_partition::{random_block_sample, regular_sample, ExchangeEngine, SplitterSet};
 use hss_sim::{CostModel, Machine, Phase, Work};
 
-use crate::common::{finish_splitter_sort, local_sort_phase, single_round_report};
+use crate::common::{finish_splitter_sort_with, local_sort_phase, single_round_report};
 
 /// Which sampling rule the sample-sort baseline uses.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -86,7 +86,17 @@ fn algorithm_name(method: SamplingMethod) -> &'static str {
 pub fn sample_sort<T: Keyed + Ord>(
     machine: &mut Machine,
     config: &SampleSortConfig,
+    input: Vec<Vec<T>>,
+) -> (Vec<Vec<T>>, SortReport) {
+    sample_sort_with_engine(machine, config, input, ExchangeEngine::Flat)
+}
+
+/// [`sample_sort`] with an explicit exchange engine.
+pub fn sample_sort_with_engine<T: Keyed + Ord>(
+    machine: &mut Machine,
+    config: &SampleSortConfig,
     mut input: Vec<Vec<T>>,
+    engine: ExchangeEngine,
 ) -> (Vec<Vec<T>>, SortReport) {
     assert_eq!(input.len(), machine.ranks(), "one input vector per rank");
     assert!(config.epsilon > 0.0, "epsilon must be positive");
@@ -126,7 +136,14 @@ pub fn sample_sort<T: Keyed + Ord>(
     let splitters = SplitterSet::from_sorted_sample(&sample, p);
     let tolerance = hss_core::theory::rank_tolerance(total_keys, p, config.epsilon);
     let report = single_round_report(p, total_keys, tolerance, sample_size);
-    finish_splitter_sort(machine, algorithm_name(config.method), &input, &splitters, report)
+    finish_splitter_sort_with(
+        machine,
+        algorithm_name(config.method),
+        &input,
+        &splitters,
+        report,
+        engine,
+    )
 }
 
 #[cfg(test)]

@@ -1,0 +1,59 @@
+//! Exchange-engine scaling: wall-clock and allocation counts of the flat
+//! counts/displacements all-to-all against the nested `Vec<Vec<Vec<T>>>`
+//! oracle, over a sweep of `p` and `N` in both exchange modes.
+//!
+//! Simulated costs are identical across engines by construction (asserted
+//! in `experiments::tests` and the differential suite); this binary
+//! measures what the cost model cannot see — host-side speed and allocator
+//! pressure of the hottest path in the codebase.  Results are written to
+//! `results/exchange_scaling.json`.
+
+use hss_bench::experiments::exchange_scaling_rows;
+use hss_bench::output::{print_table, save_json};
+use hss_bench::Scale;
+
+#[global_allocator]
+static ALLOC: hss_bench::alloc_counter::CountingAllocator =
+    hss_bench::alloc_counter::CountingAllocator;
+
+fn main() {
+    let scale = Scale::from_env();
+    let seed = hss_bench::experiment_seed();
+    let rows = exchange_scaling_rows(scale, seed);
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.mode.clone(),
+                r.processors.to_string(),
+                r.total_keys.to_string(),
+                r.engine.clone(),
+                format!("{:.4}", r.wall_seconds),
+                r.allocations.to_string(),
+                format!("{:.6}", r.simulated_seconds),
+            ]
+        })
+        .collect();
+    print_table(
+        "Exchange scaling: flat vs nested engine",
+        &["mode", "p", "total keys", "engine", "wall s", "allocs", "simulated s"],
+        &table,
+    );
+
+    // Headline: per (mode, p) pair, how much faster and allocation-leaner
+    // the flat engine is.
+    for pair in rows.chunks(2) {
+        let (flat, nested) = (&pair[0], &pair[1]);
+        if flat.wall_seconds > 0.0 {
+            println!(
+                "{} p={:>4}: flat {:.2}x faster, {}x fewer allocations",
+                pair[0].mode,
+                flat.processors,
+                nested.wall_seconds / flat.wall_seconds,
+                nested.allocations.checked_div(flat.allocations).unwrap_or(0),
+            );
+        }
+    }
+    save_json("exchange_scaling.json", &rows);
+}

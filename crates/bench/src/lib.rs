@@ -18,6 +18,7 @@
 
 #![warn(missing_docs)]
 
+pub mod alloc_counter;
 pub mod experiments;
 pub mod model;
 pub mod output;

@@ -1,5 +1,6 @@
 //! Configuration of the HSS sorter.
 
+use hss_partition::ExchangeEngine;
 use serde::{Deserialize, Serialize};
 
 /// How sampling ratios are chosen across histogramming rounds.
@@ -76,6 +77,11 @@ pub struct HssConfig {
     /// is tightened accordingly; in exchange each histogramming round costs
     /// `O(S log s)` instead of `O(S log(N/p))` per rank.
     pub approximate_histograms: bool,
+    /// Which data representation the all-to-all exchange uses: the flat
+    /// counts/displacements engine (default) or the nested send matrix
+    /// retained as the differential-testing oracle.  Results and simulated
+    /// costs are identical; only host-side speed differs.
+    pub exchange_engine: ExchangeEngine,
     /// Seed for all sampling randomness (deterministic runs).
     pub seed: u64,
 }
@@ -90,6 +96,7 @@ impl Default for HssConfig {
             within_node_epsilon: 0.05,
             tag_duplicates: false,
             approximate_histograms: false,
+            exchange_engine: ExchangeEngine::Flat,
             seed: 0xC0FFEE,
         }
     }
@@ -109,6 +116,7 @@ impl HssConfig {
             within_node_epsilon: 0.05,
             tag_duplicates: false,
             approximate_histograms: false,
+            exchange_engine: ExchangeEngine::Flat,
             seed: 0xC0FFEE,
         }
     }
@@ -145,6 +153,12 @@ impl HssConfig {
     /// Answer histogram rounds from representative samples (§3.4).
     pub fn with_approximate_histograms(mut self) -> Self {
         self.approximate_histograms = true;
+        self
+    }
+
+    /// Select the all-to-all exchange engine (flat by default).
+    pub fn with_exchange_engine(mut self, engine: ExchangeEngine) -> Self {
+        self.exchange_engine = engine;
         self
     }
 

@@ -122,12 +122,15 @@ pub fn determine_splitters<T: Keyed>(
             });
 
         // Gather the sample at the central processor and sort it there.
+        // The root's sort of the gathered sample is part of the *sampling*
+        // step (it prepares the probes), not of histogramming; it sorts the
+        // full pre-dedup sample.
         let mut probes: Vec<T::K> = machine.gather_to_root(Phase::Sampling, per_rank_samples);
         let sample_size = probes.len();
-        machine
-            .charge_modelled_compute(Phase::Histogramming, CostModel::sort_ops(sample_size as u64));
+        machine.charge_modelled_compute(Phase::Sampling, CostModel::sort_ops(sample_size as u64));
         probes.sort_unstable();
         probes.dedup();
+        let probe_count = probes.len();
 
         // --- Histogramming phase --------------------------------------------
         // Broadcast the probes, compute local histograms (exact or from the
@@ -167,6 +170,7 @@ pub fn determine_splitters<T: Keyed>(
         report.rounds.push(RoundStats {
             round,
             sample_size,
+            probe_count,
             open_before,
             open_after,
             max_interval_width: max_w,
@@ -264,11 +268,17 @@ impl RoundPlan {
     }
 
     /// Whether the algorithm stops after `round` with `open_after` splitters
-    /// still unfinalized.
+    /// still unfinalized.  Both plan kinds stop as soon as every splitter is
+    /// finalized: running further sampling + histogramming rounds (gathers,
+    /// broadcasts, reductions — all charged) cannot improve anything once
+    /// `open_after == 0`.
     fn is_done(&self, round: usize, open_after: usize) -> bool {
+        if open_after == 0 {
+            return true;
+        }
         match &self.kind {
             PlanKind::Fixed { ratios } => round >= ratios.len(),
-            PlanKind::UntilDone { max_rounds, .. } => open_after == 0 || round >= *max_rounds,
+            PlanKind::UntilDone { max_rounds, .. } => round >= *max_rounds,
         }
     }
 }
@@ -515,6 +525,71 @@ mod tests {
         let (s2, r2) = determine_splitters(&mut m2, &data, p, &cfg);
         assert_eq!(s1.keys(), s2.keys());
         assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn fixed_schedule_stops_once_all_splitters_finalize() {
+        // A generous tolerance on few buckets finalizes every splitter in
+        // the first round or two; a long fixed schedule must then stop
+        // early instead of running (and charging) the remaining rounds.
+        let p = 4;
+        let data = sorted_input(KeyDistribution::Uniform, p, 4000, 19);
+        let scheduled_rounds = 12;
+        let mut machine = Machine::flat(p);
+        let config = HssConfig {
+            epsilon: 0.3,
+            schedule: RoundSchedule::Theoretical { rounds: scheduled_rounds },
+            ..HssConfig::default()
+        };
+        let (_s, report) = determine_splitters(&mut machine, &data, p, &config);
+        assert!(report.all_finalized);
+        assert!(
+            report.rounds_executed() < scheduled_rounds,
+            "ran all {} scheduled rounds despite early finalization",
+            report.rounds_executed()
+        );
+        assert_eq!(report.rounds.last().unwrap().open_after, 0);
+        // No sampling/histogramming superstep may follow the final round:
+        // the splitter broadcast is the only collective after it.
+        let gathers = machine.metrics().phase(Phase::Sampling).supersteps;
+        // Each round records: sampling map_phase + gather + root sort.
+        assert_eq!(gathers, 3 * report.rounds_executed() as u64);
+    }
+
+    #[test]
+    fn round_stats_record_post_dedup_probe_count() {
+        let p = 8;
+        // Heavy duplicates: the gathered sample contains repeats, so the
+        // deduplicated probe set is strictly smaller.
+        let data = sorted_input(KeyDistribution::FewDistinct { distinct: 4 }, p, 1000, 23);
+        let mut machine = Machine::flat(p);
+        let (_s, report) = determine_splitters(&mut machine, &data, p, &HssConfig::default());
+        for r in &report.rounds {
+            assert!(r.probe_count <= r.sample_size, "round {}", r.round);
+            assert!(r.probe_count > 0 || r.sample_size == 0);
+        }
+        assert!(
+            report.rounds.iter().any(|r| r.probe_count < r.sample_size),
+            "expected duplicate sample keys to dedup away"
+        );
+    }
+
+    #[test]
+    fn root_sample_sort_is_charged_to_sampling_phase() {
+        let p = 16;
+        let data = sorted_input(KeyDistribution::Uniform, p, 1000, 29);
+        let mut machine = Machine::flat(p);
+        let (_s, report) = determine_splitters(&mut machine, &data, p, &HssConfig::default());
+        assert!(report.rounds_executed() >= 1);
+        // The sampling phase now carries compute (the root's sort of the
+        // gathered sample) in addition to the local Bernoulli scans.
+        let sampling_ops = machine.metrics().phase(Phase::Sampling).compute_ops;
+        let min_sort_ops: u64 =
+            report.rounds.iter().map(|r| hss_sim::CostModel::sort_ops(r.sample_size as u64)).sum();
+        assert!(
+            sampling_ops >= min_sort_ops,
+            "sampling ops {sampling_ops} below the root sort's {min_sort_ops}"
+        );
     }
 
     #[test]

@@ -14,16 +14,50 @@
 //!    the node's cores entirely in shared memory, using sample sort with
 //!    regular sampling (§6.1.2 "final within node sorting"), which injects
 //!    no network traffic.
+//!
+//! The exchange runs on the flat counts/displacements engine by default
+//! (`config.exchange_engine`): node buckets are contiguous ranges of each
+//! rank's sorted data and node leaders are in ascending rank order, so the
+//! sorted data itself is the flat send buffer.  The within-node re-split
+//! then reads the leader's contiguous receive buffer as slices — no
+//! per-run clones anywhere on the path.
 
 use rayon::prelude::*;
 
 use hss_keygen::Keyed;
-use hss_partition::{kway_merge, partition_sorted, regular_sample, SplitterSet};
-use hss_sim::{CostModel, Machine, Phase, Work};
+use hss_partition::{kway_merge_slices, regular_sample, ExchangeEngine, SplitterSet};
+use hss_sim::{CostModel, ExchangePlan, Machine, Phase, Work};
 
 use crate::config::HssConfig;
 use crate::multi_round::determine_splitters;
 use crate::report::SplitterReport;
+
+/// Per-leader receive buffers of the node-combined exchange, in either
+/// engine's representation.  The flat engine materialises nothing: the
+/// leaders read their runs directly out of the senders' sorted buffers
+/// through the send plans.
+enum NodeRecv<'a, T> {
+    Flat { send_bufs: &'a [Vec<T>], plans: Vec<ExchangePlan> },
+    Nested(Vec<Vec<Vec<T>>>),
+}
+
+impl<T> NodeRecv<'_, T> {
+    /// The non-empty sorted runs rank `leader` received, as slices in
+    /// source-rank order.
+    fn runs_of(&self, leader: usize) -> Vec<&[T]> {
+        match self {
+            NodeRecv::Flat { send_bufs, plans } => plans
+                .iter()
+                .zip(send_bufs.iter())
+                .map(|(plan, buf)| plan.run(buf, leader))
+                .filter(|r| !r.is_empty())
+                .collect(),
+            NodeRecv::Nested(rs) => {
+                rs[leader].iter().filter(|r| !r.is_empty()).map(|r| r.as_slice()).collect()
+            }
+        }
+    }
+}
 
 /// Sort `per_rank_sorted` (locally sorted input) into a globally sorted
 /// per-rank output using node-level partitioning.
@@ -45,20 +79,46 @@ pub fn node_level_sort<T: Keyed + Ord>(
     // --- Exchange: every rank routes its keys to the *leader* of the
     // destination node; messages are combined per node pair. ----------------
     let leader_of_bucket: Vec<usize> = (0..n).map(|b| topo.leader_of(b)).collect();
-    let sends: Vec<Vec<Vec<T>>> =
-        machine.map_phase(Phase::DataExchange, per_rank_sorted, |_rank, local| {
-            let node_buckets = partition_sorted(local, &node_splitters);
-            let mut per_dest: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();
-            for (b, bucket) in node_buckets.into_iter().enumerate() {
-                per_dest[leader_of_bucket[b]] = bucket;
-            }
-            (
-                per_dest,
-                Work::binary_search(node_splitters.keys().len(), local.len())
-                    .and(Work::scan(local.len())),
-            )
-        });
-    let received = machine.all_to_allv_node_combined(Phase::DataExchange, sends);
+    let route_work = |splitter_count: usize, local_len: usize| {
+        Work::binary_search(splitter_count, local_len).and(Work::scan(local_len))
+    };
+    let received: NodeRecv<T> = match config.exchange_engine {
+        ExchangeEngine::Flat => {
+            // Node buckets are contiguous in the sorted data and leaders
+            // ascend with the bucket index, so the boundaries translate
+            // directly into a flat plan over the data itself.
+            let plans: Vec<ExchangePlan> =
+                machine.map_phase(Phase::DataExchange, per_rank_sorted, |_rank, local| {
+                    let bounds = node_splitters.bucket_boundaries(local);
+                    let mut counts = vec![0usize; p];
+                    for b in 0..n {
+                        counts[leader_of_bucket[b]] = bounds[b + 1] - bounds[b];
+                    }
+                    (
+                        ExchangePlan::from_counts(counts),
+                        route_work(node_splitters.keys().len(), local.len()),
+                    )
+                });
+            machine.all_to_allv_flat_node_combined_in_place::<T>(
+                Phase::DataExchange,
+                per_rank_sorted,
+                &plans,
+            );
+            NodeRecv::Flat { send_bufs: per_rank_sorted, plans }
+        }
+        ExchangeEngine::Nested => {
+            let sends: Vec<Vec<Vec<T>>> =
+                machine.map_phase(Phase::DataExchange, per_rank_sorted, |_rank, local| {
+                    let node_buckets = hss_partition::partition_sorted(local, &node_splitters);
+                    let mut per_dest: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();
+                    for (b, bucket) in node_buckets.into_iter().enumerate() {
+                        per_dest[leader_of_bucket[b]] = bucket;
+                    }
+                    (per_dest, route_work(node_splitters.keys().len(), local.len()))
+                });
+            NodeRecv::Nested(machine.all_to_allv_node_combined(Phase::DataExchange, sends))
+        }
+    };
 
     // --- Within-node redistribution and merge (shared memory only). --------
     let within_eps = config.within_node_epsilon;
@@ -66,11 +126,10 @@ pub fn node_level_sort<T: Keyed + Ord>(
         .into_par_iter()
         .map(|node| {
             let leader = topo.leader_of(node);
-            let runs: Vec<Vec<T>> =
-                received[leader].iter().filter(|r| !r.is_empty()).cloned().collect();
+            let runs = received.runs_of(leader);
             let cores = topo.node_size(node);
             let total: usize = runs.iter().map(|r| r.len()).sum();
-            let (chunks, ops) = split_within_node(runs, cores, within_eps);
+            let (chunks, ops) = split_within_node(&runs, cores, within_eps);
             let ops = ops + CostModel::merge_ops(total as u64, cores.max(1) as u64);
             (node, chunks, ops)
         })
@@ -93,16 +152,18 @@ pub fn node_level_sort<T: Keyed + Ord>(
 
 /// Split the sorted runs a node received into `cores` per-core sorted
 /// chunks using sample sort with regular sampling, entirely in shared
-/// memory.  Returns the per-core chunks and the number of compute ops spent.
+/// memory.  The runs are read in place (slices into the receive buffer);
+/// only the final per-core chunks are materialised.  Returns the per-core
+/// chunks and the number of compute ops spent.
 fn split_within_node<T: Keyed + Ord>(
-    runs: Vec<Vec<T>>,
+    runs: &[&[T]],
     cores: usize,
     within_eps: f64,
 ) -> (Vec<Vec<T>>, u64) {
     let total: usize = runs.iter().map(|r| r.len()).sum();
     if cores <= 1 {
         let ops = CostModel::merge_ops(total as u64, runs.len().max(1) as u64);
-        return (vec![kway_merge(runs)], ops);
+        return (vec![kway_merge_slices(runs)], ops);
     }
     if total == 0 {
         return ((0..cores).map(|_| Vec::new()).collect(), 0);
@@ -113,18 +174,20 @@ fn split_within_node<T: Keyed + Ord>(
     // runs are not oversampled beyond their size).
     let s = ((cores as f64 / within_eps).ceil() as usize).max(cores);
     let mut sample: Vec<T::K> = Vec::new();
-    for run in &runs {
+    for run in runs {
         sample.extend(regular_sample(run, s));
     }
     sample.sort_unstable();
     let splitters = SplitterSet::from_sorted_sample(&sample, cores);
 
     // Partition every run by the within-node splitters and merge per core.
-    let mut per_core_runs: Vec<Vec<Vec<T>>> = (0..cores).map(|_| Vec::new()).collect();
+    let mut per_core_runs: Vec<Vec<&[T]>> = (0..cores).map(|_| Vec::new()).collect();
     let mut ops = sample.len() as u64 * (sample.len().max(2) as f64).log2().ceil() as u64;
     for run in runs {
         ops += CostModel::binary_search_ops(splitters.keys().len() as u64, run.len() as u64);
-        for (c, chunk) in partition_sorted(&run, &splitters).into_iter().enumerate() {
+        let bounds = splitters.bucket_boundaries(run);
+        for (c, w) in bounds.windows(2).enumerate() {
+            let chunk = &run[w[0]..w[1]];
             if !chunk.is_empty() {
                 per_core_runs[c].push(chunk);
             }
@@ -135,7 +198,7 @@ fn split_within_node<T: Keyed + Ord>(
         .map(|runs| {
             let t: usize = runs.iter().map(|r| r.len()).sum();
             ops += CostModel::merge_ops(t as u64, runs.len().max(1) as u64);
-            kway_merge(runs)
+            kway_merge_slices(&runs)
         })
         .collect();
     (chunks, ops)
@@ -163,7 +226,8 @@ mod tests {
             (0..500).map(|i| i * 4 + 1).collect(),
             (0..500).map(|i| i * 4 + 2).collect(),
         ];
-        let (chunks, _ops) = split_within_node(runs, 4, 0.05);
+        let run_slices: Vec<&[u64]> = runs.iter().map(|r| r.as_slice()).collect();
+        let (chunks, _ops) = split_within_node(&run_slices, 4, 0.05);
         assert_eq!(chunks.len(), 4);
         // Concatenation is sorted.
         let flat: Vec<u64> = chunks.iter().flatten().copied().collect();
@@ -176,14 +240,13 @@ mod tests {
 
     #[test]
     fn split_within_single_core_just_merges() {
-        let runs: Vec<Vec<u64>> = vec![vec![3, 6], vec![1, 9]];
-        let (chunks, _ops) = split_within_node(runs, 1, 0.05);
+        let (chunks, _ops) = split_within_node(&[&[3u64, 6][..], &[1, 9][..]], 1, 0.05);
         assert_eq!(chunks, vec![vec![1, 3, 6, 9]]);
     }
 
     #[test]
     fn split_within_node_empty_input() {
-        let (chunks, ops) = split_within_node::<u64>(vec![], 4, 0.05);
+        let (chunks, ops) = split_within_node::<u64>(&[], 4, 0.05);
         assert_eq!(chunks.len(), 4);
         assert!(chunks.iter().all(|c| c.is_empty()));
         assert_eq!(ops, 0);
@@ -206,6 +269,24 @@ mod tests {
         // The histogramming phase determined only n-1 = 3 splitters worth of
         // intervals, so its sample is tiny.
         assert!(report.total_sample_size < 1000);
+    }
+
+    #[test]
+    fn node_level_flat_and_nested_engines_agree_bitwise() {
+        let p = 16;
+        let topo = Topology::new(p, 4); // 4 nodes
+        let data = sorted_input(p, 600, 7);
+        let run = |engine: ExchangeEngine| {
+            let mut machine = Machine::new(topo, Cm::bluegene_like());
+            let config = HssConfig::default().with_exchange_engine(engine);
+            let (out, report) = node_level_sort(&mut machine, &data, &config);
+            (out, report, machine.metrics().deterministic_signature())
+        };
+        let (out_f, rep_f, sig_f) = run(ExchangeEngine::Flat);
+        let (out_n, rep_n, sig_n) = run(ExchangeEngine::Nested);
+        assert_eq!(out_f, out_n);
+        assert_eq!(rep_f, rep_n);
+        assert_eq!(sig_f, sig_n);
     }
 
     #[test]

@@ -13,8 +13,13 @@ use serde::{Deserialize, Serialize};
 pub struct RoundStats {
     /// 1-based round index.
     pub round: usize,
-    /// Overall sample size gathered at the root this round.
+    /// Overall sample size gathered at the root this round (pre-dedup: the
+    /// keys that actually travelled to the root and were sorted there).
     pub sample_size: usize,
+    /// Number of distinct probes broadcast and histogrammed this round
+    /// (post-dedup; `<= sample_size`).  Zero for single-shot algorithms
+    /// that gather a sample but broadcast no histogram probes.
+    pub probe_count: usize,
     /// Number of splitters not yet finalized *before* this round.
     pub open_before: usize,
     /// Number of splitters not yet finalized *after* this round.
@@ -105,6 +110,7 @@ mod tests {
         RoundStats {
             round: i,
             sample_size: sample,
+            probe_count: sample,
             open_before: 10,
             open_after: 5,
             max_interval_width: 100,

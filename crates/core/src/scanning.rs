@@ -105,9 +105,11 @@ pub fn scanning_splitters<T: Keyed>(
         });
     let mut probes = machine.gather_to_root(Phase::Sampling, per_rank_samples);
     let sample_size = probes.len();
-    machine.charge_modelled_compute(Phase::Histogramming, CostModel::sort_ops(sample_size as u64));
+    // The root's sort of the gathered sample is part of the sampling step.
+    machine.charge_modelled_compute(Phase::Sampling, CostModel::sort_ops(sample_size as u64));
     probes.sort_unstable();
     probes.dedup();
+    let probe_count = probes.len();
 
     machine.broadcast(Phase::Histogramming, &probes);
     let ranks = global_ranks(machine, per_rank_sorted, &probes, Phase::Histogramming);
@@ -119,6 +121,7 @@ pub fn scanning_splitters<T: Keyed>(
     report.rounds.push(RoundStats {
         round: 1,
         sample_size,
+        probe_count,
         open_before: buckets - 1,
         open_after: 0,
         max_interval_width: 0,

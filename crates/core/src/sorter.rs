@@ -3,7 +3,7 @@
 //! duplicate-tagging variants).
 
 use hss_keygen::Keyed;
-use hss_partition::{exchange_and_merge, verify_global_sort, ExchangeMode, LoadBalance};
+use hss_partition::{exchange_and_merge_with, verify_global_sort, ExchangeMode, LoadBalance};
 use hss_sim::{Machine, Phase, Work};
 
 use crate::config::HssConfig;
@@ -121,7 +121,13 @@ impl HssSorter {
             } else {
                 ExchangeMode::RankLevel
             };
-            let out = exchange_and_merge(machine, &data, &splitters, mode);
+            let out = exchange_and_merge_with(
+                machine,
+                &data,
+                &splitters,
+                mode,
+                self.config.exchange_engine,
+            );
             (out, report)
         }
     }

@@ -3,6 +3,7 @@
 //! algorithm, §2.2 step 3).
 
 use hss_keygen::Keyed;
+use hss_sim::ExchangePlan;
 
 use crate::splitters::SplitterSet;
 
@@ -13,6 +14,16 @@ pub fn partition_sorted<T: Keyed>(sorted: &[T], splitters: &SplitterSet<T::K>) -
     debug_assert!(crate::histogram::is_sorted_by_key(sorted));
     let bounds = splitters.bucket_boundaries(sorted);
     bounds.windows(2).map(|w| sorted[w[0]..w[1]].to_vec()).collect()
+}
+
+/// The zero-copy equivalent of [`partition_sorted`]: instead of cloning each
+/// bucket into its own `Vec`, compute the [`ExchangePlan`] (per-destination
+/// counts and displacements) describing where each bucket lives inside the
+/// sorted slice itself.  The sorted data then serves directly as the flat
+/// send buffer of `Machine::all_to_allv_flat`.
+pub fn exchange_plan<T: Keyed>(sorted: &[T], splitters: &SplitterSet<T::K>) -> ExchangePlan {
+    debug_assert!(crate::histogram::is_sorted_by_key(sorted));
+    ExchangePlan::from_boundaries(&splitters.bucket_boundaries(sorted))
 }
 
 /// Partition *unsorted* local data into buckets by routing each key
@@ -75,6 +86,19 @@ mod tests {
         let buckets = partition_sorted(&data, &s);
         assert!(buckets[0].is_empty());
         assert_eq!(buckets[1], vec![4, 4, 4]);
+    }
+
+    #[test]
+    fn exchange_plan_matches_partition_sorted() {
+        let data: Vec<u64> = vec![1, 3, 5, 7, 9, 11, 13];
+        let s = SplitterSet::new(vec![4u64, 10]);
+        let plan = exchange_plan(&data, &s);
+        let buckets = partition_sorted(&data, &s);
+        assert_eq!(plan.peers(), buckets.len());
+        assert_eq!(plan.total_elems(), data.len());
+        for (i, b) in buckets.iter().enumerate() {
+            assert_eq!(plan.run(&data, i), b.as_slice(), "bucket {i}");
+        }
     }
 
     #[test]

@@ -1,11 +1,22 @@
 //! The data-movement step shared by every splitter-based algorithm:
 //! partition local sorted data by the splitters, run the all-to-all
 //! exchange, merge the received runs (§2.2 step 3).
+//!
+//! Two engines implement the step with bitwise-identical results and
+//! identical simulated-cost accounting:
+//!
+//! * [`ExchangeEngine::Flat`] (the default) — zero-copy bucketize into an
+//!   [`ExchangePlan`](hss_sim::ExchangePlan) over the sorted data itself,
+//!   one contiguous buffer moved per rank (`MPI_Alltoallv` style), and a
+//!   slice-based loser-tree merge reading the receive buffer in place;
+//! * [`ExchangeEngine::Nested`] — the historical `Vec<Vec<Vec<T>>>` send
+//!   matrix (`p²` allocations and a full extra copy), retained as the
+//!   differential-testing oracle and for the `exchange_scaling` benchmark.
 
 use hss_keygen::Keyed;
-use hss_sim::{Machine, Phase, Work};
+use hss_sim::{ExchangePlan, Machine, Phase, Work};
 
-use crate::merge::kway_merge;
+use crate::merge::{kway_merge, kway_merge_slices};
 use crate::splitters::SplitterSet;
 
 /// How the all-to-all exchange injects messages into the network.
@@ -18,9 +29,24 @@ pub enum ExchangeMode {
     NodeCombined,
 }
 
+/// Which data representation moves the keys (same results and accounting
+/// either way; the flat engine is the fast path).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum ExchangeEngine {
+    /// Flat counts/displacements buffers (`MPI_Alltoallv` style) plus a
+    /// loser-tree merge over in-place slices.
+    #[default]
+    Flat,
+    /// The nested `Vec<Vec<Vec<T>>>` send matrix plus a heap-order k-way
+    /// merge of owned runs.  `p²` allocations per exchange — kept as the
+    /// differential-testing oracle.
+    Nested,
+}
+
 /// Move every key to the rank that owns its bucket and merge the received
-/// sorted runs.  `per_rank_sorted` must be sorted within each rank;
-/// `splitters` must define exactly `machine.ranks()` buckets.
+/// sorted runs, using the default [`ExchangeEngine::Flat`] engine.
+/// `per_rank_sorted` must be sorted within each rank; `splitters` must
+/// define exactly `machine.ranks()` buckets.
 ///
 /// Returns the per-rank output (globally sorted across ranks, sorted within
 /// each rank).  Charges the bucketize work, the exchange and the merge to
@@ -31,20 +57,92 @@ pub fn exchange_and_merge<T: Keyed + Ord>(
     splitters: &SplitterSet<T::K>,
     mode: ExchangeMode,
 ) -> Vec<Vec<T>> {
+    exchange_and_merge_with(machine, per_rank_sorted, splitters, mode, ExchangeEngine::Flat)
+}
+
+/// [`exchange_and_merge`] with an explicit engine choice.
+pub fn exchange_and_merge_with<T: Keyed + Ord>(
+    machine: &mut Machine,
+    per_rank_sorted: &[Vec<T>],
+    splitters: &SplitterSet<T::K>,
+    mode: ExchangeMode,
+    engine: ExchangeEngine,
+) -> Vec<Vec<T>> {
     assert_eq!(
         splitters.buckets(),
         machine.ranks(),
         "splitter set must define one bucket per rank"
     );
+    match engine {
+        ExchangeEngine::Flat => exchange_and_merge_flat(machine, per_rank_sorted, splitters, mode),
+        ExchangeEngine::Nested => {
+            exchange_and_merge_nested(machine, per_rank_sorted, splitters, mode)
+        }
+    }
+}
+
+/// The bucketize work charged by both engines: one binary search per
+/// splitter plus a linear pass over the local data (the pack/scan the
+/// simulated rank performs to stage its send buffer).
+fn bucketize_work<K: hss_keygen::Key>(splitters: &SplitterSet<K>, local_len: usize) -> Work {
+    Work::binary_search(splitters.keys().len(), local_len).and(Work::scan(local_len))
+}
+
+fn exchange_and_merge_flat<T: Keyed + Ord>(
+    machine: &mut Machine,
+    per_rank_sorted: &[Vec<T>],
+    splitters: &SplitterSet<T::K>,
+    mode: ExchangeMode,
+) -> Vec<Vec<T>> {
+    // Plan each rank's buckets as counts/displacements over its sorted data
+    // — no per-bucket clones.
+    let plans: Vec<ExchangePlan> =
+        machine.map_phase(Phase::DataExchange, per_rank_sorted, |_r, local| {
+            (
+                crate::bucketize::exchange_plan(local, splitters),
+                bucketize_work(splitters, local.len()),
+            )
+        });
+    // Exchange: the sorted data itself is the flat send buffer, and no
+    // receive buffer is materialised — the merge below reads every
+    // destination's runs directly out of the senders' buffers, so each
+    // element is copied exactly once end to end (into the merged output).
+    match mode {
+        ExchangeMode::RankLevel => {
+            machine.all_to_allv_flat_in_place::<T>(Phase::DataExchange, per_rank_sorted, &plans);
+        }
+        ExchangeMode::NodeCombined => {
+            machine.all_to_allv_flat_node_combined_in_place::<T>(
+                Phase::DataExchange,
+                per_rank_sorted,
+                &plans,
+            );
+        }
+    }
+    // Merge destination `dst`'s runs in place via the loser tree.
+    machine.map_phase(Phase::Merge, per_rank_sorted, |dst, _local| {
+        let runs: Vec<&[T]> = plans
+            .iter()
+            .zip(per_rank_sorted.iter())
+            .map(|(plan, buf)| plan.run(buf, dst))
+            .collect();
+        let total: usize = runs.iter().map(|r| r.len()).sum();
+        let pieces = runs.iter().filter(|r| !r.is_empty()).count();
+        (kway_merge_slices(&runs), Work::merge(total, pieces.max(1)))
+    })
+}
+
+fn exchange_and_merge_nested<T: Keyed + Ord>(
+    machine: &mut Machine,
+    per_rank_sorted: &[Vec<T>],
+    splitters: &SplitterSet<T::K>,
+    mode: ExchangeMode,
+) -> Vec<Vec<T>> {
     // Partition each rank's sorted data into destination buckets.
     let sends: Vec<Vec<Vec<T>>> =
         machine.map_phase(Phase::DataExchange, per_rank_sorted, |_r, local| {
             let buckets = crate::bucketize::partition_sorted(local, splitters);
-            (
-                buckets,
-                Work::binary_search(splitters.keys().len(), local.len())
-                    .and(Work::scan(local.len())),
-            )
+            (buckets, bucketize_work(splitters, local.len()))
         });
     // Exchange.
     let received = match mode {
@@ -103,6 +201,37 @@ mod tests {
             m2.metrics().phase(Phase::DataExchange).messages
                 < m1.metrics().phase(Phase::DataExchange).messages
         );
+    }
+
+    #[test]
+    fn flat_and_nested_engines_agree_bitwise() {
+        let p = 8;
+        let input = sorted_input(p, 150);
+        let splitters = SplitterSet::new(crate::select::exact_splitters(&input, p));
+        for mode in [ExchangeMode::RankLevel, ExchangeMode::NodeCombined] {
+            let mut m_flat = Machine::new(Topology::new(p, 4), CostModel::bluegene_like());
+            let mut m_nested = Machine::new(Topology::new(p, 4), CostModel::bluegene_like());
+            let a = exchange_and_merge_with(
+                &mut m_flat,
+                &input,
+                &splitters,
+                mode,
+                ExchangeEngine::Flat,
+            );
+            let b = exchange_and_merge_with(
+                &mut m_nested,
+                &input,
+                &splitters,
+                mode,
+                ExchangeEngine::Nested,
+            );
+            assert_eq!(a, b, "mode {mode:?}");
+            assert_eq!(
+                m_flat.metrics().deterministic_signature(),
+                m_nested.metrics().deterministic_signature(),
+                "mode {mode:?}"
+            );
+        }
     }
 
     #[test]

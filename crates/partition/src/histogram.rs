@@ -25,10 +25,7 @@ pub fn local_ranks<T: Keyed>(sorted_local: &[T], probes: &[T::K]) -> Vec<u64> {
     debug_assert!(probes.windows(2).all(|w| w[0] <= w[1]), "probes must be sorted");
     let n = sorted_local.len();
     let m = probes.len();
-    // Heuristic crossover: binary searches cost ~m log2 n, the sweep costs
-    // ~n + m.
-    let log_n = (usize::BITS - n.max(2).leading_zeros()) as usize;
-    if m * log_n <= n + m {
+    if uses_binary_search(n, m) {
         probes.iter().map(|p| sorted_local.partition_point(|x| x.key() < *p) as u64).collect()
     } else {
         let mut out = Vec::with_capacity(m);
@@ -40,6 +37,27 @@ pub fn local_ranks<T: Keyed>(sorted_local: &[T], probes: &[T::K]) -> Vec<u64> {
             out.push(i as u64);
         }
         out
+    }
+}
+
+/// Whether [`local_ranks`] answers `m` probes over `n` keys with binary
+/// searches (`~m log2 n`) rather than the linear merge sweep (`~n + m`).
+/// Exposed so cost accounting can charge the strategy actually executed.
+fn uses_binary_search(n: usize, m: usize) -> bool {
+    let log_n = (usize::BITS - n.max(2).leading_zeros()) as usize;
+    m * log_n <= n + m
+}
+
+/// The [`Work`] `local_ranks` actually performs for the given shapes —
+/// binary-search cost when it binary-searches, a linear `n + m` scan when
+/// it runs the merge sweep.  Charging `Work::binary_search(m, n)`
+/// unconditionally (the historical behaviour) overstated the simulated cost
+/// of exactly the large-`p` histogramming rounds the sweep exists for.
+pub fn local_ranks_work(n: usize, m: usize) -> Work {
+    if uses_binary_search(n, m) {
+        Work::binary_search(m, n)
+    } else {
+        Work::scan(n + m)
     }
 }
 
@@ -75,7 +93,7 @@ pub fn global_ranks<T: Keyed>(
     phase: Phase,
 ) -> Vec<u64> {
     let local = machine.map_phase(phase, per_rank_sorted, |_rank, data| {
-        (local_ranks(data, probes), Work::binary_search(probes.len(), data.len()))
+        (local_ranks(data, probes), local_ranks_work(data.len(), probes.len()))
     });
     machine.reduce_sum(phase, &local)
 }
@@ -165,6 +183,35 @@ mod tests {
         ];
         let ranks = global_ranks(&mut machine, &per_rank, &[3u64], Phase::Histogramming);
         assert_eq!(ranks, vec![2]);
+    }
+
+    #[test]
+    fn charged_work_tracks_executed_strategy() {
+        use hss_sim::Work;
+        // Merge-sweep shape: tiny local data, many probes.  The charge must
+        // be the linear scan, not m binary searches.
+        let (n, m) = (3usize, 64usize);
+        assert!(!super::uses_binary_search(n, m));
+        assert_eq!(local_ranks_work(n, m), Work::scan(n + m));
+        // Binary-search shape: large local data, few probes.
+        let (n, m) = (4096usize, 4usize);
+        assert!(super::uses_binary_search(n, m));
+        assert_eq!(local_ranks_work(n, m), Work::binary_search(m, n));
+    }
+
+    #[test]
+    fn global_ranks_charges_scan_cost_on_sweep_shapes() {
+        // p = 2 ranks with 3 keys each, 64 probes: both ranks take the
+        // merge-sweep branch.  Phase compute ops must be the two scans plus
+        // the reduction's element-wise combine (pipelined: one op per probe).
+        let p = 2;
+        let mut machine = Machine::flat(p);
+        let per_rank: Vec<Vec<u64>> = vec![vec![10, 20, 30], vec![15, 25, 35]];
+        let probes: Vec<u64> = (0..64).map(|i| i * 2).collect();
+        let _ = global_ranks(&mut machine, &per_rank, &probes, Phase::Histogramming);
+        let ops = machine.metrics().phase(Phase::Histogramming).compute_ops;
+        let expected = 2 * (3 + 64) as u64 + 64;
+        assert_eq!(ops, expected);
     }
 
     #[test]

@@ -33,11 +33,13 @@ pub mod select;
 pub mod splitters;
 
 pub use balance::LoadBalance;
-pub use bucketize::{bucket_counts, partition_sorted, partition_unsorted};
-pub use exchange::{exchange_and_merge, ExchangeMode};
-pub use histogram::{global_ranks, is_sorted_by_key, local_range_counts, local_ranks};
+pub use bucketize::{bucket_counts, exchange_plan, partition_sorted, partition_unsorted};
+pub use exchange::{exchange_and_merge, exchange_and_merge_with, ExchangeEngine, ExchangeMode};
+pub use histogram::{
+    global_ranks, is_sorted_by_key, local_range_counts, local_ranks, local_ranks_work,
+};
 pub use intervals::{Bound, SplitterIntervals};
-pub use merge::{concat_sort_merge, kway_merge};
+pub use merge::{concat_sort_merge, kway_merge, kway_merge_slices};
 pub use sampling::{
     bernoulli_sample, bernoulli_sample_in_intervals, bernoulli_sample_range, count_in_intervals,
     merge_key_intervals, random_block_sample, regular_sample, uniform_sample_discarding,

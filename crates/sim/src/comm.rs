@@ -7,20 +7,104 @@
 //! per-rank buffers *and* charge the BSP cost model, so both correctness and
 //! scaling shape come out of the same code path.
 //!
-//! Message sizes are accounted in 8-byte words computed from
-//! `std::mem::size_of` of the element type.
+//! The all-to-all comes in two data representations with identical
+//! accounting semantics:
+//!
+//! * the *nested* form (`sends[src][dst]` is an owned buffer) — simple but
+//!   `p²` heap allocations per exchange;
+//! * the *flat* form ([`Machine::all_to_allv_flat`]) — one contiguous
+//!   buffer per rank plus an [`ExchangePlan`] of counts/displacements,
+//!   modelled on `MPI_Alltoallv`.  This is the hot path used by every
+//!   sorter; the nested form is retained as the differential-testing
+//!   oracle.
+//!
+//! Accounting conventions (see the README's "Cost accounting" section):
+//! a *word* is 8 bytes of application data actually crossing the network
+//! (a rank's or node's own contribution to a collective never does); a
+//! *message* is one non-empty off-rank (or off-node) transfer; the α-term
+//! of an exchange charges the **max over ranks** of the number of distinct
+//! non-empty peers — the BSP superstep is held up by the busiest rank, not
+//! by the global message count.
+
+use rayon::prelude::*;
 
 use crate::cost::CollectiveAlgo;
-use crate::machine::{words_of, Machine};
+use crate::machine::{words_of, Machine, Parallelism};
 use crate::metrics::{Phase, PhaseMetrics};
+use crate::plan::{ExchangePlan, FlatRecv};
+
+/// Per-rank (or per-node) volume and peer bookkeeping for an irregular
+/// all-to-all, shared by the nested and flat representations so both charge
+/// bitwise-identical costs.
+#[derive(Debug)]
+struct ExchangeVolumes {
+    send_elems: Vec<usize>,
+    recv_elems: Vec<usize>,
+    send_peers: Vec<u64>,
+    recv_peers: Vec<u64>,
+    messages: u64,
+    total_elems: usize,
+}
+
+impl ExchangeVolumes {
+    fn new(parties: usize) -> Self {
+        Self {
+            send_elems: vec![0; parties],
+            recv_elems: vec![0; parties],
+            send_peers: vec![0; parties],
+            recv_peers: vec![0; parties],
+            messages: 0,
+            total_elems: 0,
+        }
+    }
+
+    /// Record `len` elements travelling `src → dst`.  Self-transfers stay
+    /// in the rank's own memory: they contribute nothing to volume,
+    /// messages or peers — the same convention `gather_to_root` and the
+    /// node-combined exchange use for data that never crosses the network.
+    fn add(&mut self, src: usize, dst: usize, len: usize) {
+        if len == 0 || src == dst {
+            return;
+        }
+        self.total_elems += len;
+        self.send_elems[src] += len;
+        self.recv_elems[dst] += len;
+        self.messages += 1;
+        self.send_peers[src] += 1;
+        self.recv_peers[dst] += 1;
+    }
+
+    /// The busiest party's element volume: `max over r of max(send, recv)`.
+    fn max_elems(&self) -> usize {
+        self.send_elems
+            .iter()
+            .zip(self.recv_elems.iter())
+            .map(|(s, r)| (*s).max(*r))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The α-term peer count: `max over r of max(#send peers, #recv peers)`
+    /// — a permutation exchange charges one latency, not `p − 1`.
+    fn max_peers(&self) -> u64 {
+        self.send_peers
+            .iter()
+            .zip(self.recv_peers.iter())
+            .map(|(s, r)| (*s).max(*r))
+            .max()
+            .unwrap_or(0)
+    }
+}
 
 impl Machine {
     /// Gather per-rank contributions at a central root, preserving rank
     /// order (rank 0's elements first).  This is the "collect the sample at
     /// a central processor" step of sample sort and HSS.
     ///
-    /// Charges `O(total_words)` bandwidth plus one latency per tree level,
-    /// and `p - 1` messages.
+    /// Rank 0 *is* the root, so its own contribution never crosses the
+    /// network: the charge is `O(words of ranks 1..p)` bandwidth plus one
+    /// latency per tree level, and one message per non-empty non-root
+    /// contribution — data that does not exist is not injected.
     pub fn gather_to_root<U: Clone + Send>(
         &mut self,
         phase: Phase,
@@ -29,16 +113,20 @@ impl Machine {
         assert_eq!(per_rank.len(), self.ranks(), "one contribution per rank");
         let p = self.ranks();
         let total_elems: usize = per_rank.iter().map(|v| v.len()).sum();
-        let words = words_of::<U>(total_elems);
-        let cost = self.cost_model().gather(words, p);
+        let root_elems = per_rank.first().map(|v| v.len()).unwrap_or(0);
+        let network_words = words_of::<U>(total_elems - root_elems);
+        // A message is one non-empty off-root transfer — ranks with nothing
+        // to contribute inject nothing into the network.
+        let messages = per_rank.iter().skip(1).filter(|v| !v.is_empty()).count() as u64;
+        let cost = self.cost_model().gather(network_words, p);
         let mut out = Vec::with_capacity(total_elems);
         for v in per_rank {
             out.extend(v);
         }
         let metrics = PhaseMetrics {
             simulated_seconds: cost,
-            messages: (p - 1) as u64,
-            comm_words: words,
+            messages,
+            comm_words: network_words,
             supersteps: 1,
             ..Default::default()
         };
@@ -104,14 +192,33 @@ impl Machine {
         sum
     }
 
+    /// Shared charge of a rank-level all-to-all (nested or flat).
+    fn charge_all_to_allv<U>(&mut self, phase: Phase, vol: &ExchangeVolumes) {
+        let cost = self.cost_model().all_to_allv(words_of::<U>(vol.max_elems()), vol.max_peers());
+        let metrics = PhaseMetrics {
+            simulated_seconds: cost,
+            messages: vol.messages,
+            comm_words: words_of::<U>(vol.total_elems),
+            supersteps: 1,
+            ..Default::default()
+        };
+        self.record(phase, "all_to_allv", metrics);
+    }
+
     /// Irregular all-to-all exchange ("MPI_Alltoallv"): `sends[src][dst]` is
     /// the buffer rank `src` sends to rank `dst`; the result `recv` satisfies
     /// `recv[dst][src] == sends[src][dst]`.
     ///
-    /// The BSP charge is `alpha * max_peers + beta * max(send, recv)` where
-    /// the max is over ranks — the most loaded rank holds up the superstep.
-    /// Message count is the number of non-empty off-rank buffers, i.e. what
-    /// a rank-level implementation would inject into the network.
+    /// The BSP charge is `alpha * max_rank_peers + beta * max(send, recv)`
+    /// where both maxima are over ranks — the most loaded rank holds up the
+    /// superstep, and a permutation exchange (one peer per rank) pays one
+    /// latency, not `p − 1`.  Message count is the number of non-empty
+    /// off-rank buffers, i.e. what a rank-level implementation would inject
+    /// into the network.
+    ///
+    /// This nested representation costs `p²` buffer allocations; it is kept
+    /// as the differential-testing oracle for [`Machine::all_to_allv_flat`],
+    /// which moves the same data with identical accounting.
     pub fn all_to_allv<U: Send>(
         &mut self,
         phase: Phase,
@@ -119,30 +226,14 @@ impl Machine {
     ) -> Vec<Vec<Vec<U>>> {
         let p = self.ranks();
         assert_eq!(sends.len(), p, "one send matrix row per rank");
+        let mut vol = ExchangeVolumes::new(p);
         for (src, row) in sends.iter().enumerate() {
             assert_eq!(row.len(), p, "rank {src} must provide one buffer per destination");
-        }
-
-        // Per-rank send/receive volumes in elements.
-        let mut send_elems = vec![0usize; p];
-        let mut recv_elems = vec![0usize; p];
-        let mut messages = 0u64;
-        let mut total_elems = 0usize;
-        for (src, row) in sends.iter().enumerate() {
             for (dst, buf) in row.iter().enumerate() {
-                send_elems[src] += buf.len();
-                recv_elems[dst] += buf.len();
-                total_elems += buf.len();
-                if src != dst && !buf.is_empty() {
-                    messages += 1;
-                }
+                vol.add(src, dst, buf.len());
             }
         }
-        let max_elems =
-            send_elems.iter().zip(recv_elems.iter()).map(|(s, r)| (*s).max(*r)).max().unwrap_or(0);
-        let max_peers = (p - 1) as u64;
-        let cost =
-            self.cost_model().all_to_allv(words_of::<U>(max_elems), max_peers.min(messages.max(1)));
+        self.charge_all_to_allv::<U>(phase, &vol);
 
         // Transpose the send matrix into the receive matrix.
         let mut recv: Vec<Vec<Vec<U>>> = (0..p).map(|_| Vec::with_capacity(p)).collect();
@@ -158,23 +249,171 @@ impl Machine {
         for row in recv.iter_mut() {
             row.reverse();
         }
+        recv
+    }
 
+    /// Flat all-to-all exchange: rank `r` contributes one contiguous
+    /// `send_bufs[r]` whose destination runs are described by `plans[r]`
+    /// (`plans[r].counts[d]` elements for rank `d` at
+    /// `plans[r].displs[d]`).  Returns one [`FlatRecv`] per rank: a single
+    /// contiguous receive buffer whose source runs are located by the
+    /// returned plan.
+    ///
+    /// Data and accounting are identical to [`Machine::all_to_allv`] on the
+    /// equivalent nested send matrix, but only `p` buffers are allocated
+    /// instead of `p²` and the send side copies nothing (the send buffer is
+    /// typically the rank's sorted data itself).
+    pub fn all_to_allv_flat<U: Clone + Send + Sync>(
+        &mut self,
+        phase: Phase,
+        send_bufs: &[Vec<U>],
+        plans: &[ExchangePlan],
+    ) -> Vec<FlatRecv<U>> {
+        self.all_to_allv_flat_in_place::<U>(phase, send_bufs, plans);
+        self.scatter_flat(send_bufs, plans)
+    }
+
+    /// In-place variant of [`Machine::all_to_allv_flat`]: charges exactly
+    /// the same cost and metrics, but materialises no receive buffers — on
+    /// the simulated machine the data moved, while on the host every rank
+    /// shares one address space, so a consumer that can read runs in place
+    /// (the k-way merge) takes destination `d`'s run from source `s`
+    /// directly as `plans[s].run(&send_bufs[s], d)`.  This removes the
+    /// receive-side copy entirely.
+    pub fn all_to_allv_flat_in_place<U: Send>(
+        &mut self,
+        phase: Phase,
+        send_bufs: &[Vec<U>],
+        plans: &[ExchangePlan],
+    ) {
+        self.validate_flat_exchange(send_bufs, plans);
+        let mut vol = ExchangeVolumes::new(self.ranks());
+        for (src, plan) in plans.iter().enumerate() {
+            for (dst, &c) in plan.counts.iter().enumerate() {
+                vol.add(src, dst, c);
+            }
+        }
+        self.charge_all_to_allv::<U>(phase, &vol);
+    }
+
+    /// Shared input validation of the flat exchange variants.
+    fn validate_flat_exchange<U>(&self, send_bufs: &[Vec<U>], plans: &[ExchangePlan]) {
+        let p = self.ranks();
+        assert_eq!(send_bufs.len(), p, "one send buffer per rank");
+        assert_eq!(plans.len(), p, "one exchange plan per rank");
+        for (src, plan) in plans.iter().enumerate() {
+            assert_eq!(plan.peers(), p, "rank {src} plan must address every destination");
+            assert_eq!(
+                plan.total_elems(),
+                send_bufs[src].len(),
+                "rank {src} plan does not cover its send buffer"
+            );
+        }
+    }
+
+    /// The data movement of a flat exchange (no accounting): concatenate,
+    /// for each destination, every source's run in source-rank order.  Each
+    /// destination's buffer is assembled independently, so the copies run
+    /// on the rayon pool (mirroring each simulated rank draining its own
+    /// receive buffer); results are bitwise mode-independent.
+    fn scatter_flat<U: Clone + Send + Sync>(
+        &self,
+        send_bufs: &[Vec<U>],
+        plans: &[ExchangePlan],
+    ) -> Vec<FlatRecv<U>> {
+        let p = self.ranks();
+        let assemble = |dst: usize| {
+            let counts: Vec<usize> = plans.iter().map(|plan| plan.counts[dst]).collect();
+            let plan = ExchangePlan::from_counts(counts);
+            let mut data = Vec::with_capacity(plan.total_elems());
+            for (src, src_plan) in plans.iter().enumerate() {
+                data.extend_from_slice(src_plan.run(&send_bufs[src], dst));
+            }
+            FlatRecv { data, plan }
+        };
+        match self.parallelism() {
+            Parallelism::Rayon => {
+                (0..p).collect::<Vec<_>>().into_par_iter().map(assemble).collect()
+            }
+            Parallelism::Sequential => (0..p).map(assemble).collect(),
+        }
+    }
+
+    /// Node-granularity volume bookkeeping shared by the nested and flat
+    /// node-combined exchanges.  Returns `(volumes, intra_node_elems,
+    /// total_elems)`; `volumes` tracks inter-node traffic only.
+    fn node_volumes(
+        &self,
+        transfer: impl Iterator<Item = (usize, usize, usize)>,
+    ) -> (ExchangeVolumes, usize, usize) {
+        let topo = self.topology();
+        let n = topo.nodes();
+        let mut vol = ExchangeVolumes::new(n);
+        // Distinct node pairs must be deduplicated: many rank pairs map to
+        // the same node pair but the network sees one combined message.
+        let mut pair_nonempty = vec![false; n * n];
+        let mut intra = 0usize;
+        let mut total = 0usize;
+        for (src, dst, len) in transfer {
+            if len == 0 {
+                continue;
+            }
+            total += len;
+            let sn = topo.node_of(src);
+            let dn = topo.node_of(dst);
+            if sn == dn {
+                intra += len;
+            } else {
+                vol.send_elems[sn] += len;
+                vol.recv_elems[dn] += len;
+                pair_nonempty[sn * n + dn] = true;
+            }
+        }
+        for sn in 0..n {
+            for dn in 0..n {
+                if pair_nonempty[sn * n + dn] {
+                    vol.messages += 1;
+                    vol.send_peers[sn] += 1;
+                    vol.recv_peers[dn] += 1;
+                }
+            }
+        }
+        (vol, intra, total)
+    }
+
+    /// Shared charge of a node-combined all-to-all (nested or flat).
+    fn charge_all_to_allv_node_combined<U>(
+        &mut self,
+        phase: Phase,
+        vol: &ExchangeVolumes,
+        intra_node_elems: usize,
+        total_elems: usize,
+    ) {
+        let topo = self.topology();
+        // A node injects through `cores_per_node` cores, so its effective
+        // per-word cost is the per-core cost divided by the injecting cores.
+        let cores = topo.cores_per_node().max(1) as u64;
+        let node_words = words_of::<U>(vol.max_elems()).div_ceil(cores);
+        let comm_cost = self.cost_model().all_to_allv(node_words, vol.max_peers());
+        let copy_ops = intra_node_elems as u64 / topo.cores_per_node().max(1) as u64;
+        let cost = comm_cost + self.cost_model().compute(copy_ops);
         let metrics = PhaseMetrics {
             simulated_seconds: cost,
-            messages,
-            comm_words: words_of::<U>(total_elems),
+            messages: vol.messages,
+            comm_words: words_of::<U>(total_elems - intra_node_elems),
+            compute_ops: copy_ops,
             supersteps: 1,
             ..Default::default()
         };
-        self.record(phase, "all_to_allv", metrics);
-        recv
+        self.record(phase, "all_to_allv_node_combined", metrics);
     }
 
     /// Node-combined all-to-all (§6.1.1): all buffers travelling between the
     /// same pair of physical nodes are combined into a single message, so the
     /// network sees at most `n (n - 1)` messages instead of `p (p - 1)`.
     /// Intra-node traffic stays in shared memory and is charged as compute
-    /// (one op per element copied) rather than network time.
+    /// (one op per element copied) rather than network time.  The α-term
+    /// charges the max over *nodes* of distinct non-empty peer nodes.
     ///
     /// Data-wise the result is identical to [`Machine::all_to_allv`]; only
     /// the accounting differs.
@@ -184,47 +423,15 @@ impl Machine {
         sends: Vec<Vec<Vec<U>>>,
     ) -> Vec<Vec<Vec<U>>> {
         let p = self.ranks();
-        let topo = self.topology();
         assert_eq!(sends.len(), p, "one send matrix row per rank");
-
-        let n = topo.nodes();
-        // Volume aggregated at node granularity.
-        let mut node_send = vec![0usize; n];
-        let mut node_recv = vec![0usize; n];
-        let mut intra_node_elems = 0usize;
-        let mut total_elems = 0usize;
-        // Count distinct non-empty node pairs.
-        let mut pair_nonempty = vec![false; n * n];
         for (src, row) in sends.iter().enumerate() {
             assert_eq!(row.len(), p, "rank {src} must provide one buffer per destination");
-            let src_node = topo.node_of(src);
-            for (dst, buf) in row.iter().enumerate() {
-                if buf.is_empty() {
-                    continue;
-                }
-                let dst_node = topo.node_of(dst);
-                total_elems += buf.len();
-                if src_node == dst_node {
-                    intra_node_elems += buf.len();
-                } else {
-                    node_send[src_node] += buf.len();
-                    node_recv[dst_node] += buf.len();
-                    pair_nonempty[src_node * n + dst_node] = true;
-                }
-            }
         }
-        let messages = pair_nonempty.iter().filter(|&&x| x).count() as u64;
-        let max_node_elems =
-            node_send.iter().zip(node_recv.iter()).map(|(s, r)| (*s).max(*r)).max().unwrap_or(0);
-        // A node injects through `cores_per_node` cores, so its effective
-        // per-word cost is the per-core cost divided by the injecting cores.
-        let cores = topo.cores_per_node().max(1) as u64;
-        let node_words = words_of::<U>(max_node_elems).div_ceil(cores);
-        let max_peer_nodes = (n.saturating_sub(1)) as u64;
-        let comm_cost =
-            self.cost_model().all_to_allv(node_words, max_peer_nodes.min(messages.max(1)));
-        let copy_ops = intra_node_elems as u64 / topo.cores_per_node().max(1) as u64;
-        let cost = comm_cost + self.cost_model().compute(copy_ops);
+        let (vol, intra, total) =
+            self.node_volumes(sends.iter().enumerate().flat_map(|(src, row)| {
+                row.iter().enumerate().map(move |(dst, buf)| (src, dst, buf.len()))
+            }));
+        self.charge_all_to_allv_node_combined::<U>(phase, &vol, intra, total);
 
         // Actual data movement is identical to the rank-level exchange.
         let mut recv: Vec<Vec<Vec<U>>> = (0..p).map(|_| Vec::with_capacity(p)).collect();
@@ -237,17 +444,37 @@ impl Machine {
         for row in recv.iter_mut() {
             row.reverse();
         }
-
-        let metrics = PhaseMetrics {
-            simulated_seconds: cost,
-            messages,
-            comm_words: words_of::<U>(total_elems - intra_node_elems),
-            compute_ops: copy_ops,
-            supersteps: 1,
-            ..Default::default()
-        };
-        self.record(phase, "all_to_allv_node_combined", metrics);
         recv
+    }
+
+    /// Flat node-combined all-to-all: same data movement as
+    /// [`Machine::all_to_allv_flat`], same accounting as
+    /// [`Machine::all_to_allv_node_combined`].
+    pub fn all_to_allv_flat_node_combined<U: Clone + Send + Sync>(
+        &mut self,
+        phase: Phase,
+        send_bufs: &[Vec<U>],
+        plans: &[ExchangePlan],
+    ) -> Vec<FlatRecv<U>> {
+        self.all_to_allv_flat_node_combined_in_place::<U>(phase, send_bufs, plans);
+        self.scatter_flat(send_bufs, plans)
+    }
+
+    /// In-place variant of [`Machine::all_to_allv_flat_node_combined`]:
+    /// identical charge, no receive buffers (see
+    /// [`Machine::all_to_allv_flat_in_place`]).
+    pub fn all_to_allv_flat_node_combined_in_place<U: Send>(
+        &mut self,
+        phase: Phase,
+        send_bufs: &[Vec<U>],
+        plans: &[ExchangePlan],
+    ) {
+        self.validate_flat_exchange(send_bufs, plans);
+        let (vol, intra, total) =
+            self.node_volumes(plans.iter().enumerate().flat_map(|(src, plan)| {
+                plan.counts.iter().enumerate().map(move |(dst, &c)| (src, dst, c))
+            }));
+        self.charge_all_to_allv_node_combined::<U>(phase, &vol, intra, total);
     }
 
     /// Gather contributions from every rank of each node at the node leader
@@ -293,8 +520,25 @@ mod tests {
         let gathered = m.gather_to_root(Phase::Histogramming, per_rank);
         assert_eq!(gathered, vec![0, 1, 10, 20, 21, 22]);
         let ph = m.metrics().phase(Phase::Histogramming);
-        assert_eq!(ph.messages, 3);
-        assert_eq!(ph.comm_words, 6);
+        // Ranks 1 and 3 contribute over the network; rank 2 has nothing to
+        // send and the root's own elements never leave its memory.
+        assert_eq!(ph.messages, 2);
+        // The root's own 2 elements never cross the network: 4 words, not 6.
+        assert_eq!(ph.comm_words, 4);
+    }
+
+    #[test]
+    fn gather_excludes_root_contribution_from_network_words() {
+        // Everything lives at the root already: nothing crosses the network.
+        let mut m = Machine::flat(4);
+        let per_rank = vec![vec![1u64, 2, 3], vec![], vec![], vec![]];
+        let _ = m.gather_to_root(Phase::Sampling, per_rank);
+        let ph = m.metrics().phase(Phase::Sampling);
+        assert_eq!(ph.comm_words, 0);
+        assert_eq!(ph.messages, 0);
+        // Cost has no bandwidth component, only the tree latencies.
+        let expected = m.cost_model().gather(0, 4);
+        assert!((ph.simulated_seconds - expected).abs() < 1e-18);
     }
 
     #[test]
@@ -337,6 +581,128 @@ mod tests {
         let recv = m.all_to_allv(Phase::DataExchange, sends);
         assert_eq!(recv[2][1], vec![7, 8]);
         assert_eq!(m.metrics().phase(Phase::DataExchange).messages, 1);
+    }
+
+    #[test]
+    fn permutation_exchange_charges_one_latency() {
+        // Regression test for the α-term bug: a permutation exchange (every
+        // rank sends its whole buffer to exactly one distinct peer) must be
+        // charged alpha * 1, not alpha * (p - 1).
+        let p = 16;
+        let elems_per_rank = 100usize;
+        let mut m = Machine::flat(p);
+        let sends: Vec<Vec<Vec<u64>>> = (0..p)
+            .map(|src| {
+                (0..p)
+                    .map(|dst| {
+                        if dst == (src + 1) % p {
+                            vec![src as u64; elems_per_rank]
+                        } else {
+                            Vec::new()
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let _ = m.all_to_allv(Phase::DataExchange, sends);
+        let ph = m.metrics().phase(Phase::DataExchange);
+        // Every rank sends and receives exactly one message...
+        assert_eq!(ph.messages, p as u64);
+        // ... so the charge is one latency plus the bandwidth term.
+        let expected = m.cost_model().all_to_allv(words_of::<u64>(elems_per_rank), 1);
+        assert!(
+            (ph.simulated_seconds - expected).abs() < 1e-18,
+            "charged {} expected {expected}",
+            ph.simulated_seconds
+        );
+    }
+
+    #[test]
+    fn dense_exchange_still_charges_p_minus_one_latencies() {
+        let p = 8;
+        let mut m = Machine::flat(p);
+        let sends: Vec<Vec<Vec<u64>>> =
+            (0..p).map(|_| (0..p).map(|_| vec![1u64]).collect()).collect();
+        let _ = m.all_to_allv(Phase::DataExchange, sends);
+        let ph = m.metrics().phase(Phase::DataExchange);
+        // Each rank exchanges with its p - 1 peers; the element it keeps for
+        // itself is neither bandwidth nor a word on the network.
+        let expected = m.cost_model().all_to_allv(words_of::<u64>(p - 1), (p - 1) as u64);
+        assert!((ph.simulated_seconds - expected).abs() < 1e-18);
+        assert_eq!(ph.comm_words, words_of::<u64>(p * (p - 1)));
+    }
+
+    #[test]
+    fn self_transfers_never_cross_the_network() {
+        // Every rank keeps everything: a diagonal-only exchange moves no
+        // words, injects no messages and pays no latency or bandwidth.
+        let p = 4;
+        let mut m = Machine::flat(p);
+        let sends: Vec<Vec<Vec<u64>>> = (0..p)
+            .map(|src| (0..p).map(|dst| if src == dst { vec![7u64; 10] } else { vec![] }).collect())
+            .collect();
+        let recv = m.all_to_allv(Phase::DataExchange, sends);
+        assert_eq!(recv[2][2], vec![7u64; 10]);
+        let ph = m.metrics().phase(Phase::DataExchange);
+        assert_eq!(ph.messages, 0);
+        assert_eq!(ph.comm_words, 0);
+        assert_eq!(ph.simulated_seconds, 0.0);
+    }
+
+    #[test]
+    fn flat_exchange_matches_nested_data_and_metrics() {
+        let p = 5;
+        // Irregular sizes: src sends (src*dst) % 4 elements to dst.
+        let nested: Vec<Vec<Vec<u64>>> = (0..p)
+            .map(|src| (0..p).map(|dst| vec![(src * 10 + dst) as u64; (src * dst) % 4]).collect())
+            .collect();
+        let bufs: Vec<Vec<u64>> =
+            nested.iter().map(|row| row.iter().flatten().copied().collect()).collect();
+        let plans: Vec<ExchangePlan> = nested
+            .iter()
+            .map(|row| ExchangePlan::from_counts(row.iter().map(|b| b.len()).collect()))
+            .collect();
+
+        let mut m1 = Machine::flat(p);
+        let recv_nested = m1.all_to_allv(Phase::DataExchange, nested);
+        let mut m2 = Machine::flat(p);
+        let recv_flat = m2.all_to_allv_flat(Phase::DataExchange, &bufs, &plans);
+
+        for (dst, flat) in recv_flat.iter().enumerate() {
+            for (src, nested_buf) in recv_nested[dst].iter().enumerate() {
+                assert_eq!(
+                    flat.plan.run(&flat.data, src),
+                    nested_buf.as_slice(),
+                    "dst {dst} src {src}"
+                );
+            }
+        }
+        assert_eq!(m1.metrics().deterministic_signature(), m2.metrics().deterministic_signature());
+    }
+
+    #[test]
+    fn flat_node_combined_matches_nested_metrics() {
+        let topo = Topology::new(8, 4);
+        let nested: Vec<Vec<Vec<u64>>> = (0..8)
+            .map(|src| (0..8).map(|dst| vec![(src * 100 + dst) as u64; (src + dst) % 3]).collect())
+            .collect();
+        let bufs: Vec<Vec<u64>> =
+            nested.iter().map(|row| row.iter().flatten().copied().collect()).collect();
+        let plans: Vec<ExchangePlan> = nested
+            .iter()
+            .map(|row| ExchangePlan::from_counts(row.iter().map(|b| b.len()).collect()))
+            .collect();
+
+        let mut m1 = Machine::new(topo, CostModel::bluegene_like());
+        let recv_nested = m1.all_to_allv_node_combined(Phase::DataExchange, nested);
+        let mut m2 = Machine::new(topo, CostModel::bluegene_like());
+        let recv_flat = m2.all_to_allv_flat_node_combined(Phase::DataExchange, &bufs, &plans);
+        for (dst, flat) in recv_flat.iter().enumerate() {
+            for (src, nested_buf) in recv_nested[dst].iter().enumerate() {
+                assert_eq!(flat.plan.run(&flat.data, src), nested_buf.as_slice());
+            }
+        }
+        assert_eq!(m1.metrics().deterministic_signature(), m2.metrics().deterministic_signature());
     }
 
     #[test]

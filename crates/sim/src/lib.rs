@@ -53,11 +53,13 @@ pub mod comm;
 pub mod cost;
 pub mod machine;
 pub mod metrics;
+pub mod plan;
 pub mod topology;
 pub mod trace;
 
 pub use cost::{CollectiveAlgo, CostModel};
 pub use machine::{words_of, Machine, Parallelism, Work};
 pub use metrics::{MetricsRegistry, Phase, PhaseMetrics};
+pub use plan::{ExchangePlan, FlatRecv};
 pub use topology::{NodeId, RankId, Topology};
 pub use trace::{Trace, TraceEvent};

@@ -146,6 +146,12 @@ impl Machine {
         self.cost
     }
 
+    /// How local phases (and the flat exchange's buffer assembly) execute
+    /// on the host.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
+    }
+
     /// Accumulated per-phase metrics.
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.metrics

@@ -1,0 +1,138 @@
+//! Flat exchange plans: the counts/displacements representation of an
+//! irregular all-to-all, modelled on `MPI_Alltoallv`.
+//!
+//! The nested `Vec<Vec<Vec<T>>>` send matrix costs `p²` heap allocations
+//! and a full copy of the input per exchange.  An [`ExchangePlan`] instead
+//! describes how one *contiguous* per-rank buffer is split across
+//! destinations: `counts[d]` elements starting at `displs[d]` go to rank
+//! `d`.  The sender's buffer is typically its locally sorted data itself,
+//! so building a plan allocates two `usize` vectors and copies nothing.
+//!
+//! [`Machine::all_to_allv_flat`](crate::machine::Machine::all_to_allv_flat)
+//! consumes one buffer + plan per rank and returns one [`FlatRecv`] per
+//! rank: a single contiguous receive buffer plus the plan describing where
+//! each source's run lives inside it.
+
+use serde::{Deserialize, Serialize};
+
+/// Counts and displacements describing how a contiguous buffer is split
+/// across `counts.len()` peers (`MPI_Alltoallv` style).
+///
+/// Invariant: `displs[i] = counts[0] + … + counts[i-1]`, i.e. the runs are
+/// contiguous and in peer order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExchangePlan {
+    /// Elements destined for (or received from) each peer.
+    pub counts: Vec<usize>,
+    /// Offset of each peer's run inside the flat buffer.
+    pub displs: Vec<usize>,
+}
+
+impl ExchangePlan {
+    /// Build a plan from per-peer counts; displacements are the exclusive
+    /// prefix sums.
+    pub fn from_counts(counts: Vec<usize>) -> Self {
+        let mut displs = Vec::with_capacity(counts.len());
+        let mut acc = 0usize;
+        for &c in &counts {
+            displs.push(acc);
+            acc += c;
+        }
+        Self { counts, displs }
+    }
+
+    /// Build a plan from `peers + 1` monotone boundaries (`bounds[i]` is
+    /// where peer `i`'s run starts, `bounds[peers]` the total length) — the
+    /// shape produced by bucketizing sorted data by splitters.
+    pub fn from_boundaries(bounds: &[usize]) -> Self {
+        assert!(!bounds.is_empty(), "boundaries need at least one entry");
+        debug_assert!(bounds.windows(2).all(|w| w[0] <= w[1]), "boundaries must be monotone");
+        let counts = bounds.windows(2).map(|w| w[1] - w[0]).collect();
+        let displs = bounds[..bounds.len() - 1].to_vec();
+        Self { counts, displs }
+    }
+
+    /// Number of peers the plan addresses.
+    pub fn peers(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether the plan addresses no peers at all.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Total number of elements covered by the plan.
+    pub fn total_elems(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// The index range of peer `i`'s run inside the flat buffer.
+    pub fn run_range(&self, i: usize) -> std::ops::Range<usize> {
+        self.displs[i]..self.displs[i] + self.counts[i]
+    }
+
+    /// Peer `i`'s run as a sub-slice of `data`.
+    pub fn run<'a, T>(&self, data: &'a [T], i: usize) -> &'a [T] {
+        &data[self.run_range(i)]
+    }
+
+    /// Iterate over all runs of `data`, in peer order (including empty
+    /// ones).
+    pub fn runs<'a, 'b: 'a, T>(&'b self, data: &'a [T]) -> impl Iterator<Item = &'a [T]> + 'a {
+        (0..self.peers()).map(move |i| self.run(data, i))
+    }
+
+    /// Number of peers with a non-empty run.
+    pub fn nonempty_runs(&self) -> usize {
+        self.counts.iter().filter(|&&c| c > 0).count()
+    }
+}
+
+/// One rank's result of a flat all-to-all: a contiguous receive buffer plus
+/// the plan locating each source rank's run inside it (`plan.counts[s]`
+/// elements from source `s` at `plan.displs[s]`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlatRecv<U> {
+    /// All received elements, grouped by source rank in rank order.
+    pub data: Vec<U>,
+    /// Where each source's run lives inside `data`.
+    pub plan: ExchangePlan,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_counts_prefix_sums() {
+        let p = ExchangePlan::from_counts(vec![2, 0, 3, 1]);
+        assert_eq!(p.displs, vec![0, 2, 2, 5]);
+        assert_eq!(p.total_elems(), 6);
+        assert_eq!(p.nonempty_runs(), 3);
+        assert_eq!(p.run_range(2), 2..5);
+    }
+
+    #[test]
+    fn from_boundaries_matches_from_counts() {
+        let a = ExchangePlan::from_boundaries(&[0, 2, 2, 5, 6]);
+        let b = ExchangePlan::from_counts(vec![2, 0, 3, 1]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn runs_slice_the_buffer() {
+        let plan = ExchangePlan::from_counts(vec![1, 2, 0]);
+        let data = [10u64, 20, 21];
+        let runs: Vec<&[u64]> = plan.runs(&data).collect();
+        assert_eq!(runs, vec![&[10u64][..], &[20, 21][..], &[][..]]);
+    }
+
+    #[test]
+    fn empty_plan() {
+        let p = ExchangePlan::from_counts(Vec::new());
+        assert!(p.is_empty());
+        assert_eq!(p.total_elems(), 0);
+        assert_eq!(p.nonempty_runs(), 0);
+    }
+}

@@ -57,10 +57,18 @@ fn hss_one_and_two_round_schedules_sort_correctly() {
         });
         let outcome = sorter.sort(&mut machine, input.clone());
         verify_global_sort(&input, &outcome.data).unwrap();
-        assert_eq!(
-            outcome.report.splitters.as_ref().unwrap().rounds_executed(),
-            rounds,
-            "theoretical schedule must run exactly k rounds"
+        let sp = outcome.report.splitters.as_ref().unwrap();
+        assert!(
+            sp.rounds_executed() <= rounds,
+            "theoretical schedule must run at most k rounds (ran {})",
+            sp.rounds_executed()
+        );
+        // Stopping before the k-th round is only legal once every splitter
+        // is finalized (the fixed-schedule early-exit rule).
+        assert!(
+            sp.rounds_executed() == rounds || sp.all_finalized,
+            "stopped after {} of {rounds} rounds without finalizing",
+            sp.rounds_executed()
         );
         assert!(outcome.report.satisfies(EPS), "k = {rounds}: {}", outcome.report.imbalance());
     }

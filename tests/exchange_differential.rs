@@ -1,0 +1,180 @@
+//! Flat-vs-nested exchange differential suite.
+//!
+//! The flat counts/displacements exchange engine (`ExchangeEngine::Flat`,
+//! the default) must be indistinguishable from the historical nested
+//! `Vec<Vec<Vec<T>>>` engine in everything but host-side speed: for every
+//! sorter × key distribution × exchange mode, both engines must produce
+//! **bitwise-identical per-rank output** and an **identical
+//! `deterministic_signature()`** (simulated seconds bit-for-bit, messages,
+//! words, ops, supersteps per phase).
+//!
+//! Matrix: HSS (flat + node-level topologies), sample sort ×2 sampling
+//! methods, classic histogram sort, over-partitioning, radix, bitonic — on
+//! a rank-level (flat) topology and a multi-core topology whose exchanges
+//! run node-combined.
+
+use hss_repro::baselines::{
+    bitonic_sort_with_engine, histogram_sort_with_engine, over_partitioning_sort_with_engine,
+    radix_partition_sort_with_engine, sample_sort_with_engine, HistogramSortConfig,
+    OverPartitioningConfig, RadixConfig, SampleSortConfig,
+};
+use hss_repro::partition::{verify_global_sort, ExchangeEngine};
+use hss_repro::prelude::*;
+
+const RANKS: usize = 8;
+const KEYS_PER_RANK: usize = 300;
+const SEED: u64 = 2019;
+
+/// The distribution regimes of the matrix: uniform, heavy skew,
+/// duplicate-heavy.
+fn distributions() -> [KeyDistribution; 3] {
+    [
+        KeyDistribution::Uniform,
+        KeyDistribution::PowerLaw { gamma: 4.0 },
+        KeyDistribution::FewDistinct { distinct: 5 },
+    ]
+}
+
+/// Rank-level and node-combined machines (the latter's cores-per-node > 1
+/// routes every splitter-based exchange through the node-combined path).
+fn topologies() -> [Topology; 2] {
+    [Topology::flat(RANKS), Topology::new(RANKS, 4)]
+}
+
+/// Run `sorter` under both engines on identical fresh machines and assert
+/// bitwise-identical data and cost signatures.
+fn assert_engines_agree<T, F>(label: &str, topo: Topology, sorter: F)
+where
+    T: PartialEq + std::fmt::Debug,
+    F: Fn(&mut Machine, ExchangeEngine) -> Vec<Vec<T>>,
+{
+    let mut machine_flat = Machine::new(topo, CostModel::bluegene_like());
+    let out_flat = sorter(&mut machine_flat, ExchangeEngine::Flat);
+    let mut machine_nested = Machine::new(topo, CostModel::bluegene_like());
+    let out_nested = sorter(&mut machine_nested, ExchangeEngine::Nested);
+    assert_eq!(out_flat, out_nested, "{label}: per-rank data diverged");
+    assert_eq!(
+        machine_flat.metrics().deterministic_signature(),
+        machine_nested.metrics().deterministic_signature(),
+        "{label}: cost signature diverged"
+    );
+}
+
+#[test]
+fn hss_flat_and_nested_engines_agree() {
+    for topo in topologies() {
+        for dist in distributions() {
+            let input = dist.generate_per_rank(RANKS, KEYS_PER_RANK, SEED);
+            let label = format!("hss/{}/{} cores", dist.name(), topo.cores_per_node());
+            assert_engines_agree(&label, topo, |machine, engine| {
+                let cfg = HssConfig::default().with_seed(SEED).with_exchange_engine(engine);
+                let out = HssSorter::new(cfg).sort(machine, input.clone());
+                verify_global_sort(&input, &out.data).unwrap();
+                out.data
+            });
+        }
+    }
+}
+
+#[test]
+fn hss_node_level_flat_and_nested_engines_agree() {
+    // paper_cluster enables node-level partitioning; on the multicore
+    // topology the exchange is node-combined and the within-node re-split
+    // reads the flat receive buffer as slices.
+    let topo = Topology::new(16, 4);
+    for dist in distributions() {
+        let input = dist.generate_per_rank(16, KEYS_PER_RANK, SEED);
+        let label = format!("hss-node-level/{}", dist.name());
+        assert_engines_agree(&label, topo, |machine, engine| {
+            let cfg = HssConfig::paper_cluster().with_seed(SEED).with_exchange_engine(engine);
+            HssSorter::new(cfg).sort(machine, input.clone()).data
+        });
+    }
+}
+
+#[test]
+fn sample_sort_engines_agree() {
+    for topo in topologies() {
+        for dist in distributions() {
+            let input = dist.generate_per_rank(RANKS, KEYS_PER_RANK, SEED);
+            for (name, cfg) in [
+                ("regular", SampleSortConfig::regular(0.2)),
+                ("random", SampleSortConfig::random(0.2)),
+            ] {
+                let label = format!("sample-sort-{name}/{}", dist.name());
+                assert_engines_agree(&label, topo, |machine, engine| {
+                    sample_sort_with_engine(machine, &cfg, input.clone(), engine).0
+                });
+            }
+        }
+    }
+}
+
+#[test]
+fn histogram_sort_engines_agree() {
+    for topo in topologies() {
+        for dist in distributions() {
+            let input = dist.generate_per_rank(RANKS, KEYS_PER_RANK, SEED);
+            let cfg = HistogramSortConfig::new(0.1, RANKS);
+            let label = format!("histogram-sort/{}", dist.name());
+            assert_engines_agree(&label, topo, |machine, engine| {
+                histogram_sort_with_engine(machine, &cfg, input.clone(), engine).0
+            });
+        }
+    }
+}
+
+#[test]
+fn over_partitioning_engines_agree() {
+    for topo in topologies() {
+        for dist in distributions() {
+            let input = dist.generate_per_rank(RANKS, KEYS_PER_RANK, SEED);
+            let cfg = OverPartitioningConfig::recommended(RANKS);
+            let label = format!("over-partitioning/{}", dist.name());
+            assert_engines_agree(&label, topo, |machine, engine| {
+                over_partitioning_sort_with_engine(machine, &cfg, input.clone(), engine).0
+            });
+        }
+    }
+}
+
+#[test]
+fn radix_engines_agree() {
+    for topo in topologies() {
+        for dist in distributions() {
+            let input = dist.generate_per_rank(RANKS, KEYS_PER_RANK, SEED);
+            let cfg = RadixConfig::recommended(RANKS);
+            let label = format!("radix/{}", dist.name());
+            assert_engines_agree(&label, topo, |machine, engine| {
+                radix_partition_sort_with_engine(machine, &cfg, input.clone(), engine).0
+            });
+        }
+    }
+}
+
+#[test]
+fn bitonic_engines_agree() {
+    for topo in topologies() {
+        for dist in distributions() {
+            let input = dist.generate_per_rank(RANKS, KEYS_PER_RANK, SEED);
+            let label = format!("bitonic/{}", dist.name());
+            assert_engines_agree(&label, topo, |machine, engine| {
+                bitonic_sort_with_engine(machine, input.clone(), engine).0
+            });
+        }
+    }
+}
+
+#[test]
+fn record_payloads_survive_both_engines_identically() {
+    // Key + payload records exercise the element-move paths (the flat
+    // engine must keep payloads attached through scatter and loser-tree
+    // merge exactly like the nested engine does).
+    let input = KeyDistribution::Uniform.generate_records_per_rank(RANKS, KEYS_PER_RANK, SEED);
+    for topo in topologies() {
+        assert_engines_agree("hss-records", topo, |machine, engine| {
+            let cfg = HssConfig::default().with_seed(SEED).with_exchange_engine(engine);
+            HssSorter::new(cfg).sort(machine, input.clone()).data
+        });
+    }
+}

@@ -196,7 +196,7 @@ proptest! {
     }
 
     #[test]
-    fn theoretical_schedule_runs_exactly_k_rounds(
+    fn theoretical_schedule_runs_at_most_k_rounds(
         k in 1usize..4,
         p in 2usize..10,
         seed in 0u64..500,
@@ -214,7 +214,14 @@ proptest! {
         let (seq, par) = under_both_modes(p, |machine| {
             determine_splitters(machine, &input, p, &config)
         });
-        prop_assert_eq!(seq.1.rounds_executed(), k);
+        // The fixed schedule is an upper bound: the run stops early exactly
+        // when every splitter is already finalized (running further rounds
+        // could only charge cost without improving anything).
+        prop_assert!(seq.1.rounds_executed() <= k);
+        if seq.1.rounds_executed() < k {
+            prop_assert!(seq.1.all_finalized);
+            prop_assert_eq!(seq.1.rounds.last().unwrap().open_after, 0);
+        }
         prop_assert_eq!(seq.0.buckets(), p);
         // Splitter determination is bitwise mode-independent too.
         prop_assert_eq!(seq.0.keys(), par.0.keys());
