@@ -51,6 +51,8 @@ pub fn bitonic_sort_with_engine<T: Keyed + Ord>(
         splitters: None,
         load_balance: LoadBalance::from_rank_data(&input),
         metrics: machine.metrics().clone(),
+        sync_model: machine.sync_model().name().to_string(),
+        makespan_seconds: machine.simulated_time(),
     };
     (input, report)
 }

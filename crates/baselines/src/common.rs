@@ -61,6 +61,8 @@ pub fn finish_splitter_sort_with<T: Keyed + Ord>(
         splitters: Some(splitter_report),
         load_balance: LoadBalance::from_rank_data(&out),
         metrics: machine.metrics().clone(),
+        sync_model: machine.sync_model().name().to_string(),
+        makespan_seconds: machine.simulated_time(),
     };
     (out, report)
 }

@@ -1,14 +1,14 @@
 //! `hss-baselines` — the comparison algorithms of the HSS paper.
 //!
-//! Every baseline runs on the same simulated [`Machine`](hss_sim::Machine)
-//! and produces the same [`SortReport`](hss_core::report::SortReport) as the
+//! Every baseline runs on the same simulated [`hss_sim::Machine`]
+//! and produces the same [`hss_core::report::SortReport`] as the
 //! HSS sorter, so the benchmark harness can compare sample sizes, message
 //! counts, per-phase costs and load balance apples to apples.
 //!
 //! | Module | Algorithm | Paper section |
 //! |---|---|---|
-//! | [`sample_sort`] | Sample sort with regular sampling and with random (block) sampling | §4.1 |
-//! | [`histogram_sort`] | Classic histogram sort (probe refinement without sampling) | §2.3 |
+//! | [`mod@sample_sort`] | Sample sort with regular sampling and with random (block) sampling | §4.1 |
+//! | [`mod@histogram_sort`] | Classic histogram sort (probe refinement without sampling) | §2.3 |
 //! | [`over_partitioning`] | Parallel sorting by over-partitioning (Li & Sevcik) | §4.2 |
 //! | [`bitonic`] | Block bitonic sort (Batcher) | §4.2 |
 //! | [`radix`] | MSD radix partitioning | §4.2 |

@@ -172,6 +172,8 @@ pub fn radix_partition_sort_with_engine<T: RadixKeyed + Ord>(
         splitters: None,
         load_balance: LoadBalance::from_rank_data(&output),
         metrics: machine.metrics().clone(),
+        sync_model: machine.sync_model().name().to_string(),
+        makespan_seconds: machine.simulated_time(),
     };
     (output, report)
 }

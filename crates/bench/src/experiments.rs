@@ -574,6 +574,127 @@ pub fn exchange_scaling_rows(scale: Scale, seed: u64) -> Vec<ExchangeScalingRow>
     rows
 }
 
+// ---------------------------------------------------------------------------
+// Overlap speedup — Bsp vs Overlapped sync models (§4)
+// ---------------------------------------------------------------------------
+
+/// One configuration of the `overlap_speedup` experiment: the same sort run
+/// under strict BSP accounting and under overlapped execution (splitter
+/// determination pipelined with a staged exchange).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OverlapSpeedupRow {
+    /// Simulated ranks `p`.
+    pub processors: usize,
+    /// Keys per rank.
+    pub keys_per_rank: usize,
+    /// Input skew ("uniform" or "powerlaw(γ)").
+    pub skew: String,
+    /// Expected per-rank sample count per histogramming round (lower →
+    /// more rounds → more overlap opportunity).
+    pub oversampling: f64,
+    /// Histogramming rounds the overlapped run executed.
+    pub rounds: usize,
+    /// Asynchronous exchange stages the overlapped run injected.
+    pub stages: usize,
+    /// Simulated makespan under [`hss_sim::SyncModel::Bsp`].
+    pub bsp_seconds: f64,
+    /// Simulated makespan under [`hss_sim::SyncModel::Overlapped`].
+    pub overlapped_seconds: f64,
+    /// `bsp_seconds / overlapped_seconds` (> 1 means overlap won).
+    pub speedup: f64,
+    /// Load imbalance of the overlapped run's output (frozen splitters must
+    /// not degrade the balance guarantee).
+    pub imbalance_overlapped: f64,
+}
+
+/// A named lazy workload generator for one skew regime of the sweep.
+type SkewCase = (&'static str, Box<dyn Fn() -> Vec<Vec<u64>>>);
+
+/// Compare the Bsp and Overlapped sync models on the same workloads,
+/// sweeping processor count, input skew and round count (via the
+/// oversampling factor).  The simulated quantity compared is the timeline
+/// *makespan* — under Bsp it equals the classic sum of per-phase charges;
+/// under overlapped execution staged exchanges hide under histogramming
+/// rounds and per-stage latencies replace the one big exchange's
+/// `α·(p−1)` term.
+pub fn overlap_speedup_rows(scale: Scale, seed: u64) -> Vec<OverlapSpeedupRow> {
+    use hss_sim::SyncModel;
+    let mut rows = Vec::new();
+    for (p, keys_per_rank) in scale.overlap_speedup_points() {
+        // Key-space skew (powerlaw) is a monotone transform of the uniform
+        // draws, so a comparison-based sorter with adaptive splitters treats
+        // it identically to uniform (the paper's distribution-insensitivity
+        // claim) — the sweep therefore also includes *volume* skew (uneven
+        // per-rank counts), which genuinely changes the per-rank timelines.
+        let skews: [SkewCase; 3] = [
+            (
+                "uniform",
+                Box::new(move || {
+                    KeyDistribution::Uniform.generate_per_rank(p, keys_per_rank, seed)
+                }),
+            ),
+            (
+                "powerlaw(4)",
+                Box::new(move || {
+                    KeyDistribution::PowerLaw { gamma: 4.0 }.generate_per_rank(
+                        p,
+                        keys_per_rank,
+                        seed,
+                    )
+                }),
+            ),
+            (
+                "uneven(0.5)",
+                Box::new(move || {
+                    KeyDistribution::Uniform.generate_uneven_per_rank(p, keys_per_rank, 0.5, seed)
+                }),
+            ),
+        ];
+        for (skew, generate) in &skews {
+            let skew = skew.to_string();
+            let input = generate();
+            for oversampling in [3.0, 5.0, 10.0] {
+                let config = HssConfig {
+                    epsilon: 0.02,
+                    schedule: RoundSchedule::ConstantOversampling { oversampling, max_rounds: 64 },
+                    ..HssConfig::default()
+                }
+                .with_seed(seed);
+                let sorter = HssSorter::new(config);
+
+                let mut bsp = Machine::new(Topology::flat(p), CostModel::bluegene_like());
+                let bsp_out = sorter.sort(&mut bsp, input.clone());
+
+                let mut ovl = Machine::new(Topology::flat(p), CostModel::bluegene_like())
+                    .with_sync_model(SyncModel::Overlapped)
+                    .with_tracing();
+                let ovl_out = sorter.sort(&mut ovl, input.clone());
+                let stages =
+                    ovl.trace().events().iter().filter(|e| e.label == "exchange_stage").count();
+
+                rows.push(OverlapSpeedupRow {
+                    processors: p,
+                    keys_per_rank,
+                    skew: skew.clone(),
+                    oversampling,
+                    rounds: ovl_out
+                        .report
+                        .splitters
+                        .as_ref()
+                        .map(|s| s.rounds_executed())
+                        .unwrap_or(0),
+                    stages,
+                    bsp_seconds: bsp_out.report.makespan_seconds,
+                    overlapped_seconds: ovl_out.report.makespan_seconds,
+                    speedup: bsp_out.report.makespan_seconds / ovl_out.report.makespan_seconds,
+                    imbalance_overlapped: ovl_out.report.imbalance(),
+                });
+            }
+        }
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -594,6 +715,33 @@ mod tests {
             assert_eq!(flat.comm_words, nested.comm_words);
             assert_eq!(flat.messages, nested.messages);
             assert!(flat.wall_seconds > 0.0 && nested.wall_seconds > 0.0);
+        }
+    }
+
+    #[test]
+    fn overlap_speedup_rows_show_overlapped_strictly_faster() {
+        let rows = overlap_speedup_rows(Scale::Smoke, 2019);
+        assert_eq!(rows.len(), Scale::Smoke.overlap_speedup_points().len() * 3 * 3);
+        for r in &rows {
+            assert!(r.processors >= 32);
+            assert!(r.rounds >= 1);
+            assert!(r.stages >= 1, "{}: no stage injected", r.skew);
+            assert!(r.bsp_seconds > 0.0 && r.overlapped_seconds > 0.0);
+            // The tentpole claim: overlapped execution is strictly faster
+            // than strict BSP at p >= 32, on skewed and uniform inputs
+            // alike, at every round count in the sweep.
+            assert!(
+                r.overlapped_seconds < r.bsp_seconds,
+                "p={} skew={} oversampling={}: overlapped {} not below bsp {}",
+                r.processors,
+                r.skew,
+                r.oversampling,
+                r.overlapped_seconds,
+                r.bsp_seconds
+            );
+            // Frozen splitters must not break the balance guarantee
+            // (epsilon = 0.02 plus slack for freezing mid-refinement).
+            assert!(r.imbalance_overlapped < 1.1, "imbalance {}", r.imbalance_overlapped);
         }
     }
 

@@ -128,6 +128,19 @@ impl Scale {
         }
     }
 
+    /// `(ranks, keys per rank)` points for the `overlap_speedup` experiment
+    /// (Bsp vs Overlapped sync models).  Every non-smoke point has
+    /// `p >= 32`, the regime the overlap win is asserted in.
+    pub fn overlap_speedup_points(&self) -> Vec<(usize, usize)> {
+        match self {
+            Scale::Smoke => vec![(32, 4_000), (64, 2_000)],
+            Scale::Default => vec![(32, 16_384), (64, 16_384), (128, 8_192), (256, 8_192)],
+            Scale::Full => {
+                vec![(32, 32_768), (64, 16_384), (128, 16_384), (256, 8_192), (512, 8_192)]
+            }
+        }
+    }
+
     /// Host thread counts swept by the self-speedup experiment (real
     /// parallelism of the vendored rayon pool, not simulated ranks).
     pub fn self_speedup_threads(&self) -> Vec<usize> {

@@ -8,7 +8,7 @@
 //! to within `εN/p` of the true rank w.h.p. (Theorem 3.4.1).  Rank queries
 //! against the sample cost `O(S log s)` instead, and the same sample can be
 //! reused across rounds, which is what makes the scheme "of independent
-//! interest for answering general [rank] queries".
+//! interest for answering general \[rank\] queries".
 
 use hss_keygen::Keyed;
 use hss_partition::sampling::random_block_sample;

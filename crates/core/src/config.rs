@@ -47,8 +47,8 @@ pub enum SplitterRule {
     Scanning,
 }
 
-/// Configuration for [`HssSorter`](crate::sorter::HssSorter) and
-/// [`determine_splitters`](crate::multi_round::determine_splitters).
+/// Configuration for [`crate::sorter::HssSorter`] and
+/// [`crate::multi_round::determine_splitters`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct HssConfig {
     /// Load-imbalance threshold ε: no rank may end up with more than
@@ -82,6 +82,14 @@ pub struct HssConfig {
     /// retained as the differential-testing oracle.  Results and simulated
     /// costs are identical; only host-side speed differs.
     pub exchange_engine: ExchangeEngine,
+    /// Overlapped execution only
+    /// ([`SyncModel::Overlapped`](hss_sim::SyncModel)): a bucket batch is
+    /// injected as an asynchronous exchange stage mid-round only if it
+    /// covers at least this fraction of the total keys; smaller batches are
+    /// deferred to a later stage so the per-stage α overhead (one latency
+    /// per peer per stage) cannot eat the overlap win.  `0.0` stages every
+    /// ready bucket immediately.  Ignored under Bsp.
+    pub min_stage_fraction: f64,
     /// Seed for all sampling randomness (deterministic runs).
     pub seed: u64,
 }
@@ -97,6 +105,7 @@ impl Default for HssConfig {
             tag_duplicates: false,
             approximate_histograms: false,
             exchange_engine: ExchangeEngine::Flat,
+            min_stage_fraction: 0.02,
             seed: 0xC0FFEE,
         }
     }
@@ -117,6 +126,7 @@ impl HssConfig {
             tag_duplicates: false,
             approximate_histograms: false,
             exchange_engine: ExchangeEngine::Flat,
+            min_stage_fraction: 0.02,
             seed: 0xC0FFEE,
         }
     }
@@ -162,6 +172,13 @@ impl HssConfig {
         self
     }
 
+    /// Set the minimum fraction of total keys a mid-round exchange stage
+    /// must cover (overlapped execution only).
+    pub fn with_min_stage_fraction(mut self, fraction: f64) -> Self {
+        self.min_stage_fraction = fraction;
+        self
+    }
+
     /// Basic sanity checks; called by the sorter before running.
     pub fn validate(&self) -> Result<(), String> {
         if !self.epsilon.is_finite() || self.epsilon <= 0.0 {
@@ -169,6 +186,12 @@ impl HssConfig {
         }
         if !self.within_node_epsilon.is_finite() || self.within_node_epsilon <= 0.0 {
             return Err("within_node_epsilon must be positive".to_string());
+        }
+        if !self.min_stage_fraction.is_finite() || !(0.0..=1.0).contains(&self.min_stage_fraction) {
+            return Err(format!(
+                "min_stage_fraction must be in [0, 1] (got {})",
+                self.min_stage_fraction
+            ));
         }
         match self.schedule {
             RoundSchedule::Theoretical { rounds: 0 } => {
@@ -204,6 +227,13 @@ mod tests {
     fn invalid_configs_are_rejected() {
         let c = HssConfig { epsilon: 0.0, ..HssConfig::default() };
         assert!(c.validate().is_err());
+
+        let c = HssConfig { min_stage_fraction: -0.1, ..HssConfig::default() };
+        assert!(c.validate().is_err());
+        let c = HssConfig { min_stage_fraction: 1.5, ..HssConfig::default() };
+        assert!(c.validate().is_err());
+        let c = HssConfig { min_stage_fraction: 0.0, ..HssConfig::default() };
+        assert!(c.validate().is_ok());
 
         let c = HssConfig {
             schedule: RoundSchedule::Theoretical { rounds: 0 },

@@ -50,6 +50,7 @@ pub mod config;
 pub mod duplicates;
 pub mod multi_round;
 pub mod node_level;
+pub mod overlap;
 pub mod report;
 pub mod scanning;
 pub mod sorter;
@@ -58,7 +59,8 @@ pub mod theory;
 pub use approx_histogram::{ApproxHistogrammer, RepresentativeSample};
 pub use config::{HssConfig, RoundSchedule, SplitterRule};
 pub use duplicates::Tagged;
-pub use multi_round::determine_splitters;
+pub use multi_round::{determine_splitters, determine_splitters_with, RoundProgress};
+pub use overlap::overlapped_exchange_sort;
 pub use report::{RoundStats, SortReport, SplitterReport};
 pub use scanning::{scanning_splitters, splitters_from_histogram};
 pub use sorter::{HssSorter, SortOutcome};

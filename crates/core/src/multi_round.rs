@@ -20,6 +20,29 @@ use crate::report::{RoundStats, SplitterReport};
 use crate::scanning;
 use crate::theory;
 
+/// What one histogramming round left behind, as seen by a round observer
+/// (see [`determine_splitters_with`]).
+///
+/// The observer reads the interval bookkeeping directly — in particular
+/// which splitters are newly finalized
+/// ([`SplitterIntervals::is_finalized`]) and their current best keys
+/// ([`SplitterIntervals::best_splitter_key`]) — and may run additional
+/// supersteps against the machine (broadcast frozen splitters, bucketize,
+/// inject an exchange stage).  This is the hook the overlapped sorter uses
+/// to start the data exchange while later rounds are still running (§4).
+pub struct RoundProgress<'a, K: Key> {
+    /// 1-based index of the round that just completed.
+    pub round: usize,
+    /// The interval bookkeeping after this round's update.
+    pub intervals: &'a SplitterIntervals<K>,
+    /// The finalization tolerance in ranks (`εN/(2·buckets)`, widened for
+    /// approximate histograms).
+    pub tolerance: u64,
+    /// Whether this was the final round (no further sampling or
+    /// histogramming supersteps follow; the splitter broadcast does).
+    pub is_last: bool,
+}
+
 /// Determine `buckets − 1` splitters over the per-rank *sorted* data using
 /// Histogram Sort with Sampling.
 ///
@@ -35,6 +58,26 @@ pub fn determine_splitters<T: Keyed>(
     buckets: usize,
     config: &HssConfig,
 ) -> (SplitterSet<T::K>, SplitterReport) {
+    determine_splitters_with(machine, per_rank_sorted, buckets, config, |_, _| {})
+}
+
+/// [`determine_splitters`] with a round observer: `on_round` is invoked
+/// after every histogramming round's interval update (and bookkeeping),
+/// with machine access so it can charge additional supersteps.  With a
+/// no-op observer this is *exactly* [`determine_splitters`] — same
+/// supersteps, same charges, bitwise — which is what keeps the
+/// [`SyncModel::Bsp`](hss_sim::SyncModel) cost signature identical to the
+/// historical accounting while the overlapped path builds on the same code.
+pub fn determine_splitters_with<T: Keyed, F>(
+    machine: &mut Machine,
+    per_rank_sorted: &[Vec<T>],
+    buckets: usize,
+    config: &HssConfig,
+    mut on_round: F,
+) -> (SplitterSet<T::K>, SplitterReport)
+where
+    F: FnMut(&mut Machine, &RoundProgress<'_, T::K>),
+{
     config.validate().expect("invalid HSS configuration");
     assert!(buckets >= 1, "need at least one bucket");
     let total_keys: u64 = per_rank_sorted.iter().map(|v| v.len() as u64).sum();
@@ -181,7 +224,9 @@ pub fn determine_splitters<T: Keyed>(
         report.total_sample_size += sample_size;
         last_round = Some((probes, ranks));
 
-        if plan.is_done(round, open_after) {
+        let is_last = plan.is_done(round, open_after);
+        on_round(machine, &RoundProgress { round, intervals: &intervals, tolerance, is_last });
+        if is_last {
             break;
         }
     }

@@ -83,6 +83,13 @@ pub struct SortReport {
     pub load_balance: LoadBalance,
     /// Per-phase cost breakdown from the simulator.
     pub metrics: MetricsRegistry,
+    /// Synchronization model the run executed under ("bsp" / "overlapped").
+    pub sync_model: String,
+    /// Simulated makespan: the maximum final per-rank clock.  Under Bsp
+    /// this equals [`Self::simulated_seconds`] (up to f64 summation order);
+    /// under overlapped execution it is smaller whenever staged exchanges
+    /// hid under splitter determination.
+    pub makespan_seconds: f64,
 }
 
 impl SortReport {
@@ -96,7 +103,9 @@ impl SortReport {
         self.load_balance.satisfies(epsilon)
     }
 
-    /// Total simulated seconds across all phases.
+    /// Total simulated seconds across all phases (the sum of per-phase
+    /// charges — the BSP accounting; see [`Self::makespan_seconds`] for the
+    /// timeline view).
     pub fn simulated_seconds(&self) -> f64 {
         self.metrics.total_simulated_seconds()
     }

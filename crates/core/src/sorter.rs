@@ -4,7 +4,7 @@
 
 use hss_keygen::Keyed;
 use hss_partition::{exchange_and_merge_with, verify_global_sort, ExchangeMode, LoadBalance};
-use hss_sim::{Machine, Phase, Work};
+use hss_sim::{Machine, Phase, SyncModel, Work};
 
 use crate::config::HssConfig;
 use crate::duplicates::{tag_per_rank, untag_per_rank};
@@ -90,6 +90,8 @@ impl HssSorter {
             splitters: Some(splitter_report),
             load_balance,
             metrics: machine.metrics().clone(),
+            sync_model: machine.sync_model().name().to_string(),
+            makespan_seconds: machine.simulated_time(),
         };
         SortOutcome { data, report }
     }
@@ -109,8 +111,23 @@ impl HssSorter {
         });
 
         let use_node_level = self.config.node_level && machine.topology().cores_per_node() > 1;
+        // Node-level partitioning has no staged-exchange pipeline yet;
+        // silently running it under Overlapped would label a plain
+        // node-level run "overlapped" in the report, so the combination is
+        // rejected outright.
+        assert!(
+            !(use_node_level && machine.sync_model() == SyncModel::Overlapped),
+            "node-level partitioning is not supported under SyncModel::Overlapped; \
+             run node-level sorts on a Bsp machine or disable node_level"
+        );
         if use_node_level {
             node_level_sort(machine, &data, &self.config)
+        } else if machine.sync_model() == SyncModel::Overlapped {
+            // Overlapped execution (§4): splitter determination and the
+            // data exchange are pipelined through asynchronous stages; the
+            // exchange is inherently flat/rank-level, so the engine and
+            // node-combining knobs do not apply.
+            crate::overlap::overlapped_exchange_sort(machine, &data, &self.config)
         } else {
             let p = machine.ranks();
             let (splitters, report) = determine_splitters(machine, &data, p, &self.config);
@@ -287,5 +304,14 @@ mod tests {
     fn mismatched_rank_count_panics() {
         let mut machine = Machine::flat(4);
         let _ = HssSorter::default().sort(&mut machine, vec![vec![1u64]; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "node-level partitioning is not supported")]
+    fn node_level_under_overlapped_is_rejected() {
+        let input = KeyDistribution::Uniform.generate_per_rank(8, 100, 1);
+        let mut machine = Machine::new(Topology::new(8, 4), CostModel::bluegene_like())
+            .with_sync_model(SyncModel::Overlapped);
+        let _ = HssSorter::new(HssConfig::default().with_node_level()).sort(&mut machine, input);
     }
 }

@@ -2,11 +2,11 @@
 //!
 //! The crate provides:
 //!
-//! * [`key`]: the [`Key`](key::Key) / [`Keyed`](key::Keyed) traits the
+//! * [`key`]: the [`key::Key`] / [`key::Keyed`] traits the
 //!   sorting algorithms are generic over, plus concrete types — bare integer
 //!   keys, the Mira experiment's 8-byte-key + 4-byte-payload
-//!   [`Record`](key::Record), the duplicate-breaking
-//!   [`TaggedKey`](key::TaggedKey) of §4.3 and a totally ordered `f64`.
+//!   [`key::Record`], the duplicate-breaking
+//!   [`key::TaggedKey`] of §4.3 and a totally ordered `f64`.
 //! * [`distributions`]: seeded, deterministic per-rank input generators for
 //!   uniform, Gaussian, exponential, power-law, staggered, pre-sorted,
 //!   reverse-sorted and duplicate-heavy key distributions.

@@ -43,6 +43,17 @@ pub fn bucket_counts<T: Keyed>(sorted: &[T], splitters: &SplitterSet<T::K>) -> V
     bounds.windows(2).map(|w| (w[1] - w[0]) as u64).collect()
 }
 
+/// Position of a single splitter key inside a *sorted* slice: the index of
+/// the first element with `key >= splitter`, i.e. where the bucket owned by
+/// that splitter's right side begins.  This is the incremental unit of the
+/// staged exchange (§4): as each splitter is finalized, every rank locates
+/// it in its local data with one binary search, and once a bucket's two
+/// bounding splitters are located the bucket can travel.
+pub fn splitter_position<T: Keyed>(sorted: &[T], splitter: T::K) -> usize {
+    debug_assert!(crate::histogram::is_sorted_by_key(sorted));
+    sorted.partition_point(|x| x.key() < splitter)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -99,6 +110,19 @@ mod tests {
         for (i, b) in buckets.iter().enumerate() {
             assert_eq!(plan.run(&data, i), b.as_slice(), "bucket {i}");
         }
+    }
+
+    #[test]
+    fn splitter_position_matches_bucket_boundaries() {
+        let data: Vec<u64> = vec![1, 3, 5, 7, 9, 11, 13];
+        let s = SplitterSet::new(vec![4u64, 10]);
+        let bounds = s.bucket_boundaries(&data);
+        for (i, &k) in s.keys().iter().enumerate() {
+            assert_eq!(splitter_position(&data, k), bounds[i + 1], "splitter {i}");
+        }
+        // Duplicates equal to the splitter stay to its right.
+        assert_eq!(splitter_position(&[4u64, 4, 4], 4), 0);
+        assert_eq!(splitter_position(&[] as &[u64], 4), 0);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! identical simulated-cost accounting:
 //!
 //! * [`ExchangeEngine::Flat`] (the default) — zero-copy bucketize into an
-//!   [`ExchangePlan`](hss_sim::ExchangePlan) over the sorted data itself,
+//!   [`hss_sim::ExchangePlan`] over the sorted data itself,
 //!   one contiguous buffer moved per rank (`MPI_Alltoallv` style), and a
 //!   slice-based loser-tree merge reading the receive buffer in place;
 //! * [`ExchangeEngine::Nested`] — the historical `Vec<Vec<Vec<T>>>` send
@@ -16,7 +16,7 @@
 use hss_keygen::Keyed;
 use hss_sim::{ExchangePlan, Machine, Phase, Work};
 
-use crate::merge::{kway_merge, kway_merge_slices};
+use crate::merge::{kway_merge, merge_runs_for};
 use crate::splitters::SplitterSet;
 
 /// How the all-to-all exchange injects messages into the network.
@@ -121,14 +121,8 @@ fn exchange_and_merge_flat<T: Keyed + Ord>(
     }
     // Merge destination `dst`'s runs in place via the loser tree.
     machine.map_phase(Phase::Merge, per_rank_sorted, |dst, _local| {
-        let runs: Vec<&[T]> = plans
-            .iter()
-            .zip(per_rank_sorted.iter())
-            .map(|(plan, buf)| plan.run(buf, dst))
-            .collect();
-        let total: usize = runs.iter().map(|r| r.len()).sum();
-        let pieces = runs.iter().filter(|r| !r.is_empty()).count();
-        (kway_merge_slices(&runs), Work::merge(total, pieces.max(1)))
+        let (merged, total, pieces) = merge_runs_for(&plans, per_rank_sorted, dst);
+        (merged, Work::merge(total, pieces.max(1)))
     })
 }
 

@@ -196,6 +196,22 @@ impl<K: Key> SplitterIntervals<K> {
         self.union_rank_size(tol) as f64 / self.total_keys as f64
     }
 
+    /// The best candidate key for splitter `i` seen so far: the bound whose
+    /// rank is closest to the target.  This is the key the overlapped sorter
+    /// *freezes* when splitter `i` finalizes mid-run (§4); unlike
+    /// [`Self::best_splitter_keys`] it is not monotonicity-corrected against
+    /// neighbours, so callers freezing splitters incrementally must clamp.
+    pub fn best_splitter_key(&self, i: usize) -> K {
+        let target = self.target_rank(i);
+        let lo = self.lower[i];
+        let hi = self.upper[i];
+        if target - lo.rank <= hi.rank - target {
+            lo.key
+        } else {
+            hi.key
+        }
+    }
+
     /// The finalized splitters: for every splitter the seen key whose rank is
     /// closest to the target (§3.3 step 5).  The result is forced to be
     /// non-decreasing (ties between neighbouring splitters can otherwise
@@ -203,11 +219,7 @@ impl<K: Key> SplitterIntervals<K> {
     pub fn best_splitter_keys(&self) -> Vec<K> {
         let mut keys = Vec::with_capacity(self.splitter_count());
         for i in 0..self.splitter_count() {
-            let target = self.target_rank(i);
-            let lo = self.lower[i];
-            let hi = self.upper[i];
-            let best = if target - lo.rank <= hi.rank - target { lo.key } else { hi.key };
-            keys.push(best);
+            keys.push(self.best_splitter_key(i));
         }
         // Enforce monotonicity.
         for i in 1..keys.len() {

@@ -8,10 +8,10 @@
 //!
 //! * [`histogram`] — local / global rank queries over sorted data (the
 //!   histogramming primitive);
-//! * [`splitters`] — the [`SplitterSet`](splitters::SplitterSet) type and key
+//! * [`splitters`] — the [`splitters::SplitterSet`] type and key
 //!   routing;
 //! * [`intervals`] — splitter-interval bookkeeping
-//!   ([`SplitterIntervals`](intervals::SplitterIntervals), the `L_j/U_j`
+//!   ([`intervals::SplitterIntervals`], the `L_j/U_j`
 //!   bounds of §3.3);
 //! * [`bucketize`] — partitioning local data by a splitter set;
 //! * [`merge`] — k-way merging of received sorted runs;
@@ -33,13 +33,15 @@ pub mod select;
 pub mod splitters;
 
 pub use balance::LoadBalance;
-pub use bucketize::{bucket_counts, exchange_plan, partition_sorted, partition_unsorted};
+pub use bucketize::{
+    bucket_counts, exchange_plan, partition_sorted, partition_unsorted, splitter_position,
+};
 pub use exchange::{exchange_and_merge, exchange_and_merge_with, ExchangeEngine, ExchangeMode};
 pub use histogram::{
     global_ranks, is_sorted_by_key, local_range_counts, local_ranks, local_ranks_work,
 };
 pub use intervals::{Bound, SplitterIntervals};
-pub use merge::{concat_sort_merge, kway_merge, kway_merge_slices};
+pub use merge::{concat_sort_merge, kway_merge, kway_merge_slices, merge_runs_for};
 pub use sampling::{
     bernoulli_sample, bernoulli_sample_in_intervals, bernoulli_sample_range, count_in_intervals,
     merge_key_intervals, random_block_sample, regular_sample, uniform_sample_discarding,

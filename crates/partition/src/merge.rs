@@ -143,6 +143,23 @@ pub fn concat_sort_merge<T: Keyed>(runs: Vec<Vec<T>>) -> Vec<T> {
     out
 }
 
+/// Merge destination `dst`'s runs directly out of the senders' flat buffers:
+/// source `s`'s contribution is `plans[s].run(&bufs[s], dst)` (the flat
+/// in-place exchange convention — no receive buffer is ever materialised).
+/// Returns the merged output together with `(total_elems, nonempty_runs)`
+/// for cost accounting.  Shared by the flat exchange engine and the staged
+/// overlapped exchange.
+pub fn merge_runs_for<T: Ord + Clone>(
+    plans: &[hss_sim::ExchangePlan],
+    bufs: &[Vec<T>],
+    dst: usize,
+) -> (Vec<T>, usize, usize) {
+    let runs: Vec<&[T]> = plans.iter().zip(bufs.iter()).map(|(p, b)| p.run(b, dst)).collect();
+    let total: usize = runs.iter().map(|r| r.len()).sum();
+    let pieces = runs.iter().filter(|r| !r.is_empty()).count();
+    (kway_merge_slices(&runs), total, pieces)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

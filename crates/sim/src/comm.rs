@@ -29,9 +29,9 @@
 use rayon::prelude::*;
 
 use crate::cost::CollectiveAlgo;
-use crate::machine::{words_of, Machine, Parallelism};
+use crate::machine::{words_of, ClockAdvance, Machine, Parallelism};
 use crate::metrics::{Phase, PhaseMetrics};
-use crate::plan::{ExchangePlan, FlatRecv};
+use crate::plan::{ExchangePlan, ExchangeStage, FlatRecv};
 
 /// Per-rank (or per-node) volume and peer bookkeeping for an irregular
 /// all-to-all, shared by the nested and flat representations so both charge
@@ -94,6 +94,18 @@ impl ExchangeVolumes {
             .max()
             .unwrap_or(0)
     }
+
+    /// The α-term peer count of one *stage* of a staged exchange: `max over
+    /// r of #send peers`.  A stage receiver takes its whole bucket in this
+    /// one stage, so its per-message fan-in overhead is pipelined with the
+    /// β-term stream it is absorbing anyway; the serialization the α-term
+    /// models is the senders' injection of distinct messages.  For a dense
+    /// single-stage exchange this degenerates to `p − 1`, the same as
+    /// [`Self::max_peers`], keeping the staged and monolithic charges
+    /// consistent.
+    fn max_send_peers(&self) -> u64 {
+        self.send_peers.iter().copied().max().unwrap_or(0)
+    }
 }
 
 impl Machine {
@@ -130,7 +142,7 @@ impl Machine {
             supersteps: 1,
             ..Default::default()
         };
-        self.record(phase, "gather_to_root", metrics);
+        self.record(phase, "gather_to_root", metrics, ClockAdvance::Sync);
         out
     }
 
@@ -150,7 +162,7 @@ impl Machine {
             supersteps: 1,
             ..Default::default()
         };
-        self.record(phase, "broadcast", metrics);
+        self.record(phase, "broadcast", metrics, ClockAdvance::Sync);
     }
 
     /// Reduce per-rank vectors of counts into their element-wise sum at the
@@ -188,7 +200,7 @@ impl Machine {
             supersteps: 1,
             ..Default::default()
         };
-        self.record(phase, "reduce_sum", metrics);
+        self.record(phase, "reduce_sum", metrics, ClockAdvance::Sync);
         sum
     }
 
@@ -202,7 +214,7 @@ impl Machine {
             supersteps: 1,
             ..Default::default()
         };
-        self.record(phase, "all_to_allv", metrics);
+        self.record(phase, "all_to_allv", metrics, ClockAdvance::Sync);
     }
 
     /// Irregular all-to-all exchange ("MPI_Alltoallv"): `sends[src][dst]` is
@@ -405,7 +417,7 @@ impl Machine {
             supersteps: 1,
             ..Default::default()
         };
-        self.record(phase, "all_to_allv_node_combined", metrics);
+        self.record(phase, "all_to_allv_node_combined", metrics, ClockAdvance::Sync);
     }
 
     /// Node-combined all-to-all (§6.1.1): all buffers travelling between the
@@ -501,8 +513,76 @@ impl Machine {
             supersteps: 1,
             ..Default::default()
         };
-        self.record(phase, "node_shared_memory_combine", metrics);
+        self.record(phase, "node_shared_memory_combine", metrics, ClockAdvance::Sync);
         per_node
+    }
+
+    /// Inject one stage of a *staged* all-to-allv (§4): the subset of
+    /// buckets described by `stage` travels now, while the algorithm keeps
+    /// running.  Charges exactly like [`Machine::all_to_allv_flat_in_place`]
+    /// restricted to the stage's counts, and returns the simulated time at
+    /// which the stage's data has landed at its destinations.
+    ///
+    /// Under [`SyncModel::Overlapped`](crate::timeline::SyncModel) the
+    /// transfer runs on the senders' NICs without blocking their compute
+    /// clocks — consumers must [`Machine::wait_until`] the returned
+    /// completion time before reading the data.  Under
+    /// [`SyncModel::Bsp`](crate::timeline::SyncModel) the stage degrades to
+    /// a synchronizing superstep.
+    ///
+    /// `U` is the element type moved (it determines the word volume); no
+    /// host data is copied here — the stage plans point into the senders'
+    /// buffers, which consumers read in place exactly as with the flat
+    /// in-place exchange.
+    pub fn exchange_stage<U>(&mut self, phase: Phase, stage: &ExchangeStage) -> f64 {
+        let p = self.ranks();
+        assert_eq!(stage.plans.len(), p, "one stage plan per rank");
+        let mut vol = ExchangeVolumes::new(p);
+        for (src, plan) in stage.plans.iter().enumerate() {
+            assert_eq!(plan.peers(), p, "rank {src} stage plan must address every destination");
+            for (dst, &c) in plan.counts.iter().enumerate() {
+                vol.add(src, dst, c);
+            }
+        }
+        // Each sender's NIC is busy only while it injects its own runs (its
+        // α·peers latencies plus β·its own volume); the stage's overall
+        // completion is bounded by the busiest party — typically a receiver
+        // absorbing its whole bucket.
+        let senders: Vec<(usize, f64)> = (0..p)
+            .filter(|&src| vol.send_elems[src] > 0)
+            .map(|src| {
+                let inject = self
+                    .cost_model()
+                    .all_to_allv(words_of::<U>(vol.send_elems[src]), vol.send_peers[src]);
+                (src, inject)
+            })
+            .collect();
+        let cost =
+            self.cost_model().all_to_allv(words_of::<U>(vol.max_elems()), vol.max_send_peers());
+        let metrics = PhaseMetrics {
+            simulated_seconds: cost,
+            messages: vol.messages,
+            comm_words: words_of::<U>(vol.total_elems),
+            supersteps: 1,
+            ..Default::default()
+        };
+        self.record(phase, "exchange_stage", metrics, ClockAdvance::AsyncStage { senders })
+    }
+
+    /// Charge the incremental cost of piggybacking `extra` elements of type
+    /// `U` on a broadcast that happens anyway (§4: finalized splitter values
+    /// ride along with the next round's probe broadcast).  Only the extra
+    /// payload's bandwidth is charged — no additional latency and no
+    /// additional messages are injected, and no superstep is counted.
+    pub fn broadcast_piggyback<U>(&mut self, phase: Phase, extra: usize) {
+        let p = self.ranks();
+        let words = words_of::<U>(extra);
+        let metrics = PhaseMetrics {
+            simulated_seconds: self.cost_model().unit_comm * words as f64,
+            comm_words: words * (p.saturating_sub(1)) as u64,
+            ..Default::default()
+        };
+        self.record(phase, "broadcast_piggyback", metrics, ClockAdvance::Sync);
     }
 }
 

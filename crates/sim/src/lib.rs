@@ -54,12 +54,14 @@ pub mod cost;
 pub mod machine;
 pub mod metrics;
 pub mod plan;
+pub mod timeline;
 pub mod topology;
 pub mod trace;
 
 pub use cost::{CollectiveAlgo, CostModel};
 pub use machine::{words_of, Machine, Parallelism, Work};
 pub use metrics::{MetricsRegistry, Phase, PhaseMetrics};
-pub use plan::{ExchangePlan, FlatRecv};
+pub use plan::{ExchangePlan, ExchangeStage, FlatRecv};
+pub use timeline::{Span, SyncModel, Timeline};
 pub use topology::{NodeId, RankId, Topology};
-pub use trace::{Trace, TraceEvent};
+pub use trace::{CriticalHop, Trace, TraceEvent};

@@ -1,20 +1,57 @@
-//! The simulated machine: topology + cost model + accounting context.
+//! The simulated machine: topology + cost model + per-rank timeline +
+//! accounting context.
 //!
 //! A [`Machine`] is the object every algorithm in this repository runs
 //! against.  It does not own the application data — algorithms keep their
 //! per-rank data as `Vec<Vec<T>>` (index = rank id) — it owns the
-//! *accounting*: which rank's work bounds each BSP superstep, how much
-//! simulated time the cost model charges, how many messages and words the
+//! *accounting*: a [`Timeline`] of per-rank simulated clocks, the per-phase
+//! [`MetricsRegistry`] breakdown, how many messages and words the
 //! collectives move, and the wall-clock time actually spent.
+//!
+//! # Time model: per-rank clocks, two sync models
+//!
+//! Simulated time is tracked as one clock per rank (plus one NIC
+//! availability time per rank), not as a single scalar:
+//!
+//! * a **local phase** advances each rank's clock by that rank's own
+//!   reported [`Work`];
+//! * a **collective** synchronizes its participants: everyone waits for the
+//!   slowest clock, then all advance together by the collective cost;
+//! * an **asynchronous exchange stage** ([`Machine::exchange_stage`])
+//!   occupies the senders' NICs without blocking their compute clocks;
+//! * the run's total simulated time is the *makespan* — the maximum final
+//!   clock ([`Machine::simulated_time`]).
+//!
+//! The [`SyncModel`] chooses how much synchronization is imposed on top:
+//!
+//! * [`SyncModel::Bsp`] (the default) inserts a global barrier after every
+//!   superstep.  Because all clocks are equal before each superstep, the
+//!   barrier adds exactly the `max`-over-ranks charge per superstep — the
+//!   historical scalar accumulator — so the per-phase cost signature is
+//!   bitwise identical to the pre-timeline accounting
+//!   (`tests/sync_differential.rs` is the differential oracle).
+//! * [`SyncModel::Overlapped`] drops the barrier after local phases and
+//!   lets staged exchanges run asynchronously, so data movement can hide
+//!   under splitter determination (§4 of the paper).  The per-phase
+//!   registry still records the same charges; only *when* ranks reach each
+//!   point — and hence the makespan — changes.
+//!
+//! The per-phase [`MetricsRegistry`] is deliberately unaffected by the sync
+//! model: it answers "how much did each phase cost", while the timeline
+//! answers "when was the run done".  Under `Bsp` the two agree (makespan =
+//! sum of charges); under `Overlapped` the makespan is smaller whenever
+//! overlap hides communication.
+//!
+//! # Execution model
 //!
 //! Local phases execute for real, in parallel across ranks using the
 //! vendored rayon thread pool (each simulated rank's closure runs on some
 //! worker OS thread), so all data movement and all results are exact; only
-//! *time* is additionally modelled.  [`Parallelism::Sequential`] runs the
-//! same closures on the calling thread and is the determinism oracle: for
-//! every algorithm, both modes must produce bitwise-identical data and
-//! identical simulated costs (see `tests/parallel_differential.rs`), while
-//! the metrics record the real host-thread count separately so reports can
+//! *time* is modelled.  [`Parallelism::Sequential`] runs the same closures
+//! on the calling thread and is the determinism oracle: for every
+//! algorithm, both modes must produce bitwise-identical data and identical
+//! simulated costs (see `tests/parallel_differential.rs`), while the
+//! metrics record the real host-thread count separately so reports can
 //! distinguish host concurrency from simulated `p`-rank concurrency.
 
 use std::time::Instant;
@@ -24,6 +61,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::cost::CostModel;
 use crate::metrics::{MetricsRegistry, Phase, PhaseMetrics};
+use crate::timeline::{Span, SyncModel, Timeline};
 use crate::topology::{RankId, Topology};
 use crate::trace::{Trace, TraceEvent};
 
@@ -93,20 +131,45 @@ pub struct Machine {
     topology: Topology,
     cost: CostModel,
     parallelism: Parallelism,
+    sync: SyncModel,
     metrics: MetricsRegistry,
+    timeline: Timeline,
     trace: Trace,
     superstep: u64,
 }
 
+/// How one recorded superstep advances the [`Timeline`] (internal).
+pub(crate) enum ClockAdvance {
+    /// A local phase: rank `r` advances by its own `per_rank[r]` seconds;
+    /// under [`SyncModel::Bsp`] a barrier follows.
+    PerRank(Vec<f64>),
+    /// A synchronizing collective: all ranks wait for the slowest, then
+    /// advance together by the charged seconds (both sync models).
+    Sync,
+    /// An asynchronous exchange stage: the stage's bottleneck duration (the
+    /// charged seconds) elapses on the network while each sender's NIC is
+    /// reserved only for that sender's own injection time, and compute
+    /// clocks are untouched under [`SyncModel::Overlapped`]; degrades to
+    /// [`Self::Sync`] under [`SyncModel::Bsp`].
+    AsyncStage {
+        /// Ranks with data to inject, with each rank's injection duration.
+        senders: Vec<(RankId, f64)>,
+    },
+}
+
 impl Machine {
     /// A machine with the given topology and cost model, executing local
-    /// phases in parallel with rayon and with tracing disabled.
+    /// phases in parallel with rayon, in [`SyncModel::Bsp`], with tracing
+    /// disabled.
     pub fn new(topology: Topology, cost: CostModel) -> Self {
+        let ranks = topology.ranks();
         Self {
             topology,
             cost,
             parallelism: Parallelism::Rayon,
+            sync: SyncModel::Bsp,
             metrics: MetricsRegistry::new(),
+            timeline: Timeline::new(ranks),
             trace: Trace::disabled(),
             superstep: 0,
         }
@@ -122,6 +185,12 @@ impl Machine {
     /// phases.
     pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
         self.parallelism = parallelism;
+        self
+    }
+
+    /// Choose the synchronization model (default [`SyncModel::Bsp`]).
+    pub fn with_sync_model(mut self, sync: SyncModel) -> Self {
+        self.sync = sync;
         self
     }
 
@@ -168,10 +237,32 @@ impl Machine {
         &self.trace
     }
 
-    /// Reset metrics, trace and superstep counter, keeping topology and cost
-    /// model.  Useful for running several algorithms on one machine.
+    /// The synchronization model in force.
+    pub fn sync_model(&self) -> SyncModel {
+        self.sync
+    }
+
+    /// The per-rank timeline advanced so far.
+    pub fn timeline(&self) -> &Timeline {
+        &self.timeline
+    }
+
+    /// Total simulated time of the run so far: the timeline's makespan (max
+    /// over all compute clocks and outstanding NIC completions).  Under
+    /// [`SyncModel::Bsp`] this equals the registry's
+    /// [`MetricsRegistry::total_simulated_seconds`]
+    /// up to f64 summation order; under [`SyncModel::Overlapped`] it is
+    /// smaller whenever overlap hides communication.
+    pub fn simulated_time(&self) -> f64 {
+        self.timeline.makespan()
+    }
+
+    /// Reset metrics, timeline, trace and superstep counter, keeping
+    /// topology, cost model and sync model.  Useful for running several
+    /// algorithms on one machine.
     pub fn reset_accounting(&mut self) {
         self.metrics = MetricsRegistry::new();
+        self.timeline = Timeline::new(self.topology.ranks());
         let enabled = self.trace.is_enabled();
         self.trace = if enabled { Trace::enabled() } else { Trace::disabled() };
         self.superstep = 0;
@@ -197,10 +288,66 @@ impl Machine {
         }
     }
 
-    pub(crate) fn record(&mut self, phase: Phase, label: &'static str, metrics: PhaseMetrics) {
+    /// Record one superstep: charge `metrics` to the registry, advance the
+    /// timeline according to `advance` and the sync model, and append a
+    /// trace event carrying the per-rank spans.  Returns the simulated time
+    /// at which the superstep completes (for [`ClockAdvance::AsyncStage`]:
+    /// when the transfer lands).
+    pub(crate) fn record(
+        &mut self,
+        phase: Phase,
+        label: &'static str,
+        metrics: PhaseMetrics,
+        advance: ClockAdvance,
+    ) -> f64 {
         let host_threads = self.host_threads();
         self.metrics.note_host_threads(host_threads);
         let step = self.next_superstep();
+        let tracing = self.trace.is_enabled();
+        let mut spans: Vec<Span> = Vec::new();
+        let mut bottleneck = None;
+        let done = match advance {
+            ClockAdvance::PerRank(per_rank) => {
+                assert_eq!(per_rank.len(), self.ranks(), "one duration per rank");
+                for (r, &dt) in per_rank.iter().enumerate() {
+                    let (start, end) = self.timeline.advance(r, dt);
+                    if tracing {
+                        spans.push(Span { rank: r, start, end });
+                    }
+                }
+                match self.sync {
+                    SyncModel::Bsp => self.timeline.barrier(),
+                    SyncModel::Overlapped => self.timeline.max_clock(),
+                }
+            }
+            ClockAdvance::Sync => {
+                bottleneck = Some(self.timeline.bottleneck_rank());
+                let (start, end) = self.timeline.sync_advance(metrics.simulated_seconds);
+                if tracing {
+                    spans = (0..self.ranks()).map(|r| Span { rank: r, start, end }).collect();
+                }
+                end
+            }
+            ClockAdvance::AsyncStage { senders } => match self.sync {
+                SyncModel::Bsp => {
+                    bottleneck = Some(self.timeline.bottleneck_rank());
+                    let (start, end) = self.timeline.sync_advance(metrics.simulated_seconds);
+                    if tracing {
+                        spans = (0..self.ranks()).map(|r| Span { rank: r, start, end }).collect();
+                    }
+                    end
+                }
+                SyncModel::Overlapped => {
+                    let (start, end) =
+                        self.timeline.async_stage(&senders, metrics.simulated_seconds);
+                    if tracing {
+                        spans =
+                            senders.iter().map(|&(r, _)| Span { rank: r, start, end }).collect();
+                    }
+                    end
+                }
+            },
+        };
         self.trace.push(TraceEvent {
             superstep: step,
             phase,
@@ -208,8 +355,22 @@ impl Machine {
             simulated_seconds: metrics.simulated_seconds,
             comm_words: metrics.comm_words,
             messages: metrics.messages,
+            spans,
+            bottleneck,
         });
         self.metrics.charge(phase, metrics);
+        done
+    }
+
+    /// Block each rank until the corresponding simulated time: rank `r`'s
+    /// clock is raised to `ready[r]` if it is behind.  Used to make a rank
+    /// wait for an asynchronous stage to land before consuming it (no cost
+    /// is charged — waiting is idle time, which only the timeline sees).
+    pub fn wait_until(&mut self, ready: &[f64]) {
+        assert_eq!(ready.len(), self.ranks(), "one ready time per rank");
+        for (r, &t) in ready.iter().enumerate() {
+            self.timeline.wait_until(r, t);
+        }
     }
 
     /// Run one BSP superstep of purely local work: `f(rank, &mut data[rank])`
@@ -236,6 +397,7 @@ impl Machine {
         let wall = start.elapsed().as_secs_f64();
         let max_ops = works.iter().map(|w| w.ops).max().unwrap_or(0);
         let total_ops = works.iter().map(|w| w.ops).sum();
+        let per_rank = works.iter().map(|w| self.cost.compute(w.ops)).collect();
         let metrics = PhaseMetrics {
             simulated_seconds: self.cost.compute(max_ops),
             wall_seconds: wall,
@@ -243,7 +405,7 @@ impl Machine {
             supersteps: 1,
             ..Default::default()
         };
-        self.record(phase, "local_phase", metrics);
+        self.record(phase, "local_phase", metrics, ClockAdvance::PerRank(per_rank));
     }
 
     /// Run one BSP superstep of local work that *produces* a per-rank value
@@ -268,6 +430,7 @@ impl Machine {
         let wall = start.elapsed().as_secs_f64();
         let max_ops = results.iter().map(|(_, w)| w.ops).max().unwrap_or(0);
         let total_ops = results.iter().map(|(_, w)| w.ops).sum();
+        let per_rank = results.iter().map(|(_, w)| self.cost.compute(w.ops)).collect();
         let metrics = PhaseMetrics {
             simulated_seconds: self.cost.compute(max_ops),
             wall_seconds: wall,
@@ -275,7 +438,7 @@ impl Machine {
             supersteps: 1,
             ..Default::default()
         };
-        self.record(phase, "map_phase", metrics);
+        self.record(phase, "map_phase", metrics, ClockAdvance::PerRank(per_rank));
         results.into_iter().map(|(r, _)| r).collect()
     }
 
@@ -300,6 +463,7 @@ impl Machine {
         let wall = start.elapsed().as_secs_f64();
         let max_ops = results.iter().map(|(_, w)| w.ops).max().unwrap_or(0);
         let total_ops = results.iter().map(|(_, w)| w.ops).sum();
+        let per_rank = results.iter().map(|(_, w)| self.cost.compute(w.ops)).collect();
         let metrics = PhaseMetrics {
             simulated_seconds: self.cost.compute(max_ops),
             wall_seconds: wall,
@@ -307,13 +471,14 @@ impl Machine {
             supersteps: 1,
             ..Default::default()
         };
-        self.record(phase, "transform_phase", metrics);
+        self.record(phase, "transform_phase", metrics, ClockAdvance::PerRank(per_rank));
         results.into_iter().map(|(r, _)| r).collect()
     }
 
     /// Charge a purely analytical amount of local compute (no real execution)
     /// — used when projecting costs at scales that are not executed, e.g.
-    /// the modelled series of Figure 6.1.
+    /// the modelled series of Figure 6.1.  Advances the timeline like a
+    /// synchronizing superstep (the charge bounds every rank).
     pub fn charge_modelled_compute(&mut self, phase: Phase, max_ops_per_rank: u64) {
         let metrics = PhaseMetrics {
             simulated_seconds: self.cost.compute(max_ops_per_rank),
@@ -321,7 +486,7 @@ impl Machine {
             supersteps: 1,
             ..Default::default()
         };
-        self.record(phase, "modelled_compute", metrics);
+        self.record(phase, "modelled_compute", metrics, ClockAdvance::Sync);
     }
 }
 
@@ -490,5 +655,87 @@ mod tests {
         let mut m = Machine::flat(2);
         m.charge_modelled_compute(Phase::LocalSort, 1_000_000);
         assert!(m.metrics().phase(Phase::LocalSort).simulated_seconds > 0.0);
+    }
+
+    #[test]
+    fn bsp_makespan_matches_scalar_registry_total() {
+        // Under the Bsp sync model the timeline's makespan must reproduce
+        // the historical scalar accumulator: the sum of per-superstep
+        // max-over-ranks charges.
+        let mut m = Machine::flat(4);
+        assert_eq!(m.sync_model(), SyncModel::Bsp);
+        let mut data: Vec<Vec<u64>> = (0..4).map(|r| vec![r as u64; 50 * (r + 1)]).collect();
+        m.local_phase(Phase::LocalSort, &mut data, |_r, local| {
+            local.sort_unstable();
+            Work::sort(local.len())
+        });
+        let samples: Vec<Vec<u64>> = data.iter().map(|v| vec![v[0]]).collect();
+        let _ = m.gather_to_root(Phase::Sampling, samples);
+        m.broadcast(Phase::SplitterBroadcast, &[1u64, 2, 3]);
+        let total = m.metrics().total_simulated_seconds();
+        assert!(total > 0.0);
+        assert!(
+            (m.simulated_time() - total).abs() <= 1e-12 * total,
+            "makespan {} vs registry {}",
+            m.simulated_time(),
+            total
+        );
+    }
+
+    #[test]
+    fn overlapped_local_phases_skip_the_barrier() {
+        let mut m = Machine::flat(2).with_sync_model(SyncModel::Overlapped);
+        let mut data = vec![vec![0u8; 1], vec![0u8; 1]];
+        m.local_phase(Phase::Other, &mut data, |rank, _| Work::ops((rank as u64 + 1) * 1000));
+        // Rank 0 did less work, so its clock trails rank 1's.
+        assert!(m.timeline().clock(0) < m.timeline().clock(1));
+        // A collective then synchronizes both clocks again.
+        m.broadcast(Phase::Other, &[0u64]);
+        assert_eq!(m.timeline().clock(0), m.timeline().clock(1));
+    }
+
+    #[test]
+    fn sync_models_charge_identical_registries() {
+        // The sync model only affects the timeline, never the per-phase
+        // charges: identical operations must yield bitwise-equal signatures.
+        let run = |sync: SyncModel| {
+            let mut m = Machine::flat(3).with_sync_model(sync);
+            let mut data: Vec<Vec<u64>> = (0..3).map(|r| vec![r as u64; 40]).collect();
+            m.local_phase(Phase::LocalSort, &mut data, |_r, local| Work::sort(local.len()));
+            let _ = m.reduce_sum(Phase::Histogramming, &vec![vec![1u64; 8]; 3]);
+            m.metrics().deterministic_signature()
+        };
+        assert_eq!(run(SyncModel::Bsp), run(SyncModel::Overlapped));
+    }
+
+    #[test]
+    fn wait_until_blocks_ranks_without_charging() {
+        let mut m = Machine::flat(2);
+        m.wait_until(&[0.5, 0.25]);
+        assert_eq!(m.timeline().clock(0), 0.5);
+        assert_eq!(m.timeline().clock(1), 0.25);
+        assert_eq!(m.metrics().total_simulated_seconds(), 0.0);
+        assert_eq!(m.simulated_time(), 0.5);
+    }
+
+    #[test]
+    fn trace_records_per_rank_spans_and_bottleneck() {
+        // Overlapped, so the local phase leaves the clocks skewed and the
+        // broadcast's bottleneck is the genuinely slower rank.
+        let mut m = Machine::flat(2).with_tracing().with_sync_model(SyncModel::Overlapped);
+        let mut data = vec![vec![0u8], vec![0u8]];
+        m.local_phase(Phase::Other, &mut data, |rank, _| Work::ops((rank as u64 + 1) * 100));
+        m.broadcast(Phase::Other, &[0u64; 10]);
+        let events = m.trace().events();
+        assert_eq!(events.len(), 2);
+        // The local phase has one span per rank, no bottleneck.
+        assert_eq!(events[0].spans.len(), 2);
+        assert!(events[0].bottleneck.is_none());
+        assert!(events[0].span_for(0).unwrap().end < events[0].span_for(1).unwrap().end);
+        // The broadcast waited for rank 1 (the slower one).
+        assert_eq!(events[1].bottleneck, Some(1));
+        let path = m.trace().critical_path();
+        assert!(!path.is_empty());
+        assert!((path.last().unwrap().end - m.simulated_time()).abs() < 1e-15);
     }
 }

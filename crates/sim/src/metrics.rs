@@ -4,7 +4,7 @@
 //! (local sort / histogramming / data exchange).  Every operation the
 //! simulated cluster performs is attributed to a [`Phase`], and a
 //! [`MetricsRegistry`] accumulates both the *simulated* time charged by the
-//! [`CostModel`](crate::cost::CostModel) and the real wall-clock time spent
+//! [`crate::cost::CostModel`] and the real wall-clock time spent
 //! executing it in-process, along with exact message/byte/operation counts.
 
 use std::collections::BTreeMap;
@@ -365,6 +365,44 @@ mod tests {
         // ... but any simulated quantity difference shows up.
         b.charge_comm(Phase::Merge, 0.1, 1, 1);
         assert_ne!(a.deterministic_signature(), b.deterministic_signature());
+    }
+
+    #[test]
+    fn deterministic_signature_is_charge_order_independent() {
+        // The signature is keyed per phase (BTreeMap order), so the order
+        // in which phases were charged must not matter — only totals do.
+        let mut a = MetricsRegistry::new();
+        a.charge_compute(Phase::Merge, 2.0, 0.0, 20);
+        a.charge_comm(Phase::LocalSort, 1.0, 3, 30);
+        let mut b = MetricsRegistry::new();
+        b.charge_comm(Phase::LocalSort, 1.0, 3, 30);
+        b.charge_compute(Phase::Merge, 2.0, 0.0, 20);
+        assert_eq!(a.deterministic_signature(), b.deterministic_signature());
+        // Phase names appear in reporting order, once each.
+        let names: Vec<&str> = a.deterministic_signature().iter().map(|s| s.0).collect();
+        assert_eq!(names, vec!["local_sort", "merge"]);
+    }
+
+    #[test]
+    fn absorb_preserves_signature_of_the_union() {
+        // Absorbing a registry must yield the same signature as charging
+        // everything into one registry directly.
+        let mut left = MetricsRegistry::new();
+        left.charge_compute(Phase::LocalSort, 1.5, 0.1, 10);
+        left.charge_comm(Phase::DataExchange, 0.5, 2, 200);
+        let mut right = MetricsRegistry::new();
+        right.charge_compute(Phase::LocalSort, 2.5, 0.2, 30);
+        right.charge_comm(Phase::Merge, 0.25, 1, 50);
+
+        let mut combined = MetricsRegistry::new();
+        combined.charge_compute(Phase::LocalSort, 1.5, 0.1, 10);
+        combined.charge_comm(Phase::DataExchange, 0.5, 2, 200);
+        combined.charge_compute(Phase::LocalSort, 2.5, 0.2, 30);
+        combined.charge_comm(Phase::Merge, 0.25, 1, 50);
+
+        left.absorb(&right);
+        assert_eq!(left.deterministic_signature(), combined.deterministic_signature());
+        assert_eq!(left.phase(Phase::LocalSort).supersteps, 2);
     }
 
     #[test]

@@ -89,6 +89,44 @@ impl ExchangePlan {
     }
 }
 
+/// One stage of a *staged* all-to-allv: the subset of destination ranks
+/// whose buckets are ready, plus one plan per source rank locating those
+/// buckets inside the source's full send buffer.
+///
+/// Unlike a full [`ExchangePlan`], a stage plan's counts are zero for every
+/// destination outside [`ExchangeStage::destinations`] and its
+/// displacements point at the bucket runs inside the (larger) sorted send
+/// buffer, so they are *not* prefix sums of the counts and the counts do
+/// not cover the whole buffer.  The union of all stages of one exchange
+/// tiles each send buffer exactly once.
+///
+/// Stages exist so splitter determination can overlap the data exchange
+/// (§4): as soon as a bucket's two bounding splitters are finalized, the
+/// bucket is injected as part of a stage while later histogram rounds are
+/// still running ([`Machine::exchange_stage`](crate::machine::Machine::exchange_stage)).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExchangeStage {
+    /// Histogramming round after which this stage was injected (1-based;
+    /// 0 for a stage not tied to a round).
+    pub round: usize,
+    /// Destination ranks whose buckets travel in this stage.
+    pub destinations: Vec<usize>,
+    /// Per-source counts/displacements into each source's send buffer.
+    pub plans: Vec<ExchangePlan>,
+}
+
+impl ExchangeStage {
+    /// Total number of elements moved by this stage (all sources).
+    pub fn total_elems(&self) -> usize {
+        self.plans.iter().map(|p| p.total_elems()).sum()
+    }
+
+    /// Whether the stage moves nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.destinations.is_empty() || self.total_elems() == 0
+    }
+}
+
 /// One rank's result of a flat all-to-all: a contiguous receive buffer plus
 /// the plan locating each source rank's run inside it (`plan.counts[s]`
 /// elements from source `s` at `plan.displs[s]`).
@@ -126,6 +164,24 @@ mod tests {
         let data = [10u64, 20, 21];
         let runs: Vec<&[u64]> = plan.runs(&data).collect();
         assert_eq!(runs, vec![&[10u64][..], &[20, 21][..], &[][..]]);
+    }
+
+    #[test]
+    fn exchange_stage_totals_and_emptiness() {
+        // Two sources, stage covering destination 1 only: source plans have
+        // zero counts elsewhere and displacements at the bucket positions.
+        let stage = ExchangeStage {
+            round: 2,
+            destinations: vec![1],
+            plans: vec![
+                ExchangePlan { counts: vec![0, 3, 0], displs: vec![0, 4, 0] },
+                ExchangePlan { counts: vec![0, 2, 0], displs: vec![0, 1, 0] },
+            ],
+        };
+        assert_eq!(stage.total_elems(), 5);
+        assert!(!stage.is_empty());
+        let empty = ExchangeStage { round: 0, destinations: vec![], plans: vec![] };
+        assert!(empty.is_empty());
     }
 
     #[test]

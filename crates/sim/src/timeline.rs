@@ -1,0 +1,296 @@
+//! Per-rank simulated clocks: the timeline a [`crate::machine::Machine`]
+//! advances as an algorithm executes.
+//!
+//! Historically the simulator kept a single scalar accumulator: every BSP
+//! superstep charged `max` over ranks and implied a global barrier, so the
+//! overlap the paper's Charm++ implementation leans on (§4 — send a bucket
+//! as soon as its two bounding splitters are finalized, while later
+//! histogram rounds are still running) could not even be expressed.  A
+//! [`Timeline`] instead tracks one clock per rank plus one per-rank NIC
+//! availability time:
+//!
+//! * a *local phase* advances each rank's clock by that rank's own cost;
+//! * a *collective* synchronizes the participating clocks (everyone waits
+//!   for the slowest participant, then all advance by the collective cost);
+//! * an *asynchronous exchange stage* occupies the NIC from the moment the
+//!   senders have produced the data, without blocking their compute clocks
+//!   — this is what lets a staged all-to-allv hide under histogram rounds;
+//! * total simulated time is the maximum final clock (the *makespan*),
+//!   [`Timeline::makespan`].
+//!
+//! Under [`SyncModel::Bsp`] the machine inserts a barrier after every
+//! superstep, which provably reproduces the scalar accumulator: with all
+//! clocks equal before a superstep, "advance each rank by its own cost,
+//! then set every clock to the maximum" adds exactly the `max`-over-ranks
+//! charge the registry records, so the makespan equals the sum of
+//! per-superstep charges in execution order (see
+//! `tests/sync_differential.rs`).  [`SyncModel::Overlapped`] drops the
+//! barrier after local phases and lets staged exchanges run on the NIC.
+
+use serde::{Deserialize, Serialize};
+
+use crate::topology::RankId;
+
+/// How a [`crate::machine::Machine`] synchronizes the per-rank
+/// clocks between supersteps.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SyncModel {
+    /// Strict bulk-synchronous execution: a global barrier after every
+    /// superstep.  This is the historical accounting and the differential
+    /// oracle — its per-phase cost signature is bitwise identical to the
+    /// scalar accumulator the simulator used before per-rank timelines.
+    #[default]
+    Bsp,
+    /// No barrier after local phases; collectives still synchronize their
+    /// participants, and staged exchanges run asynchronously on the NIC so
+    /// data movement can hide under splitter determination (§4).
+    Overlapped,
+}
+
+impl SyncModel {
+    /// Short stable name ("bsp" / "overlapped") for reports and JSON.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SyncModel::Bsp => "bsp",
+            SyncModel::Overlapped => "overlapped",
+        }
+    }
+}
+
+/// One span of simulated time on one rank (used by trace events).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Span {
+    /// The rank the span belongs to.
+    pub rank: RankId,
+    /// Simulated time the rank entered the operation.
+    pub start: f64,
+    /// Simulated time the rank left the operation.
+    pub end: f64,
+}
+
+/// Per-rank clock vector plus per-rank NIC availability.
+///
+/// All clocks start at zero.  The compute clock of rank `r` is where `r`'s
+/// instruction stream has advanced to; `nic_free(r)` is when `r`'s network
+/// interface can start injecting the next asynchronous stage (synchronous
+/// collectives block the compute clock directly and do not use it).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Timeline {
+    clocks: Vec<f64>,
+    nic_free: Vec<f64>,
+    /// Latest completion time of any asynchronous stage issued so far —
+    /// the network's outstanding tail, included in the makespan even if no
+    /// rank explicitly waited for it.
+    net_tail: f64,
+}
+
+impl Timeline {
+    /// A timeline for `ranks` ranks, all clocks at zero.
+    pub fn new(ranks: usize) -> Self {
+        Self { clocks: vec![0.0; ranks], nic_free: vec![0.0; ranks], net_tail: 0.0 }
+    }
+
+    /// Number of ranks tracked.
+    pub fn ranks(&self) -> usize {
+        self.clocks.len()
+    }
+
+    /// Rank `r`'s compute clock.
+    pub fn clock(&self, r: RankId) -> f64 {
+        self.clocks[r]
+    }
+
+    /// All compute clocks, in rank order.
+    pub fn clocks(&self) -> &[f64] {
+        &self.clocks
+    }
+
+    /// When rank `r`'s NIC is free to start the next asynchronous stage.
+    pub fn nic_free(&self, r: RankId) -> f64 {
+        self.nic_free[r]
+    }
+
+    /// The latest compute clock.
+    pub fn max_clock(&self) -> f64 {
+        self.clocks.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// The rank holding the latest compute clock (lowest rank on ties) —
+    /// the rank a synchronizing collective waits for.
+    pub fn bottleneck_rank(&self) -> RankId {
+        let mut best = 0;
+        for (r, &c) in self.clocks.iter().enumerate() {
+            if c > self.clocks[best] {
+                best = r;
+            }
+        }
+        best
+    }
+
+    /// Total simulated time: the maximum over all compute clocks, all NIC
+    /// reservations and the outstanding network tail (an asynchronous stage
+    /// that nobody waited for still had to finish before the run can be
+    /// called done).
+    pub fn makespan(&self) -> f64 {
+        self.clocks.iter().chain(self.nic_free.iter()).copied().fold(self.net_tail, f64::max)
+    }
+
+    /// Advance rank `r` by `dt`, returning its `(start, end)` span.
+    pub fn advance(&mut self, r: RankId, dt: f64) -> (f64, f64) {
+        let start = self.clocks[r];
+        self.clocks[r] = start + dt;
+        (start, self.clocks[r])
+    }
+
+    /// Wait: raise rank `r`'s clock to `t` if it is behind (no-op
+    /// otherwise).  Used when a rank blocks on an asynchronous arrival.
+    pub fn wait_until(&mut self, r: RankId, t: f64) {
+        if self.clocks[r] < t {
+            self.clocks[r] = t;
+        }
+    }
+
+    /// Global barrier: set every clock to the current maximum and return it.
+    pub fn barrier(&mut self) -> f64 {
+        let t = self.max_clock();
+        for c in &mut self.clocks {
+            *c = t;
+        }
+        t
+    }
+
+    /// A synchronizing collective over all ranks: everyone waits for the
+    /// slowest rank, then all advance together by `dt`.  Returns the common
+    /// `(start, end)` span.
+    pub fn sync_advance(&mut self, dt: f64) -> (f64, f64) {
+        let start = self.barrier();
+        let end = start + dt;
+        for c in &mut self.clocks {
+            *c = end;
+        }
+        (start, end)
+    }
+
+    /// An asynchronous stage injected by `senders` (rank, injection
+    /// duration): the stage *starts* once every sender has produced its
+    /// data (max over the senders' compute clocks) and *completes* when
+    /// both (a) the stage's intrinsic pipeline time `dt` has elapsed since
+    /// the start — typically the busiest receiver absorbing its bucket —
+    /// and (b) every sender has drained its NIC backlog, including this
+    /// stage's own injection (each sender's NIC serializes *its* injections
+    /// across stages, but one sender's backlog never blocks other senders
+    /// from starting).  The compute clocks are untouched — that is the
+    /// overlap.  Returns the stage's `(start, end)` span; consumers of the
+    /// stage's data must wait for `end`.
+    pub fn async_stage(&mut self, senders: &[(RankId, f64)], dt: f64) -> (f64, f64) {
+        let start = senders.iter().map(|&(r, _)| self.clocks[r]).fold(0.0, f64::max);
+        let mut end = start + dt;
+        for &(r, inject) in senders {
+            let drained = self.clocks[r].max(self.nic_free[r]) + inject;
+            self.nic_free[r] = drained;
+            end = end.max(drained);
+        }
+        self.net_tail = self.net_tail.max(end);
+        (start, end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_timeline_is_all_zero() {
+        let t = Timeline::new(4);
+        assert_eq!(t.ranks(), 4);
+        assert_eq!(t.max_clock(), 0.0);
+        assert_eq!(t.makespan(), 0.0);
+        assert_eq!(t.clocks(), &[0.0; 4]);
+    }
+
+    #[test]
+    fn advance_moves_one_rank_only() {
+        let mut t = Timeline::new(3);
+        let (s, e) = t.advance(1, 2.5);
+        assert_eq!((s, e), (0.0, 2.5));
+        assert_eq!(t.clock(0), 0.0);
+        assert_eq!(t.clock(1), 2.5);
+        assert_eq!(t.max_clock(), 2.5);
+        assert_eq!(t.bottleneck_rank(), 1);
+    }
+
+    #[test]
+    fn barrier_equalizes_to_max() {
+        let mut t = Timeline::new(3);
+        t.advance(0, 1.0);
+        t.advance(2, 3.0);
+        assert_eq!(t.barrier(), 3.0);
+        assert_eq!(t.clocks(), &[3.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn sync_advance_waits_for_slowest_then_moves_all() {
+        let mut t = Timeline::new(2);
+        t.advance(0, 1.0);
+        let (s, e) = t.sync_advance(0.5);
+        assert_eq!((s, e), (1.0, 1.5));
+        assert_eq!(t.clocks(), &[1.5, 1.5]);
+    }
+
+    #[test]
+    fn wait_until_never_rewinds() {
+        let mut t = Timeline::new(1);
+        t.advance(0, 5.0);
+        t.wait_until(0, 3.0);
+        assert_eq!(t.clock(0), 5.0);
+        t.wait_until(0, 7.0);
+        assert_eq!(t.clock(0), 7.0);
+    }
+
+    #[test]
+    fn async_stage_reserves_nic_without_blocking_compute() {
+        let mut t = Timeline::new(2);
+        t.advance(0, 1.0);
+        t.advance(1, 2.0);
+        let (s, e) = t.async_stage(&[(0, 0.5), (1, 0.25)], 4.0);
+        // Starts once the slowest sender has produced its data...
+        assert_eq!((s, e), (2.0, 6.0));
+        // ... but compute clocks are untouched (that is the overlap).
+        assert_eq!(t.clocks(), &[1.0, 2.0]);
+        // Each sender's NIC is reserved only for its own injection, queued
+        // from the moment its data was ready.
+        assert_eq!(t.nic_free(0), 1.5);
+        assert_eq!(t.nic_free(1), 2.25);
+        // A second stage's completion waits for rank 0 to drain its backlog
+        // plus the new injection, but not for the first stage's receivers.
+        let (s2, e2) = t.async_stage(&[(0, 0.5)], 1.0);
+        assert_eq!((s2, e2), (1.0, 2.0));
+        // The makespan covers stage completions nobody waited for.
+        assert_eq!(t.makespan(), 6.0);
+    }
+
+    #[test]
+    fn bsp_barrier_reproduces_scalar_max_accounting() {
+        // The equivalence the Bsp sync model relies on: with equal clocks
+        // before a superstep, per-rank advance + barrier adds exactly the
+        // max-over-ranks charge — the scalar accumulator's rule.
+        let mut t = Timeline::new(4);
+        let costs = [1.0e-3, 4.0e-3, 2.0e-3, 0.0];
+        let mut scalar = 0.0;
+        for step in 0..5 {
+            for (r, &c) in costs.iter().enumerate() {
+                t.advance(r, c * (step + 1) as f64);
+            }
+            t.barrier();
+            scalar += costs.iter().copied().fold(0.0, f64::max) * (step + 1) as f64;
+        }
+        assert_eq!(t.max_clock().to_bits(), scalar.to_bits());
+    }
+
+    #[test]
+    fn sync_model_names() {
+        assert_eq!(SyncModel::Bsp.name(), "bsp");
+        assert_eq!(SyncModel::Overlapped.name(), "overlapped");
+        assert_eq!(SyncModel::default(), SyncModel::Bsp);
+    }
+}

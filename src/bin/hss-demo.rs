@@ -40,6 +40,10 @@ OPTIONS:
     --threads <N>          host OS threads for the rayon pool (0 = auto;
                            default: RAYON_NUM_THREADS, else all cores)
     --sequential           run local phases sequentially (determinism oracle)
+    --overlapped           overlapped execution: splitter determination
+                           pipelined with a staged exchange (hss only)
+    --trace <PATH>         dump the per-rank timeline (trace events +
+                           critical path) as JSON to PATH
     --node-level           enable node-level partitioning (hss only)
     --tag-duplicates       enable duplicate tagging (hss only)
     --approx-histograms    answer histograms from representative samples (hss only)
@@ -58,6 +62,8 @@ struct Args {
     epsilon: f64,
     threads: Option<usize>,
     sequential: bool,
+    overlapped: bool,
+    trace: Option<String>,
     node_level: bool,
     tag_duplicates: bool,
     approx_histograms: bool,
@@ -76,6 +82,8 @@ impl Default for Args {
             epsilon: 0.05,
             threads: None,
             sequential: false,
+            overlapped: false,
+            trace: None,
             node_level: false,
             tag_duplicates: false,
             approx_histograms: false,
@@ -113,6 +121,8 @@ fn parse_args() -> Args {
                     Some(value("--threads").parse().expect("--threads must be an integer"))
             }
             "--sequential" => args.sequential = true,
+            "--overlapped" => args.overlapped = true,
+            "--trace" => args.trace = Some(value("--trace")),
             "--node-level" => args.node_level = true,
             "--tag-duplicates" => args.tag_duplicates = true,
             "--approx-histograms" => args.approx_histograms = true,
@@ -156,13 +166,19 @@ fn generate(args: &Args) -> Vec<Vec<u64>> {
     }
 }
 
-fn run(args: &Args, input: Vec<Vec<u64>>) -> (Vec<Vec<u64>>, SortReport) {
+fn run(args: &Args, input: Vec<Vec<u64>>) -> (Vec<Vec<u64>>, SortReport, Machine) {
     let mut machine =
         Machine::new(Topology::new(args.ranks, args.cores_per_node), CostModel::bluegene_like());
     if args.sequential {
         machine = machine.with_parallelism(Parallelism::Sequential);
     }
-    match args.algorithm.as_str() {
+    if args.overlapped {
+        machine = machine.with_sync_model(SyncModel::Overlapped);
+    }
+    if args.trace.is_some() {
+        machine = machine.with_tracing();
+    }
+    let (out, report) = match args.algorithm.as_str() {
         "hss" | "hss-one-round" | "hss-scanning" => {
             let mut config =
                 HssConfig { epsilon: args.epsilon, ..HssConfig::default() }.with_seed(args.seed);
@@ -212,11 +228,53 @@ fn run(args: &Args, input: Vec<Vec<u64>>) -> (Vec<Vec<u64>>, SortReport) {
             eprintln!("unknown algorithm {other}\n\n{HELP}");
             exit(2);
         }
+    };
+    (out, report, machine)
+}
+
+/// JSON document written by `--trace`: run metadata, the full per-rank
+/// timeline (one span per participating rank per superstep) and the
+/// extracted critical path.
+#[derive(serde::Serialize)]
+struct TraceDump {
+    algorithm: String,
+    ranks: usize,
+    sync_model: String,
+    makespan_seconds: f64,
+    events: Vec<hss_repro::sim::TraceEvent>,
+    critical_path: Vec<hss_repro::sim::CriticalHop>,
+}
+
+/// Serialise the machine's trace (per-rank spans plus the extracted
+/// critical path) as JSON to `path`.
+fn dump_trace(path: &str, machine: &Machine, report: &SortReport) {
+    let trace = machine.trace();
+    let doc = TraceDump {
+        algorithm: report.algorithm.clone(),
+        ranks: machine.ranks(),
+        sync_model: machine.sync_model().name().to_string(),
+        makespan_seconds: machine.simulated_time(),
+        events: trace.events().to_vec(),
+        critical_path: trace.critical_path(),
+    };
+    match std::fs::write(path, serde_json::to_string_pretty(&doc).expect("trace serialises")) {
+        Ok(()) => println!("trace written to {path} ({} events)", trace.len()),
+        Err(e) => {
+            eprintln!("could not write trace to {path}: {e}");
+            exit(1);
+        }
     }
 }
 
 fn main() {
     let args = parse_args();
+    if args.overlapped && args.node_level {
+        eprintln!(
+            "--overlapped and --node-level cannot be combined: node-level \
+             partitioning has no staged-exchange pipeline yet"
+        );
+        exit(2);
+    }
     if let Some(threads) = args.threads {
         // Must happen before anything touches the pool (key generation
         // below already runs on it).
@@ -236,11 +294,13 @@ fn main() {
     let reference = if args.verify { Some(input.clone()) } else { None };
 
     let start = std::time::Instant::now();
-    let (output, report) = run(&args, input);
+    let (output, report, machine) = run(&args, input);
     let wall = start.elapsed().as_secs_f64();
 
     println!("\nalgorithm        : {}", report.algorithm);
+    println!("sync model       : {}", report.sync_model);
     println!("simulated time   : {:.6} s", report.simulated_seconds());
+    println!("simulated makespan: {:.6} s", report.makespan_seconds);
     println!("host wall time   : {wall:.3} s");
     println!("host threads     : {}", report.metrics.host_threads());
     println!("load imbalance   : {:.4}", report.imbalance());
@@ -250,6 +310,10 @@ fn main() {
     }
     println!("messages         : {}", report.metrics.total_messages());
     println!("\nper-phase breakdown:\n{}", report.metrics);
+
+    if let Some(path) = &args.trace {
+        dump_trace(path, &machine, &report);
+    }
 
     if let Some(reference) = reference {
         match verify_global_sort(&reference, &output) {

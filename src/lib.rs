@@ -36,5 +36,5 @@ pub mod prelude {
     pub use hss_core::{HssConfig, HssSorter, RoundSchedule, SortOutcome, SplitterRule};
     pub use hss_keygen::{ChangaDataset, Key, KeyDistribution, Keyed, Record, TaggedKey};
     pub use hss_partition::{LoadBalance, SplitterSet};
-    pub use hss_sim::{CostModel, Machine, Parallelism, Phase, Topology};
+    pub use hss_sim::{CostModel, Machine, Parallelism, Phase, SyncModel, Timeline, Topology};
 }

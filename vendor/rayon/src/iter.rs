@@ -1,5 +1,5 @@
 //! Parallel iterators: splittable, length-aware iterators driven by the
-//! pool in [`crate::pool`].
+//! pool in `crate::pool`.
 //!
 //! The model is a simplified `rayon`: a [`ParallelIterator`] knows its exact
 //! length and can split itself at an index.  Terminal operations

@@ -7,7 +7,7 @@
 //! unit / tuple / struct variants, all optionally generic.
 //!
 //! `#[derive(Serialize)]` generates a field-by-field
-//! `impl serde::Serialize` producing the vendored [`serde::Value`] tree with
+//! `impl serde::Serialize` producing the vendored `serde::Value` tree with
 //! real serde's externally-tagged layout. `#[derive(Deserialize)]` emits the
 //! stub's marker impl.
 
