@@ -10,14 +10,15 @@
 
 use hss_core::report::SortReport;
 use hss_keygen::Keyed;
+use hss_lsort::{LocalSortAlgo, RadixSortable};
 use hss_partition::{ExchangeEngine, LoadBalance};
 use hss_sim::{ExchangePlan, Machine, Phase, Work};
 
-use crate::common::local_sort_phase;
+use crate::common::local_sort_phase_with;
 
 /// Block bitonic sort, end to end.  Requires the rank count to be a power of
 /// two.
-pub fn bitonic_sort<T: Keyed + Ord>(
+pub fn bitonic_sort<T: Keyed + Ord + RadixSortable>(
     machine: &mut Machine,
     input: Vec<Vec<T>>,
 ) -> (Vec<Vec<T>>, SortReport) {
@@ -25,22 +26,33 @@ pub fn bitonic_sort<T: Keyed + Ord>(
 }
 
 /// [`bitonic_sort`] with an explicit exchange engine.
-pub fn bitonic_sort_with_engine<T: Keyed + Ord>(
+pub fn bitonic_sort_with_engine<T: Keyed + Ord + RadixSortable>(
+    machine: &mut Machine,
+    input: Vec<Vec<T>>,
+    engine: ExchangeEngine,
+) -> (Vec<Vec<T>>, SortReport) {
+    bitonic_sort_with(machine, input, engine, LocalSortAlgo::default())
+}
+
+/// [`bitonic_sort`] with an explicit exchange engine and local-sort
+/// algorithm (used for the initial block sorts and the merge-split sorts).
+pub fn bitonic_sort_with<T: Keyed + Ord + RadixSortable>(
     machine: &mut Machine,
     mut input: Vec<Vec<T>>,
     engine: ExchangeEngine,
+    local_sort: LocalSortAlgo,
 ) -> (Vec<Vec<T>>, SortReport) {
     let p = machine.ranks();
     assert!(p.is_power_of_two(), "bitonic sort requires a power-of-two rank count (got {p})");
     assert_eq!(input.len(), p, "one input vector per rank");
     let total_keys: u64 = input.iter().map(|v| v.len() as u64).sum();
 
-    local_sort_phase(machine, &mut input);
+    local_sort_phase_with(machine, &mut input, local_sort);
 
     let stages = p.trailing_zeros();
     for stage in 0..stages {
         for step in (0..=stage).rev() {
-            compare_split_step(machine, &mut input, stage, step, engine);
+            compare_split_step(machine, &mut input, stage, step, engine, local_sort);
         }
     }
 
@@ -52,6 +64,7 @@ pub fn bitonic_sort_with_engine<T: Keyed + Ord>(
         load_balance: LoadBalance::from_rank_data(&input),
         metrics: machine.metrics().clone(),
         sync_model: machine.sync_model().name().to_string(),
+        local_sort: local_sort.name().to_string(),
         makespan_seconds: machine.simulated_time(),
     };
     (input, report)
@@ -61,12 +74,13 @@ pub fn bitonic_sort_with_engine<T: Keyed + Ord>(
 /// blocks: partner pairs exchange blocks, each side keeps its original
 /// block size from the merged sequence (lower side keeps the smallest keys
 /// in an ascending group, the largest in a descending group).
-fn compare_split_step<T: Keyed + Ord>(
+fn compare_split_step<T: Keyed + Ord + RadixSortable>(
     machine: &mut Machine,
     data: &mut Vec<Vec<T>>,
     stage: u32,
     step: u32,
     engine: ExchangeEngine,
+    local_sort: LocalSortAlgo,
 ) {
     let p = machine.ranks();
     // Exchange full blocks with the partner.  Each rank's receive buffer
@@ -116,7 +130,7 @@ fn compare_split_step<T: Keyed + Ord>(
         let take_low = (rank < partner) == ascending;
         let mut all = local;
         all.extend_from_slice(other);
-        all.sort_unstable();
+        local_sort.sort_slice(&mut all);
         let kept = if take_low {
             all[..keep.min(all.len())].to_vec()
         } else {

@@ -1,20 +1,33 @@
 //! Shared plumbing for the baseline sorters: the common "local sort →
 //! splitters → exchange → merge" driver and report assembly.
 
+use hss_core::charged_local_sort;
 use hss_core::report::{RoundStats, SortReport, SplitterReport};
 use hss_keygen::Keyed;
+use hss_lsort::{LocalSortAlgo, RadixSortable};
 use hss_partition::{
     exchange_and_merge_with, ExchangeEngine, ExchangeMode, LoadBalance, SplitterSet,
 };
-use hss_sim::{Machine, Phase, Work};
+use hss_sim::{Machine, Phase};
 
-/// Locally sort every rank's data in place, charging [`Phase::LocalSort`].
-pub fn local_sort_phase<T: Keyed + Ord>(machine: &mut Machine, data: &mut [Vec<T>]) {
-    machine.local_phase(Phase::LocalSort, data, |_rank, local| {
-        let n = local.len();
-        local.sort_unstable();
-        Work::sort(n)
-    });
+/// Locally sort every rank's data in place with the default local-sort
+/// algorithm (`LOCAL_SORT` env or radix), charging [`Phase::LocalSort`].
+pub fn local_sort_phase<T: Keyed + Ord + RadixSortable>(
+    machine: &mut Machine,
+    data: &mut [Vec<T>],
+) {
+    local_sort_phase_with(machine, data, LocalSortAlgo::default())
+}
+
+/// [`local_sort_phase`] with an explicit algorithm, charging the cost of
+/// the algorithm actually run (see `hss_core::local_sort`).
+pub fn local_sort_phase_with<T: Keyed + Ord + RadixSortable>(
+    machine: &mut Machine,
+    data: &mut [Vec<T>],
+    algo: LocalSortAlgo,
+) {
+    machine
+        .local_phase(Phase::LocalSort, data, move |_rank, local| charged_local_sort(algo, local));
 }
 
 /// Run the shared tail of every splitter-based baseline: exchange by the
@@ -34,11 +47,13 @@ pub fn finish_splitter_sort<T: Keyed + Ord>(
         splitters,
         splitter_report,
         ExchangeEngine::Flat,
+        LocalSortAlgo::default(),
     )
 }
 
 /// [`finish_splitter_sort`] with an explicit exchange engine (the nested
-/// engine exists for differential testing and the exchange benchmark).
+/// engine exists for differential testing and the exchange benchmark) and
+/// the local-sort algorithm the run used (recorded in the report).
 pub fn finish_splitter_sort_with<T: Keyed + Ord>(
     machine: &mut Machine,
     algorithm: &str,
@@ -46,6 +61,7 @@ pub fn finish_splitter_sort_with<T: Keyed + Ord>(
     splitters: &SplitterSet<T::K>,
     splitter_report: SplitterReport,
     engine: ExchangeEngine,
+    local_sort: LocalSortAlgo,
 ) -> (Vec<Vec<T>>, SortReport) {
     machine.broadcast(Phase::SplitterBroadcast, splitters.keys());
     let mode = if machine.topology().cores_per_node() > 1 {
@@ -62,6 +78,7 @@ pub fn finish_splitter_sort_with<T: Keyed + Ord>(
         load_balance: LoadBalance::from_rank_data(&out),
         metrics: machine.metrics().clone(),
         sync_model: machine.sync_model().name().to_string(),
+        local_sort: local_sort.name().to_string(),
         makespan_seconds: machine.simulated_time(),
     };
     (out, report)

@@ -13,10 +13,11 @@
 use hss_core::report::{RoundStats, SortReport, SplitterReport};
 use hss_core::theory::rank_tolerance;
 use hss_keygen::{Key, Keyed};
+use hss_lsort::{LocalSortAlgo, RadixSortable};
 use hss_partition::{global_ranks, ExchangeEngine, SplitterIntervals, SplitterSet};
 use hss_sim::{Machine, Phase};
 
-use crate::common::{finish_splitter_sort_with, local_sort_phase};
+use crate::common::{finish_splitter_sort_with, local_sort_phase_with};
 
 /// Keys whose range can be subdivided evenly — needed by classic histogram
 /// sort, which generates probes by splitting *key space* (it has no sample
@@ -63,13 +64,21 @@ pub struct HistogramSortConfig {
     /// Safety cap on the number of rounds (the paper's loose bound is
     /// `log(key range)`, i.e. 64 for 64-bit keys).
     pub max_rounds: usize,
+    /// Local-sort algorithm for the per-rank sorts (and the per-round probe
+    /// sort).
+    pub local_sort: LocalSortAlgo,
 }
 
 impl HistogramSortConfig {
     /// Defaults matching the paper's description: 2p probes per round,
     /// up to 64 rounds.
     pub fn new(epsilon: f64, ranks: usize) -> Self {
-        Self { epsilon, probes_per_round: 2 * ranks.max(1), max_rounds: 64 }
+        Self {
+            epsilon,
+            probes_per_round: 2 * ranks.max(1),
+            max_rounds: 64,
+            local_sort: LocalSortAlgo::default(),
+        }
     }
 }
 
@@ -82,7 +91,7 @@ pub fn histogram_sort_splitters<T>(
 ) -> (SplitterSet<T::K>, SplitterReport)
 where
     T: Keyed,
-    T::K: SubdividableKey,
+    T::K: SubdividableKey + RadixSortable,
 {
     assert!(buckets >= 1);
     let total_keys: u64 = per_rank_sorted.iter().map(|v| v.len() as u64).sum();
@@ -124,7 +133,7 @@ where
             }
             v
         };
-        probes.sort_unstable();
+        config.local_sort.sort_slice(&mut probes);
         probes.dedup();
         if probes.is_empty() {
             // Key ranges too narrow to subdivide further: cannot refine.
@@ -172,8 +181,8 @@ pub fn histogram_sort<T>(
     input: Vec<Vec<T>>,
 ) -> (Vec<Vec<T>>, SortReport)
 where
-    T: Keyed + Ord,
-    T::K: SubdividableKey,
+    T: Keyed + Ord + RadixSortable,
+    T::K: SubdividableKey + RadixSortable,
 {
     histogram_sort_with_engine(machine, config, input, ExchangeEngine::Flat)
 }
@@ -186,14 +195,22 @@ pub fn histogram_sort_with_engine<T>(
     engine: ExchangeEngine,
 ) -> (Vec<Vec<T>>, SortReport)
 where
-    T: Keyed + Ord,
-    T::K: SubdividableKey,
+    T: Keyed + Ord + RadixSortable,
+    T::K: SubdividableKey + RadixSortable,
 {
     assert_eq!(input.len(), machine.ranks(), "one input vector per rank");
     let p = machine.ranks();
-    local_sort_phase(machine, &mut input);
+    local_sort_phase_with(machine, &mut input, config.local_sort);
     let (splitters, report) = histogram_sort_splitters(machine, &input, p, config);
-    finish_splitter_sort_with(machine, "histogram-sort-classic", &input, &splitters, report, engine)
+    finish_splitter_sort_with(
+        machine,
+        "histogram-sort-classic",
+        &input,
+        &splitters,
+        report,
+        engine,
+        config.local_sort,
+    )
 }
 
 fn data_extent<T: Keyed>(per_rank_sorted: &[Vec<T>]) -> (T::K, T::K) {

@@ -22,7 +22,7 @@ pub mod over_partitioning;
 pub mod radix;
 pub mod sample_sort;
 
-pub use bitonic::{bitonic_sort, bitonic_sort_with_engine};
+pub use bitonic::{bitonic_sort, bitonic_sort_with, bitonic_sort_with_engine};
 pub use histogram_sort::{
     histogram_sort, histogram_sort_splitters, histogram_sort_with_engine, HistogramSortConfig,
     SubdividableKey,

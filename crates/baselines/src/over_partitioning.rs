@@ -13,10 +13,11 @@
 
 use hss_core::report::SortReport;
 use hss_keygen::{rank_rng, Keyed};
+use hss_lsort::{LocalSortAlgo, RadixSortable};
 use hss_partition::{random_block_sample, ExchangeEngine, SplitterSet};
 use hss_sim::{CostModel, Machine, Phase, Work};
 
-use crate::common::{finish_splitter_sort_with, local_sort_phase, single_round_report};
+use crate::common::{finish_splitter_sort_with, local_sort_phase_with, single_round_report};
 
 /// Configuration of the over-partitioning baseline.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -25,6 +26,9 @@ pub struct OverPartitioningConfig {
     pub ratio: usize,
     /// Per-processor, per-bucket oversampling `s`.
     pub oversampling: usize,
+    /// Local-sort algorithm for the per-rank sorts (and the root's sample
+    /// sort).
+    pub local_sort: LocalSortAlgo,
     /// RNG seed for the sampling step.
     pub seed: u64,
 }
@@ -33,31 +37,44 @@ impl OverPartitioningConfig {
     /// The paper-recommended configuration for `ranks` processors:
     /// `k = log2 p`, `s = 8`.
     pub fn recommended(ranks: usize) -> Self {
-        Self { ratio: (ranks.max(2) as f64).log2().ceil() as usize, oversampling: 8, seed: 0x0F0F }
+        Self {
+            ratio: (ranks.max(2) as f64).log2().ceil() as usize,
+            oversampling: 8,
+            local_sort: LocalSortAlgo::default(),
+            seed: 0x0F0F,
+        }
     }
 }
 
 /// Parallel sorting by over-partitioning, end to end.
-pub fn over_partitioning_sort<T: Keyed + Ord>(
+pub fn over_partitioning_sort<T>(
     machine: &mut Machine,
     config: &OverPartitioningConfig,
     input: Vec<Vec<T>>,
-) -> (Vec<Vec<T>>, SortReport) {
+) -> (Vec<Vec<T>>, SortReport)
+where
+    T: Keyed + Ord + RadixSortable,
+    T::K: RadixSortable,
+{
     over_partitioning_sort_with_engine(machine, config, input, ExchangeEngine::Flat)
 }
 
 /// [`over_partitioning_sort`] with an explicit exchange engine.
-pub fn over_partitioning_sort_with_engine<T: Keyed + Ord>(
+pub fn over_partitioning_sort_with_engine<T>(
     machine: &mut Machine,
     config: &OverPartitioningConfig,
     mut input: Vec<Vec<T>>,
     engine: ExchangeEngine,
-) -> (Vec<Vec<T>>, SortReport) {
+) -> (Vec<Vec<T>>, SortReport)
+where
+    T: Keyed + Ord + RadixSortable,
+    T::K: RadixSortable,
+{
     assert_eq!(input.len(), machine.ranks(), "one input vector per rank");
     assert!(config.ratio >= 1 && config.oversampling >= 1);
     let p = machine.ranks();
     let total_keys: u64 = input.iter().map(|v| v.len() as u64).sum();
-    local_sort_phase(machine, &mut input);
+    local_sort_phase_with(machine, &mut input, config.local_sort);
 
     // Sampling: each processor contributes ratio * oversampling random keys.
     let per_proc = config.ratio * config.oversampling;
@@ -71,7 +88,7 @@ pub fn over_partitioning_sort_with_engine<T: Keyed + Ord>(
     let mut sample = machine.gather_to_root(Phase::Sampling, samples);
     let sample_size = sample.len();
     machine.charge_modelled_compute(Phase::Histogramming, CostModel::sort_ops(sample_size as u64));
-    sample.sort_unstable();
+    config.local_sort.sort_slice(&mut sample);
 
     // Over-decomposition: p*k buckets via p*k - 1 candidate splitters.
     let bucket_count = p * config.ratio;
@@ -87,7 +104,15 @@ pub fn over_partitioning_sort_with_engine<T: Keyed + Ord>(
 
     let tolerance = hss_core::theory::rank_tolerance(total_keys, p, 0.05);
     let report = single_round_report(p, total_keys, tolerance, sample_size);
-    finish_splitter_sort_with(machine, "over-partitioning", &input, &splitters, report, engine)
+    finish_splitter_sort_with(
+        machine,
+        "over-partitioning",
+        &input,
+        &splitters,
+        report,
+        engine,
+        config.local_sort,
+    )
 }
 
 /// Number of sample keys falling in each candidate bucket.

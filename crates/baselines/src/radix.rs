@@ -15,23 +15,26 @@
 
 use hss_core::report::SortReport;
 use hss_keygen::Keyed;
+use hss_lsort::{LocalSortAlgo, RadixSortable};
 use hss_partition::{kway_merge, ExchangeEngine, LoadBalance};
 use hss_sim::{ExchangePlan, Machine, Phase, Work};
 
-use crate::common::local_sort_phase;
+use crate::common::local_sort_phase_with;
 
 /// Configuration for the radix-partition baseline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RadixConfig {
     /// Number of most-significant bits used for the distribution pass.
     pub digit_bits: u32,
+    /// Local-sort algorithm for the final per-rank sorts.
+    pub local_sort: LocalSortAlgo,
 }
 
 impl RadixConfig {
     /// A digit wide enough to give ~8 buckets per rank.
     pub fn recommended(ranks: usize) -> Self {
         let bits = ((ranks.max(2) * 8) as f64).log2().ceil() as u32;
-        Self { digit_bits: bits.clamp(1, 16) }
+        Self { digit_bits: bits.clamp(1, 16), local_sort: LocalSortAlgo::default() }
     }
 }
 
@@ -61,7 +64,7 @@ impl RadixKeyed for hss_keygen::Record {
 }
 
 /// MSD radix partitioning followed by a local sort.
-pub fn radix_partition_sort<T: RadixKeyed + Ord>(
+pub fn radix_partition_sort<T: RadixKeyed + Ord + RadixSortable>(
     machine: &mut Machine,
     config: &RadixConfig,
     input: Vec<Vec<T>>,
@@ -70,7 +73,7 @@ pub fn radix_partition_sort<T: RadixKeyed + Ord>(
 }
 
 /// [`radix_partition_sort`] with an explicit exchange engine.
-pub fn radix_partition_sort_with_engine<T: RadixKeyed + Ord>(
+pub fn radix_partition_sort_with_engine<T: RadixKeyed + Ord + RadixSortable>(
     machine: &mut Machine,
     config: &RadixConfig,
     input: Vec<Vec<T>>,
@@ -163,7 +166,7 @@ pub fn radix_partition_sort_with_engine<T: RadixKeyed + Ord>(
     };
 
     // Final local sort of each rank's bucket contents.
-    local_sort_phase(machine, &mut output);
+    local_sort_phase_with(machine, &mut output, config.local_sort);
 
     let report = SortReport {
         algorithm: "radix-partition".to_string(),
@@ -173,6 +176,7 @@ pub fn radix_partition_sort_with_engine<T: RadixKeyed + Ord>(
         load_balance: LoadBalance::from_rank_data(&output),
         metrics: machine.metrics().clone(),
         sync_model: machine.sync_model().name().to_string(),
+        local_sort: config.local_sort.name().to_string(),
         makespan_seconds: machine.simulated_time(),
     };
     (output, report)

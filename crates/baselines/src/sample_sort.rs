@@ -15,10 +15,11 @@
 
 use hss_core::report::SortReport;
 use hss_keygen::{rank_rng, Keyed};
+use hss_lsort::{LocalSortAlgo, RadixSortable};
 use hss_partition::{random_block_sample, regular_sample, ExchangeEngine, SplitterSet};
 use hss_sim::{CostModel, Machine, Phase, Work};
 
-use crate::common::{finish_splitter_sort_with, local_sort_phase, single_round_report};
+use crate::common::{finish_splitter_sort_with, local_sort_phase_with, single_round_report};
 
 /// Which sampling rule the sample-sort baseline uses.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -39,6 +40,9 @@ pub struct SampleSortConfig {
     /// Override the per-processor oversampling ratio (None = the
     /// theoretically prescribed value).
     pub oversampling_override: Option<usize>,
+    /// Local-sort algorithm for the per-rank sorts (and the root's sort of
+    /// the gathered sample).
+    pub local_sort: LocalSortAlgo,
     /// RNG seed (random sampling only).
     pub seed: u64,
 }
@@ -46,12 +50,24 @@ pub struct SampleSortConfig {
 impl SampleSortConfig {
     /// Regular sampling with threshold `epsilon`.
     pub fn regular(epsilon: f64) -> Self {
-        Self { epsilon, method: SamplingMethod::Regular, oversampling_override: None, seed: 0xBEEF }
+        Self {
+            epsilon,
+            method: SamplingMethod::Regular,
+            oversampling_override: None,
+            local_sort: LocalSortAlgo::default(),
+            seed: 0xBEEF,
+        }
     }
 
     /// Random (block) sampling with threshold `epsilon`.
     pub fn random(epsilon: f64) -> Self {
-        Self { epsilon, method: SamplingMethod::Random, oversampling_override: None, seed: 0xBEEF }
+        Self {
+            epsilon,
+            method: SamplingMethod::Random,
+            oversampling_override: None,
+            local_sort: LocalSortAlgo::default(),
+            seed: 0xBEEF,
+        }
     }
 
     /// The per-processor sample count prescribed by the theory for an input
@@ -83,28 +99,36 @@ fn algorithm_name(method: SamplingMethod) -> &'static str {
 
 /// Run sample sort end to end and return the per-rank sorted output plus a
 /// report.
-pub fn sample_sort<T: Keyed + Ord>(
+pub fn sample_sort<T>(
     machine: &mut Machine,
     config: &SampleSortConfig,
     input: Vec<Vec<T>>,
-) -> (Vec<Vec<T>>, SortReport) {
+) -> (Vec<Vec<T>>, SortReport)
+where
+    T: Keyed + Ord + RadixSortable,
+    T::K: RadixSortable,
+{
     sample_sort_with_engine(machine, config, input, ExchangeEngine::Flat)
 }
 
 /// [`sample_sort`] with an explicit exchange engine.
-pub fn sample_sort_with_engine<T: Keyed + Ord>(
+pub fn sample_sort_with_engine<T>(
     machine: &mut Machine,
     config: &SampleSortConfig,
     mut input: Vec<Vec<T>>,
     engine: ExchangeEngine,
-) -> (Vec<Vec<T>>, SortReport) {
+) -> (Vec<Vec<T>>, SortReport)
+where
+    T: Keyed + Ord + RadixSortable,
+    T::K: RadixSortable,
+{
     assert_eq!(input.len(), machine.ranks(), "one input vector per rank");
     assert!(config.epsilon > 0.0, "epsilon must be positive");
     let p = machine.ranks();
     let total_keys: u64 = input.iter().map(|v| v.len() as u64).sum();
 
     // Phase 1: local sort (both sampling rules need sorted local data).
-    local_sort_phase(machine, &mut input);
+    local_sort_phase_with(machine, &mut input, config.local_sort);
 
     // Phase 2: sampling.
     let s = config.prescribed_oversampling(p, total_keys);
@@ -130,7 +154,7 @@ pub fn sample_sort_with_engine<T: Keyed + Ord>(
         Phase::Histogramming,
         CostModel::merge_ops(sample_size as u64, p.max(2) as u64),
     );
-    sample.sort_unstable();
+    config.local_sort.sort_slice(&mut sample);
 
     // Phase 3: splitter selection + data movement.
     let splitters = SplitterSet::from_sorted_sample(&sample, p);
@@ -143,6 +167,7 @@ pub fn sample_sort_with_engine<T: Keyed + Ord>(
         &splitters,
         report,
         engine,
+        config.local_sort,
     )
 }
 

@@ -1,0 +1,53 @@
+//! Criterion micro-benchmark of the local-sort subsystem: `sort_unstable`
+//! vs the sequential in-place MSD radix sort vs the parallel radix driver,
+//! on uniform and power-law u64 keys.  The per-iteration clone of the
+//! unsorted input is included in every variant identically, so ratios are
+//! conservative.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hss_keygen::KeyDistribution;
+use hss_lsort::{par_radix_sort, radix_sort};
+
+fn input(dist: &KeyDistribution, n: usize) -> Vec<u64> {
+    dist.generate_per_rank(1, n, 42).remove(0)
+}
+
+fn bench_lsort(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lsort");
+    group.sample_size(10);
+
+    for (name, dist) in [
+        ("uniform", KeyDistribution::Uniform),
+        ("powerlaw", KeyDistribution::PowerLaw { gamma: 4.0 }),
+    ] {
+        for n in [1usize << 14, 1 << 17, 1 << 20] {
+            let data = input(&dist, n);
+            group.bench_function(BenchmarkId::new(format!("comparison/{name}"), n), |b| {
+                b.iter(|| {
+                    let mut v = data.clone();
+                    v.sort_unstable();
+                    v
+                })
+            });
+            group.bench_function(BenchmarkId::new(format!("radix/{name}"), n), |b| {
+                b.iter(|| {
+                    let mut v = data.clone();
+                    radix_sort(&mut v);
+                    v
+                })
+            });
+            group.bench_function(BenchmarkId::new(format!("radix-par/{name}"), n), |b| {
+                b.iter(|| {
+                    let mut v = data.clone();
+                    par_radix_sort(&mut v);
+                    v
+                })
+            });
+        }
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_lsort);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Local-sort scaling: wall-clock of the in-place MSD radix sort
+//! (`hss-lsort`) against `slice::sort_unstable`, over N × distribution ×
+//! threads.
+//!
+//! Simulated costs are not measured here — the cost model's view of the
+//! two algorithms is a formula (`Work::sort` vs `Work::radix_sort`); this
+//! binary measures the host-side reality those formulas model.  Results
+//! are written to `results/local_sort_scaling.json`.  The parallel-driver
+//! rows can only beat the sequential ones when the host has that many
+//! CPUs (`host_cpus` is recorded per row for exactly that reason).
+
+use hss_bench::experiments::local_sort_scaling_rows;
+use hss_bench::output::{print_table, save_json};
+use hss_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    let seed = hss_bench::experiment_seed();
+    let rows = local_sort_scaling_rows(scale, seed);
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.distribution.clone(),
+                r.n.to_string(),
+                r.algo.clone(),
+                r.threads.to_string(),
+                format!("{:.4}", r.wall_seconds),
+                format!("{:.1}", r.mkeys_per_second),
+                format!("{:.2}x", r.speedup_vs_comparison),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "Local-sort scaling: radix vs comparison ({} host CPU(s))",
+            rows.first().map(|r| r.host_cpus).unwrap_or(0)
+        ),
+        &["distribution", "n", "algo", "threads", "wall s", "Mkeys/s", "vs comparison"],
+        &table,
+    );
+
+    // Headline: the sequential radix speedup at the largest size per
+    // distribution.
+    for dist in ["uniform", "powerlaw(4)"] {
+        if let Some(r) =
+            rows.iter().filter(|r| r.distribution == dist && r.algo == "radix").max_by_key(|r| r.n)
+        {
+            println!(
+                "{dist} n={}: sequential radix {:.2}x vs sort_unstable",
+                r.n, r.speedup_vs_comparison
+            );
+        }
+    }
+    save_json("local_sort_scaling.json", &rows);
+}

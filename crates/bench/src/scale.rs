@@ -141,6 +141,40 @@ impl Scale {
         }
     }
 
+    /// Array sizes for the `local_sort_scaling` experiment (radix vs
+    /// comparison local sort).  At `default` scale and above the sweep
+    /// includes N ≥ 10⁶, the regime the radix win is asserted in.
+    pub fn local_sort_scaling_sizes(&self) -> Vec<usize> {
+        match self {
+            Scale::Smoke => vec![60_000],
+            // 10⁵ documents the small-N regime (the comparison sort's
+            // vectorised small-sorts win below the cache crossover); the
+            // N ≥ 10⁶ points sit above it, where the radix win is
+            // asserted.
+            Scale::Default => vec![100_000, 8_000_000, 16_000_000],
+            Scale::Full => vec![1_000_000, 16_000_000, 32_000_000],
+        }
+    }
+
+    /// Pool thread counts for the parallel radix driver in
+    /// `local_sort_scaling` (1 = the sequential sorters).
+    pub fn local_sort_scaling_threads(&self) -> Vec<usize> {
+        match self {
+            Scale::Smoke => vec![2],
+            Scale::Default => vec![2, 4, 8],
+            Scale::Full => vec![2, 4, 8, 16],
+        }
+    }
+
+    /// Timed repetitions per `local_sort_scaling` configuration (the
+    /// minimum wall time is reported, after one untimed warmup).
+    pub fn local_sort_scaling_reps(&self) -> usize {
+        match self {
+            Scale::Smoke => 2,
+            Scale::Default | Scale::Full => 9,
+        }
+    }
+
     /// Host thread counts swept by the self-speedup experiment (real
     /// parallelism of the vendored rayon pool, not simulated ranks).
     pub fn self_speedup_threads(&self) -> Vec<usize> {

@@ -11,7 +11,9 @@
 //! interest for answering general \[rank\] queries".
 
 use hss_keygen::Keyed;
+use hss_lsort::{LocalSortAlgo, RadixSortable};
 use hss_partition::sampling::random_block_sample;
+use hss_partition::{local_ranks_le, local_ranks_work};
 use hss_sim::{Machine, Phase, Work};
 
 use serde::{Deserialize, Serialize};
@@ -68,17 +70,22 @@ impl<K: hss_keygen::Key> ApproxHistogrammer<K> {
 
     /// Build the representative samples: each rank divides its sorted local
     /// data into `sample_size` equal blocks and keeps one uniformly random
-    /// key per block.  Charged to [`Phase::Sampling`].
+    /// key per block, sorting its sample with the configured local-sort
+    /// algorithm.  Charged to [`Phase::Sampling`].
     pub fn build<T: Keyed<K = K>>(
         machine: &mut Machine,
         per_rank_sorted: &[Vec<T>],
         sample_size: usize,
         seed: u64,
-    ) -> Self {
-        let per_rank = machine.map_phase(Phase::Sampling, per_rank_sorted, |rank, local| {
+        local_sort: LocalSortAlgo,
+    ) -> Self
+    where
+        K: RadixSortable,
+    {
+        let per_rank = machine.map_phase(Phase::Sampling, per_rank_sorted, move |rank, local| {
             let mut rng = hss_keygen::rank_rng(seed ^ 0x5A5A, rank);
             let mut samples = random_block_sample(local, sample_size, &mut rng);
-            samples.sort_unstable();
+            local_sort.sort_slice(&mut samples);
             let work = Work::scan(samples.len());
             (RepresentativeSample { samples, local_len: local.len() }, work)
         });
@@ -95,11 +102,25 @@ impl<K: hss_keygen::Key> ApproxHistogrammer<K> {
         self.per_rank.iter().map(|s| s.len()).sum()
     }
 
-    /// Estimate the global ranks of `queries` using only the representative
-    /// samples.  One reduction of `|queries|` partial sums is charged, just
-    /// like an ordinary histogramming round but against the (much smaller)
-    /// samples.
+    /// Estimate the global ranks of the *sorted* `queries` using only the
+    /// representative samples.  One reduction of `|queries|` partial sums
+    /// is charged, just like an ordinary histogramming round but against
+    /// the (much smaller) samples.
+    ///
+    /// The per-rank `<=`-rank counts run through
+    /// [`local_ranks_le`] — per-query binary searches when the query set is
+    /// small, one merged linear sweep when it is dense relative to the
+    /// sample (the usual shape: `~5p` probes against `O(√(p log p)/ε)`
+    /// samples) — and the charge is the cost of the strategy actually
+    /// executed ([`local_ranks_work`]), mirroring
+    /// [`hss_partition::global_ranks`].
     pub fn estimated_global_ranks(&self, machine: &mut Machine, queries: &[K]) -> Vec<f64> {
+        // A real assert, not a debug_assert: the merge-sweep branch of
+        // `local_ranks_le` silently clamps out-of-order queries to the
+        // running maximum, so an unsorted query set must fail loudly in
+        // release builds too.  Query sets are tiny (histogram probes), so
+        // the check is O(p)-ish against O(p·log s) of work.
+        assert!(queries.windows(2).all(|w| w[0] <= w[1]), "queries must be sorted");
         // Compute per-rank estimated local ranks (scaled counts).  The
         // reduction works on u64 fixed-point values (1/1024 key) so it can
         // reuse the integer histogram reduction path.
@@ -109,19 +130,18 @@ impl<K: hss_keygen::Key> ApproxHistogrammer<K> {
         let partials: Vec<Vec<u64>> =
             machine.map_phase(Phase::Histogramming, &per_rank_data, |rank, samples| {
                 let local_len = local_lens[rank];
-                let est: Vec<u64> = queries
-                    .iter()
-                    .map(|q| {
-                        if samples.is_empty() {
-                            0
-                        } else {
-                            let below = samples.partition_point(|s| *s <= *q);
+                let est: Vec<u64> = if samples.is_empty() {
+                    vec![0; queries.len()]
+                } else {
+                    local_ranks_le(samples, queries)
+                        .into_iter()
+                        .map(|below| {
                             ((below as f64 * local_len as f64 / samples.len() as f64) * FIXED)
                                 as u64
-                        }
-                    })
-                    .collect();
-                (est, Work::binary_search(queries.len(), samples.len()))
+                        })
+                        .collect()
+                };
+                (est, local_ranks_work(samples.len(), queries.len()))
             });
         let summed = machine.reduce_sum(Phase::Histogramming, &partials);
         summed.into_iter().map(|x| x as f64 / FIXED).collect()
@@ -183,7 +203,7 @@ mod tests {
         let total = (p * n) as u64;
         let mut machine = Machine::flat(p);
         let s = ApproxHistogrammer::<u64>::prescribed_sample_size(p, eps);
-        let oracle = ApproxHistogrammer::build(&mut machine, &data, s, 99);
+        let oracle = ApproxHistogrammer::build(&mut machine, &data, s, 99, LocalSortAlgo::Radix);
         assert_eq!(oracle.ranks(), p);
 
         let queries: Vec<u64> = (1..8).map(|i| i * (u64::MAX / 8)).collect();
@@ -204,7 +224,7 @@ mod tests {
         let n = 5_000;
         let data = sorted_input(p, n, 23);
         let mut machine = Machine::flat(p);
-        let oracle = ApproxHistogrammer::build(&mut machine, &data, 50, 1);
+        let oracle = ApproxHistogrammer::build(&mut machine, &data, 50, 1, LocalSortAlgo::Radix);
         assert_eq!(oracle.total_sample_size(), p * 50);
         assert!(oracle.total_sample_size() < p * n / 10);
     }

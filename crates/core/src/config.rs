@@ -1,5 +1,6 @@
 //! Configuration of the HSS sorter.
 
+use hss_lsort::LocalSortAlgo;
 use hss_partition::ExchangeEngine;
 use serde::{Deserialize, Serialize};
 
@@ -82,6 +83,14 @@ pub struct HssConfig {
     /// retained as the differential-testing oracle.  Results and simulated
     /// costs are identical; only host-side speed differs.
     pub exchange_engine: ExchangeEngine,
+    /// Which algorithm the local (per-rank) sorts run:
+    /// [`LocalSortAlgo::Radix`] (the default — in-place MSD radix from
+    /// `hss-lsort`) or [`LocalSortAlgo::Comparison`] (`sort_unstable`, the
+    /// differential-testing oracle).  Sorted output and everything
+    /// downstream are bitwise identical; only host wall-clock time and the
+    /// modelled local-sort cost differ.  The default honours the
+    /// `LOCAL_SORT` environment variable (CI runs both values).
+    pub local_sort: LocalSortAlgo,
     /// Overlapped execution only
     /// ([`SyncModel::Overlapped`](hss_sim::SyncModel)): a bucket batch is
     /// injected as an asynchronous exchange stage mid-round only if it
@@ -105,6 +114,7 @@ impl Default for HssConfig {
             tag_duplicates: false,
             approximate_histograms: false,
             exchange_engine: ExchangeEngine::Flat,
+            local_sort: LocalSortAlgo::default(),
             min_stage_fraction: 0.02,
             seed: 0xC0FFEE,
         }
@@ -126,6 +136,7 @@ impl HssConfig {
             tag_duplicates: false,
             approximate_histograms: false,
             exchange_engine: ExchangeEngine::Flat,
+            local_sort: LocalSortAlgo::default(),
             min_stage_fraction: 0.02,
             seed: 0xC0FFEE,
         }
@@ -169,6 +180,12 @@ impl HssConfig {
     /// Select the all-to-all exchange engine (flat by default).
     pub fn with_exchange_engine(mut self, engine: ExchangeEngine) -> Self {
         self.exchange_engine = engine;
+        self
+    }
+
+    /// Select the local-sort algorithm (radix by default).
+    pub fn with_local_sort(mut self, algo: LocalSortAlgo) -> Self {
+        self.local_sort = algo;
         self
     }
 
@@ -260,6 +277,8 @@ mod tests {
         assert_eq!(c.seed, 7);
         assert!(c.tag_duplicates);
         assert!(c.node_level);
+        let c = c.with_local_sort(LocalSortAlgo::Comparison);
+        assert_eq!(c.local_sort, LocalSortAlgo::Comparison);
     }
 
     #[test]

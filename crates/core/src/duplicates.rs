@@ -10,6 +10,7 @@
 //! tagged order directly, and strip the tags at the end.
 
 use hss_keygen::{Keyed, TaggedKey};
+use hss_lsort::RadixSortable;
 use hss_sim::{Machine, Phase, Work};
 use serde::{Deserialize, Serialize};
 
@@ -56,6 +57,24 @@ impl<T: Keyed> PartialOrd for Tagged<T> {
 impl<T: Keyed> Ord for Tagged<T> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         self.tagged_key().cmp(&other.tagged_key())
+    }
+}
+
+/// Tagged items order exactly by their [`TaggedKey`], so the digit string
+/// is the tagged key's.  Digit equality implies `(key, pe, index)`
+/// equality, which is [`Ord`] equality for `Tagged` — the radix contract
+/// holds even though the carried item is not part of the digits.  The
+/// `Copy` bound on the item comes with the territory: the radix sorter
+/// stages items through its software write buffers.
+impl<T: Keyed + Copy> RadixSortable for Tagged<T>
+where
+    T::K: RadixSortable,
+{
+    const RADIX_BYTES: usize = <TaggedKey<T::K> as RadixSortable>::RADIX_BYTES;
+
+    #[inline(always)]
+    fn radix_byte(&self, level: usize) -> u8 {
+        self.tagged_key().radix_byte(level)
     }
 }
 
@@ -117,7 +136,9 @@ mod tests {
             Tagged { item: Record { key: 2, payload: 0 }, pe: 0, index: 5 },
             Tagged { item: Record { key: 1, payload: 0 }, pe: 9, index: 9 },
         ];
-        v.sort();
+        // Tags impose a strict total order, so stability buys nothing; the
+        // unstable sort avoids the merge-buffer allocation.
+        v.sort_unstable();
         assert_eq!(v[0].item.key, 1);
         assert_eq!(v[1].pe, 0);
         assert_eq!(v[2].pe, 1);

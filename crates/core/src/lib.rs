@@ -48,6 +48,7 @@
 pub mod approx_histogram;
 pub mod config;
 pub mod duplicates;
+pub mod local_sort;
 pub mod multi_round;
 pub mod node_level;
 pub mod overlap;
@@ -59,8 +60,10 @@ pub mod theory;
 pub use approx_histogram::{ApproxHistogrammer, RepresentativeSample};
 pub use config::{HssConfig, RoundSchedule, SplitterRule};
 pub use duplicates::Tagged;
+pub use hss_lsort::{LocalSortAlgo, RadixSortable};
+pub use local_sort::charged_local_sort;
 pub use multi_round::{determine_splitters, determine_splitters_with, RoundProgress};
 pub use overlap::overlapped_exchange_sort;
 pub use report::{RoundStats, SortReport, SplitterReport};
-pub use scanning::{scanning_splitters, splitters_from_histogram};
+pub use scanning::{scanning_splitters, scanning_splitters_with, splitters_from_histogram};
 pub use sorter::{HssSorter, SortOutcome};

@@ -11,7 +11,10 @@
 //! (Theorems 3.3.1–3.3.4).
 
 use hss_keygen::{rank_rng, Key, Keyed};
-use hss_partition::{global_ranks, merge_key_intervals, sampling, SplitterIntervals, SplitterSet};
+use hss_lsort::RadixSortable;
+use hss_partition::{
+    global_ranks, merge_key_intervals_with, sampling, SplitterIntervals, SplitterSet,
+};
 use hss_sim::{CostModel, Machine, Phase, Work};
 
 use crate::approx_histogram::ApproxHistogrammer;
@@ -57,7 +60,10 @@ pub fn determine_splitters<T: Keyed>(
     per_rank_sorted: &[Vec<T>],
     buckets: usize,
     config: &HssConfig,
-) -> (SplitterSet<T::K>, SplitterReport) {
+) -> (SplitterSet<T::K>, SplitterReport)
+where
+    T::K: RadixSortable,
+{
     determine_splitters_with(machine, per_rank_sorted, buckets, config, |_, _| {})
 }
 
@@ -76,6 +82,7 @@ pub fn determine_splitters_with<T: Keyed, F>(
     mut on_round: F,
 ) -> (SplitterSet<T::K>, SplitterReport)
 where
+    T::K: RadixSortable,
     F: FnMut(&mut Machine, &RoundProgress<'_, T::K>),
 {
     config.validate().expect("invalid HSS configuration");
@@ -120,6 +127,7 @@ where
             per_rank_sorted,
             sample_size,
             config.seed ^ 0xA44A_1970,
+            config.local_sort,
         ))
     } else {
         None
@@ -139,7 +147,7 @@ where
         let key_intervals: Vec<(T::K, T::K)> = if round == 1 {
             vec![(T::K::MIN_KEY, T::K::MAX_KEY)]
         } else {
-            merge_key_intervals(intervals.open_key_intervals(tolerance))
+            merge_key_intervals_with(intervals.open_key_intervals(tolerance), config.local_sort)
         };
         // Number of input keys those ranges cover (G_{j-1}); exact because
         // the interval bookkeeping tracks ranks.
@@ -167,11 +175,15 @@ where
         // Gather the sample at the central processor and sort it there.
         // The root's sort of the gathered sample is part of the *sampling*
         // step (it prepares the probes), not of histogramming; it sorts the
-        // full pre-dedup sample.
+        // full pre-dedup sample.  The host runs the configured local-sort
+        // algorithm, while the charge stays the comparison-model term —
+        // sample sorts are part of the splitter-determination cost the
+        // paper compares across algorithms, and they are asymptotically
+        // tiny (see the cost convention in `crate::local_sort`).
         let mut probes: Vec<T::K> = machine.gather_to_root(Phase::Sampling, per_rank_samples);
         let sample_size = probes.len();
         machine.charge_modelled_compute(Phase::Sampling, CostModel::sort_ops(sample_size as u64));
-        probes.sort_unstable();
+        config.local_sort.sort_slice(&mut probes);
         probes.dedup();
         let probe_count = probes.len();
 

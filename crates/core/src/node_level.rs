@@ -25,6 +25,7 @@
 use rayon::prelude::*;
 
 use hss_keygen::Keyed;
+use hss_lsort::{LocalSortAlgo, RadixSortable};
 use hss_partition::{kway_merge_slices, regular_sample, ExchangeEngine, SplitterSet};
 use hss_sim::{CostModel, ExchangePlan, Machine, Phase, Work};
 
@@ -68,7 +69,10 @@ pub fn node_level_sort<T: Keyed + Ord>(
     machine: &mut Machine,
     per_rank_sorted: &[Vec<T>],
     config: &HssConfig,
-) -> (Vec<Vec<T>>, SplitterReport) {
+) -> (Vec<Vec<T>>, SplitterReport)
+where
+    T::K: RadixSortable,
+{
     let topo = machine.topology();
     let p = topo.ranks();
     let n = topo.nodes();
@@ -122,6 +126,7 @@ pub fn node_level_sort<T: Keyed + Ord>(
 
     // --- Within-node redistribution and merge (shared memory only). --------
     let within_eps = config.within_node_epsilon;
+    let local_sort = config.local_sort;
     let per_node: Vec<(usize, Vec<Vec<T>>, u64)> = (0..n)
         .into_par_iter()
         .map(|node| {
@@ -129,7 +134,7 @@ pub fn node_level_sort<T: Keyed + Ord>(
             let runs = received.runs_of(leader);
             let cores = topo.node_size(node);
             let total: usize = runs.iter().map(|r| r.len()).sum();
-            let (chunks, ops) = split_within_node(&runs, cores, within_eps);
+            let (chunks, ops) = split_within_node(&runs, cores, within_eps, local_sort);
             let ops = ops + CostModel::merge_ops(total as u64, cores.max(1) as u64);
             (node, chunks, ops)
         })
@@ -159,7 +164,11 @@ fn split_within_node<T: Keyed + Ord>(
     runs: &[&[T]],
     cores: usize,
     within_eps: f64,
-) -> (Vec<Vec<T>>, u64) {
+    local_sort: LocalSortAlgo,
+) -> (Vec<Vec<T>>, u64)
+where
+    T::K: RadixSortable,
+{
     let total: usize = runs.iter().map(|r| r.len()).sum();
     if cores <= 1 {
         let ops = CostModel::merge_ops(total as u64, runs.len().max(1) as u64);
@@ -177,7 +186,10 @@ fn split_within_node<T: Keyed + Ord>(
     for run in runs {
         sample.extend(regular_sample(run, s));
     }
-    sample.sort_unstable();
+    // The within-node sample sort runs the configured algorithm; the ops
+    // charged below stay the comparison-model term (cost convention of
+    // `crate::local_sort`).
+    local_sort.sort_slice(&mut sample);
     let splitters = SplitterSet::from_sorted_sample(&sample, cores);
 
     // Partition every run by the within-node splitters and merge per core.
@@ -227,7 +239,7 @@ mod tests {
             (0..500).map(|i| i * 4 + 2).collect(),
         ];
         let run_slices: Vec<&[u64]> = runs.iter().map(|r| r.as_slice()).collect();
-        let (chunks, _ops) = split_within_node(&run_slices, 4, 0.05);
+        let (chunks, _ops) = split_within_node(&run_slices, 4, 0.05, LocalSortAlgo::Radix);
         assert_eq!(chunks.len(), 4);
         // Concatenation is sorted.
         let flat: Vec<u64> = chunks.iter().flatten().copied().collect();
@@ -240,13 +252,14 @@ mod tests {
 
     #[test]
     fn split_within_single_core_just_merges() {
-        let (chunks, _ops) = split_within_node(&[&[3u64, 6][..], &[1, 9][..]], 1, 0.05);
+        let (chunks, _ops) =
+            split_within_node(&[&[3u64, 6][..], &[1, 9][..]], 1, 0.05, LocalSortAlgo::Radix);
         assert_eq!(chunks, vec![vec![1, 3, 6, 9]]);
     }
 
     #[test]
     fn split_within_node_empty_input() {
-        let (chunks, ops) = split_within_node::<u64>(&[], 4, 0.05);
+        let (chunks, ops) = split_within_node::<u64>(&[], 4, 0.05, LocalSortAlgo::Radix);
         assert_eq!(chunks.len(), 4);
         assert!(chunks.iter().all(|c| c.is_empty()));
         assert_eq!(ops, 0);

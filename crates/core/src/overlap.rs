@@ -36,6 +36,7 @@
 //! `tests/sync_differential.rs` verifies both claims.
 
 use hss_keygen::Keyed;
+use hss_lsort::RadixSortable;
 use hss_partition::{merge_runs_for, splitter_position};
 use hss_sim::{ExchangePlan, ExchangeStage, Machine, Phase, Work};
 
@@ -56,7 +57,10 @@ pub fn overlapped_exchange_sort<T: Keyed + Ord>(
     machine: &mut Machine,
     per_rank_sorted: &[Vec<T>],
     config: &HssConfig,
-) -> (Vec<Vec<T>>, SplitterReport) {
+) -> (Vec<Vec<T>>, SplitterReport)
+where
+    T::K: RadixSortable,
+{
     let p = machine.ranks();
     if p <= 1 {
         let (_s, report) =

@@ -85,6 +85,9 @@ pub struct SortReport {
     pub metrics: MetricsRegistry,
     /// Synchronization model the run executed under ("bsp" / "overlapped").
     pub sync_model: String,
+    /// Local-sort algorithm the run's per-rank sorts used
+    /// ("comparison" / "radix").
+    pub local_sort: String,
     /// Simulated makespan: the maximum final per-rank clock.  Under Bsp
     /// this equals [`Self::simulated_seconds`] (up to f64 summation order);
     /// under overlapped execution it is smaller whenever staged exchanges

@@ -9,6 +9,7 @@
 //! w.h.p.
 
 use hss_keygen::{Key, Keyed};
+use hss_lsort::{LocalSortAlgo, RadixSortable};
 use hss_partition::{global_ranks, sampling, SplitterSet};
 use hss_sim::{CostModel, Machine, Phase, Work};
 
@@ -77,7 +78,34 @@ pub fn scanning_splitters<T: Keyed>(
     buckets: usize,
     epsilon: f64,
     seed: u64,
-) -> (SplitterSet<T::K>, SplitterReport) {
+) -> (SplitterSet<T::K>, SplitterReport)
+where
+    T::K: RadixSortable,
+{
+    scanning_splitters_with(
+        machine,
+        per_rank_sorted,
+        buckets,
+        epsilon,
+        seed,
+        LocalSortAlgo::default(),
+    )
+}
+
+/// [`scanning_splitters`] with an explicit local-sort algorithm for the
+/// root's sort of the gathered sample (host-side choice only; the charge
+/// stays the comparison-model term, see `crate::local_sort`).
+pub fn scanning_splitters_with<T: Keyed>(
+    machine: &mut Machine,
+    per_rank_sorted: &[Vec<T>],
+    buckets: usize,
+    epsilon: f64,
+    seed: u64,
+    local_sort: LocalSortAlgo,
+) -> (SplitterSet<T::K>, SplitterReport)
+where
+    T::K: RadixSortable,
+{
     assert!(buckets >= 1);
     assert!(epsilon > 0.0);
     let total_keys: u64 = per_rank_sorted.iter().map(|v| v.len() as u64).sum();
@@ -107,7 +135,7 @@ pub fn scanning_splitters<T: Keyed>(
     let sample_size = probes.len();
     // The root's sort of the gathered sample is part of the sampling step.
     machine.charge_modelled_compute(Phase::Sampling, CostModel::sort_ops(sample_size as u64));
-    probes.sort_unstable();
+    local_sort.sort_slice(&mut probes);
     probes.dedup();
     let probe_count = probes.len();
 

@@ -3,11 +3,13 @@
 //! duplicate-tagging variants).
 
 use hss_keygen::Keyed;
+use hss_lsort::RadixSortable;
 use hss_partition::{exchange_and_merge_with, verify_global_sort, ExchangeMode, LoadBalance};
-use hss_sim::{Machine, Phase, SyncModel, Work};
+use hss_sim::{Machine, Phase, SyncModel};
 
 use crate::config::HssConfig;
 use crate::duplicates::{tag_per_rank, untag_per_rank};
+use crate::local_sort::charged_local_sort;
 use crate::multi_round::determine_splitters;
 use crate::node_level::node_level_sort;
 use crate::report::{SortReport, SplitterReport};
@@ -59,11 +61,11 @@ impl HssSorter {
     ///
     /// Panics if `input.len() != machine.ranks()` or the configuration is
     /// invalid.
-    pub fn sort<T: Keyed + Ord>(
-        &self,
-        machine: &mut Machine,
-        input: Vec<Vec<T>>,
-    ) -> SortOutcome<T> {
+    pub fn sort<T>(&self, machine: &mut Machine, input: Vec<Vec<T>>) -> SortOutcome<T>
+    where
+        T: Keyed + Ord + RadixSortable,
+        T::K: RadixSortable,
+    {
         self.config.validate().expect("invalid HSS configuration");
         assert_eq!(input.len(), machine.ranks(), "one input vector per rank");
         let total_keys: u64 = input.iter().map(|v| v.len() as u64).sum();
@@ -91,6 +93,7 @@ impl HssSorter {
             load_balance,
             metrics: machine.metrics().clone(),
             sync_model: machine.sync_model().name().to_string(),
+            local_sort: self.config.local_sort.name().to_string(),
             makespan_seconds: machine.simulated_time(),
         };
         SortOutcome { data, report }
@@ -98,16 +101,20 @@ impl HssSorter {
 
     /// Sort already-tagged (or tag-free) items: local sort, splitter
     /// determination, exchange, merge.
-    fn sort_sorted_phase<T: Keyed + Ord>(
+    fn sort_sorted_phase<T>(
         &self,
         machine: &mut Machine,
         mut data: Vec<Vec<T>>,
-    ) -> (Vec<Vec<T>>, SplitterReport) {
-        // Local sort (embarrassingly parallel, no communication).
-        machine.local_phase(Phase::LocalSort, &mut data, |_rank, local| {
-            let n = local.len();
-            local.sort_unstable();
-            Work::sort(n)
+    ) -> (Vec<Vec<T>>, SplitterReport)
+    where
+        T: Keyed + Ord + RadixSortable,
+        T::K: RadixSortable,
+    {
+        // Local sort (embarrassingly parallel, no communication), with the
+        // configured algorithm — comparison or in-place MSD radix.
+        let algo = self.config.local_sort;
+        machine.local_phase(Phase::LocalSort, &mut data, move |_rank, local| {
+            charged_local_sort(algo, local)
         });
 
         let use_node_level = self.config.node_level && machine.topology().cores_per_node() > 1;
@@ -152,11 +159,15 @@ impl HssSorter {
     /// Sort and additionally verify the output is a correct global sort of
     /// the input (used by tests and examples; costs an extra copy of the
     /// input).
-    pub fn sort_verified<T: Keyed + Ord>(
+    pub fn sort_verified<T>(
         &self,
         machine: &mut Machine,
         input: Vec<Vec<T>>,
-    ) -> Result<SortOutcome<T>, String> {
+    ) -> Result<SortOutcome<T>, String>
+    where
+        T: Keyed + Ord + RadixSortable,
+        T::K: RadixSortable,
+    {
         let reference = input.clone();
         let outcome = self.sort(machine, input);
         verify_global_sort(&reference, &outcome.data)?;

@@ -167,7 +167,7 @@ impl KeyDistribution {
                 let width = u64::MAX / p.max(1);
                 let lo = rank as u64 * width;
                 let mut v: Vec<u64> = (0..n).map(|_| lo + rng.gen_range(0..width.max(1))).collect();
-                v.sort_unstable();
+                hss_lsort::radix_sort(&mut v);
                 v
             }
             KeyDistribution::ReverseSorted => {
@@ -175,7 +175,10 @@ impl KeyDistribution {
                 let width = u64::MAX / p.max(1);
                 let lo = (p - 1 - rank as u64) * width;
                 let mut v: Vec<u64> = (0..n).map(|_| lo + rng.gen_range(0..width.max(1))).collect();
-                v.sort_unstable_by(|a, b| b.cmp(a));
+                // Radix-sort ascending, then reverse: identical to a
+                // descending comparison sort for integer keys.
+                hss_lsort::radix_sort(&mut v);
+                v.reverse();
                 v
             }
             KeyDistribution::AllEqual => vec![0x5EED_5EED_5EED_5EEDu64; n],

@@ -9,6 +9,7 @@
 
 use std::cmp::Ordering;
 
+use hss_lsort::RadixSortable;
 use serde::{Deserialize, Serialize};
 
 /// A sortable key: totally ordered, copyable, with global minimum and
@@ -88,6 +89,21 @@ impl Keyed for Record {
     }
 }
 
+/// Records order by `(key, payload)`, so their radix digit string is the
+/// big-endian key bytes followed by the big-endian payload bytes.
+impl RadixSortable for Record {
+    const RADIX_BYTES: usize = 8 + 4;
+
+    #[inline(always)]
+    fn radix_byte(&self, level: usize) -> u8 {
+        if level < 8 {
+            self.key.radix_byte(level)
+        } else {
+            self.payload.radix_byte(level - 8)
+        }
+    }
+}
+
 /// A key implicitly tagged with its origin, used to break ties among
 /// duplicates (§4.3): "every input key `k` can be thought of as a triplet
 /// `(k, PE, ind)`", where `PE` is the processor the key resides on and
@@ -127,6 +143,23 @@ impl<K: Key> Key for TaggedKey<K> {
     const MAX_KEY: Self = TaggedKey { key: K::MAX_KEY, pe: u32::MAX, index: u32::MAX };
 }
 
+/// Tagged keys order by `(key, pe, index)` (the derived [`Ord`]), so the
+/// digit string is the key's digits followed by the big-endian tag bytes.
+impl<K: Key + RadixSortable> RadixSortable for TaggedKey<K> {
+    const RADIX_BYTES: usize = K::RADIX_BYTES + 4 + 4;
+
+    #[inline(always)]
+    fn radix_byte(&self, level: usize) -> u8 {
+        if level < K::RADIX_BYTES {
+            self.key.radix_byte(level)
+        } else if level < K::RADIX_BYTES + 4 {
+            self.pe.radix_byte(level - K::RADIX_BYTES)
+        } else {
+            self.index.radix_byte(level - K::RADIX_BYTES - 4)
+        }
+    }
+}
+
 /// A totally ordered `f64` wrapper so floating-point keys (particle
 /// positions, ChaNGa-style) can be sorted.  NaNs order greater than every
 /// other value; this is sufficient for the synthetic datasets which never
@@ -156,6 +189,20 @@ impl Key for OrderedF64 {
 impl From<f64> for OrderedF64 {
     fn from(x: f64) -> Self {
         OrderedF64(x)
+    }
+}
+
+/// The IEEE-754 total order maps onto unsigned byte order by flipping the
+/// sign bit of non-negative values and all bits of negative ones — exactly
+/// the transform [`f64::total_cmp`] is defined by.
+impl RadixSortable for OrderedF64 {
+    const RADIX_BYTES: usize = 8;
+
+    #[inline(always)]
+    fn radix_byte(&self, level: usize) -> u8 {
+        let bits = self.0.to_bits();
+        let mapped = if bits >> 63 == 1 { !bits } else { bits | 0x8000_0000_0000_0000 };
+        mapped.radix_byte(level)
     }
 }
 
@@ -219,12 +266,88 @@ mod tests {
     #[test]
     fn ordered_f64_total_order() {
         let mut v = [OrderedF64(3.5), OrderedF64(-1.0), OrderedF64(0.0), OrderedF64(f64::NAN)];
-        v.sort();
+        // Keys are Copy with a total order: nothing to gain from a stable
+        // (allocating) sort.
+        v.sort_unstable();
         assert_eq!(v[0], OrderedF64(-1.0));
         assert_eq!(v[1], OrderedF64(0.0));
         assert_eq!(v[2], OrderedF64(3.5));
         assert!(v[3].0.is_nan());
         assert!(OrderedF64::MIN_KEY < OrderedF64(-1e300));
         assert!(OrderedF64::MAX_KEY > OrderedF64(1e300));
+    }
+
+    fn digits<T: RadixSortable>(x: &T) -> Vec<u8> {
+        (0..T::RADIX_BYTES).map(|l| x.radix_byte(l)).collect()
+    }
+
+    #[test]
+    fn record_digits_match_record_order() {
+        let samples = [
+            Record { key: 0, payload: 0 },
+            Record { key: 1, payload: 9 },
+            Record { key: 1, payload: 10 },
+            Record { key: u64::MAX, payload: u32::MAX },
+        ];
+        for a in &samples {
+            for b in &samples {
+                assert_eq!(a.cmp(b), digits(a).cmp(&digits(b)), "{a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn tagged_key_digits_match_tag_order() {
+        let samples = [
+            TaggedKey::new(5u64, 0, 3),
+            TaggedKey::new(5u64, 1, 0),
+            TaggedKey::new(5u64, 0, 4),
+            TaggedKey::new(4u64, 9, 9),
+            TaggedKey::<u64>::MIN_KEY,
+            TaggedKey::<u64>::MAX_KEY,
+        ];
+        for a in &samples {
+            for b in &samples {
+                assert_eq!(a.cmp(b), digits(a).cmp(&digits(b)), "{a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn ordered_f64_digits_match_total_order() {
+        let samples = [
+            OrderedF64(f64::NEG_INFINITY),
+            OrderedF64(-1.5),
+            OrderedF64(-0.0),
+            OrderedF64(0.0),
+            OrderedF64(2.25),
+            OrderedF64(f64::INFINITY),
+            OrderedF64(f64::NAN),
+            OrderedF64(-f64::NAN),
+        ];
+        for a in &samples {
+            for b in &samples {
+                assert_eq!(a.cmp(b), digits(a).cmp(&digits(b)), "{a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn radix_sort_handles_records_and_tagged_keys() {
+        let mut recs: Vec<Record> = (0..2000u64)
+            .map(|i| Record { key: (i * 7919) % 97, payload: (i % 13) as u32 })
+            .collect();
+        let mut expect = recs.clone();
+        expect.sort_unstable();
+        hss_lsort::radix_sort(&mut recs);
+        assert_eq!(recs, expect);
+
+        let mut tags: Vec<TaggedKey<u64>> = (0..1500u64)
+            .map(|i| TaggedKey::new((i * 31) % 11, (i % 7) as u32, (i % 5) as u32))
+            .collect();
+        let mut expect = tags.clone();
+        expect.sort_unstable();
+        hss_lsort::radix_sort(&mut tags);
+        assert_eq!(tags, expect);
     }
 }

@@ -1,0 +1,722 @@
+//! `hss-lsort` — the in-place MSD radix local-sort subsystem.
+//!
+//! Every local hot path of the reproduction (the initial per-rank sort, the
+//! root's sample sorts, the within-node re-split) historically funnelled
+//! through `slice::sort_unstable()`.  The HSS cost model treats the local
+//! sort as a fixed `O((N/p) log(N/p))` term, but once the exchange went flat
+//! (PR 3) and overlapped (PR 4) the local phase dominates end-to-end wall
+//! time — and for the integer keys the paper sorts (§6.2: 8-byte keys), a
+//! byte-wise most-significant-digit radix sort beats any comparison sort
+//! once the per-rank data outgrows the last-level cache.
+//!
+//! # Algorithm
+//!
+//! [`radix_sort`] is an in-place MSD radix sort in the IPS²Ra spirit
+//! (in-place parallel super-scalar radix sort), specialised for the
+//! sequential-per-rank setting:
+//!
+//! 1. **Prefix scan** — one pass finds the minimum and maximum item; the
+//!    shared leading bytes are skipped, so low-entropy keys (power-law
+//!    bodies, clustered Morton keys, narrow ranges) jump straight to the
+//!    first distinguishing byte.  At the top-level entry the same pass
+//!    doubles as a sortedness check: already-sorted input returns
+//!    immediately and strictly-descending input is reversed — the two
+//!    degenerate shapes a pattern-defeating comparison sort wins big on.
+//! 2. **Classification with software write buffers** — one linear scan
+//!    reads the current byte (`256`-way digit) of every item and appends
+//!    the item to its bucket's buffer ([`BLOCK`] items per bucket, the
+//!    buffers together a cache-resident scratch area).  A full buffer is
+//!    flushed as one *block* to the array's write head, which trails the
+//!    read head — so every store is either to the hot scratch or part of a
+//!    single streaming write, instead of 256 scattered write heads
+//!    thrashing the TLB (the failure mode of the classic element-wise
+//!    American-flag permutation at large `n`).
+//! 3. **Block permutation** — after classification the array prefix is a
+//!    sequence of homogeneous blocks (every item in a block shares the
+//!    digit — the block's first item identifies its bucket).  A
+//!    cycle-chasing pass at *block* granularity swaps each block directly
+//!    into its bucket's block run (one write head per bucket, every move a
+//!    sequential [`BLOCK`]-item swap).
+//! 4. **Cleanup** — bucket block runs are shifted (descending, memmove) to
+//!    their exact final boundaries and the partial buffers are appended, so
+//!    bucket `d` ends up occupying precisely its final range.
+//! 5. **Recursion / base cases** — each bucket recurses on the next byte;
+//!    buckets of at most [`INSERTION_CUTOFF`] items finish with an
+//!    insertion sort, buckets up to [`COMPARISON_CUTOFF`] with
+//!    `sort_unstable` (whose vectorised small-sorts are unbeatable in that
+//!    range), and a bucket whose digits are exhausted is Ord-equal by the
+//!    [`RadixSortable`] contract and needs no further work.
+//!
+//! [`par_radix_sort`] parallelises the recursion on the vendored rayon
+//! pool: the top-level pass runs sequentially (its single trailing write
+//! head is what makes it fast), then the top-level buckets are sorted
+//! concurrently via [`rayon::scope`].  Buckets are disjoint sub-slices and
+//! every sub-sort is deterministic, so the output is **bitwise identical**
+//! at every thread count — under `RAYON_NUM_THREADS=1` the pool degrades
+//! to fully sequential execution at the spawn sites.
+//!
+//! # The `RadixSortable` contract
+//!
+//! An item is radix-sortable when its total order equals the
+//! lexicographic order of a fixed-length big-endian digit string
+//! ([`RadixSortable::radix_byte`]), and digit-string equality implies
+//! [`Ord`] equality.  Items must be [`Copy`]: the classification stages
+//! them through the software write buffers (radix sorting is for small
+//! plain-old-data records).  Implementations are provided here for the
+//! primitive integers (signed via the sign-flip bias) and for pairs; the
+//! key-carrier types of the reproduction (`Record`, `TaggedKey`,
+//! `OrderedF64`, `Tagged`) implement it in their own crates.
+//!
+//! # Choosing an algorithm
+//!
+//! [`LocalSortAlgo`] is the knob the sorters thread through their configs:
+//! [`LocalSortAlgo::Comparison`] is `sort_unstable` (the historical
+//! behaviour and the differential-testing oracle), [`LocalSortAlgo::Radix`]
+//! is [`radix_sort`].  The default is read from the `LOCAL_SORT`
+//! environment variable (`comparison` / `radix`) and falls back to
+//! `Radix` — CI runs the whole test matrix under both values.  Both
+//! algorithms produce bitwise-identical sorted slices for every totally
+//! ordered item type in this repository (`tests/lsort_differential.rs` is
+//! the oracle); they differ only in host wall-clock time and in the
+//! modelled cost the simulator charges.
+
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize};
+
+/// Items per software write buffer and per permuted block: 64 eight-byte
+/// keys is 512 B — big enough to amortise the flush and block-swap
+/// overheads, small enough that the 256 buffers stay cache-resident.
+pub const BLOCK: usize = 64;
+
+/// Buckets of at most this many items are finished with insertion sort.
+pub const INSERTION_CUTOFF: usize = 32;
+
+/// Buckets of at most this many items are finished with `sort_unstable`
+/// instead of another radix pass — below this size the comparison sort's
+/// vectorised small-sorts beat a 256-way counting pass.
+pub const COMPARISON_CUTOFF: usize = 2048;
+
+/// Below this length [`par_radix_sort`] does not bother parallelising.
+const PAR_MIN_LEN: usize = 1 << 15;
+
+/// Which algorithm a local (per-rank, shared-memory) sort uses.
+///
+/// Selected by `HssConfig::local_sort` and the baselines' config structs;
+/// recorded in every `SortReport`.  The two variants are host-side
+/// implementations of the *same* mathematical operation: sorted output and
+/// everything downstream (samples, probes, splitters, exchange, merge) are
+/// bitwise identical — only the host wall-clock time and the modelled
+/// local-sort cost differ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LocalSortAlgo {
+    /// `slice::sort_unstable` (pdqsort/ipnsort): the historical behaviour,
+    /// kept as the differential-testing oracle.  Modelled as `n log2 n`
+    /// compare ops.
+    Comparison,
+    /// In-place MSD radix sort ([`radix_sort`]): byte-wise classification
+    /// into software write buffers, in-place block permutation, insertion
+    /// and small-comparison base cases.  Modelled as `2n` ops (one
+    /// classify read + one permute move) per byte pass.
+    Radix,
+}
+
+impl LocalSortAlgo {
+    /// Read the algorithm from the `LOCAL_SORT` environment variable
+    /// (`comparison` or `radix`, case-insensitive), defaulting to
+    /// [`LocalSortAlgo::Radix`] — the radix subsystem *replaces* the
+    /// comparison sort on the hot paths; the environment knob exists so CI
+    /// can keep the comparison oracle green.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unrecognized non-empty value: a CI matrix leg with a
+    /// typo (`LOCAL_SORT=Comparision`) must fail loudly, not silently run
+    /// the radix path twice and lose the comparison oracle's coverage.
+    pub fn from_env() -> Self {
+        match std::env::var("LOCAL_SORT") {
+            Ok(v) if v.is_empty() => LocalSortAlgo::Radix,
+            Ok(v) => Self::parse(&v).unwrap_or_else(|| {
+                panic!("LOCAL_SORT must be 'comparison' or 'radix' (got {v:?})")
+            }),
+            Err(_) => LocalSortAlgo::Radix,
+        }
+    }
+
+    /// Parse `comparison` / `radix` (case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "comparison" => Some(LocalSortAlgo::Comparison),
+            "radix" => Some(LocalSortAlgo::Radix),
+            _ => None,
+        }
+    }
+
+    /// Stable name for reports and tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LocalSortAlgo::Comparison => "comparison",
+            LocalSortAlgo::Radix => "radix",
+        }
+    }
+
+    /// Sort `data` in place with the selected algorithm (sequential).
+    pub fn sort_slice<T: RadixSortable>(self, data: &mut [T]) {
+        match self {
+            LocalSortAlgo::Comparison => data.sort_unstable(),
+            LocalSortAlgo::Radix => radix_sort(data),
+        }
+    }
+}
+
+impl Default for LocalSortAlgo {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+impl std::fmt::Display for LocalSortAlgo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// An item sortable by byte-wise MSD radix.
+///
+/// # Contract
+///
+/// For all items `a`, `b`:
+///
+/// * `a.cmp(&b)` equals the lexicographic comparison of the digit strings
+///   `(a.radix_byte(0), …, a.radix_byte(RADIX_BYTES - 1))` and likewise for
+///   `b` — i.e. the digits are a big-endian, order-preserving encoding;
+/// * equal digit strings imply `a == b` under [`Ord`] (the digits exhaust
+///   the order), so a bucket whose digits ran out needs no further work.
+///
+/// [`radix_sort`] relies on both properties; violating them produces
+/// incorrectly sorted output, never memory unsafety.
+pub trait RadixSortable: Ord + Copy {
+    /// Number of digit (byte) levels; also the pass count the cost model
+    /// charges for a radix sort of this type.
+    const RADIX_BYTES: usize;
+
+    /// The digit at `level` (0 = most significant byte).
+    ///
+    /// Must only be called with `level < Self::RADIX_BYTES`.
+    fn radix_byte(&self, level: usize) -> u8;
+}
+
+macro_rules! impl_radix_unsigned {
+    ($($t:ty),*) => {
+        $(impl RadixSortable for $t {
+            const RADIX_BYTES: usize = std::mem::size_of::<$t>();
+            #[inline(always)]
+            fn radix_byte(&self, level: usize) -> u8 {
+                (*self >> (8 * (Self::RADIX_BYTES - 1 - level))) as u8
+            }
+        })*
+    };
+}
+
+impl_radix_unsigned!(u8, u16, u32, u64, u128, usize);
+
+macro_rules! impl_radix_signed {
+    ($(($t:ty, $u:ty)),*) => {
+        $(impl RadixSortable for $t {
+            const RADIX_BYTES: usize = std::mem::size_of::<$t>();
+            #[inline(always)]
+            fn radix_byte(&self, level: usize) -> u8 {
+                // Flip the sign bit: maps the signed order onto the
+                // unsigned byte-lexicographic order.
+                let biased = (*self as $u) ^ (1 << (8 * Self::RADIX_BYTES - 1));
+                (biased >> (8 * (Self::RADIX_BYTES - 1 - level))) as u8
+            }
+        })*
+    };
+}
+
+impl_radix_signed!((i8, u8), (i16, u16), (i32, u32), (i64, u64), (i128, u128), (isize, usize));
+
+/// Pairs sort lexicographically, so their digit string is the
+/// concatenation of the components' digit strings.  Used by the splitter
+/// machinery to radix-sort key-interval lists `(lo, hi)`.
+impl<A: RadixSortable, B: RadixSortable> RadixSortable for (A, B) {
+    const RADIX_BYTES: usize = A::RADIX_BYTES + B::RADIX_BYTES;
+
+    #[inline(always)]
+    fn radix_byte(&self, level: usize) -> u8 {
+        if level < A::RADIX_BYTES {
+            self.0.radix_byte(level)
+        } else {
+            self.1.radix_byte(level - A::RADIX_BYTES)
+        }
+    }
+}
+
+/// In-place MSD radix sort (sequential).  See the crate docs for the
+/// algorithm; `data` ends up exactly as `data.sort_unstable()` would leave
+/// it (both orders are total, and equal items are indistinguishable).
+pub fn radix_sort<T: RadixSortable>(data: &mut [T]) {
+    // Small inputs (notably the splitter machinery's sample sorts) take
+    // the base cases directly, without touching the scratch allocation.
+    if base_case(data) {
+        return;
+    }
+    if let Some(level) = top_level(data) {
+        let mut scratch = vec![data[0]; 256 * BLOCK];
+        let bounds = partition_level(data, level, &mut scratch);
+        let mut rest: &mut [T] = data;
+        for width in bounds.windows(2).map(|w| w[1] - w[0]) {
+            let (bucket, tail) = std::mem::take(&mut rest).split_at_mut(width);
+            rest = tail;
+            if width > 1 {
+                sort_rec(bucket, level + 1, &mut scratch);
+            }
+        }
+    }
+}
+
+/// [`radix_sort`] with the bucket recursion parallelised on the vendored
+/// rayon pool: the top-level classification + block permutation runs
+/// sequentially (its single trailing write head is what makes it
+/// cache-efficient), then the up-to-256 top-level buckets are sorted
+/// concurrently via [`rayon::scope`].  A task allocates a scratch only
+/// when its bucket is large enough to radix-recurse; small buckets finish
+/// with the base cases directly.  Falls back to the sequential sort on
+/// one-thread pools or short inputs; output is bitwise identical at every
+/// thread count.
+pub fn par_radix_sort<T: RadixSortable + Send + Sync>(data: &mut [T]) {
+    let n = data.len();
+    if rayon::current_num_threads() <= 1 || n < PAR_MIN_LEN {
+        radix_sort(data);
+        return;
+    }
+    let level = match top_level(data) {
+        Some(l) => l,
+        None => return,
+    };
+    let mut scratch = vec![data[0]; 256 * BLOCK];
+    let bounds = partition_level(data, level, &mut scratch);
+    rayon::scope(|s| {
+        let mut rest: &mut [T] = data;
+        for width in bounds.windows(2).map(|w| w[1] - w[0]) {
+            let (bucket, tail) = std::mem::take(&mut rest).split_at_mut(width);
+            rest = tail;
+            if width > 1 {
+                s.spawn(move |_| {
+                    if !base_case(bucket) {
+                        let mut scratch = vec![bucket[0]; 256 * BLOCK];
+                        sort_rec(bucket, level + 1, &mut scratch);
+                    }
+                });
+            }
+        }
+    });
+}
+
+/// Finish `data` directly when it is small: insertion sort up to
+/// [`INSERTION_CUTOFF`], `sort_unstable` up to [`COMPARISON_CUTOFF`].
+/// Returns whether the slice was handled.
+fn base_case<T: RadixSortable>(data: &mut [T]) -> bool {
+    let n = data.len();
+    if n <= INSERTION_CUTOFF {
+        insertion_sort(data);
+        true
+    } else if n <= COMPARISON_CUTOFF {
+        data.sort_unstable();
+        true
+    } else {
+        false
+    }
+}
+
+/// Shared entry analysis of the two public sorters: handle the degenerate
+/// shapes and return the first level worth classifying on (`None` when the
+/// slice is already handled).
+///
+/// The sortedness pre-scan mirrors the pattern-defeating comparison
+/// sort's best cases: ascending input is done, strictly-descending input
+/// is a reversal.  It aborts at the first unsorted pair, so its cost on
+/// unsorted input is a handful of comparisons.
+fn top_level<T: RadixSortable>(data: &mut [T]) -> Option<usize> {
+    let n = data.len();
+    let mut i = 1;
+    while i < n && data[i - 1] <= data[i] {
+        i += 1;
+    }
+    if i == n {
+        return None;
+    }
+    if i == 1 {
+        let mut j = 1;
+        while j < n && data[j - 1] > data[j] {
+            j += 1;
+        }
+        if j == n {
+            data.reverse();
+            return None;
+        }
+    }
+    let (lo, hi) = min_max(data);
+    (0..T::RADIX_BYTES).find(|&l| lo.radix_byte(l) != hi.radix_byte(l))
+}
+
+/// Minimum and maximum of a non-empty slice.
+fn min_max<T: RadixSortable>(data: &[T]) -> (T, T) {
+    let (mut lo, mut hi) = (data[0], data[0]);
+    for &x in &data[1..] {
+        if x < lo {
+            lo = x;
+        } else if x > hi {
+            hi = x;
+        }
+    }
+    (lo, hi)
+}
+
+/// Recursive MSD step starting at `level` (a hint: the prefix scan may
+/// advance it past shared bytes).  The prefix scan guarantees every
+/// classification splits into at least two buckets, so the recursion
+/// depth is bounded by `T::RADIX_BYTES`.
+fn sort_rec<T: RadixSortable>(data: &mut [T], mut level: usize, scratch: &mut [T]) {
+    if base_case(data) {
+        return;
+    }
+    // Skip shared leading bytes exactly (one cheap pass); pays for itself
+    // on clustered keys and guarantees the classification splits into at
+    // least two buckets.
+    let (lo, hi) = min_max(data);
+    match (level..T::RADIX_BYTES).find(|&l| lo.radix_byte(l) != hi.radix_byte(l)) {
+        Some(l) => level = l,
+        // Digit string exhausted: items are Ord-equal by the trait
+        // contract — nothing left to order.
+        None => return,
+    }
+
+    let bounds = partition_level(data, level, scratch);
+    let next = level + 1;
+    let mut rest: &mut [T] = data;
+    for width in bounds.windows(2).map(|w| w[1] - w[0]) {
+        let (bucket, tail) = std::mem::take(&mut rest).split_at_mut(width);
+        rest = tail;
+        if width > 1 {
+            sort_rec(bucket, next, scratch);
+        }
+    }
+}
+
+/// One full MSD level over `data` at `level`: classification through the
+/// software write buffers, in-place block permutation, boundary cleanup.
+/// Returns the 257 bucket boundaries.  `scratch` must hold `256 * BLOCK`
+/// items; its contents are arbitrary on entry and exit.
+fn partition_level<T: RadixSortable>(
+    data: &mut [T],
+    level: usize,
+    scratch: &mut [T],
+) -> [usize; 257] {
+    let n = data.len();
+    debug_assert!(n > BLOCK, "partition_level needs more than one block");
+    debug_assert!(scratch.len() >= 256 * BLOCK);
+
+    // --- Classification: append each item to its bucket's buffer; flush
+    // full buffers as blocks to the trailing write head. -------------------
+    let mut buf_len = [0usize; 256];
+    let mut write = 0usize;
+    // SAFETY: `read < n` indexes `data` in bounds.  `d < 256` (a `u8`
+    // digit), `bl < BLOCK` (reset on flush), so `d * BLOCK + bl <
+    // 256 * BLOCK <= scratch.len()`.  The flush target
+    // `data[write .. write + BLOCK]` is in bounds and disjoint from the
+    // scratch: after consuming `read + 1` items the buffers hold
+    // `read + 1 - write` of them, and a flush requires `BLOCK` buffered
+    // items, so `write + BLOCK <= read + 1 <= n` — it only overwrites
+    // already-consumed positions.  All accessed items are `Copy`.
+    unsafe {
+        let dp = data.as_mut_ptr();
+        let sp = scratch.as_mut_ptr();
+        for read in 0..n {
+            let x = *dp.add(read);
+            let d = x.radix_byte(level) as usize;
+            let bl = *buf_len.get_unchecked(d);
+            *sp.add(d * BLOCK + bl) = x;
+            if bl + 1 == BLOCK {
+                std::ptr::copy_nonoverlapping(sp.add(d * BLOCK), dp.add(write), BLOCK);
+                write += BLOCK;
+                *buf_len.get_unchecked_mut(d) = 0;
+            } else {
+                *buf_len.get_unchecked_mut(d) = bl + 1;
+            }
+        }
+    }
+
+    // --- Block bookkeeping: every flushed block is homogeneous, so its
+    // first item names its bucket; bucket totals follow from block counts
+    // plus buffer leftovers. ------------------------------------------------
+    let nblocks = write / BLOCK;
+    let mut fcount = [0usize; 256];
+    for b in 0..nblocks {
+        fcount[data[b * BLOCK].radix_byte(level) as usize] += 1;
+    }
+    let mut fstart = [0usize; 257];
+    let mut bounds = [0usize; 257];
+    for d in 0..256 {
+        fstart[d + 1] = fstart[d] + fcount[d];
+        bounds[d + 1] = bounds[d] + fcount[d] * BLOCK + buf_len[d];
+    }
+
+    // --- Block permutation: cycle-chase whole blocks into per-bucket block
+    // runs (American flag at block granularity). ----------------------------
+    let mut heads = fstart;
+    // SAFETY: slot indices stay below `nblocks` (each bucket's head is
+    // bounded by its `fstart` range and every `heads[g]` increment
+    // corresponds to one of the `fcount[g]` blocks of bucket `g`), so all
+    // block offsets are within `data[..write]`.  A swap's two slots are
+    // distinct (`g != d` implies `heads[g] != slot` since slot holds a
+    // non-`g` block), hence the `swap_nonoverlapping` ranges are disjoint.
+    unsafe {
+        let dp = data.as_mut_ptr();
+        for d in 0..256 {
+            let end = fstart[d + 1];
+            while heads[d] < end {
+                let slot = heads[d];
+                let g = (*dp.add(slot * BLOCK)).radix_byte(level) as usize;
+                if g == d {
+                    heads[d] += 1;
+                } else {
+                    let target = heads[g];
+                    std::ptr::swap_nonoverlapping(
+                        dp.add(slot * BLOCK),
+                        dp.add(target * BLOCK),
+                        BLOCK,
+                    );
+                    heads[g] += 1;
+                }
+            }
+        }
+    }
+
+    // --- Cleanup: shift each bucket's block run from its packed position
+    // to its final boundary (descending, so later buckets are already out
+    // of the way) and append the buffered leftovers. ------------------------
+    for d in (0..256).rev() {
+        let blk_items = fcount[d] * BLOCK;
+        let src = fstart[d] * BLOCK;
+        let dst = bounds[d];
+        if blk_items > 0 && src != dst {
+            data.copy_within(src..src + blk_items, dst);
+        }
+        let l = buf_len[d];
+        if l > 0 {
+            data[dst + blk_items..dst + blk_items + l]
+                .copy_from_slice(&scratch[d * BLOCK..d * BLOCK + l]);
+        }
+    }
+    bounds
+}
+
+/// Plain insertion sort on the full [`Ord`] (shift variant: hold the item,
+/// shift the run right, write once); the base case under
+/// [`INSERTION_CUTOFF`].
+fn insertion_sort<T: RadixSortable>(v: &mut [T]) {
+    for i in 1..v.len() {
+        let key = v[i];
+        let mut j = i;
+        while j > 0 && key < v[j - 1] {
+            v[j] = v[j - 1];
+            j -= 1;
+        }
+        v[j] = key;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference_sorted<T: Ord + Clone>(v: &[T]) -> Vec<T> {
+        let mut r = v.to_vec();
+        r.sort_unstable();
+        r
+    }
+
+    fn pseudo_random(n: usize, seed: u64) -> Vec<u64> {
+        // SplitMix64: deterministic, no external deps.
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sorts_random_u64_across_size_regimes() {
+        // Exercise every base case and the buffered path: insertion,
+        // small comparison, single level, multi level with blocks.
+        for n in [
+            0usize,
+            1,
+            2,
+            INSERTION_CUTOFF,
+            INSERTION_CUTOFF + 1,
+            COMPARISON_CUTOFF,
+            COMPARISON_CUTOFF + 1,
+            BLOCK * 256,
+            20_000,
+            150_000,
+        ] {
+            let v = pseudo_random(n, n as u64 + 1);
+            let mut got = v.clone();
+            radix_sort(&mut got);
+            assert_eq!(got, reference_sorted(&v), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn sorts_adversarial_shapes() {
+        let n = 60_000usize;
+        let shapes: Vec<(&str, Vec<u64>)> = vec![
+            ("sorted", (0..n as u64).collect()),
+            ("reverse", (0..n as u64).rev().collect()),
+            ("all_equal", vec![42; n]),
+            ("few_distinct", (0..n as u64).map(|i| i % 3).collect()),
+            ("narrow_range", (0..n as u64).map(|i| 1_000_000 + (i * 7919) % 255).collect()),
+            ("high_bytes_only", (0..n as u64).map(|i| (i % 256) << 56).collect()),
+            ("sawtooth", (0..n as u64).map(|i| i % 64).collect()),
+            ("clustered", pseudo_random(n, 9).iter().map(|x| (x & 0xFFFF) | 0xAB00_0000).collect()),
+            ("mostly_sorted", {
+                let mut v: Vec<u64> = (0..n as u64).collect();
+                v[n / 2] = 0;
+                v
+            }),
+        ];
+        for (name, v) in shapes {
+            let mut got = v.clone();
+            radix_sort(&mut got);
+            assert_eq!(got, reference_sorted(&v), "{name}");
+        }
+    }
+
+    #[test]
+    fn sorts_signed_and_small_ints() {
+        let v: Vec<i64> = (0..50_000).map(|i| ((i * 7919) % 10_000) - 5_000).collect();
+        let mut got = v.clone();
+        radix_sort(&mut got);
+        assert_eq!(got, reference_sorted(&v));
+
+        let v: Vec<i8> = (0..300).map(|i| ((i * 31) % 256) as u8 as i8).collect();
+        let mut got = v.clone();
+        radix_sort(&mut got);
+        assert_eq!(got, reference_sorted(&v));
+
+        let v: Vec<u16> = (0..40_000).map(|i| ((i * 48_271) % 65_536) as u16).collect();
+        let mut got = v.clone();
+        radix_sort(&mut got);
+        assert_eq!(got, reference_sorted(&v));
+    }
+
+    #[test]
+    fn sorts_pairs_lexicographically() {
+        let v: Vec<(u64, u64)> =
+            (0..30_000).map(|i| ((i * 7919) % 50, (i * 104_729) % 1000)).collect();
+        let mut got = v.clone();
+        radix_sort(&mut got);
+        assert_eq!(got, reference_sorted(&v));
+    }
+
+    #[test]
+    fn signed_radix_bytes_preserve_order() {
+        // The digit string must be order-preserving end to end: check via
+        // exhaustive pairs over a sample grid.
+        let samples: Vec<i16> = vec![i16::MIN, -1000, -1, 0, 1, 1000, i16::MAX];
+        for &a in &samples {
+            for &b in &samples {
+                let da = [a.radix_byte(0), a.radix_byte(1)];
+                let db = [b.radix_byte(0), b.radix_byte(1)];
+                assert_eq!(a.cmp(&b), da.cmp(&db), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn partition_level_produces_exact_bucket_ranges() {
+        let n = 50_000usize;
+        let v = pseudo_random(n, 3);
+        let mut data = v.clone();
+        let mut scratch = vec![0u64; 256 * BLOCK];
+        let bounds = partition_level(&mut data, 0, &mut scratch);
+        assert_eq!(bounds[0], 0);
+        assert_eq!(bounds[256], n);
+        // Same multiset, and every item sits inside its digit's range.
+        assert_eq!(reference_sorted(&data), reference_sorted(&v));
+        for d in 0..256 {
+            for &x in &data[bounds[d]..bounds[d + 1]] {
+                assert_eq!(x.radix_byte(0) as usize, d);
+            }
+        }
+    }
+
+    #[test]
+    fn par_radix_sort_matches_sequential_bitwise() {
+        // Under the test harness the pool defaults to the host's threads
+        // (or RAYON_NUM_THREADS); the result must be identical either way.
+        let v = pseudo_random(PAR_MIN_LEN * 2, 99);
+        let mut seq = v.clone();
+        radix_sort(&mut seq);
+        let mut par = v.clone();
+        par_radix_sort(&mut par);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn par_radix_sort_short_and_degenerate_inputs() {
+        let v = pseudo_random(100, 3);
+        let mut got = v.clone();
+        par_radix_sort(&mut got);
+        assert_eq!(got, reference_sorted(&v));
+
+        let mut sorted: Vec<u64> = (0..PAR_MIN_LEN as u64 * 2).collect();
+        let snapshot = sorted.clone();
+        par_radix_sort(&mut sorted);
+        assert_eq!(sorted, snapshot);
+
+        let mut rev: Vec<u64> = (0..PAR_MIN_LEN as u64 * 2).rev().collect();
+        par_radix_sort(&mut rev);
+        assert_eq!(rev, snapshot);
+
+        let mut equal = vec![7u64; PAR_MIN_LEN * 2];
+        par_radix_sort(&mut equal);
+        assert!(equal.iter().all(|&x| x == 7));
+    }
+
+    #[test]
+    fn algo_dispatch_and_parsing() {
+        assert_eq!(LocalSortAlgo::parse("radix"), Some(LocalSortAlgo::Radix));
+        assert_eq!(LocalSortAlgo::parse("Comparison"), Some(LocalSortAlgo::Comparison));
+        assert_eq!(LocalSortAlgo::parse("bogus"), None);
+        assert_eq!(LocalSortAlgo::Radix.name(), "radix");
+        assert_eq!(LocalSortAlgo::Comparison.to_string(), "comparison");
+
+        let v = pseudo_random(5_000, 7);
+        for algo in [LocalSortAlgo::Comparison, LocalSortAlgo::Radix] {
+            let mut got = v.clone();
+            algo.sort_slice(&mut got);
+            assert_eq!(got, reference_sorted(&v), "{algo}");
+        }
+    }
+
+    #[test]
+    fn insertion_sort_handles_edges() {
+        let mut v: Vec<u64> = vec![];
+        insertion_sort(&mut v);
+        let mut v = vec![1u64];
+        insertion_sort(&mut v);
+        assert_eq!(v, vec![1]);
+        let mut v = vec![3u64, 1, 2, 2, 0];
+        insertion_sort(&mut v);
+        assert_eq!(v, vec![0, 1, 2, 2, 3]);
+    }
+}

@@ -42,8 +42,10 @@ pub fn local_ranks<T: Keyed>(sorted_local: &[T], probes: &[T::K]) -> Vec<u64> {
 
 /// Whether [`local_ranks`] answers `m` probes over `n` keys with binary
 /// searches (`~m log2 n`) rather than the linear merge sweep (`~n + m`).
-/// Exposed so cost accounting can charge the strategy actually executed.
-fn uses_binary_search(n: usize, m: usize) -> bool {
+/// Exposed so cost accounting can charge the strategy actually executed,
+/// and shared with [`crate::splitters::SplitterSet::bucket_boundaries`] so
+/// every adaptive probe-counting site follows the same rule.
+pub(crate) fn uses_binary_search(n: usize, m: usize) -> bool {
     let log_n = (usize::BITS - n.max(2).leading_zeros()) as usize;
     m * log_n <= n + m
 }
@@ -58,6 +60,32 @@ pub fn local_ranks_work(n: usize, m: usize) -> Work {
         Work::binary_search(m, n)
     } else {
         Work::scan(n + m)
+    }
+}
+
+/// Number of local keys less than *or equal to* each probe — the
+/// "`<=`-rank" flavour the approximate-histogram oracle queries
+/// ([`local_ranks`] counts strictly-smaller keys).  Same adaptive strategy:
+/// binary searches when the probe set is small, one merged linear sweep
+/// when it is dense relative to the data ([`local_ranks_work`] is the cost
+/// of either call).
+pub fn local_ranks_le<T: Keyed>(sorted_local: &[T], probes: &[T::K]) -> Vec<u64> {
+    debug_assert!(is_sorted_by_key(sorted_local), "local data must be sorted");
+    debug_assert!(probes.windows(2).all(|w| w[0] <= w[1]), "probes must be sorted");
+    let n = sorted_local.len();
+    let m = probes.len();
+    if uses_binary_search(n, m) {
+        probes.iter().map(|p| sorted_local.partition_point(|x| x.key() <= *p) as u64).collect()
+    } else {
+        let mut out = Vec::with_capacity(m);
+        let mut i = 0usize;
+        for p in probes {
+            while i < n && sorted_local[i].key() <= *p {
+                i += 1;
+            }
+            out.push(i as u64);
+        }
+        out
     }
 }
 
@@ -112,6 +140,27 @@ mod tests {
     fn local_ranks_counts_strictly_smaller_keys() {
         let data: Vec<u64> = vec![10, 20, 20, 30, 40];
         assert_eq!(local_ranks(&data, &[5, 10, 20, 25, 40, 100]), vec![0, 0, 1, 3, 4, 5]);
+    }
+
+    #[test]
+    fn local_ranks_le_counts_at_or_below() {
+        let data: Vec<u64> = vec![10, 20, 20, 30, 40];
+        assert_eq!(local_ranks_le(&data, &[5, 10, 20, 25, 40, 100]), vec![0, 1, 3, 3, 5, 5]);
+    }
+
+    #[test]
+    fn local_ranks_le_sweep_and_binary_search_agree() {
+        let data: Vec<u64> = (0..60).map(|i| i * 5 + 2).collect();
+        // Dense probe set -> merge sweep; verify against partition_point.
+        let probes: Vec<u64> = (0..500).map(|i| i as u64).collect();
+        let expect: Vec<u64> =
+            probes.iter().map(|p| data.partition_point(|x| x <= p) as u64).collect();
+        assert_eq!(local_ranks_le(&data, &probes), expect);
+        // Sparse probe set -> binary search branch.
+        let probes: Vec<u64> = vec![2, 7, 301];
+        let expect: Vec<u64> =
+            probes.iter().map(|p| data.partition_point(|x| x <= p) as u64).collect();
+        assert_eq!(local_ranks_le(&data, &probes), expect);
     }
 
     #[test]

@@ -38,13 +38,15 @@ pub use bucketize::{
 };
 pub use exchange::{exchange_and_merge, exchange_and_merge_with, ExchangeEngine, ExchangeMode};
 pub use histogram::{
-    global_ranks, is_sorted_by_key, local_range_counts, local_ranks, local_ranks_work,
+    global_ranks, is_sorted_by_key, local_range_counts, local_ranks, local_ranks_le,
+    local_ranks_work,
 };
 pub use intervals::{Bound, SplitterIntervals};
 pub use merge::{concat_sort_merge, kway_merge, kway_merge_slices, merge_runs_for};
 pub use sampling::{
     bernoulli_sample, bernoulli_sample_in_intervals, bernoulli_sample_range, count_in_intervals,
-    merge_key_intervals, random_block_sample, regular_sample, uniform_sample_discarding,
+    merge_key_intervals, merge_key_intervals_with, random_block_sample, regular_sample,
+    uniform_sample_discarding,
 };
 pub use select::{exact_rank, exact_splitters, global_sorted, verify_global_sort};
 pub use splitters::SplitterSet;

@@ -15,6 +15,7 @@
 use std::ops::Range;
 
 use hss_keygen::Keyed;
+use hss_lsort::{LocalSortAlgo, RadixSortable};
 use rand::Rng;
 
 /// Bernoulli-sample the keys of `sorted[range]`: each key is included
@@ -62,9 +63,19 @@ pub fn bernoulli_sample<T: Keyed, R: Rng>(sorted: &[T], prob: f64, rng: &mut R) 
 /// Merge possibly-overlapping inclusive key intervals into a minimal sorted
 /// set of disjoint intervals.  Used before interval-restricted sampling so
 /// keys covered by several splitter intervals are not sampled twice.
-pub fn merge_key_intervals<K: Ord + Copy>(mut intervals: Vec<(K, K)>) -> Vec<(K, K)> {
+pub fn merge_key_intervals<K: Ord + Copy + RadixSortable>(intervals: Vec<(K, K)>) -> Vec<(K, K)> {
+    merge_key_intervals_with(intervals, LocalSortAlgo::Comparison)
+}
+
+/// [`merge_key_intervals`] sorting the interval list with the configured
+/// local-sort algorithm (pairs radix-sort by the concatenated digit strings
+/// of their endpoints).
+pub fn merge_key_intervals_with<K: Ord + Copy + RadixSortable>(
+    mut intervals: Vec<(K, K)>,
+    algo: LocalSortAlgo,
+) -> Vec<(K, K)> {
     intervals.retain(|(lo, hi)| lo <= hi);
-    intervals.sort_unstable();
+    algo.sort_slice(&mut intervals);
     let mut out: Vec<(K, K)> = Vec::with_capacity(intervals.len());
     for (lo, hi) in intervals {
         match out.last_mut() {
@@ -89,9 +100,15 @@ pub fn bernoulli_sample_in_intervals<T: Keyed, R: Rng>(
     rng: &mut R,
 ) -> Vec<T::K> {
     let mut out = Vec::new();
+    // The intervals are sorted and disjoint, so every boundary lies at or
+    // beyond the previous one: each binary search runs on the still-open
+    // suffix instead of the whole slice (a merged sweep over the interval
+    // ends; matters when the interval count approaches log2 n).
+    let mut base = 0usize;
     for &(lo, hi) in intervals {
-        let start = sorted.partition_point(|x| x.key() < lo);
-        let end = sorted.partition_point(|x| x.key() <= hi);
+        let start = base + sorted[base..].partition_point(|x| x.key() < lo);
+        let end = start + sorted[start..].partition_point(|x| x.key() <= hi);
+        base = end;
         out.extend(bernoulli_sample_range(sorted, start..end, prob, rng));
     }
     out
@@ -99,14 +116,16 @@ pub fn bernoulli_sample_in_intervals<T: Keyed, R: Rng>(
 
 /// Number of local keys falling inside the (disjoint, sorted) intervals.
 pub fn count_in_intervals<T: Keyed>(sorted: &[T], intervals: &[(T::K, T::K)]) -> usize {
-    intervals
-        .iter()
-        .map(|&(lo, hi)| {
-            let start = sorted.partition_point(|x| x.key() < lo);
-            let end = sorted.partition_point(|x| x.key() <= hi);
-            end - start
-        })
-        .sum()
+    // Same suffix-narrowing sweep as `bernoulli_sample_in_intervals`.
+    let mut base = 0usize;
+    let mut count = 0usize;
+    for &(lo, hi) in intervals {
+        let start = base + sorted[base..].partition_point(|x| x.key() < lo);
+        let end = start + sorted[start..].partition_point(|x| x.key() <= hi);
+        base = end;
+        count += end - start;
+    }
+    count
 }
 
 /// Draw `count` keys uniformly at random (with replacement) from the whole

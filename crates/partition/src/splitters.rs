@@ -66,13 +66,31 @@ impl<K: Key> SplitterSet<K> {
     /// Boundaries of each bucket within a *sorted* slice of keyed items:
     /// returns `buckets + 1` offsets `b` such that bucket `i` is
     /// `sorted[b[i]..b[i+1]]`.
+    ///
+    /// Splitters are sorted, so the boundaries are found either by
+    /// per-splitter binary search (few splitters) or by one merged linear
+    /// sweep (splitter count at or above `log2 n`, the large-`p` bucketize
+    /// regime) — the same adaptive rule as
+    /// [`crate::histogram::local_ranks`], with identical results.
     pub fn bucket_boundaries<T: hss_keygen::Keyed<K = K>>(&self, sorted: &[T]) -> Vec<usize> {
+        let n = sorted.len();
+        let m = self.splitters.len();
         let mut bounds = Vec::with_capacity(self.buckets() + 1);
         bounds.push(0);
-        for s in &self.splitters {
-            bounds.push(sorted.partition_point(|x| x.key() < *s));
+        if crate::histogram::uses_binary_search(n, m) {
+            for s in &self.splitters {
+                bounds.push(sorted.partition_point(|x| x.key() < *s));
+            }
+        } else {
+            let mut i = 0usize;
+            for s in &self.splitters {
+                while i < n && sorted[i].key() < *s {
+                    i += 1;
+                }
+                bounds.push(i);
+            }
         }
-        bounds.push(sorted.len());
+        bounds.push(n);
         // Guard against unsorted splitters interacting with duplicate keys:
         // boundaries must be monotone.
         debug_assert!(bounds.windows(2).all(|w| w[0] <= w[1]));
@@ -142,6 +160,20 @@ mod tests {
         assert_eq!(&data[b[0]..b[1]], &[1, 5]);
         assert_eq!(&data[b[1]..b[2]], &[10, 10, 15]);
         assert_eq!(&data[b[2]..b[3]], &[20, 25]);
+    }
+
+    #[test]
+    fn bucket_boundaries_sweep_matches_binary_search() {
+        // Many splitters over little data forces the merged sweep; its
+        // boundaries must equal the per-splitter binary searches.
+        let data: Vec<u64> = (0..40).map(|i| i * 25).collect();
+        let splitters: Vec<u64> = (1..200).map(|i| i * 5).collect();
+        let s = SplitterSet::new(splitters.clone());
+        let got = s.bucket_boundaries(&data);
+        let mut expect = vec![0usize];
+        expect.extend(splitters.iter().map(|k| data.partition_point(|x| x < k)));
+        expect.push(data.len());
+        assert_eq!(got, expect);
     }
 
     #[test]

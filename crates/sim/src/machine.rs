@@ -101,6 +101,12 @@ impl Work {
         Self { ops: CostModel::sort_ops(n as u64) }
     }
 
+    /// Work of an MSD radix sort of `n` keys over `passes` byte levels
+    /// (`2·n·passes`: one classify read + one permute move per pass).
+    pub fn radix_sort(n: usize, passes: usize) -> Self {
+        Self { ops: CostModel::radix_sort_ops(n as u64, passes as u64) }
+    }
+
     /// Work of merging `n` keys from `pieces` sorted runs.
     pub fn merge(n: usize, pieces: usize) -> Self {
         Self { ops: CostModel::merge_ops(n as u64, pieces as u64) }

@@ -13,7 +13,7 @@
 use std::process::exit;
 
 use hss_repro::baselines::{
-    bitonic_sort, histogram_sort, over_partitioning_sort, radix_partition_sort, sample_sort,
+    bitonic_sort_with, histogram_sort, over_partitioning_sort, radix_partition_sort, sample_sort,
     HistogramSortConfig, OverPartitioningConfig, RadixConfig, SampleSortConfig,
 };
 use hss_repro::core::SortReport;
@@ -37,6 +37,8 @@ OPTIONS:
                            sample-random | histogram | overpartition | bitonic | radix
                                                                   [default: hss]
     --epsilon <F>          load-imbalance threshold               [default: 0.05]
+    --local-sort <NAME>    comparison | radix — local-sort algorithm for the
+                           per-rank sorts (default: LOCAL_SORT env, else radix)
     --threads <N>          host OS threads for the rayon pool (0 = auto;
                            default: RAYON_NUM_THREADS, else all cores)
     --sequential           run local phases sequentially (determinism oracle)
@@ -60,6 +62,7 @@ struct Args {
     dist: String,
     algorithm: String,
     epsilon: f64,
+    local_sort: LocalSortAlgo,
     threads: Option<usize>,
     sequential: bool,
     overlapped: bool,
@@ -80,6 +83,7 @@ impl Default for Args {
             dist: "uniform".to_string(),
             algorithm: "hss".to_string(),
             epsilon: 0.05,
+            local_sort: LocalSortAlgo::default(),
             threads: None,
             sequential: false,
             overlapped: false,
@@ -114,6 +118,13 @@ fn parse_args() -> Args {
             "--algorithm" => args.algorithm = value("--algorithm"),
             "--epsilon" => {
                 args.epsilon = value("--epsilon").parse().expect("--epsilon must be a float")
+            }
+            "--local-sort" => {
+                let v = value("--local-sort");
+                args.local_sort = LocalSortAlgo::parse(&v).unwrap_or_else(|| {
+                    eprintln!("--local-sort must be 'comparison' or 'radix' (got {v})");
+                    exit(2);
+                });
             }
             "--seed" => args.seed = value("--seed").parse().expect("--seed must be an integer"),
             "--threads" => {
@@ -192,35 +203,50 @@ fn run(args: &Args, input: Vec<Vec<u64>>) -> (Vec<Vec<u64>>, SortReport, Machine
             config.node_level = args.node_level;
             config.tag_duplicates = args.tag_duplicates;
             config.approximate_histograms = args.approx_histograms;
+            config.local_sort = args.local_sort;
             let outcome = HssSorter::new(config).sort(&mut machine, input);
             (outcome.data, outcome.report)
         }
         "sample-regular" => {
-            let (out, rep) =
-                sample_sort(&mut machine, &SampleSortConfig::regular(args.epsilon), input);
+            let cfg = SampleSortConfig {
+                local_sort: args.local_sort,
+                ..SampleSortConfig::regular(args.epsilon)
+            };
+            let (out, rep) = sample_sort(&mut machine, &cfg, input);
             (out, rep)
         }
         "sample-random" => {
-            let (out, rep) =
-                sample_sort(&mut machine, &SampleSortConfig::random(args.epsilon), input);
+            let cfg = SampleSortConfig {
+                local_sort: args.local_sort,
+                ..SampleSortConfig::random(args.epsilon)
+            };
+            let (out, rep) = sample_sort(&mut machine, &cfg, input);
             (out, rep)
         }
         "histogram" => {
-            let cfg = HistogramSortConfig::new(args.epsilon, args.ranks);
+            let mut cfg = HistogramSortConfig::new(args.epsilon, args.ranks);
+            cfg.local_sort = args.local_sort;
             let (out, rep) = histogram_sort(&mut machine, &cfg, input);
             (out, rep)
         }
         "overpartition" => {
-            let cfg = OverPartitioningConfig::recommended(args.ranks);
+            let mut cfg = OverPartitioningConfig::recommended(args.ranks);
+            cfg.local_sort = args.local_sort;
             let (out, rep) = over_partitioning_sort(&mut machine, &cfg, input);
             (out, rep)
         }
         "bitonic" => {
-            let (out, rep) = bitonic_sort(&mut machine, input);
+            let (out, rep) = bitonic_sort_with(
+                &mut machine,
+                input,
+                hss_repro::partition::ExchangeEngine::Flat,
+                args.local_sort,
+            );
             (out, rep)
         }
         "radix" => {
-            let cfg = RadixConfig::recommended(args.ranks);
+            let mut cfg = RadixConfig::recommended(args.ranks);
+            cfg.local_sort = args.local_sort;
             let (out, rep) = radix_partition_sort(&mut machine, &cfg, input);
             (out, rep)
         }
@@ -299,6 +325,8 @@ fn main() {
 
     println!("\nalgorithm        : {}", report.algorithm);
     println!("sync model       : {}", report.sync_model);
+    println!("local sort       : {}", report.local_sort);
+    println!("local sort wall  : {:.3} s", report.metrics.phase(Phase::LocalSort).wall_seconds);
     println!("simulated time   : {:.6} s", report.simulated_seconds());
     println!("simulated makespan: {:.6} s", report.makespan_seconds);
     println!("host wall time   : {wall:.3} s");

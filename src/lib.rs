@@ -6,6 +6,8 @@
 //!
 //! * [`sim`] — the BSP cluster simulator substrate ([`hss_sim`]);
 //! * [`keygen`] — key types and workload generators ([`hss_keygen`]);
+//! * [`lsort`] — the in-place MSD radix local-sort subsystem
+//!   ([`hss_lsort`]);
 //! * [`partition`] — shared partitioning primitives ([`hss_partition`]);
 //! * [`core`] — Histogram Sort with Sampling itself ([`hss_core`]);
 //! * [`baselines`] — the comparison algorithms ([`hss_baselines`]);
@@ -28,12 +30,15 @@ pub use hss_analysis as analysis;
 pub use hss_baselines as baselines;
 pub use hss_core as core;
 pub use hss_keygen as keygen;
+pub use hss_lsort as lsort;
 pub use hss_partition as partition;
 pub use hss_sim as sim;
 
 /// The most commonly used types, for glob import.
 pub mod prelude {
-    pub use hss_core::{HssConfig, HssSorter, RoundSchedule, SortOutcome, SplitterRule};
+    pub use hss_core::{
+        HssConfig, HssSorter, LocalSortAlgo, RoundSchedule, SortOutcome, SplitterRule,
+    };
     pub use hss_keygen::{ChangaDataset, Key, KeyDistribution, Keyed, Record, TaggedKey};
     pub use hss_partition::{LoadBalance, SplitterSet};
     pub use hss_sim::{CostModel, Machine, Parallelism, Phase, SyncModel, Timeline, Topology};

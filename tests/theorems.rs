@@ -155,7 +155,13 @@ fn theorem_3_4_1_approximate_rank_error_bound() {
         let data = sorted_input(KeyDistribution::PowerLaw { gamma: 3.0 }, p, n, 400 + t);
         let mut machine = Machine::flat(p);
         let s = ApproxHistogrammer::<u64>::prescribed_sample_size(p, eps);
-        let oracle = ApproxHistogrammer::build(&mut machine, &data, s, t);
+        let oracle = ApproxHistogrammer::build(
+            &mut machine,
+            &data,
+            s,
+            t,
+            hss_repro::core::LocalSortAlgo::Radix,
+        );
         let queries: Vec<u64> = (1..16).map(|i| i * (u64::MAX / 16)).collect();
         let estimates = oracle.estimated_global_ranks(&mut machine, &queries);
         for (q, est) in queries.iter().zip(estimates.iter()) {
