@@ -18,6 +18,7 @@ use crate::common::local_sort_phase_with;
 
 /// Block bitonic sort, end to end.  Requires the rank count to be a power of
 /// two.
+#[deprecated(note = "dispatch through the `Sorter` trait via `SortRequest` instead")]
 pub fn bitonic_sort<T: Keyed + Ord + RadixSortable>(
     machine: &mut Machine,
     input: Vec<Vec<T>>,
@@ -142,6 +143,7 @@ fn compare_split_step<T: Keyed + Ord + RadixSortable>(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // unit tests exercise the legacy wrappers on purpose
 mod tests {
     use super::*;
     use hss_keygen::KeyDistribution;

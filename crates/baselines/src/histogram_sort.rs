@@ -175,6 +175,7 @@ where
 }
 
 /// Classic histogram sort end to end.
+#[deprecated(note = "dispatch through the `Sorter` trait via `SortRequest` instead")]
 pub fn histogram_sort<T>(
     machine: &mut Machine,
     config: &HistogramSortConfig,
@@ -246,6 +247,7 @@ fn clamp_key<K: Key>(k: K, lo: K, hi: K) -> K {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // unit tests exercise the legacy wrappers on purpose
 mod tests {
     use super::*;
     use hss_core::{determine_splitters, HssConfig};

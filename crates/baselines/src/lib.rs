@@ -12,6 +12,13 @@
 //! | [`over_partitioning`] | Parallel sorting by over-partitioning (Li & Sevcik) | §4.2 |
 //! | [`bitonic`] | Block bitonic sort (Batcher) | §4.2 |
 //! | [`radix`] | MSD radix partitioning | §4.2 |
+//! | [`sorters`] | [`hss_core::Sorter`] impls for every baseline + the [`sorters::standard_sorters`] registry | — |
+//!
+//! The preferred entry point is the unified [`hss_core::Sorter`] trait
+//! (see [`sorters`]): every config type here implements it, so one
+//! `SortRequest` drives any algorithm.  The plain free functions
+//! (`sample_sort`, `histogram_sort`, ...) are deprecated thin wrappers
+//! kept for the existing differential suites.
 
 #![warn(missing_docs)]
 
@@ -21,14 +28,25 @@ pub mod histogram_sort;
 pub mod over_partitioning;
 pub mod radix;
 pub mod sample_sort;
+pub mod sorters;
 
-pub use bitonic::{bitonic_sort, bitonic_sort_with, bitonic_sort_with_engine};
+// The deprecated free functions stay re-exported so the differential
+// suites keep their historical import paths.
+#[allow(deprecated)]
+pub use bitonic::bitonic_sort;
+pub use bitonic::{bitonic_sort_with, bitonic_sort_with_engine};
+#[allow(deprecated)]
+pub use histogram_sort::histogram_sort;
 pub use histogram_sort::{
-    histogram_sort, histogram_sort_splitters, histogram_sort_with_engine, HistogramSortConfig,
-    SubdividableKey,
+    histogram_sort_splitters, histogram_sort_with_engine, HistogramSortConfig, SubdividableKey,
 };
-pub use over_partitioning::{
-    over_partitioning_sort, over_partitioning_sort_with_engine, OverPartitioningConfig,
-};
-pub use radix::{radix_partition_sort, radix_partition_sort_with_engine, RadixConfig, RadixKeyed};
-pub use sample_sort::{sample_sort, sample_sort_with_engine, SampleSortConfig, SamplingMethod};
+#[allow(deprecated)]
+pub use over_partitioning::over_partitioning_sort;
+pub use over_partitioning::{over_partitioning_sort_with_engine, OverPartitioningConfig};
+#[allow(deprecated)]
+pub use radix::radix_partition_sort;
+pub use radix::{radix_partition_sort_with_engine, RadixConfig, RadixKeyed};
+#[allow(deprecated)]
+pub use sample_sort::sample_sort;
+pub use sample_sort::{sample_sort_with_engine, SampleSortConfig, SamplingMethod};
+pub use sorters::{standard_sorters, BitonicSorter};

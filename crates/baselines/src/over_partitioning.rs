@@ -47,6 +47,7 @@ impl OverPartitioningConfig {
 }
 
 /// Parallel sorting by over-partitioning, end to end.
+#[deprecated(note = "dispatch through the `Sorter` trait via `SortRequest` instead")]
 pub fn over_partitioning_sort<T>(
     machine: &mut Machine,
     config: &OverPartitioningConfig,
@@ -150,6 +151,7 @@ fn group_contiguously(loads: &[u64], groups: usize) -> Vec<usize> {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // unit tests exercise the legacy wrappers on purpose
 mod tests {
     use super::*;
     use hss_keygen::KeyDistribution;

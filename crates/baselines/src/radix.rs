@@ -64,6 +64,7 @@ impl RadixKeyed for hss_keygen::Record {
 }
 
 /// MSD radix partitioning followed by a local sort.
+#[deprecated(note = "dispatch through the `Sorter` trait via `SortRequest` instead")]
 pub fn radix_partition_sort<T: RadixKeyed + Ord + RadixSortable>(
     machine: &mut Machine,
     config: &RadixConfig,
@@ -208,6 +209,7 @@ fn merge_received<T: Keyed + Ord>(runs: Vec<Vec<T>>) -> Vec<T> {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // unit tests exercise the legacy wrappers on purpose
 mod tests {
     use super::*;
     use hss_keygen::KeyDistribution;

@@ -99,6 +99,7 @@ fn algorithm_name(method: SamplingMethod) -> &'static str {
 
 /// Run sample sort end to end and return the per-rank sorted output plus a
 /// report.
+#[deprecated(note = "dispatch through the `Sorter` trait via `SortRequest` instead")]
 pub fn sample_sort<T>(
     machine: &mut Machine,
     config: &SampleSortConfig,
@@ -172,6 +173,7 @@ where
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // unit tests exercise the legacy wrappers on purpose
 mod tests {
     use super::*;
     use hss_keygen::KeyDistribution;

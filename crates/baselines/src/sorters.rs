@@ -1,0 +1,203 @@
+//! [`Sorter`] implementations for every baseline, plus a registry.
+//!
+//! Each baseline's config type implements the unified
+//! [`hss_core::Sorter`] trait, so one `SortRequest` signature serves the
+//! whole comparison field: benchmarks iterate a `Vec<Box<dyn Sorter<u64>>>`
+//! instead of hand-writing one call per algorithm, and the historical free
+//! functions (`sample_sort`, `histogram_sort`, ...) become deprecated thin
+//! wrappers kept for the differential suites.
+
+use hss_core::{SortOutcome, Sorter};
+use hss_keygen::Keyed;
+use hss_lsort::RadixSortable;
+use hss_partition::ExchangeEngine;
+use hss_sim::Machine;
+
+use crate::bitonic::bitonic_sort_with_engine;
+use crate::histogram_sort::{histogram_sort_with_engine, HistogramSortConfig, SubdividableKey};
+use crate::over_partitioning::{over_partitioning_sort_with_engine, OverPartitioningConfig};
+use crate::radix::{radix_partition_sort_with_engine, RadixConfig, RadixKeyed};
+use crate::sample_sort::{sample_sort_with_engine, SampleSortConfig, SamplingMethod};
+
+/// Marker for the bitonic baseline, which has no tunable configuration.
+/// Requires a power-of-two rank count, like [`bitonic_sort_with_engine`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BitonicSorter;
+
+impl<T> Sorter<T> for SampleSortConfig
+where
+    T: Keyed + Ord + RadixSortable + Clone,
+    T::K: RadixSortable,
+{
+    fn algorithm(&self) -> &'static str {
+        match self.method {
+            SamplingMethod::Regular => "sample-sort-regular",
+            SamplingMethod::Random => "sample-sort-random",
+        }
+    }
+
+    fn sort_with_engine(
+        &self,
+        machine: &mut Machine,
+        input: Vec<Vec<T>>,
+        engine: ExchangeEngine,
+    ) -> SortOutcome<T> {
+        let (data, report) = sample_sort_with_engine(machine, self, input, engine);
+        SortOutcome { data, report }
+    }
+}
+
+impl<T> Sorter<T> for HistogramSortConfig
+where
+    T: Keyed + Ord + RadixSortable + Clone,
+    T::K: SubdividableKey + RadixSortable,
+{
+    fn algorithm(&self) -> &'static str {
+        "histogram-sort-classic"
+    }
+
+    fn sort_with_engine(
+        &self,
+        machine: &mut Machine,
+        input: Vec<Vec<T>>,
+        engine: ExchangeEngine,
+    ) -> SortOutcome<T> {
+        let (data, report) = histogram_sort_with_engine(machine, self, input, engine);
+        SortOutcome { data, report }
+    }
+}
+
+impl<T> Sorter<T> for OverPartitioningConfig
+where
+    T: Keyed + Ord + RadixSortable + Clone,
+    T::K: RadixSortable,
+{
+    fn algorithm(&self) -> &'static str {
+        "over-partitioning"
+    }
+
+    fn sort_with_engine(
+        &self,
+        machine: &mut Machine,
+        input: Vec<Vec<T>>,
+        engine: ExchangeEngine,
+    ) -> SortOutcome<T> {
+        let (data, report) = over_partitioning_sort_with_engine(machine, self, input, engine);
+        SortOutcome { data, report }
+    }
+}
+
+impl<T> Sorter<T> for RadixConfig
+where
+    T: RadixKeyed + Ord + RadixSortable + Clone,
+    T::K: RadixSortable,
+{
+    fn algorithm(&self) -> &'static str {
+        "radix-partition"
+    }
+
+    fn sort_with_engine(
+        &self,
+        machine: &mut Machine,
+        input: Vec<Vec<T>>,
+        engine: ExchangeEngine,
+    ) -> SortOutcome<T> {
+        let (data, report) = radix_partition_sort_with_engine(machine, self, input, engine);
+        SortOutcome { data, report }
+    }
+}
+
+impl<T> Sorter<T> for BitonicSorter
+where
+    T: Keyed + Ord + RadixSortable + Clone,
+    T::K: RadixSortable,
+{
+    fn algorithm(&self) -> &'static str {
+        "bitonic"
+    }
+
+    fn sort_with_engine(
+        &self,
+        machine: &mut Machine,
+        input: Vec<Vec<T>>,
+        engine: ExchangeEngine,
+    ) -> SortOutcome<T> {
+        let (data, report) = bitonic_sort_with_engine(machine, input, engine);
+        SortOutcome { data, report }
+    }
+}
+
+/// All five baselines plus HSS over `u64` keys, with the configurations the
+/// paper's evaluation uses (`epsilon` threshold where the algorithm takes
+/// one, recommended settings otherwise).  The bitonic entry requires a
+/// power-of-two `ranks`.
+pub fn standard_sorters(ranks: usize, epsilon: f64) -> Vec<Box<dyn Sorter<u64>>> {
+    vec![
+        Box::new(hss_core::HssSorter::new(hss_core::HssConfig::default().with_epsilon(epsilon))),
+        Box::new(SampleSortConfig::regular(epsilon)),
+        Box::new(SampleSortConfig::random(epsilon)),
+        Box::new(HistogramSortConfig::new(epsilon, ranks)),
+        Box::new(OverPartitioningConfig::recommended(ranks)),
+        Box::new(RadixConfig::recommended(ranks)),
+        Box::new(BitonicSorter),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hss_core::SortRequest;
+    use hss_keygen::KeyDistribution;
+
+    #[test]
+    fn registry_sorts_and_labels_consistently() {
+        let p = 8; // power of two for the bitonic entry
+        for sorter in standard_sorters(p, 0.1) {
+            let input = KeyDistribution::Uniform.generate_per_rank(p, 300, 7);
+            let mut machine = Machine::flat(p);
+            let outcome = sorter
+                .run(&mut machine, SortRequest::new(input).verified())
+                .unwrap_or_else(|e| panic!("{} failed verification: {e}", sorter.algorithm()));
+            assert_eq!(
+                outcome.report.algorithm,
+                sorter.algorithm(),
+                "report/trait algorithm name mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn trait_dispatch_matches_with_engine_call_bitwise() {
+        let p = 8;
+        let input = KeyDistribution::PowerLaw { gamma: 4.0 }.generate_per_rank(p, 300, 5);
+        let cfg = SampleSortConfig::regular(0.2);
+
+        let mut direct_machine = Machine::flat(p);
+        let (direct, _) =
+            sample_sort_with_engine(&mut direct_machine, &cfg, input.clone(), ExchangeEngine::Flat);
+
+        let mut trait_machine = Machine::flat(p);
+        let through_trait = cfg.run(&mut trait_machine, SortRequest::new(input)).unwrap();
+
+        assert_eq!(direct, through_trait.data);
+        assert_eq!(
+            direct_machine.metrics().deterministic_signature(),
+            trait_machine.metrics().deterministic_signature()
+        );
+    }
+
+    #[test]
+    fn explicit_nested_engine_is_honoured() {
+        let p = 4;
+        let input = KeyDistribution::Uniform.generate_per_rank(p, 200, 3);
+        let cfg = OverPartitioningConfig::recommended(p);
+        let mut machine = Machine::flat(p);
+        let outcome = cfg
+            .run(
+                &mut machine,
+                SortRequest::new(input).with_engine(ExchangeEngine::Nested).verified(),
+            )
+            .unwrap();
+        assert_eq!(outcome.report.algorithm, "over-partitioning");
+    }
+}

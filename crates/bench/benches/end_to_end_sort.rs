@@ -1,13 +1,14 @@
 //! Criterion micro-benchmark: end-to-end distributed sort, HSS versus every
 //! baseline, on the same uniform input (the measured counterpart of the
 //! "who wins overall" comparison in §5.1/§6.2).
+//!
+//! The contenders come from the unified [`hss_baselines::standard_sorters`]
+//! registry and dispatch through the [`hss_core::Sorter`] trait, so adding
+//! an algorithm to the registry automatically adds it here.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use hss_baselines::{
-    bitonic_sort, histogram_sort, over_partitioning_sort, radix_partition_sort, sample_sort,
-    HistogramSortConfig, OverPartitioningConfig, RadixConfig, SampleSortConfig,
-};
-use hss_core::{HssConfig, HssSorter};
+use hss_baselines::standard_sorters;
+use hss_core::SortRequest;
 use hss_keygen::KeyDistribution;
 use hss_sim::Machine;
 
@@ -26,60 +27,14 @@ fn bench_end_to_end(c: &mut Criterion) {
     group.sample_size(10);
     group.throughput(Throughput::Elements(total_keys));
 
-    group.bench_function(BenchmarkId::new("sort", "hss"), |b| {
-        let sorter = HssSorter::new(HssConfig { epsilon: EPS, ..HssConfig::default() });
-        b.iter(|| {
-            let mut machine = Machine::flat(P);
-            sorter.sort(&mut machine, data.clone())
-        })
-    });
-
-    group.bench_function(BenchmarkId::new("sort", "sample_sort_regular"), |b| {
-        let cfg = SampleSortConfig::regular(EPS);
-        b.iter(|| {
-            let mut machine = Machine::flat(P);
-            sample_sort(&mut machine, &cfg, data.clone())
-        })
-    });
-
-    group.bench_function(BenchmarkId::new("sort", "sample_sort_random"), |b| {
-        let cfg = SampleSortConfig::random(EPS);
-        b.iter(|| {
-            let mut machine = Machine::flat(P);
-            sample_sort(&mut machine, &cfg, data.clone())
-        })
-    });
-
-    group.bench_function(BenchmarkId::new("sort", "histogram_sort_classic"), |b| {
-        let cfg = HistogramSortConfig::new(EPS, P);
-        b.iter(|| {
-            let mut machine = Machine::flat(P);
-            histogram_sort(&mut machine, &cfg, data.clone())
-        })
-    });
-
-    group.bench_function(BenchmarkId::new("sort", "over_partitioning"), |b| {
-        let cfg = OverPartitioningConfig::recommended(P);
-        b.iter(|| {
-            let mut machine = Machine::flat(P);
-            over_partitioning_sort(&mut machine, &cfg, data.clone())
-        })
-    });
-
-    group.bench_function(BenchmarkId::new("sort", "bitonic"), |b| {
-        b.iter(|| {
-            let mut machine = Machine::flat(P);
-            bitonic_sort(&mut machine, data.clone())
-        })
-    });
-
-    group.bench_function(BenchmarkId::new("sort", "radix_partition"), |b| {
-        let cfg = RadixConfig::recommended(P);
-        b.iter(|| {
-            let mut machine = Machine::flat(P);
-            radix_partition_sort(&mut machine, &cfg, data.clone())
-        })
-    });
+    for sorter in standard_sorters(P, EPS) {
+        group.bench_function(BenchmarkId::new("sort", sorter.algorithm()), |b| {
+            b.iter(|| {
+                let mut machine = Machine::flat(P);
+                sorter.run(&mut machine, SortRequest::new(data.clone())).expect("sort")
+            })
+        });
+    }
 
     group.finish();
 }

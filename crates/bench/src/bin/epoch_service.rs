@@ -1,0 +1,62 @@
+//! Epoch service: warm-started splitter determination over a drifting
+//! ingest stream (§3.3 applied across epochs), versus a cold-every-epoch
+//! control arm on identical batches.
+//!
+//! Each `(p, drift)` cell seals several epochs in a [`hss_service::SortService`]
+//! and in a warm-start-disabled control service, then issues percentile +
+//! rank queries against the sealed keyspace and checks the estimates
+//! against exact ranks (Theorem 3.4.1).  Results are written to
+//! `results/epoch_service.json`.
+
+use hss_bench::experiments::epoch_service_rows;
+use hss_bench::output::{format_seconds, print_table, save_json};
+use hss_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    let seed = hss_bench::experiment_seed();
+    let rows = epoch_service_rows(scale, seed);
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.processors.to_string(),
+                r.keys_per_rank.to_string(),
+                format!("{:.2}", r.drift),
+                r.epochs.to_string(),
+                r.warm_rounds.to_string(),
+                r.cold_rounds.to_string(),
+                format!("{:+}", r.rounds_saved),
+                format!("{:.0}", r.warm_sample_keys),
+                format!("{:.0}", r.cold_sample_keys),
+                format_seconds(r.warm_makespan_seconds),
+                format_seconds(r.cold_makespan_seconds),
+                format_seconds(r.query_seconds_per_call),
+                format!("{:.0}/{:.0}", r.max_rank_error, r.rank_error_allowance),
+                format!("{:.3}", r.max_imbalance),
+            ]
+        })
+        .collect();
+    print_table(
+        "Epoch service: warm-started vs cold splitter determination per epoch",
+        &[
+            "p",
+            "keys/rank/ep",
+            "drift",
+            "epochs",
+            "warm rnds",
+            "cold rnds",
+            "saved",
+            "warm smpl",
+            "cold smpl",
+            "warm time",
+            "cold time",
+            "query",
+            "rank err/allow",
+            "imbalance",
+        ],
+        &table,
+    );
+    save_json("epoch_service.json", &rows);
+}

@@ -792,6 +792,139 @@ pub fn overlap_speedup_rows(scale: Scale, seed: u64) -> Vec<OverlapSpeedupRow> {
     rows
 }
 
+// ---------------------------------------------------------------------------
+// Epoch service — warm-started splitters over a drifting keyspace
+// ---------------------------------------------------------------------------
+
+/// One row of the epoch-service experiment: one `(p, drift)` cell, warm
+/// service vs cold-every-epoch control on identical ingest streams.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EpochServiceRow {
+    /// Simulated ranks `p`.
+    pub processors: usize,
+    /// Keys ingested per rank per epoch.
+    pub keys_per_rank: usize,
+    /// Ingest-window drift per epoch (fraction of the window width).
+    pub drift: f64,
+    /// Epochs sealed (epoch 0 is cold in both arms).
+    pub epochs: usize,
+    /// Total splitter rounds over warm epochs `1..` with warm starts on.
+    pub warm_rounds: usize,
+    /// The same total with warm starts disabled (the control arm).
+    pub cold_rounds: usize,
+    /// `cold_rounds - warm_rounds` (positive = the warm start paid off).
+    pub rounds_saved: i64,
+    /// Mean sampled keys per warm epoch (warm arm).
+    pub warm_sample_keys: f64,
+    /// Mean sampled keys per warm epoch (control arm).
+    pub cold_sample_keys: f64,
+    /// Summed simulated sort makespan over epochs `1..`, warm arm.
+    pub warm_makespan_seconds: f64,
+    /// Summed simulated sort makespan over epochs `1..`, control arm.
+    pub cold_makespan_seconds: f64,
+    /// Mean simulated seconds per rank query against the final keyspace.
+    pub query_seconds_per_call: f64,
+    /// Largest `|estimated - exact|` rank error over the issued queries.
+    pub max_rank_error: f64,
+    /// The Theorem 3.4.1 error allowance `εN/p` for the final keyspace
+    /// (doubled for sampling constants, as in the oracle's own tests).
+    pub rank_error_allowance: f64,
+    /// Worst per-epoch load imbalance observed in the warm arm.
+    pub max_imbalance: f64,
+}
+
+/// HSS configuration used by both arms of the epoch-service experiment:
+/// tight tolerance + constant oversampling so the cold start genuinely
+/// needs several histogramming rounds (otherwise there is nothing to save).
+fn epoch_service_hss(seed: u64) -> HssConfig {
+    HssConfig::default()
+        .with_epsilon(0.02)
+        .with_schedule(RoundSchedule::ConstantOversampling { oversampling: 4.0, max_rounds: 32 })
+        .with_seed(seed)
+}
+
+/// Run the epoch service over a drifting ingest stream, with and without
+/// warm starts, on identical batches; then issue rank queries against the
+/// sealed keyspace and compare the estimates with exact ranks.
+pub fn epoch_service_rows(scale: Scale, seed: u64) -> Vec<EpochServiceRow> {
+    use hss_service::{DriftingWorkload, ServiceConfig, SortService};
+
+    let epochs = scale.epoch_service_epochs();
+    let query_count = scale.epoch_service_queries();
+    let mut rows = Vec::new();
+    for (p, keys_per_rank) in scale.epoch_service_points() {
+        for drift in scale.epoch_service_drifts() {
+            let base = ServiceConfig::new(epoch_service_hss(seed)).expect("valid service config");
+            let mut warm_service: SortService<u64> = SortService::new(p, base.clone());
+            let mut cold_service: SortService<u64> = SortService::new(p, base.without_warm_start());
+
+            let mut workload = DriftingWorkload::new(p, keys_per_rank, drift, seed);
+            for _ in 0..epochs {
+                let batch = workload.next_batch();
+                warm_service.ingest_per_rank(batch.clone());
+                cold_service.ingest_per_rank(batch);
+                warm_service.seal_epoch();
+                cold_service.seal_epoch();
+            }
+
+            let mean_sample = |eps: &[hss_service::EpochReport]| {
+                eps.iter().map(|e| e.splitters.total_sample_size as f64).sum::<f64>()
+                    / eps.len().max(1) as f64
+            };
+            let warm_epochs = &warm_service.history()[1..];
+            let cold_epochs = &cold_service.history()[1..];
+            let warm_rounds: usize = warm_epochs.iter().map(|e| e.splitter_rounds).sum();
+            let cold_rounds: usize = cold_epochs.iter().map(|e| e.splitter_rounds).sum();
+            let warm_sample_keys = mean_sample(warm_epochs);
+            let cold_sample_keys = mean_sample(cold_epochs);
+            let warm_makespan_seconds: f64 = warm_epochs.iter().map(|e| e.makespan_seconds).sum();
+            let cold_makespan_seconds: f64 = cold_epochs.iter().map(|e| e.makespan_seconds).sum();
+            let max_imbalance =
+                warm_service.history().iter().map(|e| e.load_balance.imbalance).fold(0.0, f64::max);
+
+            // Rank queries between epochs: spread over the final keyspace,
+            // timed via the Phase::Query charge and checked against the
+            // exact rank.
+            let total = warm_service.total_keys();
+            let query_start =
+                warm_service.machine().metrics().phase(Phase::Query).simulated_seconds;
+            let mut max_rank_error: f64 = 0.0;
+            for i in 0..query_count {
+                let q = (i as f64 + 0.5) / query_count as f64;
+                let key = warm_service.percentile(q);
+                let estimated = warm_service.rank(key);
+                // `hss_partition::exact_rank` counts strictly-smaller keys;
+                // the oracle answers `<=`-ranks, so count equals too.
+                let exact =
+                    warm_service.keyspace().iter().flatten().filter(|&&k| k <= key).count() as f64;
+                max_rank_error = max_rank_error.max((estimated - exact).abs());
+            }
+            let query_seconds =
+                warm_service.machine().metrics().phase(Phase::Query).simulated_seconds
+                    - query_start;
+
+            rows.push(EpochServiceRow {
+                processors: p,
+                keys_per_rank,
+                drift,
+                epochs,
+                warm_rounds,
+                cold_rounds,
+                rounds_saved: cold_rounds as i64 - warm_rounds as i64,
+                warm_sample_keys,
+                cold_sample_keys,
+                warm_makespan_seconds,
+                cold_makespan_seconds,
+                query_seconds_per_call: query_seconds / (2 * query_count).max(1) as f64,
+                max_rank_error,
+                rank_error_allowance: 2.0 * 0.02 * total as f64 / p as f64,
+                max_imbalance,
+            });
+        }
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -861,6 +994,38 @@ mod tests {
             // Frozen splitters must not break the balance guarantee
             // (epsilon = 0.02 plus slack for freezing mid-refinement).
             assert!(r.imbalance_overlapped < 1.1, "imbalance {}", r.imbalance_overlapped);
+        }
+    }
+
+    #[test]
+    fn epoch_service_rows_save_rounds_on_stationary_streams() {
+        let rows = epoch_service_rows(Scale::Smoke, 41);
+        let expected =
+            Scale::Smoke.epoch_service_points().len() * Scale::Smoke.epoch_service_drifts().len();
+        assert_eq!(rows.len(), expected);
+        for r in &rows {
+            assert!(r.warm_rounds >= 1 && r.cold_rounds >= 1);
+            assert!(r.warm_makespan_seconds > 0.0 && r.cold_makespan_seconds > 0.0);
+            assert!(r.max_imbalance <= 1.0 + 0.02 + 1e-9, "imbalance {}", r.max_imbalance);
+            assert!(
+                r.max_rank_error <= r.rank_error_allowance,
+                "drift {}: rank error {} above allowance {}",
+                r.drift,
+                r.max_rank_error,
+                r.rank_error_allowance
+            );
+            // The tentpole claim: on a stationary stream the warm start
+            // saves histogramming rounds and never samples more keys.
+            if r.drift == 0.0 {
+                assert!(
+                    r.rounds_saved > 0,
+                    "p={}: warm {} rounds vs cold {}",
+                    r.processors,
+                    r.warm_rounds,
+                    r.cold_rounds
+                );
+                assert!(r.warm_sample_keys <= r.cold_sample_keys);
+            }
         }
     }
 

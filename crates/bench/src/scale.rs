@@ -193,6 +193,47 @@ impl Scale {
             Scale::Full => (128, 50_000),
         }
     }
+
+    /// `(simulated ranks, ingested keys per rank per epoch)` for the epoch
+    /// service experiment.  The per-epoch batch must be large enough that
+    /// the binomial rank noise of one fresh batch (`~√(N_batch)/2`) stays
+    /// below the finalization tolerance `εN/(2p)`, otherwise even a
+    /// stationary distribution cannot warm-finalize early.
+    pub fn epoch_service_points(&self) -> Vec<(usize, usize)> {
+        match self {
+            Scale::Smoke => vec![(16, 800)],
+            Scale::Default => vec![(32, 3_000), (64, 2_000)],
+            Scale::Full => vec![(64, 4_000), (128, 3_000)],
+        }
+    }
+
+    /// Epochs sealed per service run (epoch 0 is the cold start; warm
+    /// statistics are over epochs `1..`).
+    pub fn epoch_service_epochs(&self) -> usize {
+        match self {
+            Scale::Smoke => 3,
+            Scale::Default => 5,
+            Scale::Full => 6,
+        }
+    }
+
+    /// Window-drift fractions swept (0 = stationary, 1 = the ingest window
+    /// moves a full window width per epoch).
+    pub fn epoch_service_drifts(&self) -> Vec<f64> {
+        match self {
+            Scale::Smoke => vec![0.0, 1.0],
+            Scale::Default | Scale::Full => vec![0.0, 0.05, 0.25, 1.0],
+        }
+    }
+
+    /// Rank queries issued between epochs to measure query latency/error.
+    pub fn epoch_service_queries(&self) -> usize {
+        match self {
+            Scale::Smoke => 8,
+            Scale::Default => 32,
+            Scale::Full => 64,
+        }
+    }
 }
 
 impl fmt::Display for Scale {

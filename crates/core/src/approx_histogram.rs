@@ -40,14 +40,32 @@ impl<K: Ord + Copy> RepresentativeSample<K> {
         self.samples.is_empty()
     }
 
-    /// Estimated number of *local* keys strictly below `key`:
-    /// `(local count of samples <= key) × block size`.
-    pub fn estimated_local_rank(&self, key: K) -> f64 {
+    /// Estimated number of *local* keys less than **or equal to** `key`:
+    /// `(count of samples <= key) × block size`.
+    ///
+    /// The `<=` semantics is deliberate and load-bearing: it matches
+    /// [`hss_partition::local_ranks_le`], which the distributed estimate
+    /// ([`ApproxHistogrammer::estimated_global_ranks`]) and the epoch
+    /// service's query API are built on, so the Theorem 3.4.1 `εN/p` bound
+    /// applies to `<=`-ranks throughout.  (An earlier revision documented
+    /// "strictly below" while counting `<=`; the name now states the
+    /// semantics.)
+    pub fn estimated_local_rank_le(&self, key: K) -> f64 {
         if self.samples.is_empty() {
             return 0.0;
         }
-        let below = self.samples.partition_point(|s| *s <= key);
-        below as f64 * self.local_len as f64 / self.samples.len() as f64
+        let below_or_equal = self.samples.partition_point(|s| *s <= key);
+        below_or_equal as f64 * self.local_len as f64 / self.samples.len() as f64
+    }
+
+    /// The sorted sampled keys.
+    pub fn samples(&self) -> &[K] {
+        &self.samples
+    }
+
+    /// Number of local keys the sample represents.
+    pub fn local_len(&self) -> usize {
+        self.local_len
     }
 }
 
@@ -97,6 +115,12 @@ impl<K: hss_keygen::Key> ApproxHistogrammer<K> {
         self.per_rank.len()
     }
 
+    /// The per-rank representative samples (the epoch service gathers these
+    /// into its root-side percentile index).
+    pub fn per_rank_samples(&self) -> &[RepresentativeSample<K>] {
+        &self.per_rank
+    }
+
     /// Total number of sampled keys across all ranks.
     pub fn total_sample_size(&self) -> usize {
         self.per_rank.iter().map(|s| s.len()).sum()
@@ -115,6 +139,19 @@ impl<K: hss_keygen::Key> ApproxHistogrammer<K> {
     /// executed ([`local_ranks_work`]), mirroring
     /// [`hss_partition::global_ranks`].
     pub fn estimated_global_ranks(&self, machine: &mut Machine, queries: &[K]) -> Vec<f64> {
+        self.estimated_global_ranks_in(machine, queries, Phase::Histogramming)
+    }
+
+    /// [`Self::estimated_global_ranks`] charged to an explicit `phase` —
+    /// the epoch service charges its between-epoch rank queries to
+    /// [`Phase::Query`] so splitter-determination and query-serving costs
+    /// stay separable in the metrics.
+    pub fn estimated_global_ranks_in(
+        &self,
+        machine: &mut Machine,
+        queries: &[K],
+        phase: Phase,
+    ) -> Vec<f64> {
         // A real assert, not a debug_assert: the merge-sweep branch of
         // `local_ranks_le` silently clamps out-of-order queries to the
         // running maximum, so an unsorted query set must fail loudly in
@@ -127,23 +164,21 @@ impl<K: hss_keygen::Key> ApproxHistogrammer<K> {
         const FIXED: f64 = 1024.0;
         let per_rank_data: Vec<Vec<K>> = self.per_rank.iter().map(|s| s.samples.clone()).collect();
         let local_lens: Vec<usize> = self.per_rank.iter().map(|s| s.local_len).collect();
-        let partials: Vec<Vec<u64>> =
-            machine.map_phase(Phase::Histogramming, &per_rank_data, |rank, samples| {
-                let local_len = local_lens[rank];
-                let est: Vec<u64> = if samples.is_empty() {
-                    vec![0; queries.len()]
-                } else {
-                    local_ranks_le(samples, queries)
-                        .into_iter()
-                        .map(|below| {
-                            ((below as f64 * local_len as f64 / samples.len() as f64) * FIXED)
-                                as u64
-                        })
-                        .collect()
-                };
-                (est, local_ranks_work(samples.len(), queries.len()))
-            });
-        let summed = machine.reduce_sum(Phase::Histogramming, &partials);
+        let partials: Vec<Vec<u64>> = machine.map_phase(phase, &per_rank_data, |rank, samples| {
+            let local_len = local_lens[rank];
+            let est: Vec<u64> = if samples.is_empty() {
+                vec![0; queries.len()]
+            } else {
+                local_ranks_le(samples, queries)
+                    .into_iter()
+                    .map(|below| {
+                        ((below as f64 * local_len as f64 / samples.len() as f64) * FIXED) as u64
+                    })
+                    .collect()
+            };
+            (est, local_ranks_work(samples.len(), queries.len()))
+        });
+        let summed = machine.reduce_sum(phase, &partials);
         summed.into_iter().map(|x| x as f64 / FIXED).collect()
     }
 }
@@ -180,7 +215,7 @@ mod tests {
         let rs = RepresentativeSample { samples, local_len: local.len() };
         // True local rank of 5000 is 5000; block size is 100, so the
         // estimate is within one block of the truth.
-        let est = rs.estimated_local_rank(5000);
+        let est = rs.estimated_local_rank_le(5000);
         assert!((est - 5000.0).abs() <= 200.0, "estimate {est}");
     }
 
@@ -188,7 +223,22 @@ mod tests {
     fn empty_local_data_estimates_zero() {
         let rs: RepresentativeSample<u64> = RepresentativeSample { samples: vec![], local_len: 0 };
         assert!(rs.is_empty());
-        assert_eq!(rs.estimated_local_rank(42), 0.0);
+        assert_eq!(rs.estimated_local_rank_le(42), 0.0);
+    }
+
+    #[test]
+    fn local_rank_counts_less_than_or_equal() {
+        // Pin the <= semantics: a key equal to a sample counts that sample.
+        let rs = RepresentativeSample { samples: vec![10u64, 20, 30], local_len: 30 };
+        assert_eq!(rs.samples(), &[10, 20, 30]);
+        assert_eq!(rs.local_len(), 30);
+        // Each sample represents local_len / samples.len() = 10 keys.
+        assert_eq!(rs.estimated_local_rank_le(9), 0.0);
+        assert_eq!(rs.estimated_local_rank_le(10), 10.0, "equal key must be counted");
+        assert_eq!(rs.estimated_local_rank_le(19), 10.0);
+        assert_eq!(rs.estimated_local_rank_le(20), 20.0, "equal key must be counted");
+        assert_eq!(rs.estimated_local_rank_le(30), 30.0);
+        assert_eq!(rs.estimated_local_rank_le(u64::MAX), 30.0);
     }
 
     #[test]

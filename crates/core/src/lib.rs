@@ -16,6 +16,9 @@
 //!   theoretical (§3.1/§3.3) and practical (§6.1.2, constant oversampling)
 //!   round schedules, optional node-level partitioning (§6.1) and optional
 //!   duplicate tagging (§4.3);
+//! * [`Sorter`] / [`SortRequest`] — the unified entry point: one
+//!   signature serving HSS and (via `hss-baselines`) every comparison
+//!   algorithm, with engine selection and optional output verification;
 //! * [`multi_round::determine_splitters`] — the splitter-determination
 //!   kernel on its own, reporting per-round sample sizes and splitter
 //!   interval shrinkage (the Table 6.1 / Figure 3.1 quantities);
@@ -53,17 +56,22 @@ pub mod multi_round;
 pub mod node_level;
 pub mod overlap;
 pub mod report;
+pub mod request;
 pub mod scanning;
 pub mod sorter;
 pub mod theory;
 
 pub use approx_histogram::{ApproxHistogrammer, RepresentativeSample};
-pub use config::{HssConfig, RoundSchedule, SplitterRule};
+pub use config::{HssConfig, HssConfigBuilder, RoundSchedule, SplitterRule};
 pub use duplicates::Tagged;
 pub use hss_lsort::{LocalSortAlgo, RadixSortable};
 pub use local_sort::charged_local_sort;
-pub use multi_round::{determine_splitters, determine_splitters_with, RoundProgress};
+pub use multi_round::{
+    determine_splitters, determine_splitters_seeded, determine_splitters_with, RoundProgress,
+    WarmStart,
+};
 pub use overlap::overlapped_exchange_sort;
 pub use report::{RoundStats, SortReport, SplitterReport};
+pub use request::{SortRequest, Sorter};
 pub use scanning::{scanning_splitters, scanning_splitters_with, splitters_from_histogram};
 pub use sorter::{HssSorter, SortOutcome};

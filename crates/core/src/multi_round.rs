@@ -44,6 +44,54 @@ pub struct RoundProgress<'a, K: Key> {
     /// Whether this was the final round (no further sampling or
     /// histogramming supersteps follow; the splitter broadcast does).
     pub is_last: bool,
+    /// This round's histogram probes (sorted, deduplicated).  Observers that
+    /// accumulate these across rounds can build a dense [`WarmStart`] for a
+    /// later re-sort of a similar keyspace.
+    pub probes: &'a [K],
+    /// The probes' global ranks (non-decreasing, one per probe).
+    pub ranks: &'a [u64],
+}
+
+/// Carry-over splitter state from a previous sort of a near-identical
+/// keyspace, used to *warm-start* splitter determination.
+///
+/// The epoch service builds one of these from each epoch's final
+/// [`SplitterIntervals`] and feeds it to the next epoch's
+/// [`determine_splitters_seeded`] call.  The carried keys are re-ranked
+/// against the new keyspace in a probe-only first round (no sampling, so
+/// `RoundStats::sample_size` is 0 for that round); when the distribution is
+/// near-stationary the old splitters land within tolerance of the new
+/// targets immediately and the algorithm finalizes in one or two rounds
+/// instead of the cold-start count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WarmStart<K: Key> {
+    probes: Vec<K>,
+}
+
+impl<K: Key> WarmStart<K> {
+    /// Build from a previous run's interval bookkeeping: carries every
+    /// non-sentinel bound key (see [`SplitterIntervals::carryover_keys`]).
+    pub fn from_intervals(intervals: &SplitterIntervals<K>) -> Self {
+        Self { probes: intervals.carryover_keys() }
+    }
+
+    /// Build from an explicit probe set (sorted and deduplicated here).
+    pub fn from_probes(mut probes: Vec<K>) -> Self {
+        probes.sort_unstable();
+        probes.dedup();
+        Self { probes }
+    }
+
+    /// The carry-over probe keys, sorted and deduplicated.
+    pub fn probes(&self) -> &[K] {
+        &self.probes
+    }
+
+    /// Whether there is anything to seed from (an empty warm start behaves
+    /// exactly like a cold start).
+    pub fn is_empty(&self) -> bool {
+        self.probes.is_empty()
+    }
 }
 
 /// Determine `buckets − 1` splitters over the per-rank *sorted* data using
@@ -79,6 +127,33 @@ pub fn determine_splitters_with<T: Keyed, F>(
     per_rank_sorted: &[Vec<T>],
     buckets: usize,
     config: &HssConfig,
+    on_round: F,
+) -> (SplitterSet<T::K>, SplitterReport)
+where
+    T::K: RadixSortable,
+    F: FnMut(&mut Machine, &RoundProgress<'_, T::K>),
+{
+    determine_splitters_seeded(machine, per_rank_sorted, buckets, config, None, on_round)
+}
+
+/// [`determine_splitters_with`] with an optional [`WarmStart`].
+///
+/// With `warm: None` (or an empty warm start) this is *exactly*
+/// [`determine_splitters_with`] — same supersteps, same charges, bitwise.
+/// With a non-empty warm start, round 1 becomes a **probe-only** round: the
+/// carried keys are broadcast and ranked against the new keyspace (charged
+/// like any histogramming round) but no sampling happens
+/// (`RoundStats::sample_size == 0`), and the sampling loop then continues
+/// from round 2 drawing only from the still-open intervals.  Counting the
+/// probe pass as a round keeps round counts comparable between warm and
+/// cold runs; note that under a fixed [`RoundSchedule`] it therefore
+/// consumes one scheduled round.
+pub fn determine_splitters_seeded<T: Keyed, F>(
+    machine: &mut Machine,
+    per_rank_sorted: &[Vec<T>],
+    buckets: usize,
+    config: &HssConfig,
+    warm: Option<&WarmStart<T::K>>,
     mut on_round: F,
 ) -> (SplitterSet<T::K>, SplitterReport)
 where
@@ -137,8 +212,64 @@ where
     #[allow(unused_assignments)]
     let mut last_round: Option<(Vec<T::K>, Vec<u64>)> = None;
 
+    // Rank a sorted probe set against the input: exact counting or the §3.4
+    // representative-sample oracle, both charged to the histogramming phase.
+    let ranks_for = |machine: &mut Machine, probes: &[T::K]| -> Vec<u64> {
+        match &rank_oracle {
+            Some(oracle) => {
+                let estimates = oracle.estimated_global_ranks(machine, probes);
+                // Round, clamp to the valid rank range and force the
+                // sequence non-decreasing (fixed-point rounding can create
+                // one-off inversions on equal estimates).
+                let mut prev = 0u64;
+                estimates
+                    .into_iter()
+                    .map(|x| {
+                        let mut r = x.clamp(0.0, total_keys as f64) as u64;
+                        if r < prev {
+                            r = prev;
+                        }
+                        prev = r;
+                        r
+                    })
+                    .collect()
+            }
+            None => global_ranks(machine, per_rank_sorted, probes, Phase::Histogramming),
+        }
+    };
+
     let mut round = 0usize;
-    loop {
+    let mut finished = false;
+
+    // --- Warm-started probe-only round ----------------------------------
+    // The previous epoch's interval bounds are broadcast and re-ranked
+    // against the new keyspace; no sampling happens.  Near-stationary
+    // distributions collapse every open interval right here.
+    if let Some(warm) = warm.filter(|w| !w.is_empty()) {
+        round = 1;
+        let open_before = intervals.unfinalized_count(tolerance);
+        let probes = warm.probes().to_vec();
+        machine.broadcast(Phase::Histogramming, &probes);
+        let ranks = ranks_for(machine, &probes);
+        intervals.update(&probes, &ranks);
+        let open_after =
+            record_round(&mut report, &intervals, tolerance, round, 0, probes.len(), open_before);
+        finished = plan.is_done(round, open_after);
+        on_round(
+            machine,
+            &RoundProgress {
+                round,
+                intervals: &intervals,
+                tolerance,
+                is_last: finished,
+                probes: &probes,
+                ranks: &ranks,
+            },
+        );
+        last_round = Some((probes, ranks));
+    }
+
+    while !finished {
         round += 1;
         let open_before = intervals.unfinalized_count(tolerance);
 
@@ -191,56 +322,31 @@ where
         // Broadcast the probes, compute local histograms (exact or from the
         // representative samples), reduce.
         machine.broadcast(Phase::Histogramming, &probes);
-        let ranks = match &rank_oracle {
-            Some(oracle) => {
-                let estimates = oracle.estimated_global_ranks(machine, &probes);
-                // Round, clamp to the valid rank range and force the
-                // sequence non-decreasing (fixed-point rounding can create
-                // one-off inversions on equal estimates).
-                let mut prev = 0u64;
-                estimates
-                    .into_iter()
-                    .map(|x| {
-                        let mut r = x.clamp(0.0, total_keys as f64) as u64;
-                        if r < prev {
-                            r = prev;
-                        }
-                        prev = r;
-                        r
-                    })
-                    .collect()
-            }
-            None => global_ranks(machine, per_rank_sorted, &probes, Phase::Histogramming),
-        };
+        let ranks = ranks_for(machine, &probes);
         intervals.update(&probes, &ranks);
 
-        let open_after = intervals.unfinalized_count(tolerance);
-        let widths = intervals.interval_widths();
-        let max_w = widths.iter().copied().max().unwrap_or(0);
-        let mean_w = if widths.is_empty() {
-            0.0
-        } else {
-            widths.iter().sum::<u64>() as f64 / widths.len() as f64
-        };
-        report.rounds.push(RoundStats {
+        let open_after = record_round(
+            &mut report,
+            &intervals,
+            tolerance,
             round,
             sample_size,
             probe_count,
             open_before,
-            open_after,
-            max_interval_width: max_w,
-            mean_interval_width: mean_w,
-            union_rank_size: intervals.union_rank_size(tolerance),
-            covered_fraction: intervals.covered_fraction(tolerance),
-        });
-        report.total_sample_size += sample_size;
+        );
+        finished = plan.is_done(round, open_after);
+        on_round(
+            machine,
+            &RoundProgress {
+                round,
+                intervals: &intervals,
+                tolerance,
+                is_last: finished,
+                probes: &probes,
+                ranks: &ranks,
+            },
+        );
         last_round = Some((probes, ranks));
-
-        let is_last = plan.is_done(round, open_after);
-        on_round(machine, &RoundProgress { round, intervals: &intervals, tolerance, is_last });
-        if is_last {
-            break;
-        }
     }
 
     report.all_finalized = intervals.all_finalized(tolerance);
@@ -256,6 +362,40 @@ where
     // Splitters are broadcast to all processors before the data movement.
     machine.broadcast(Phase::SplitterBroadcast, splitters.keys());
     (splitters, report)
+}
+
+/// Append one round's [`RoundStats`] to the report and return the number of
+/// still-open splitters.
+fn record_round<K: Key>(
+    report: &mut SplitterReport,
+    intervals: &SplitterIntervals<K>,
+    tolerance: u64,
+    round: usize,
+    sample_size: usize,
+    probe_count: usize,
+    open_before: usize,
+) -> usize {
+    let open_after = intervals.unfinalized_count(tolerance);
+    let widths = intervals.interval_widths();
+    let max_w = widths.iter().copied().max().unwrap_or(0);
+    let mean_w = if widths.is_empty() {
+        0.0
+    } else {
+        widths.iter().sum::<u64>() as f64 / widths.len() as f64
+    };
+    report.rounds.push(RoundStats {
+        round,
+        sample_size,
+        probe_count,
+        open_before,
+        open_after,
+        max_interval_width: max_w,
+        mean_interval_width: mean_w,
+        union_rank_size: intervals.union_rank_size(tolerance),
+        covered_fraction: intervals.covered_fraction(tolerance),
+    });
+    report.total_sample_size += sample_size;
+    open_after
 }
 
 /// Internal description of how many rounds to run and with which sampling
@@ -611,6 +751,126 @@ mod tests {
         let gathers = machine.metrics().phase(Phase::Sampling).supersteps;
         // Each round records: sampling map_phase + gather + root sort.
         assert_eq!(gathers, 3 * report.rounds_executed() as u64);
+    }
+
+    #[test]
+    fn empty_warm_start_is_bitwise_cold() {
+        let p = 16;
+        let data = sorted_input(KeyDistribution::PowerLaw { gamma: 4.0 }, p, 1000, 37);
+        let cfg = HssConfig::default().with_seed(11);
+
+        let mut cold = Machine::flat(p);
+        let (cold_s, cold_r) = determine_splitters(&mut cold, &data, p, &cfg);
+
+        let warm = WarmStart::from_probes(Vec::<u64>::new());
+        let mut seeded = Machine::flat(p);
+        let (seed_s, seed_r) =
+            determine_splitters_seeded(&mut seeded, &data, p, &cfg, Some(&warm), |_, _| {});
+
+        assert_eq!(cold_s.keys(), seed_s.keys());
+        assert_eq!(cold_r, seed_r);
+        assert_eq!(
+            cold.metrics().deterministic_signature(),
+            seeded.metrics().deterministic_signature(),
+            "empty warm start changed the cost signature"
+        );
+    }
+
+    #[test]
+    fn warm_restart_on_identical_keyspace_takes_one_probe_round() {
+        let p = 32;
+        let data = sorted_input(KeyDistribution::Uniform, p, 3000, 13);
+        let config = HssConfig {
+            epsilon: 0.02,
+            schedule: RoundSchedule::ConstantOversampling { oversampling: 4.0, max_rounds: 32 },
+            ..HssConfig::default()
+        };
+
+        let mut cold_machine = Machine::flat(p);
+        let mut saved: Option<SplitterIntervals<u64>> = None;
+        let (cold_splitters, cold_report) =
+            determine_splitters_seeded(&mut cold_machine, &data, p, &config, None, |_, pr| {
+                if pr.is_last {
+                    saved = Some(pr.intervals.clone());
+                }
+            });
+        assert!(cold_report.all_finalized);
+        assert!(cold_report.rounds_executed() >= 2, "cold run should need multiple rounds");
+
+        // Re-sorting the *same* keyspace warm-started from the final
+        // intervals must re-finalize every splitter from the probe-only
+        // round alone: the carried bound keys re-rank to exactly their old
+        // ranks, so the brackets (and their finalization) are reproduced.
+        let warm = WarmStart::from_intervals(saved.as_ref().unwrap());
+        assert!(!warm.is_empty());
+        let mut warm_machine = Machine::flat(p);
+        let (warm_splitters, warm_report) = determine_splitters_seeded(
+            &mut warm_machine,
+            &data,
+            p,
+            &config,
+            Some(&warm),
+            |_, _| {},
+        );
+        assert!(warm_report.all_finalized);
+        assert_eq!(warm_report.rounds_executed(), 1);
+        assert_eq!(warm_report.rounds[0].sample_size, 0, "warm round must not sample");
+        assert!(warm_report.rounds[0].probe_count > 0);
+        assert_eq!(warm_report.total_sample_size, 0);
+        assert_eq!(warm_splitters.keys(), cold_splitters.keys());
+        check_splitter_quality(&data, &warm_splitters, 0.02);
+    }
+
+    #[test]
+    fn warm_start_from_similar_keyspace_saves_rounds() {
+        // The epoch-service scenario: the next epoch's keyspace is the old
+        // one plus a modest same-distribution batch.  The old splitters'
+        // ranks scale with N, so the probe-only round leaves at most a few
+        // splitters open and the run finishes in fewer rounds than cold.
+        let p = 32;
+        let per_rank = 3000;
+        let config = HssConfig {
+            epsilon: 0.02,
+            schedule: RoundSchedule::ConstantOversampling { oversampling: 4.0, max_rounds: 32 },
+            ..HssConfig::default()
+        };
+        let old = sorted_input(KeyDistribution::Uniform, p, per_rank, 13);
+        // Accumulate every round's probes: denser carry-over than the final
+        // bounds alone, so batch noise rarely reopens a wide bracket.
+        let mut probes_seen: Vec<u64> = Vec::new();
+        let mut m0 = Machine::flat(p);
+        let _ = determine_splitters_seeded(&mut m0, &old, p, &config, None, |_, pr| {
+            probes_seen.extend_from_slice(pr.probes);
+        });
+
+        // Accumulate a 10% batch of fresh keys from the same distribution.
+        let batch = sorted_input(KeyDistribution::Uniform, p, per_rank / 10, 14);
+        let mut accumulated = old;
+        for (acc, add) in accumulated.iter_mut().zip(batch) {
+            acc.extend(add);
+            acc.sort_unstable();
+        }
+
+        let mut cold_machine = Machine::flat(p);
+        let (_cs, cold_report) = determine_splitters(&mut cold_machine, &accumulated, p, &config);
+        let warm = WarmStart::from_probes(probes_seen);
+        let mut warm_machine = Machine::flat(p);
+        let (warm_splitters, warm_report) = determine_splitters_seeded(
+            &mut warm_machine,
+            &accumulated,
+            p,
+            &config,
+            Some(&warm),
+            |_, _| {},
+        );
+        assert!(warm_report.all_finalized);
+        assert!(
+            warm_report.rounds_executed() < cold_report.rounds_executed(),
+            "warm {} rounds not below cold {}",
+            warm_report.rounds_executed(),
+            cold_report.rounds_executed()
+        );
+        check_splitter_quality(&accumulated, &warm_splitters, 0.02);
     }
 
     #[test]

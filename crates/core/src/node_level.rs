@@ -65,6 +65,10 @@ impl<T> NodeRecv<'_, T> {
 ///
 /// Returns the per-rank output and the splitter report of the node-level
 /// histogramming phase.
+///
+/// Most callers should not invoke this directly: `HssSorter` (and hence the
+/// unified `Sorter`/`SortRequest` entry point) dispatches here when
+/// `HssConfig::node_level` is set.
 pub fn node_level_sort<T: Keyed + Ord>(
     machine: &mut Machine,
     per_rank_sorted: &[Vec<T>],

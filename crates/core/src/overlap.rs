@@ -53,6 +53,10 @@ const UNKNOWN: usize = usize::MAX;
 /// `machine.ranks()` buckets (rank-level partitioning).
 ///
 /// Returns the globally sorted per-rank output and the splitter report.
+///
+/// Most callers should not invoke this directly: `HssSorter` (and hence the
+/// unified `Sorter`/`SortRequest` entry point) dispatches here when the
+/// machine's sync model is `SyncModel::Overlapped`.
 pub fn overlapped_exchange_sort<T: Keyed + Ord>(
     machine: &mut Machine,
     per_rank_sorted: &[Vec<T>],

@@ -159,6 +159,9 @@ impl HssSorter {
     /// Sort and additionally verify the output is a correct global sort of
     /// the input (used by tests and examples; costs an extra copy of the
     /// input).
+    ///
+    /// Prefer `Sorter::run` with `SortRequest::new(input).verified()` — the
+    /// unified entry point subsumes this method.
     pub fn sort_verified<T>(
         &self,
         machine: &mut Machine,

@@ -49,6 +49,45 @@ impl<K: Key> SplitterIntervals<K> {
         }
     }
 
+    /// Start tracking splitters over a *new* epoch of `total_keys` keys,
+    /// seeded with the carry-over probes of a previous epoch re-ranked
+    /// against the new keyspace: `probes` (sorted, deduplicated) with their
+    /// `ranks` in the new input (non-decreasing, same length).
+    ///
+    /// This is the warm-start entry of the epoch service: instead of
+    /// bracketing every splitter with `(MIN_KEY, MAX_KEY)`, the old
+    /// splitters (whose ranks scale with the keyspace when the distribution
+    /// is near-stationary) immediately collapse the open intervals around
+    /// the new targets, so splitter determination finalizes in one or two
+    /// rounds instead of the cold-start count.  Equivalent to
+    /// [`Self::new`] followed by one [`Self::update`].
+    pub fn seeded(total_keys: u64, buckets: usize, probes: &[K], ranks: &[u64]) -> Self {
+        let mut iv = Self::new(total_keys, buckets);
+        iv.update(probes, ranks);
+        iv
+    }
+
+    /// The interval state worth carrying into the next epoch: every bound
+    /// key currently bracketing a splitter, sorted and deduplicated, with
+    /// the `MIN_KEY`/`MAX_KEY` sentinels dropped (they carry no rank
+    /// information — a fresh [`Self::new`] starts with them anyway).
+    ///
+    /// Re-ranking these keys against the next epoch's keyspace and feeding
+    /// them to [`Self::seeded`] reconstructs (a tightening of) this epoch's
+    /// brackets around the new target ranks.
+    pub fn carryover_keys(&self) -> Vec<K> {
+        let mut keys: Vec<K> = self
+            .lower
+            .iter()
+            .chain(self.upper.iter())
+            .map(|b| b.key)
+            .filter(|k| *k != K::MIN_KEY && *k != K::MAX_KEY)
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+        keys
+    }
+
     /// Number of splitters tracked (`buckets - 1`).
     pub fn splitter_count(&self) -> usize {
         self.buckets - 1
@@ -343,6 +382,25 @@ mod tests {
         assert_eq!(iv.best_splitter_keys(), vec![111, 222, 333]);
         let keys = iv.best_splitter_keys();
         assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn carryover_and_seeded_reconstruct_brackets() {
+        let mut iv: SplitterIntervals<u64> = SplitterIntervals::new(1000, 4);
+        iv.update(&[100u64, 400, 600, 900], &[100, 380, 610, 920]);
+        let carry = iv.carryover_keys();
+        assert_eq!(carry, vec![100, 400, 600, 900]);
+        // Seeding a fresh tracker with the carried keys at their old ranks
+        // reproduces the brackets exactly.
+        let seeded = SplitterIntervals::seeded(1000, 4, &carry, &[100, 380, 610, 920]);
+        assert_eq!(seeded, iv);
+        // Sentinels never leak into the carry-over set.
+        let fresh: SplitterIntervals<u64> = SplitterIntervals::new(1000, 4);
+        assert!(fresh.carryover_keys().is_empty());
+        // Partially tightened state: only non-sentinel bounds are carried.
+        let mut partial: SplitterIntervals<u64> = SplitterIntervals::new(1000, 4);
+        partial.update(&[500u64], &[500]);
+        assert_eq!(partial.carryover_keys(), vec![500]);
     }
 
     #[test]

@@ -1,0 +1,110 @@
+//! Drifting ingest workloads for exercising the epoch service.
+//!
+//! Each epoch draws uniform keys from a window of the 64-bit key space; the
+//! window slides by a configurable fraction of its width per epoch.  Drift
+//! `0.0` models a stationary service (warm starts should finalize almost
+//! immediately); drift `1.0` replaces the window wholesale every epoch
+//! (warm starts carry almost no usable information) — the two ends of the
+//! `epoch_service` benchmark's drift axis.
+
+use hss_keygen::rank_rng;
+use rand::Rng;
+
+/// Deterministic per-epoch batch generator with a sliding key window.
+#[derive(Debug, Clone)]
+pub struct DriftingWorkload {
+    ranks: usize,
+    keys_per_rank: usize,
+    drift: f64,
+    seed: u64,
+    /// Window width as a fraction of the full `u64` key space.
+    window: f64,
+    epoch: usize,
+}
+
+impl DriftingWorkload {
+    /// A workload over `ranks` ranks producing `keys_per_rank` keys per
+    /// rank per epoch, from a window covering a quarter of the key space
+    /// that slides by `drift` window-widths every epoch.
+    pub fn new(ranks: usize, keys_per_rank: usize, drift: f64, seed: u64) -> Self {
+        assert!(ranks >= 1);
+        assert!((0.0..=1.0).contains(&drift), "drift must be in [0, 1]");
+        Self { ranks, keys_per_rank, drift, seed, window: 0.25, epoch: 0 }
+    }
+
+    /// Window shift per epoch, as a fraction of the window width.
+    pub fn drift(&self) -> f64 {
+        self.drift
+    }
+
+    /// Epochs generated so far.
+    pub fn epochs_generated(&self) -> usize {
+        self.epoch
+    }
+
+    /// The key window `[lo, hi)` the next batch draws from.
+    pub fn next_window(&self) -> (u64, u64) {
+        let space = u64::MAX as f64;
+        let width = self.window * space;
+        // Slide by drift × width per epoch, wrapping so the window always
+        // fits in the key space.
+        let lo = (self.epoch as f64 * self.drift * width) % (space - width);
+        (lo as u64, (lo + width) as u64)
+    }
+
+    /// Generate the next epoch's per-rank batch and advance the window.
+    pub fn next_batch(&mut self) -> Vec<Vec<u64>> {
+        let (lo, hi) = self.next_window();
+        let epoch = self.epoch;
+        self.epoch += 1;
+        (0..self.ranks)
+            .map(|rank| {
+                let mut rng =
+                    rank_rng(self.seed.wrapping_add(epoch as u64).wrapping_mul(0x51F), rank);
+                (0..self.keys_per_rank).map(|_| rng.gen_range(lo..hi)).collect()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_are_deterministic_and_in_window() {
+        let mut a = DriftingWorkload::new(4, 100, 0.1, 9);
+        let mut b = DriftingWorkload::new(4, 100, 0.1, 9);
+        for _ in 0..3 {
+            let (lo, hi) = a.next_window();
+            let batch_a = a.next_batch();
+            let batch_b = b.next_batch();
+            assert_eq!(batch_a, batch_b, "same seed must replay identically");
+            assert_eq!(batch_a.len(), 4);
+            for rank in &batch_a {
+                assert_eq!(rank.len(), 100);
+                assert!(rank.iter().all(|&k| k >= lo && k < hi));
+            }
+        }
+        assert_eq!(a.epochs_generated(), 3);
+    }
+
+    #[test]
+    fn zero_drift_keeps_the_window_still() {
+        let mut w = DriftingWorkload::new(2, 10, 0.0, 1);
+        let first = w.next_window();
+        w.next_batch();
+        w.next_batch();
+        assert_eq!(w.next_window(), first);
+    }
+
+    #[test]
+    fn full_drift_disjoint_after_one_epoch() {
+        let mut w = DriftingWorkload::new(2, 10, 1.0, 1);
+        let (lo0, hi0) = w.next_window();
+        w.next_batch();
+        let (lo1, _) = w.next_window();
+        assert!(lo1 >= hi0 || lo1 == lo0, "drift 1.0 should shift a full window");
+        assert!(lo1 > lo0);
+    }
+}

@@ -494,6 +494,24 @@ impl Machine {
         };
         self.record(phase, "modelled_compute", metrics, ClockAdvance::Sync);
     }
+
+    /// Charge a purely analytical point-to-point exchange: `messages`
+    /// latency-bound sends carrying `words` cost-model words in total
+    /// (`messages·α + words·β`).  Used for traffic that is modelled rather
+    /// than executed — e.g. the sort service charging a query's request and
+    /// response trip between a client-facing rank and the root.  Advances
+    /// the timeline like a synchronizing superstep.
+    pub fn charge_point_to_point(&mut self, phase: Phase, messages: u64, words: u64) {
+        let metrics = PhaseMetrics {
+            simulated_seconds: messages as f64 * self.cost.latency
+                + words as f64 * self.cost.unit_comm,
+            messages,
+            comm_words: words,
+            supersteps: 1,
+            ..Default::default()
+        };
+        self.record(phase, "point_to_point", metrics, ClockAdvance::Sync);
+    }
 }
 
 /// Number of cost-model words occupied by `len` values of type `T`.
@@ -661,6 +679,20 @@ mod tests {
         let mut m = Machine::flat(2);
         m.charge_modelled_compute(Phase::LocalSort, 1_000_000);
         assert!(m.metrics().phase(Phase::LocalSort).simulated_seconds > 0.0);
+    }
+
+    #[test]
+    fn point_to_point_charges_latency_and_bandwidth() {
+        let mut m = Machine::new(Topology::flat(2), CostModel::bluegene_like());
+        m.charge_point_to_point(Phase::Query, 2, 100);
+        let q = m.metrics().phase(Phase::Query);
+        assert_eq!(q.messages, 2);
+        assert_eq!(q.comm_words, 100);
+        let cost = m.cost_model();
+        let expected = 2.0 * cost.latency + 100.0 * cost.unit_comm;
+        assert_eq!(q.simulated_seconds.to_bits(), expected.to_bits());
+        // The charge advances the makespan like any superstep.
+        assert!(m.simulated_time() >= expected);
     }
 
     #[test]

@@ -34,13 +34,16 @@ pub enum Phase {
     /// Within-node sort / redistribution used by the node-level
     /// optimisation (§6.1.2 "final within node sorting").
     NodeLocalSort,
+    /// Serving rank / percentile / range-count queries between epochs of
+    /// the sort service (the §3.4 oracle answering point queries).
+    Query,
     /// Anything else (setup, verification, ...).
     Other,
 }
 
 impl Phase {
     /// All phases in reporting order.
-    pub const ALL: [Phase; 8] = [
+    pub const ALL: [Phase; 9] = [
         Phase::LocalSort,
         Phase::Sampling,
         Phase::Histogramming,
@@ -48,6 +51,7 @@ impl Phase {
         Phase::DataExchange,
         Phase::Merge,
         Phase::NodeLocalSort,
+        Phase::Query,
         Phase::Other,
     ];
 
@@ -61,6 +65,7 @@ impl Phase {
             Phase::DataExchange => "data_exchange",
             Phase::Merge => "merge",
             Phase::NodeLocalSort => "node_local_sort",
+            Phase::Query => "query",
             Phase::Other => "other",
         }
     }
@@ -73,7 +78,7 @@ impl Phase {
             Phase::LocalSort => "local sort",
             Phase::Sampling | Phase::Histogramming | Phase::SplitterBroadcast => "histogramming",
             Phase::DataExchange | Phase::Merge | Phase::NodeLocalSort => "data exchange",
-            Phase::Other => "other",
+            Phase::Query | Phase::Other => "other",
         }
     }
 }

@@ -11,7 +11,7 @@
 //! cargo run --release --example changa_nbody
 //! ```
 
-use hss_baselines::{histogram_sort, HistogramSortConfig};
+use hss_baselines::HistogramSortConfig;
 use hss_repro::prelude::*;
 
 const RANKS: usize = 32;
@@ -43,10 +43,12 @@ fn main() {
         );
         let hss = sorter.sort(&mut hss_machine, keys.clone());
 
-        // Classic histogram sort ("Old" in Figure 6.2).
+        // Classic histogram sort ("Old" in Figure 6.2), through the trait.
         let mut old_machine = Machine::flat(RANKS);
-        let (_, old) =
-            histogram_sort(&mut old_machine, &HistogramSortConfig::new(0.05, RANKS), keys.clone());
+        let old = HistogramSortConfig::new(0.05, RANKS)
+            .run(&mut old_machine, SortRequest::new(keys.clone()))
+            .expect("histogram sort")
+            .report;
 
         let hss_rounds = hss.report.splitters.as_ref().map(|s| s.rounds_executed()).unwrap_or(0);
         let old_rounds = old.splitters.as_ref().map(|s| s.rounds_executed()).unwrap_or(0);

@@ -8,7 +8,7 @@
 //! cargo run --release --example skewed_terasort
 //! ```
 
-use hss_baselines::{radix_partition_sort, sample_sort, RadixConfig, SampleSortConfig};
+use hss_baselines::{RadixConfig, SampleSortConfig};
 use hss_repro::prelude::*;
 
 const RANKS: usize = 32;
@@ -43,9 +43,12 @@ fn main() {
             hss.report.splitters.as_ref().map(|s| s.total_sample_size).unwrap_or(0),
         );
 
-        // Sample sort with regular sampling.
+        // Sample sort with regular sampling, through the unified trait.
         let mut m = Machine::flat(RANKS);
-        let (_, ss) = sample_sort(&mut m, &SampleSortConfig::regular(EPSILON), input.clone());
+        let ss = SampleSortConfig::regular(EPSILON)
+            .run(&mut m, SortRequest::new(input.clone()))
+            .expect("sample sort")
+            .report;
         print_row(
             name,
             "sample sort (regular)",
@@ -56,7 +59,10 @@ fn main() {
 
         // Radix partitioning (no comparison-based splitters).
         let mut m = Machine::flat(RANKS);
-        let (_, rx) = radix_partition_sort(&mut m, &RadixConfig::recommended(RANKS), input);
+        let rx = RadixConfig::recommended(RANKS)
+            .run(&mut m, SortRequest::new(input))
+            .expect("radix partition")
+            .report;
         print_row(name, "radix partition", rx.imbalance(), rx.simulated_seconds(), 0);
     }
 

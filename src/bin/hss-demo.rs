@@ -13,8 +13,7 @@
 use std::process::exit;
 
 use hss_repro::baselines::{
-    bitonic_sort_with, histogram_sort, over_partitioning_sort, radix_partition_sort, sample_sort,
-    HistogramSortConfig, OverPartitioningConfig, RadixConfig, SampleSortConfig,
+    bitonic_sort_with, HistogramSortConfig, OverPartitioningConfig, RadixConfig, SampleSortConfig,
 };
 use hss_repro::core::SortReport;
 use hss_repro::partition::verify_global_sort;
@@ -177,6 +176,18 @@ fn generate(args: &Args) -> Vec<Vec<u64>> {
     }
 }
 
+/// Dispatch one baseline through the unified [`Sorter`] trait.
+fn run_sorter(
+    sorter: &dyn Sorter<u64>,
+    machine: &mut Machine,
+    input: Vec<Vec<u64>>,
+) -> (Vec<Vec<u64>>, SortReport) {
+    let outcome = sorter
+        .run(machine, SortRequest::new(input))
+        .unwrap_or_else(|e| panic!("{} failed: {e}", sorter.algorithm()));
+    (outcome.data, outcome.report)
+}
+
 fn run(args: &Args, input: Vec<Vec<u64>>) -> (Vec<Vec<u64>>, SortReport, Machine) {
     let mut machine =
         Machine::new(Topology::new(args.ranks, args.cores_per_node), CostModel::bluegene_like());
@@ -212,28 +223,24 @@ fn run(args: &Args, input: Vec<Vec<u64>>) -> (Vec<Vec<u64>>, SortReport, Machine
                 local_sort: args.local_sort,
                 ..SampleSortConfig::regular(args.epsilon)
             };
-            let (out, rep) = sample_sort(&mut machine, &cfg, input);
-            (out, rep)
+            run_sorter(&cfg, &mut machine, input)
         }
         "sample-random" => {
             let cfg = SampleSortConfig {
                 local_sort: args.local_sort,
                 ..SampleSortConfig::random(args.epsilon)
             };
-            let (out, rep) = sample_sort(&mut machine, &cfg, input);
-            (out, rep)
+            run_sorter(&cfg, &mut machine, input)
         }
         "histogram" => {
             let mut cfg = HistogramSortConfig::new(args.epsilon, args.ranks);
             cfg.local_sort = args.local_sort;
-            let (out, rep) = histogram_sort(&mut machine, &cfg, input);
-            (out, rep)
+            run_sorter(&cfg, &mut machine, input)
         }
         "overpartition" => {
             let mut cfg = OverPartitioningConfig::recommended(args.ranks);
             cfg.local_sort = args.local_sort;
-            let (out, rep) = over_partitioning_sort(&mut machine, &cfg, input);
-            (out, rep)
+            run_sorter(&cfg, &mut machine, input)
         }
         "bitonic" => {
             let (out, rep) = bitonic_sort_with(
@@ -247,8 +254,7 @@ fn run(args: &Args, input: Vec<Vec<u64>>) -> (Vec<Vec<u64>>, SortReport, Machine
         "radix" => {
             let mut cfg = RadixConfig::recommended(args.ranks);
             cfg.local_sort = args.local_sort;
-            let (out, rep) = radix_partition_sort(&mut machine, &cfg, input);
-            (out, rep)
+            run_sorter(&cfg, &mut machine, input)
         }
         other => {
             eprintln!("unknown algorithm {other}\n\n{HELP}");

@@ -11,7 +11,9 @@
 //! * [`partition`] — shared partitioning primitives ([`hss_partition`]);
 //! * [`core`] — Histogram Sort with Sampling itself ([`hss_core`]);
 //! * [`baselines`] — the comparison algorithms ([`hss_baselines`]);
-//! * [`analysis`] — the paper's closed-form cost model ([`hss_analysis`]).
+//! * [`analysis`] — the paper's closed-form cost model ([`hss_analysis`]);
+//! * [`service`] — the epoch-based sorting service with warm-started
+//!   splitters and a rank/percentile query API ([`hss_service`]).
 //!
 //! The [`prelude`] pulls in the handful of types most programs need.
 //!
@@ -32,14 +34,17 @@ pub use hss_core as core;
 pub use hss_keygen as keygen;
 pub use hss_lsort as lsort;
 pub use hss_partition as partition;
+pub use hss_service as service;
 pub use hss_sim as sim;
 
 /// The most commonly used types, for glob import.
 pub mod prelude {
     pub use hss_core::{
-        HssConfig, HssSorter, LocalSortAlgo, RoundSchedule, SortOutcome, SplitterRule,
+        HssConfig, HssConfigBuilder, HssSorter, LocalSortAlgo, RoundSchedule, SortOutcome,
+        SortRequest, Sorter, SplitterRule, WarmStart,
     };
     pub use hss_keygen::{ChangaDataset, Key, KeyDistribution, Keyed, Record, TaggedKey};
     pub use hss_partition::{LoadBalance, SplitterSet};
+    pub use hss_service::{DriftingWorkload, EpochReport, ServiceConfig, SortService};
     pub use hss_sim::{CostModel, Machine, Parallelism, Phase, SyncModel, Timeline, Topology};
 }

@@ -3,6 +3,8 @@
 //! distributions, must produce a correct global sort; the algorithms with a
 //! load-balance guarantee must honour it.
 
+#![allow(deprecated)] // the differential suites pin the legacy free-function entry points
+
 use hss_repro::baselines::{
     bitonic_sort, histogram_sort, over_partitioning_sort, radix_partition_sort, sample_sort,
     HistogramSortConfig, OverPartitioningConfig, RadixConfig, SampleSortConfig,

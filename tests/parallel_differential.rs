@@ -13,6 +13,8 @@
 //! histogram sort, radix, bitonic, over-partitioning) × 3 key
 //! distributions (uniform, power-law skew, duplicate-heavy) × 2 seeds.
 
+#![allow(deprecated)] // the differential suites pin the legacy free-function entry points
+
 use std::sync::OnceLock;
 
 use hss_repro::baselines::{

@@ -3,6 +3,8 @@
 //! as the processor count grows.  These are the claims behind Figures 4.1,
 //! 6.1 and 6.2, checked at a small executed scale.
 
+#![allow(deprecated)] // the differential suites pin the legacy free-function entry points
+
 use hss_repro::analysis::Algorithm;
 use hss_repro::baselines::{bitonic_sort, sample_sort, SampleSortConfig};
 use hss_repro::prelude::*;
