@@ -7,7 +7,8 @@ use hss_baselines::{histogram_sort_splitters, HistogramSortConfig};
 use hss_core::{determine_splitters, theory, HssConfig, HssSorter, RoundSchedule};
 use hss_keygen::{ChangaDataset, KeyDistribution, Record};
 use hss_partition::{
-    exact_splitters, exchange_and_merge_with, ExchangeEngine, ExchangeMode, SplitterSet,
+    exact_splitters, exchange_and_merge_with, tree_height, DecisionTree, ExchangeEngine,
+    ExchangeMode, SplitterSet,
 };
 use hss_sim::{CostModel, Machine, Phase, Topology};
 use serde::{Deserialize, Serialize};
@@ -571,6 +572,104 @@ pub fn exchange_scaling_rows(scale: Scale, seed: u64) -> Vec<ExchangeScalingRow>
 }
 
 // ---------------------------------------------------------------------------
+// Classify scaling — branchless decision tree vs per-element binary search
+// ---------------------------------------------------------------------------
+
+/// One measurement of the `classify_scaling` experiment: one classification
+/// strategy routing `keys` unsorted keys into `processors` buckets.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClassifyScalingRow {
+    /// Classification strategy ("binary_search" or "decision_tree").
+    pub strategy: String,
+    /// Buckets `p` (so `p - 1` splitters).
+    pub processors: usize,
+    /// Splitter count `m = p - 1`.
+    pub splitters: usize,
+    /// Levels a decision-tree descend traverses for this splitter count.
+    pub tree_height: usize,
+    /// Unsorted keys classified per run.
+    pub keys: usize,
+    /// Timed repetitions run (after one untimed warmup).
+    pub reps: usize,
+    /// Minimum host wall-clock seconds over the timed repetitions.
+    pub wall_seconds: f64,
+    /// Throughput in million keys classified per second.
+    pub mkeys_per_second: f64,
+    /// `binary_search wall / this wall` at the same `(p, keys)` point
+    /// (1.0 for the binary-search rows themselves).
+    pub speedup_vs_binary: f64,
+}
+
+/// Benchmark the branchless decision tree ([`DecisionTree::bucket_indices`],
+/// four keys in flight) against per-element binary search over the splitter
+/// array (`partition_point` per key — the historical `bucket_of` path) on
+/// unsorted uniform keys, over a sweep of bucket counts.  Both arms route
+/// every key with the same `<=`-goes-right semantics and the warmup rep
+/// asserts their bucket-id vectors are identical, so the comparison is
+/// purely about branch misses and instruction-level parallelism.  Like
+/// `exchange_scaling`, every timed rep runs both arms back to back
+/// (alternation cancels slow host drift) and the minimum is reported.
+/// Tree construction is timed inside the decision-tree arm — it is the
+/// `O(m)` price that path really pays per classification pass.
+pub fn classify_scaling_rows(scale: Scale, seed: u64) -> Vec<ClassifyScalingRow> {
+    let reps = scale.classify_scaling_reps();
+    let mut rows = Vec::new();
+    for (p, keys) in scale.classify_scaling_points() {
+        let data: Vec<u64> = KeyDistribution::Uniform
+            .generate_per_rank(1, keys, seed ^ (p as u64) << 20)
+            .pop()
+            .unwrap();
+        let mut sorted = data.clone();
+        sorted.sort_unstable();
+        let splitter_keys = exact_splitters(&[sorted], p);
+        let m = splitter_keys.len();
+        const ARMS: [&str; 2] = ["binary_search", "decision_tree"];
+        let mut walls: [Vec<f64>; 2] = [Vec::with_capacity(reps), Vec::with_capacity(reps)];
+        let mut warmup_ids: [Vec<u32>; 2] = [Vec::new(), Vec::new()];
+        for rep in 0..=reps {
+            for (i, _) in ARMS.iter().enumerate() {
+                let start = std::time::Instant::now();
+                let ids: Vec<u32> = if i == 0 {
+                    data.iter()
+                        .map(|k| splitter_keys.partition_point(|s| *s <= *k) as u32)
+                        .collect()
+                } else {
+                    DecisionTree::from_splitters(&splitter_keys).bucket_indices(&data)
+                };
+                let wall = start.elapsed().as_secs_f64();
+                // Consume the result so neither arm can be optimised away.
+                assert_eq!(ids.len(), keys, "{}: lost keys", ARMS[i]);
+                if rep == 0 {
+                    warmup_ids[i] = ids;
+                } else {
+                    walls[i].push(wall);
+                }
+            }
+        }
+        assert_eq!(warmup_ids[0], warmup_ids[1], "strategies disagree at p = {p}");
+        for w in &mut walls {
+            w.sort_by(f64::total_cmp);
+        }
+        let binary_wall = walls[0][0];
+        for (i, strategy) in ARMS.iter().enumerate() {
+            let wall = walls[i][0];
+            rows.push(ClassifyScalingRow {
+                strategy: strategy.to_string(),
+                processors: p,
+                splitters: m,
+                tree_height: tree_height(m),
+                keys,
+                reps,
+                wall_seconds: wall,
+                mkeys_per_second: if wall > 0.0 { keys as f64 / wall / 1e6 } else { 0.0 },
+                speedup_vs_binary: if wall > 0.0 { binary_wall / wall } else { 1.0 },
+            });
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
 // Local-sort scaling — radix vs comparison local sort (hss-lsort)
 // ---------------------------------------------------------------------------
 
@@ -945,6 +1044,26 @@ mod tests {
             assert_eq!(flat.comm_words, nested.comm_words);
             assert_eq!(flat.messages, nested.messages);
             assert!(flat.wall_seconds > 0.0 && nested.wall_seconds > 0.0);
+        }
+    }
+
+    #[test]
+    fn classify_scaling_rows_pair_identical_routings() {
+        let rows = classify_scaling_rows(Scale::Smoke, 7);
+        assert_eq!(rows.len(), Scale::Smoke.classify_scaling_points().len() * 2);
+        for pair in rows.chunks(2) {
+            let (binary, tree) = (&pair[0], &pair[1]);
+            assert_eq!(binary.strategy, "binary_search");
+            assert_eq!(tree.strategy, "decision_tree");
+            assert_eq!(binary.processors, tree.processors);
+            assert!(binary.processors >= 32, "sweep must cover the p >= 32 regime");
+            assert_eq!(binary.splitters, binary.processors - 1);
+            assert!(tree.tree_height >= 5);
+            assert!(binary.wall_seconds > 0.0 && tree.wall_seconds > 0.0);
+            assert_eq!(binary.speedup_vs_binary, 1.0);
+            assert!(tree.speedup_vs_binary > 0.0);
+            // The tree's wall-clock win itself is asserted on the committed
+            // default-scale rows, not at smoke sizes on a noisy CI host.
         }
     }
 

@@ -175,6 +175,36 @@ impl Scale {
         }
     }
 
+    /// `(buckets p, keys classified)` points for the `classify_scaling`
+    /// experiment (branchless decision tree vs per-element binary search
+    /// over the splitter array, on unsorted data).  Every point has
+    /// `p >= 32`, the regime where the tree's win is asserted on the
+    /// committed default-scale rows.
+    pub fn classify_scaling_points(&self) -> Vec<(usize, usize)> {
+        match self {
+            Scale::Smoke => vec![(32, 20_000), (64, 10_000)],
+            Scale::Default => {
+                vec![(32, 400_000), (64, 400_000), (256, 200_000), (1024, 200_000), (4096, 100_000)]
+            }
+            Scale::Full => vec![
+                (32, 1_000_000),
+                (64, 1_000_000),
+                (256, 500_000),
+                (1024, 500_000),
+                (4096, 250_000),
+            ],
+        }
+    }
+
+    /// Timed repetitions per `classify_scaling` configuration (the minimum
+    /// wall time is reported, after one untimed warmup).
+    pub fn classify_scaling_reps(&self) -> usize {
+        match self {
+            Scale::Smoke => 3,
+            Scale::Default | Scale::Full => 15,
+        }
+    }
+
     /// Host thread counts swept by the self-speedup experiment (real
     /// parallelism of the vendored rayon pool, not simulated ranks).
     pub fn self_speedup_threads(&self) -> Vec<usize> {

@@ -298,7 +298,10 @@ where
                     probability,
                     &mut rng,
                 );
-                let work = Work::binary_search(2 * key_intervals.len(), local.len())
+                // Charge the strategy `interval_bounds` actually executed
+                // for this shape (binary search / sweep / decision tree)
+                // plus the geometric-skip draw per emitted sample.
+                let work = sampling::interval_bounds_work(local.len(), key_intervals.len())
                     .and(Work::scan(sample.len()));
                 (sample, work)
             });

@@ -26,13 +26,32 @@ pub fn exchange_plan<T: Keyed>(sorted: &[T], splitters: &SplitterSet<T::K>) -> E
     ExchangePlan::from_boundaries(&splitters.bucket_boundaries(sorted))
 }
 
-/// Partition *unsorted* local data into buckets by routing each key
-/// individually (`O(n log p)`).  Used when the algorithm has not sorted its
-/// local data first (e.g. the over-partitioning baseline's task queues).
+/// Partition *unsorted* local data into buckets.  Used when the algorithm
+/// has not sorted its local data first (e.g. the over-partitioning
+/// baseline's task queues).
+///
+/// Every key is classified **once** with a branch-free decision-tree
+/// descend (four keys in flight); the per-bucket counts are assembled into
+/// an [`ExchangePlan`] whose exact capacities are reserved before routing,
+/// so no bucket `Vec` ever reallocates.  The historical implementation ran
+/// one binary search per element *and* push-grew every bucket
+/// (`O(n log p)` branchy compares plus realloc churn); bucket contents and
+/// order are identical (regression-tested against that path).
 pub fn partition_unsorted<T: Keyed>(data: &[T], splitters: &SplitterSet<T::K>) -> Vec<Vec<T>> {
-    let mut buckets: Vec<Vec<T>> = (0..splitters.buckets()).map(|_| Vec::new()).collect();
-    for item in data {
-        buckets[splitters.bucket_of(item.key())].push(item.clone());
+    let tree = splitters.decision_tree();
+    // Pass 1: classify every key (input order preserved).
+    let ids = tree.bucket_indices(data);
+    // Pre-count into an exchange plan and reserve exact capacities.
+    let mut counts = vec![0usize; splitters.buckets()];
+    for &b in &ids {
+        counts[b as usize] += 1;
+    }
+    let plan = ExchangePlan::from_counts(counts);
+    let mut buckets: Vec<Vec<T>> =
+        (0..plan.peers()).map(|i| Vec::with_capacity(plan.run_range(i).len())).collect();
+    // Pass 2: route.  Same relative order per bucket as per-element routing.
+    for (item, &b) in data.iter().zip(&ids) {
+        buckets[b as usize].push(item.clone());
     }
     buckets
 }
@@ -80,6 +99,55 @@ mod tests {
         assert_eq!(buckets[0], vec![1, 3]);
         assert_eq!(buckets[1], vec![9, 5, 7]);
         assert_eq!(buckets[2], vec![13, 11]);
+    }
+
+    /// The historical `partition_unsorted`: per-element `bucket_of` routing
+    /// into unreserved `Vec`s.  Kept as the regression oracle for the
+    /// pre-counted decision-tree path.
+    fn partition_unsorted_oracle<T: Keyed>(
+        data: &[T],
+        splitters: &SplitterSet<T::K>,
+    ) -> Vec<Vec<T>> {
+        let mut buckets: Vec<Vec<T>> = (0..splitters.buckets()).map(|_| Vec::new()).collect();
+        for item in data {
+            buckets[splitters.keys().partition_point(|s| *s <= item.key())].push(item.clone());
+        }
+        buckets
+    }
+
+    #[test]
+    fn partition_unsorted_matches_the_old_per_element_path() {
+        // Identical bucket contents AND order across bucket counts that
+        // cross the tree's power-of-two pads, with duplicates on splitters.
+        for m in [0usize, 1, 2, 3, 7, 8, 31, 64] {
+            let splitters: Vec<u64> = (1..=m as u64).map(|i| i * 10).collect();
+            let s = SplitterSet::new(splitters);
+            let data: Vec<u64> = (0..700u64).map(|i| (i * 577) % (10 * m as u64 + 25)).collect();
+            let got = partition_unsorted(&data, &s);
+            let expect = partition_unsorted_oracle(&data, &s);
+            assert_eq!(got, expect, "m = {m}");
+            // Capacities are exact: no bucket over-allocates.
+            for (i, b) in got.iter().enumerate() {
+                assert_eq!(b.capacity(), b.len(), "bucket {i} over-allocated (m = {m})");
+            }
+            assert_eq!(got.iter().map(Vec::len).sum::<usize>(), data.len());
+        }
+    }
+
+    #[test]
+    fn partition_unsorted_routes_records_with_payloads_in_order() {
+        use hss_keygen::Record;
+        let data: Vec<Record> = [5u64, 1, 9, 5, 3, 5, 7]
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| Record { key: k, payload: i as u32 })
+            .collect();
+        let s = SplitterSet::new(vec![4u64, 5, 8]);
+        let buckets = partition_unsorted(&data, &s);
+        let expect = partition_unsorted_oracle(&data, &s);
+        assert_eq!(buckets, expect);
+        // Keys equal to splitter 5 all land right of it, in input order.
+        assert_eq!(buckets[2].iter().map(|r| r.payload).collect::<Vec<_>>(), vec![0, 3, 5, 6],);
     }
 
     #[test]

@@ -1,0 +1,455 @@
+//! Branch-free decision-tree classification (the IPS⁴o technique).
+//!
+//! Every splitter-based phase ultimately answers the same question: *which
+//! bucket does this key fall into?*  Answering it with one
+//! `partition_point` per key costs `O(log m)` **branchy** comparisons whose
+//! outcome the hardware cannot predict, so each key's search serialises on
+//! the previous one's mispredictions.  The paper's histogramming step makes
+//! this the per-round bottleneck at large `p` (probe sets of size `~5p`
+//! against `N/p` local keys, §5.1.2).
+//!
+//! [`DecisionTree`] removes both problems at once:
+//!
+//! * the `m` splitters are laid out as an **implicit binary heap**
+//!   (Eytzinger order) padded to a power of two with `MAX_KEY` sentinels,
+//!   so a descend step is `node = 2*node + (tree[node] <= key)` — index
+//!   arithmetic plus one flag, **no branch**;
+//! * the unrolled drivers keep **four keys in flight**, so the four
+//!   independent descends pipeline and the tree's top levels stay in L1.
+//!
+//! The module also owns [`ClassifyStrategy`]: the shared three-way heuristic
+//! ([`classify_strategy`]) that every adaptive classification site —
+//! [`crate::histogram::local_ranks`],
+//! [`crate::splitters::SplitterSet::bucket_boundaries`], the interval
+//! searches in [`crate::sampling`] — uses to pick between per-key binary
+//! search, one merged linear sweep, and the decision tree, and that the cost
+//! accounting ([`classify_work`]) charges by the strategy actually executed
+//! (the PR 5 convention documented in `core::local_sort`).
+
+use hss_keygen::{Key, Keyed};
+use hss_sim::Work;
+
+/// `ceil(log2 x)` for `x >= 1` (0 for `x <= 1`).
+#[inline]
+fn ceil_log2(x: usize) -> usize {
+    if x <= 1 {
+        0
+    } else {
+        (usize::BITS - (x - 1).leading_zeros()) as usize
+    }
+}
+
+/// Height of the implicit tree over `m` splitters: the number of descend
+/// steps one classification performs (`log2` of the padded leaf count).
+pub fn tree_height(m: usize) -> usize {
+    ceil_log2((m + 1).next_power_of_two())
+}
+
+/// How an adaptive classification site answers `m` probe/splitter queries
+/// against `n` keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClassifyStrategy {
+    /// One `partition_point` per probe over the sorted data
+    /// (`O(m log n)`) — best when probes are sparse relative to the data.
+    BinarySearch,
+    /// One merged linear sweep over sorted data and sorted probes
+    /// (`O(n + m)`) — best when both sides are dense and comparable in
+    /// size.
+    MergeSweep,
+    /// Branch-free decision-tree descends, four keys in flight
+    /// (`O(m + n log m)` with a much smaller per-step constant) — best in
+    /// the dense-probe large-`p` histogramming regime (`m >> n`) and the
+    /// only option on unsorted data.
+    DecisionTree,
+}
+
+/// Pipeline penalty applied to the branchy strategies when comparing
+/// against the branch-free tree descend: a mispredicted-branch search step
+/// costs roughly four times a branchless in-flight descend step (measured
+/// by the `classify_scaling` experiment; see its committed results).
+const BRANCH_PENALTY: usize = 4;
+
+/// Pick the cheapest strategy for `m` sorted probes against `n` sorted
+/// keys.  Deterministic integer arithmetic; ties prefer
+/// [`ClassifyStrategy::BinarySearch`], then [`ClassifyStrategy::MergeSweep`]
+/// (the historical two-way rule), so existing sparse- and balanced-shape
+/// behaviour is unchanged and the tree takes over exactly the dense-probe
+/// shapes it wins on.
+pub fn classify_strategy(n: usize, m: usize) -> ClassifyStrategy {
+    let binary = BRANCH_PENALTY * m * ceil_log2(n.max(2)).max(1);
+    let sweep = BRANCH_PENALTY * (n + m);
+    // Tree cost: build (`~m`) + `n` descends of `tree_height(m)` steps.
+    let tree = m + n * tree_height(m).max(1);
+    if binary <= sweep && binary <= tree {
+        ClassifyStrategy::BinarySearch
+    } else if sweep <= tree {
+        ClassifyStrategy::MergeSweep
+    } else {
+        ClassifyStrategy::DecisionTree
+    }
+}
+
+/// The [`Work`] a classification of shape `(n, m)` actually performs,
+/// matching [`classify_strategy`] arm for arm: binary-search cost, a linear
+/// `n + m` scan, or tree build (`m`) + `n` charged descends + prefix
+/// accumulation (`m`).  Every adaptive site charges through this helper so
+/// the simulated cost always follows the executed strategy.
+pub fn classify_work(n: usize, m: usize) -> Work {
+    match classify_strategy(n, m) {
+        ClassifyStrategy::BinarySearch => Work::binary_search(m, n),
+        ClassifyStrategy::MergeSweep => Work::scan(n + m),
+        ClassifyStrategy::DecisionTree => Work::classify(n, tree_height(m)).and(Work::scan(2 * m)),
+    }
+}
+
+/// An implicit-heap decision tree over `m` sorted splitters, classifying
+/// keys into `m + 1` buckets branch-free.
+///
+/// Layout: the splitters (padded with `MAX_KEY` sentinels to `leaves - 1`
+/// entries, `leaves = (m+1).next_power_of_two()`) fill the internal nodes
+/// `1..leaves` of a complete binary tree in symmetric (in-order) order, so
+/// a root-to-leaf descend reproduces `partition_point` over the padded
+/// array.  The sentinel padding is exact, not approximate: a `MAX_KEY` pad
+/// entry only counts for keys equal to `MAX_KEY`, whose true bucket is `m`
+/// anyway, so clamping the landing leaf to `m` returns precisely
+/// `splitters.partition_point(..)` for **every** key, duplicates and
+/// sentinels included (proved exhaustively by the unit tests and fuzzed in
+/// `tests/classify_differential.rs`).
+#[derive(Debug, Clone)]
+pub struct DecisionTree<K: Key> {
+    /// Internal nodes `1..leaves`; index 0 is unused.
+    tree: Vec<K>,
+    /// Padded leaf count (`(m+1).next_power_of_two()`).
+    leaves: usize,
+    /// Descend steps per key: `log2(leaves)`.
+    height: u32,
+    /// Real (unpadded) splitter count `m`.
+    splitters: usize,
+}
+
+impl<K: Key> DecisionTree<K> {
+    /// Build the tree from sorted splitters (duplicates allowed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the splitters are not sorted in non-decreasing order.
+    pub fn from_splitters(splitters: &[K]) -> Self {
+        assert!(splitters.windows(2).all(|w| w[0] <= w[1]), "splitters must be sorted");
+        let m = splitters.len();
+        let leaves = (m + 1).next_power_of_two();
+        // The padded in-order sequence the internal nodes hold.
+        let mut padded: Vec<K> = Vec::with_capacity(leaves - 1);
+        padded.extend_from_slice(splitters);
+        padded.resize(leaves - 1, K::MAX_KEY);
+        // Fill internal node `node` with the median of its in-order range
+        // (half-open over `padded`), children recursing on the halves —
+        // the standard sorted-array -> Eytzinger transform, done with an
+        // explicit stack like the exemplar in SNIPPETS.md.
+        let mut tree = vec![K::MIN_KEY; leaves];
+        let mut stack = vec![(0usize, leaves - 1, 1usize)];
+        while let Some((lo, hi, node)) = stack.pop() {
+            if lo >= hi {
+                continue;
+            }
+            let mid = (lo + hi) / 2;
+            tree[node] = padded[mid];
+            stack.push((lo, mid, 2 * node));
+            stack.push((mid + 1, hi, 2 * node + 1));
+        }
+        Self { tree, leaves, height: leaves.trailing_zeros(), splitters: m }
+    }
+
+    /// Number of buckets the tree classifies into (`m + 1`).
+    pub fn buckets(&self) -> usize {
+        self.splitters + 1
+    }
+
+    /// Descend steps one classification performs.
+    pub fn height(&self) -> usize {
+        self.height as usize
+    }
+
+    /// One branch-free descend step.  `LE` selects the comparison flavour:
+    /// `true` counts splitters `<= key` (the [`bucket_of`] routing
+    /// convention, keys equal to a splitter go right), `false` counts
+    /// splitters `< key`.
+    ///
+    /// [`bucket_of`]: DecisionTree::bucket_of
+    ///
+    /// # Safety (of the internal `get_unchecked`)
+    ///
+    /// Callers descend exactly `self.height` steps starting from node 1;
+    /// at step `t` the node index lies in `[2^t, 2^{t+1})`, so every
+    /// access stays below `leaves == tree.len()`.  This invariant is local
+    /// to the two drivers below (the same documented-unsafe-hot-loop
+    /// convention as `hss-lsort`'s classify loop).
+    #[inline(always)]
+    fn step<const LE: bool>(&self, node: usize, key: K) -> usize {
+        let s = unsafe { *self.tree.get_unchecked(node) };
+        let right = if LE { s <= key } else { s < key };
+        2 * node + usize::from(right)
+    }
+
+    /// Map a landing leaf (node index in `[leaves, 2*leaves)`) to its
+    /// bucket, clamping the sentinel padding back onto bucket `m`.
+    #[inline(always)]
+    fn leaf_bucket(&self, node: usize) -> usize {
+        (node - self.leaves).min(self.splitters)
+    }
+
+    /// Fully descend one key.
+    #[inline(always)]
+    fn descend<const LE: bool>(&self, key: K) -> usize {
+        let mut node = 1usize;
+        for _ in 0..self.height {
+            node = self.step::<LE>(node, key);
+        }
+        self.leaf_bucket(node)
+    }
+
+    /// The bucket a key routes to: the number of splitters `<= key`
+    /// (identical to [`crate::splitters::SplitterSet::bucket_of`]).
+    pub fn bucket_of(&self, key: K) -> usize {
+        if self.splitters == 0 {
+            return 0;
+        }
+        self.descend::<true>(key)
+    }
+
+    /// The number of splitters strictly `< key` (the `<=`-rank flavour's
+    /// dual, used to compute `local_ranks_le`).
+    pub fn bucket_of_lt(&self, key: K) -> usize {
+        if self.splitters == 0 {
+            return 0;
+        }
+        self.descend::<false>(key)
+    }
+
+    /// The unrolled driver: classify every item, four keys in flight, and
+    /// feed each bucket index (in **input order**) to `f`.
+    #[inline]
+    fn for_each_bucket<T: Keyed<K = K>, const LE: bool>(
+        &self,
+        data: &[T],
+        mut f: impl FnMut(usize),
+    ) {
+        if self.splitters == 0 {
+            for _ in data {
+                f(0);
+            }
+            return;
+        }
+        let mut chunks = data.chunks_exact(4);
+        for c in &mut chunks {
+            let (k0, k1, k2, k3) = (c[0].key(), c[1].key(), c[2].key(), c[3].key());
+            let (mut n0, mut n1, mut n2, mut n3) = (1usize, 1usize, 1usize, 1usize);
+            // Four independent descends per iteration: no step depends on
+            // another key's outcome, so the loads and flag updates
+            // pipeline across the four lanes.
+            for _ in 0..self.height {
+                n0 = self.step::<LE>(n0, k0);
+                n1 = self.step::<LE>(n1, k1);
+                n2 = self.step::<LE>(n2, k2);
+                n3 = self.step::<LE>(n3, k3);
+            }
+            f(self.leaf_bucket(n0));
+            f(self.leaf_bucket(n1));
+            f(self.leaf_bucket(n2));
+            f(self.leaf_bucket(n3));
+        }
+        for x in chunks.remainder() {
+            f(self.descend::<LE>(x.key()));
+        }
+    }
+
+    /// Per-bucket counts of `data` under the `<=` routing convention
+    /// (bucket `b` counts keys with exactly `b` splitters `<= key`).
+    /// `data` need **not** be sorted.
+    pub fn histogram<T: Keyed<K = K>>(&self, data: &[T]) -> Vec<u64> {
+        let mut counts = vec![0u64; self.buckets()];
+        self.for_each_bucket::<T, true>(data, |b| counts[b] += 1);
+        counts
+    }
+
+    /// Per-bucket counts under the strict-`<` flavour.
+    pub fn histogram_lt<T: Keyed<K = K>>(&self, data: &[T]) -> Vec<u64> {
+        let mut counts = vec![0u64; self.buckets()];
+        self.for_each_bucket::<T, false>(data, |b| counts[b] += 1);
+        counts
+    }
+
+    /// The routing bucket of every item, in input order (the
+    /// `partition_unsorted` driver).
+    pub fn bucket_indices<T: Keyed<K = K>>(&self, data: &[T]) -> Vec<u32> {
+        debug_assert!(self.buckets() <= u32::MAX as usize);
+        let mut out = Vec::with_capacity(data.len());
+        self.for_each_bucket::<T, true>(data, |b| out.push(b as u32));
+        out
+    }
+
+    /// The number of data keys strictly below each splitter: classify every
+    /// key, histogram, prefix-sum.  Splitter `j` is `>` exactly the keys
+    /// whose `<=`-bucket is at most `j`, so
+    /// `ranks_lt[j] = Σ_{b<=j} histogram[b]`.  Equals
+    /// [`crate::histogram::local_ranks`] on sorted data, but works on
+    /// unsorted data too.
+    pub fn ranks_lt<T: Keyed<K = K>>(&self, data: &[T]) -> Vec<u64> {
+        prefix_ranks(&self.histogram(data), self.splitters)
+    }
+
+    /// The number of data keys `<=` each splitter (the dual flavour:
+    /// prefix sums of the strict-`<` histogram).  Equals
+    /// [`crate::histogram::local_ranks_le`].
+    pub fn ranks_le<T: Keyed<K = K>>(&self, data: &[T]) -> Vec<u64> {
+        prefix_ranks(&self.histogram_lt(data), self.splitters)
+    }
+}
+
+/// Prefix-sum the first `m` buckets of a histogram into per-splitter ranks.
+fn prefix_ranks(hist: &[u64], m: usize) -> Vec<u64> {
+    let mut out = Vec::with_capacity(m);
+    let mut acc = 0u64;
+    for &h in &hist[..m] {
+        acc += h;
+        out.push(acc);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oracle_bucket(splitters: &[u64], key: u64) -> usize {
+        splitters.partition_point(|s| *s <= key)
+    }
+
+    fn oracle_bucket_lt(splitters: &[u64], key: u64) -> usize {
+        splitters.partition_point(|s| *s < key)
+    }
+
+    #[test]
+    fn bucket_of_matches_partition_point_exhaustively() {
+        // Every splitter count from 0 to 40 (crossing several power-of-two
+        // pads), probed at every key in range plus the sentinels.
+        for m in 0..=40usize {
+            let splitters: Vec<u64> = (0..m as u64).map(|i| 2 * i + 1).collect();
+            let tree = DecisionTree::from_splitters(&splitters);
+            assert_eq!(tree.buckets(), m + 1);
+            for key in 0..=(2 * m as u64 + 2) {
+                assert_eq!(tree.bucket_of(key), oracle_bucket(&splitters, key), "m={m} key={key}");
+                assert_eq!(
+                    tree.bucket_of_lt(key),
+                    oracle_bucket_lt(&splitters, key),
+                    "m={m} key={key}"
+                );
+            }
+            assert_eq!(tree.bucket_of(u64::MIN), 0);
+            assert_eq!(tree.bucket_of(u64::MAX), m, "MAX_KEY must land in the last bucket");
+            assert_eq!(tree.bucket_of_lt(u64::MAX), m);
+        }
+    }
+
+    #[test]
+    fn duplicate_splitters_route_like_the_oracle() {
+        let splitters = vec![10u64, 10, 10, 20, 20];
+        let tree = DecisionTree::from_splitters(&splitters);
+        for key in [0u64, 9, 10, 11, 19, 20, 21, u64::MAX] {
+            assert_eq!(tree.bucket_of(key), oracle_bucket(&splitters, key), "key {key}");
+            assert_eq!(tree.bucket_of_lt(key), oracle_bucket_lt(&splitters, key), "key {key}");
+        }
+        // A key equal to a run of duplicates hops over the whole run.
+        assert_eq!(tree.bucket_of(10), 3);
+        assert_eq!(tree.bucket_of_lt(10), 0);
+    }
+
+    #[test]
+    fn sentinel_splitters_are_handled() {
+        // Splitters at the key-space extremes interact with the MAX_KEY
+        // padding; the clamp must keep everything exact.
+        let splitters = vec![u64::MIN, 5, u64::MAX];
+        let tree = DecisionTree::from_splitters(&splitters);
+        for key in [u64::MIN, 1, 5, 6, u64::MAX - 1, u64::MAX] {
+            assert_eq!(tree.bucket_of(key), oracle_bucket(&splitters, key), "key {key}");
+            assert_eq!(tree.bucket_of_lt(key), oracle_bucket_lt(&splitters, key), "key {key}");
+        }
+    }
+
+    #[test]
+    fn empty_tree_routes_everything_to_bucket_zero() {
+        let tree = DecisionTree::<u64>::from_splitters(&[]);
+        assert_eq!(tree.buckets(), 1);
+        assert_eq!(tree.height(), 0);
+        assert_eq!(tree.bucket_of(42), 0);
+        assert_eq!(tree.bucket_of(u64::MAX), 0);
+        assert_eq!(tree.histogram(&[1u64, 2, 3]), vec![3]);
+        assert!(tree.ranks_lt(&[1u64, 2, 3]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_splitters_panic() {
+        let _ = DecisionTree::from_splitters(&[5u64, 3]);
+    }
+
+    #[test]
+    fn four_wide_driver_agrees_with_scalar_descends() {
+        // Lengths around the chunks_exact(4) boundaries.
+        let splitters: Vec<u64> = (1..30).map(|i| i * 13).collect();
+        let tree = DecisionTree::from_splitters(&splitters);
+        for len in [0usize, 1, 2, 3, 4, 5, 7, 8, 9, 100] {
+            let data: Vec<u64> = (0..len as u64).map(|i| (i * 97) % 401).collect();
+            let ids = tree.bucket_indices(&data);
+            let expect: Vec<u32> =
+                data.iter().map(|&k| oracle_bucket(&splitters, k) as u32).collect();
+            assert_eq!(ids, expect, "len {len}");
+        }
+    }
+
+    #[test]
+    fn ranks_match_binary_search_on_unsorted_data() {
+        let probes: Vec<u64> = (0..64).map(|i| i * 7).collect();
+        let data: Vec<u64> = (0..500u64).map(|i| (i * 193) % 450).collect();
+        let tree = DecisionTree::from_splitters(&probes);
+        let mut sorted = data.clone();
+        sorted.sort_unstable();
+        let expect_lt: Vec<u64> =
+            probes.iter().map(|p| sorted.partition_point(|x| x < p) as u64).collect();
+        let expect_le: Vec<u64> =
+            probes.iter().map(|p| sorted.partition_point(|x| x <= p) as u64).collect();
+        assert_eq!(tree.ranks_lt(&data), expect_lt);
+        assert_eq!(tree.ranks_le(&data), expect_le);
+    }
+
+    #[test]
+    fn tree_height_is_log_of_padded_leaves() {
+        assert_eq!(tree_height(0), 0);
+        assert_eq!(tree_height(1), 1);
+        assert_eq!(tree_height(3), 2);
+        assert_eq!(tree_height(4), 3);
+        assert_eq!(tree_height(7), 3);
+        assert_eq!(tree_height(8), 4);
+        assert_eq!(tree_height(4095), 12);
+    }
+
+    #[test]
+    fn strategy_picks_each_arm_in_its_regime() {
+        // Sparse probes over big data: per-probe binary search.
+        assert_eq!(classify_strategy(4096, 4), ClassifyStrategy::BinarySearch);
+        // Balanced dense shapes: the merged sweep.
+        assert_eq!(classify_strategy(1000, 1000), ClassifyStrategy::MergeSweep);
+        // Dense probes dwarfing the data (large-p histogramming): the tree.
+        assert_eq!(classify_strategy(3, 64), ClassifyStrategy::DecisionTree);
+        assert_eq!(classify_strategy(1000, 40960), ClassifyStrategy::DecisionTree);
+        // Degenerate shapes stay deterministic.
+        assert_eq!(classify_strategy(0, 0), ClassifyStrategy::BinarySearch);
+    }
+
+    #[test]
+    fn classify_work_follows_the_strategy() {
+        use hss_sim::Work;
+        assert_eq!(classify_work(4096, 4), Work::binary_search(4, 4096));
+        assert_eq!(classify_work(1000, 1000), Work::scan(2000));
+        assert_eq!(classify_work(3, 64), Work::classify(3, tree_height(64)).and(Work::scan(128)));
+    }
+}

@@ -81,11 +81,15 @@ pub fn exchange_and_merge_with<T: Keyed + Ord>(
     }
 }
 
-/// The bucketize work charged by both engines: one binary search per
-/// splitter plus a linear pass over the local data (the pack/scan the
-/// simulated rank performs to stage its send buffer).
+/// The bucketize work charged by both engines: the classification cost of
+/// the strategy `bucket_boundaries` actually executes for this shape
+/// (binary search / merge sweep / decision tree — see
+/// [`crate::classify::classify_work`]) plus a linear pass over the local
+/// data (the pack/scan the simulated rank performs to stage its send
+/// buffer).  Both engines charge through this one helper, so their
+/// simulated costs stay bitwise identical.
 fn bucketize_work<K: hss_keygen::Key>(splitters: &SplitterSet<K>, local_len: usize) -> Work {
-    Work::binary_search(splitters.keys().len(), local_len).and(Work::scan(local_len))
+    crate::classify::classify_work(local_len, splitters.keys().len()).and(Work::scan(local_len))
 }
 
 fn exchange_and_merge_flat<T: Keyed + Ord>(

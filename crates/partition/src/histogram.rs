@@ -10,82 +10,86 @@
 use hss_keygen::Keyed;
 use hss_sim::{Machine, Phase, Work};
 
+use crate::classify::{classify_strategy, classify_work, ClassifyStrategy, DecisionTree};
+
 /// Number of local keys strictly less than each probe.
 ///
 /// `sorted_local` must be sorted by key; `probes` must be sorted too (the
 /// result is then non-decreasing).
 ///
-/// Two strategies are used depending on the shapes: binary searches
-/// (`O(|probes| log |local|)`) when there are few probes, and a linear
-/// merge sweep (`O(|probes| + |local|)`) when the probe set is large
-/// relative to the local data — the situation in large-`p` histogramming
-/// rounds where the probe count (`~5p`) dwarfs the per-rank key count.
+/// Three strategies are used depending on the shapes (the shared
+/// [`classify_strategy`] rule): binary searches (`O(|probes| log |local|)`)
+/// when there are few probes, a linear merge sweep
+/// (`O(|probes| + |local|)`) when both sides are dense and comparable, and
+/// branch-free decision-tree classification of the *data* against the
+/// probes (`O(|probes| + |local| log |probes|)`, four keys in flight) when
+/// the probe set dwarfs the local data — the situation in large-`p`
+/// histogramming rounds where the probe count (`~5p`) dwarfs the per-rank
+/// key count.  All three return identical results.
 pub fn local_ranks<T: Keyed>(sorted_local: &[T], probes: &[T::K]) -> Vec<u64> {
     debug_assert!(is_sorted_by_key(sorted_local), "local data must be sorted");
     debug_assert!(probes.windows(2).all(|w| w[0] <= w[1]), "probes must be sorted");
     let n = sorted_local.len();
     let m = probes.len();
-    if uses_binary_search(n, m) {
-        probes.iter().map(|p| sorted_local.partition_point(|x| x.key() < *p) as u64).collect()
-    } else {
-        let mut out = Vec::with_capacity(m);
-        let mut i = 0usize;
-        for p in probes {
-            while i < n && sorted_local[i].key() < *p {
-                i += 1;
-            }
-            out.push(i as u64);
+    match classify_strategy(n, m) {
+        ClassifyStrategy::BinarySearch => {
+            probes.iter().map(|p| sorted_local.partition_point(|x| x.key() < *p) as u64).collect()
         }
-        out
+        ClassifyStrategy::MergeSweep => {
+            let mut out = Vec::with_capacity(m);
+            let mut i = 0usize;
+            for p in probes {
+                while i < n && sorted_local[i].key() < *p {
+                    i += 1;
+                }
+                out.push(i as u64);
+            }
+            out
+        }
+        ClassifyStrategy::DecisionTree => {
+            DecisionTree::from_splitters(probes).ranks_lt(sorted_local)
+        }
     }
-}
-
-/// Whether [`local_ranks`] answers `m` probes over `n` keys with binary
-/// searches (`~m log2 n`) rather than the linear merge sweep (`~n + m`).
-/// Exposed so cost accounting can charge the strategy actually executed,
-/// and shared with [`crate::splitters::SplitterSet::bucket_boundaries`] so
-/// every adaptive probe-counting site follows the same rule.
-pub(crate) fn uses_binary_search(n: usize, m: usize) -> bool {
-    let log_n = (usize::BITS - n.max(2).leading_zeros()) as usize;
-    m * log_n <= n + m
 }
 
 /// The [`Work`] `local_ranks` actually performs for the given shapes —
-/// binary-search cost when it binary-searches, a linear `n + m` scan when
-/// it runs the merge sweep.  Charging `Work::binary_search(m, n)`
+/// binary-search cost when it binary-searches, a linear `n + m` scan for
+/// the merge sweep, tree build plus `n` charged descends for the decision
+/// tree (see [`classify_work`]).  Charging `Work::binary_search(m, n)`
 /// unconditionally (the historical behaviour) overstated the simulated cost
-/// of exactly the large-`p` histogramming rounds the sweep exists for.
+/// of exactly the large-`p` histogramming rounds the dense strategies
+/// exist for.
 pub fn local_ranks_work(n: usize, m: usize) -> Work {
-    if uses_binary_search(n, m) {
-        Work::binary_search(m, n)
-    } else {
-        Work::scan(n + m)
-    }
+    classify_work(n, m)
 }
 
 /// Number of local keys less than *or equal to* each probe — the
 /// "`<=`-rank" flavour the approximate-histogram oracle queries
-/// ([`local_ranks`] counts strictly-smaller keys).  Same adaptive strategy:
-/// binary searches when the probe set is small, one merged linear sweep
-/// when it is dense relative to the data ([`local_ranks_work`] is the cost
-/// of either call).
+/// ([`local_ranks`] counts strictly-smaller keys).  Same adaptive
+/// three-way strategy ([`local_ranks_work`] is the cost of either call).
 pub fn local_ranks_le<T: Keyed>(sorted_local: &[T], probes: &[T::K]) -> Vec<u64> {
     debug_assert!(is_sorted_by_key(sorted_local), "local data must be sorted");
     debug_assert!(probes.windows(2).all(|w| w[0] <= w[1]), "probes must be sorted");
     let n = sorted_local.len();
     let m = probes.len();
-    if uses_binary_search(n, m) {
-        probes.iter().map(|p| sorted_local.partition_point(|x| x.key() <= *p) as u64).collect()
-    } else {
-        let mut out = Vec::with_capacity(m);
-        let mut i = 0usize;
-        for p in probes {
-            while i < n && sorted_local[i].key() <= *p {
-                i += 1;
-            }
-            out.push(i as u64);
+    match classify_strategy(n, m) {
+        ClassifyStrategy::BinarySearch => {
+            probes.iter().map(|p| sorted_local.partition_point(|x| x.key() <= *p) as u64).collect()
         }
-        out
+        ClassifyStrategy::MergeSweep => {
+            let mut out = Vec::with_capacity(m);
+            let mut i = 0usize;
+            for p in probes {
+                while i < n && sorted_local[i].key() <= *p {
+                    i += 1;
+                }
+                out.push(i as u64);
+            }
+            out
+        }
+        ClassifyStrategy::DecisionTree => {
+            DecisionTree::from_splitters(probes).ranks_le(sorted_local)
+        }
     }
 }
 
@@ -236,30 +240,68 @@ mod tests {
 
     #[test]
     fn charged_work_tracks_executed_strategy() {
+        use crate::classify::{classify_strategy, tree_height, ClassifyStrategy};
         use hss_sim::Work;
-        // Merge-sweep shape: tiny local data, many probes.  The charge must
-        // be the linear scan, not m binary searches.
+        // Decision-tree shape: tiny local data, many probes.  The charge
+        // must be the tree term, not m binary searches.
         let (n, m) = (3usize, 64usize);
-        assert!(!super::uses_binary_search(n, m));
+        assert_eq!(classify_strategy(n, m), ClassifyStrategy::DecisionTree);
+        assert_eq!(
+            local_ranks_work(n, m),
+            Work::classify(n, tree_height(m)).and(Work::scan(2 * m))
+        );
+        // Merge-sweep shape: dense, comparable sides.
+        let (n, m) = (1000usize, 1000usize);
+        assert_eq!(classify_strategy(n, m), ClassifyStrategy::MergeSweep);
         assert_eq!(local_ranks_work(n, m), Work::scan(n + m));
         // Binary-search shape: large local data, few probes.
         let (n, m) = (4096usize, 4usize);
-        assert!(super::uses_binary_search(n, m));
+        assert_eq!(classify_strategy(n, m), ClassifyStrategy::BinarySearch);
         assert_eq!(local_ranks_work(n, m), Work::binary_search(m, n));
     }
 
     #[test]
-    fn global_ranks_charges_scan_cost_on_sweep_shapes() {
+    fn charged_work_switches_exactly_at_the_strategy_switch_point() {
+        use crate::classify::{classify_strategy, tree_height, ClassifyStrategy};
+        use hss_sim::Work;
+        // Sweep the probe count at fixed n and find every strategy flip;
+        // the charged term must flip at exactly the same m — no drift
+        // between what executes and what is charged.
+        let n = 256usize;
+        let mut switches = 0usize;
+        for m in 0..4096usize {
+            let expected = match classify_strategy(n, m) {
+                ClassifyStrategy::BinarySearch => Work::binary_search(m, n),
+                ClassifyStrategy::MergeSweep => Work::scan(n + m),
+                ClassifyStrategy::DecisionTree => {
+                    Work::classify(n, tree_height(m)).and(Work::scan(2 * m))
+                }
+            };
+            assert_eq!(local_ranks_work(n, m), expected, "m = {m}");
+            if m > 0 && classify_strategy(n, m) != classify_strategy(n, m - 1) {
+                switches += 1;
+            }
+        }
+        // The sweep must actually cross strategy boundaries for the
+        // assertion above to mean anything.
+        assert!(switches >= 2, "expected at least two strategy switches, saw {switches}");
+    }
+
+    #[test]
+    fn global_ranks_charges_tree_cost_on_dense_probe_shapes() {
+        use crate::classify::tree_height;
         // p = 2 ranks with 3 keys each, 64 probes: both ranks take the
-        // merge-sweep branch.  Phase compute ops must be the two scans plus
-        // the reduction's element-wise combine (pipelined: one op per probe).
+        // decision-tree branch.  Phase compute ops must be the two tree
+        // charges (n·height descends + build/prefix scans of 2m) plus the
+        // reduction's element-wise combine (pipelined: one op per probe).
         let p = 2;
         let mut machine = Machine::flat(p);
         let per_rank: Vec<Vec<u64>> = vec![vec![10, 20, 30], vec![15, 25, 35]];
         let probes: Vec<u64> = (0..64).map(|i| i * 2).collect();
         let _ = global_ranks(&mut machine, &per_rank, &probes, Phase::Histogramming);
         let ops = machine.metrics().phase(Phase::Histogramming).compute_ops;
-        let expected = 2 * (3 + 64) as u64 + 64;
+        let per_rank_ops = 3 * tree_height(64) as u64 + 2 * 64;
+        let expected = 2 * per_rank_ops + 64;
         assert_eq!(ops, expected);
     }
 

@@ -6,10 +6,15 @@
 //! owner, merge what arrives.  This crate provides the pieces of that
 //! skeleton that are *not* specific to how splitters are chosen:
 //!
+//! * [`classify`] — branch-free decision-tree classification
+//!   ([`classify::DecisionTree`], the IPS⁴o implicit-heap technique) and
+//!   the shared three-way strategy rule ([`classify::classify_strategy`])
+//!   every adaptive probe/bucketize site follows, with cost accounting
+//!   that charges the strategy actually executed;
 //! * [`histogram`] — local / global rank queries over sorted data (the
 //!   histogramming primitive);
 //! * [`splitters`] — the [`splitters::SplitterSet`] type and key
-//!   routing;
+//!   routing (through a cached decision tree);
 //! * [`intervals`] — splitter-interval bookkeeping
 //!   ([`intervals::SplitterIntervals`], the `L_j/U_j`
 //!   bounds of §3.3);
@@ -24,6 +29,7 @@
 
 pub mod balance;
 pub mod bucketize;
+pub mod classify;
 pub mod exchange;
 pub mod histogram;
 pub mod intervals;
@@ -36,6 +42,7 @@ pub use balance::LoadBalance;
 pub use bucketize::{
     bucket_counts, exchange_plan, partition_sorted, partition_unsorted, splitter_position,
 };
+pub use classify::{classify_strategy, classify_work, tree_height, ClassifyStrategy, DecisionTree};
 pub use exchange::{exchange_and_merge, exchange_and_merge_with, ExchangeEngine, ExchangeMode};
 pub use histogram::{
     global_ranks, is_sorted_by_key, local_range_counts, local_ranks, local_ranks_le,
@@ -45,8 +52,8 @@ pub use intervals::{Bound, SplitterIntervals};
 pub use merge::{concat_sort_merge, kway_merge, kway_merge_slices, merge_runs_for};
 pub use sampling::{
     bernoulli_sample, bernoulli_sample_in_intervals, bernoulli_sample_range, count_in_intervals,
-    merge_key_intervals, merge_key_intervals_with, random_block_sample, regular_sample,
-    uniform_sample_discarding,
+    interval_bounds, interval_bounds_work, merge_key_intervals, merge_key_intervals_with,
+    random_block_sample, regular_sample, uniform_sample_discarding,
 };
 pub use select::{exact_rank, exact_splitters, global_sorted, verify_global_sort};
 pub use splitters::SplitterSet;

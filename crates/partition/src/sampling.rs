@@ -16,7 +16,10 @@ use std::ops::Range;
 
 use hss_keygen::Keyed;
 use hss_lsort::{LocalSortAlgo, RadixSortable};
+use hss_sim::Work;
 use rand::Rng;
+
+use crate::classify::{classify_strategy, ClassifyStrategy, DecisionTree};
 
 /// Bernoulli-sample the keys of `sorted[range]`: each key is included
 /// independently with probability `prob`.  Uses geometric skips, so the
@@ -90,9 +93,83 @@ pub fn merge_key_intervals_with<K: Ord + Copy + RadixSortable>(
     out
 }
 
+/// The `(start, end)` index range each (disjoint, sorted) **inclusive** key
+/// interval covers within `sorted`: `start` is the first index with
+/// `key >= lo`, `end` the first with `key > hi`, so a key exactly equal to
+/// either endpoint is **inside** (`sorted[start..end]` holds every key in
+/// `[lo, hi]` — the same `<=`-semantics as `estimated_local_rank_le`).
+///
+/// Strategy-adaptive over `2·|intervals|` boundary queries (the shared
+/// [`classify_strategy`] rule, identical results in every arm):
+///
+/// * **binary search** — suffix-narrowing searches: the intervals are
+///   sorted and disjoint, so each search runs on the still-open suffix
+///   instead of the whole slice;
+/// * **merge sweep** — one linear pass over data and interval endpoints;
+/// * **decision tree** — branch-free classification of the data against
+///   the interval endpoints (one tree over the `lo`s for the starts, one
+///   over the `hi`s for the ends), the dense-interval large-`p` regime.
+pub fn interval_bounds<T: Keyed>(sorted: &[T], intervals: &[(T::K, T::K)]) -> Vec<(usize, usize)> {
+    debug_assert!(crate::histogram::is_sorted_by_key(sorted));
+    let n = sorted.len();
+    let c = intervals.len();
+    match classify_strategy(n, 2 * c) {
+        ClassifyStrategy::BinarySearch => {
+            let mut out = Vec::with_capacity(c);
+            let mut base = 0usize;
+            for &(lo, hi) in intervals {
+                let start = base + sorted[base..].partition_point(|x| x.key() < lo);
+                let end = start + sorted[start..].partition_point(|x| x.key() <= hi);
+                base = end;
+                out.push((start, end));
+            }
+            out
+        }
+        ClassifyStrategy::MergeSweep => {
+            let mut out = Vec::with_capacity(c);
+            let mut i = 0usize;
+            for &(lo, hi) in intervals {
+                while i < n && sorted[i].key() < lo {
+                    i += 1;
+                }
+                let start = i;
+                while i < n && sorted[i].key() <= hi {
+                    i += 1;
+                }
+                out.push((start, i));
+            }
+            out
+        }
+        ClassifyStrategy::DecisionTree => {
+            let lows: Vec<T::K> = intervals.iter().map(|&(lo, _)| lo).collect();
+            let highs: Vec<T::K> = intervals.iter().map(|&(_, hi)| hi).collect();
+            let starts = DecisionTree::from_splitters(&lows).ranks_lt(sorted);
+            let ends = DecisionTree::from_splitters(&highs).ranks_le(sorted);
+            starts.into_iter().zip(ends).map(|(s, e)| (s as usize, e as usize)).collect()
+        }
+    }
+}
+
+/// The [`Work`] [`interval_bounds`] actually performs over `c` intervals
+/// against `n` sorted keys, arm for arm with [`classify_strategy`]`(n, 2c)`
+/// (two boundary queries per interval; the tree arm classifies the data
+/// twice, once per endpoint flavour).  Probe charges that locate interval
+/// bounds must go through this helper so the simulated cost follows the
+/// executed strategy.
+pub fn interval_bounds_work(n: usize, c: usize) -> Work {
+    match classify_strategy(n, 2 * c) {
+        ClassifyStrategy::BinarySearch => Work::binary_search(2 * c, n),
+        ClassifyStrategy::MergeSweep => Work::scan(n + 2 * c),
+        ClassifyStrategy::DecisionTree => {
+            Work::classify(2 * n, crate::classify::tree_height(c)).and(Work::scan(4 * c))
+        }
+    }
+}
+
 /// Bernoulli-sample only the keys that fall inside one of the (disjoint,
 /// sorted) inclusive key `intervals` — the restricted sampling of §3.3
-/// step 4.  `sorted` must be sorted by key.
+/// step 4.  `sorted` must be sorted by key.  Keys equal to an interval
+/// endpoint are eligible (see [`interval_bounds`]).
 pub fn bernoulli_sample_in_intervals<T: Keyed, R: Rng>(
     sorted: &[T],
     intervals: &[(T::K, T::K)],
@@ -100,15 +177,7 @@ pub fn bernoulli_sample_in_intervals<T: Keyed, R: Rng>(
     rng: &mut R,
 ) -> Vec<T::K> {
     let mut out = Vec::new();
-    // The intervals are sorted and disjoint, so every boundary lies at or
-    // beyond the previous one: each binary search runs on the still-open
-    // suffix instead of the whole slice (a merged sweep over the interval
-    // ends; matters when the interval count approaches log2 n).
-    let mut base = 0usize;
-    for &(lo, hi) in intervals {
-        let start = base + sorted[base..].partition_point(|x| x.key() < lo);
-        let end = start + sorted[start..].partition_point(|x| x.key() <= hi);
-        base = end;
+    for (start, end) in interval_bounds(sorted, intervals) {
         out.extend(bernoulli_sample_range(sorted, start..end, prob, rng));
     }
     out
@@ -116,22 +185,21 @@ pub fn bernoulli_sample_in_intervals<T: Keyed, R: Rng>(
 
 /// Number of local keys falling inside the (disjoint, sorted) intervals.
 pub fn count_in_intervals<T: Keyed>(sorted: &[T], intervals: &[(T::K, T::K)]) -> usize {
-    // Same suffix-narrowing sweep as `bernoulli_sample_in_intervals`.
-    let mut base = 0usize;
-    let mut count = 0usize;
-    for &(lo, hi) in intervals {
-        let start = base + sorted[base..].partition_point(|x| x.key() < lo);
-        let end = start + sorted[start..].partition_point(|x| x.key() <= hi);
-        base = end;
-        count += end - start;
-    }
-    count
+    interval_bounds(sorted, intervals).into_iter().map(|(s, e)| e - s).sum()
 }
 
 /// Draw `count` keys uniformly at random (with replacement) from the whole
 /// local data, keeping only those inside the intervals — the paper's
 /// implementation trick (§6.1.2): pick `5/δ` keys from the entire input and
 /// discard the ones that miss the splitter intervals.
+///
+/// Boundary semantics (audited against `estimated_local_rank_le`'s
+/// `<=`-convention): the membership probe below maps `k == lo` and
+/// `k == hi` to `Equal`, so keys **exactly on an interval endpoint are
+/// kept** — the same closed-interval rule as [`interval_bounds`], whose
+/// `end` bound uses `key <= hi`.  A key landing in the gap between two
+/// intervals reports `Err` and is discarded (tested, including duplicate
+/// endpoint keys).
 pub fn uniform_sample_discarding<T: Keyed, R: Rng>(
     sorted: &[T],
     intervals: &[(T::K, T::K)],
@@ -265,6 +333,76 @@ mod tests {
         assert_eq!(count_in_intervals(&data, &[(100, 199), (500, 500)]), 101);
         assert_eq!(count_in_intervals(&data, &[]), 0);
         assert_eq!(count_in_intervals(&data, &[(2000, 3000)]), 0);
+    }
+
+    #[test]
+    fn interval_bounds_strategies_agree_on_every_shape() {
+        // Oracle: independent full-slice partition_point per endpoint.
+        fn oracle(data: &[u64], intervals: &[(u64, u64)]) -> Vec<(usize, usize)> {
+            intervals
+                .iter()
+                .map(|&(lo, hi)| {
+                    (data.partition_point(|x| *x < lo), data.partition_point(|x| *x <= hi))
+                })
+                .collect()
+        }
+        // Duplicated data keys sitting exactly on interval endpoints.
+        let data: Vec<u64> = (0..600u64).map(|i| (i / 3) * 5).collect(); // 0,0,0,5,5,5,...
+                                                                         // Sparse intervals -> suffix-narrowing binary searches.
+        let sparse = vec![(10u64, 10), (40, 55), (960, 2000)];
+        assert_eq!(interval_bounds(&data, &sparse), oracle(&data, &sparse));
+        // Dense intervals -> merge sweep or decision tree, same results.
+        let dense: Vec<(u64, u64)> = (0..400u64).map(|i| (i * 3, i * 3 + 1)).collect();
+        assert_eq!(interval_bounds(&data, &dense), oracle(&data, &dense));
+        let tiny: Vec<u64> = vec![5, 5, 10];
+        assert_eq!(interval_bounds(&tiny, &dense), oracle(&tiny, &dense));
+    }
+
+    #[test]
+    fn interval_endpoints_are_inclusive_on_both_sides() {
+        // Keys exactly on lo and hi — including duplicate runs — are in.
+        let data: Vec<u64> = vec![9, 10, 10, 10, 15, 20, 20, 21];
+        let bounds = interval_bounds(&data, &[(10, 20)]);
+        assert_eq!(bounds, vec![(1, 7)]); // both duplicate runs included
+        assert_eq!(count_in_intervals(&data, &[(10, 20)]), 6);
+        // Degenerate single-key interval on a duplicate run.
+        assert_eq!(count_in_intervals(&data, &[(10, 10)]), 3);
+        // Adjacent intervals share no keys: (a, k-1) then (k, b).
+        assert_eq!(
+            count_in_intervals(&data, &[(9, 9), (10, 20)]),
+            count_in_intervals(&data, &[(9, 20)])
+        );
+    }
+
+    #[test]
+    fn uniform_sample_discarding_keeps_endpoint_keys() {
+        // Every key equals an interval endpoint: nothing may be discarded.
+        let data: Vec<u64> = vec![10; 50];
+        let s = uniform_sample_discarding(&data, &[(10u64, 10)], 200, &mut rng());
+        assert_eq!(s.len(), 200);
+        assert!(s.iter().all(|&k| k == 10));
+        // Keys in the gap between intervals are discarded; keys exactly on
+        // the surrounding endpoints are kept.
+        let data: Vec<u64> = vec![10, 15, 20];
+        let s = uniform_sample_discarding(&data, &[(0u64, 10), (20, 30)], 300, &mut rng());
+        assert!(!s.is_empty());
+        assert!(s.iter().all(|&k| k == 10 || k == 20), "gap key 15 must be discarded");
+    }
+
+    #[test]
+    fn interval_bounds_work_tracks_strategy() {
+        use crate::classify::{classify_strategy, ClassifyStrategy};
+        use hss_sim::Work;
+        // Sparse shape -> binary-search charge.
+        assert_eq!(classify_strategy(4096, 2 * 3), ClassifyStrategy::BinarySearch);
+        assert_eq!(interval_bounds_work(4096, 3), Work::binary_search(6, 4096));
+        // Dense shape -> tree charge (two classification passes).
+        let (n, c) = (3usize, 200usize);
+        assert_eq!(classify_strategy(n, 2 * c), ClassifyStrategy::DecisionTree);
+        assert_eq!(
+            interval_bounds_work(n, c),
+            Work::classify(2 * n, crate::classify::tree_height(c)).and(Work::scan(4 * c))
+        );
     }
 
     #[test]

@@ -202,6 +202,18 @@ impl CostModel {
         let logn = (n as f64).log2().ceil() as u64;
         queries * logn.max(1)
     }
+
+    /// Compute time of branch-free decision-tree classification of `n` keys
+    /// against an implicit splitter tree of height `log_buckets`: one descend
+    /// step per level per key (`n·log_buckets`), with a floor of one op per
+    /// key so classifying into a single bucket is never free.  The per-step
+    /// constant is deliberately *smaller* than a binary-search step's — the
+    /// descend is branchless and runs with several keys in flight, which is
+    /// exactly why the tree strategy exists (see
+    /// `hss_partition::classify`).
+    pub fn classify_ops(n: u64, log_buckets: u64) -> u64 {
+        n * log_buckets.max(1)
+    }
 }
 
 #[cfg(test)]
@@ -284,6 +296,17 @@ mod tests {
         // Below the crossover the comparison model is cheaper — also true
         // on real hardware, which is why the insertion base case exists.
         assert!(CostModel::radix_sort_ops(1 << 8, 8) > CostModel::sort_ops(1 << 8));
+    }
+
+    #[test]
+    fn classify_ops_scale_with_tree_height() {
+        assert_eq!(CostModel::classify_ops(0, 5), 0);
+        assert_eq!(CostModel::classify_ops(1000, 5), 5_000);
+        // A single-bucket tree still touches every key once.
+        assert_eq!(CostModel::classify_ops(1000, 0), 1000);
+        // A tree descend step is cheaper than a binary-search step at equal
+        // height (the branchless-pipelining premise of the classify term).
+        assert!(CostModel::classify_ops(1000, 10) <= CostModel::binary_search_ops(1000, 1024));
     }
 
     #[test]

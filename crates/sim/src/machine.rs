@@ -122,6 +122,13 @@ impl Work {
         Self { ops: n as u64 }
     }
 
+    /// Work of branch-free decision-tree classification of `n` keys into
+    /// buckets via an implicit splitter tree of height `log_buckets`
+    /// (`n·log_buckets` descend steps, floored at one op per key).
+    pub fn classify(n: usize, log_buckets: usize) -> Self {
+        Self { ops: CostModel::classify_ops(n as u64, log_buckets as u64) }
+    }
+
     /// Combine two work reports (sequential composition on one rank).
     pub fn and(self, other: Work) -> Self {
         Self { ops: self.ops + other.ops }
