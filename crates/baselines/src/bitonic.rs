@@ -16,17 +16,10 @@ use hss_sim::{ExchangePlan, Machine, Phase, Work};
 
 use crate::common::local_sort_phase_with;
 
-/// Block bitonic sort, end to end.  Requires the rank count to be a power of
-/// two.
-#[deprecated(note = "dispatch through the `Sorter` trait via `SortRequest` instead")]
-pub fn bitonic_sort<T: Keyed + Ord + RadixSortable>(
-    machine: &mut Machine,
-    input: Vec<Vec<T>>,
-) -> (Vec<Vec<T>>, SortReport) {
-    bitonic_sort_with_engine(machine, input, ExchangeEngine::Flat)
-}
-
-/// [`bitonic_sort`] with an explicit exchange engine.
+/// Block bitonic sort, end to end, with an explicit exchange engine.
+/// Requires the rank count to be a power of two.  (Callers that don't care
+/// about the engine dispatch through the `Sorter` trait via `SortRequest`
+/// instead.)
 pub fn bitonic_sort_with_engine<T: Keyed + Ord + RadixSortable>(
     machine: &mut Machine,
     input: Vec<Vec<T>>,
@@ -35,8 +28,8 @@ pub fn bitonic_sort_with_engine<T: Keyed + Ord + RadixSortable>(
     bitonic_sort_with(machine, input, engine, LocalSortAlgo::default())
 }
 
-/// [`bitonic_sort`] with an explicit exchange engine and local-sort
-/// algorithm (used for the initial block sorts and the merge-split sorts).
+/// [`bitonic_sort_with_engine`] with an explicit local-sort algorithm
+/// (used for the initial block sorts and the merge-split sorts).
 pub fn bitonic_sort_with<T: Keyed + Ord + RadixSortable>(
     machine: &mut Machine,
     mut input: Vec<Vec<T>>,
@@ -143,11 +136,18 @@ fn compare_split_step<T: Keyed + Ord + RadixSortable>(
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // unit tests exercise the legacy wrappers on purpose
 mod tests {
     use super::*;
     use hss_keygen::KeyDistribution;
     use hss_partition::verify_global_sort;
+
+    /// Flat-engine shorthand for the unit tests below.
+    fn bitonic_sort<T: Keyed + Ord + RadixSortable>(
+        machine: &mut Machine,
+        input: Vec<Vec<T>>,
+    ) -> (Vec<Vec<T>>, SortReport) {
+        bitonic_sort_with_engine(machine, input, ExchangeEngine::Flat)
+    }
 
     #[test]
     fn bitonic_sorts_uniform_input() {

@@ -12,7 +12,7 @@
 
 use hss_core::report::{RoundStats, SortReport, SplitterReport};
 use hss_core::theory::rank_tolerance;
-use hss_keygen::{Key, Keyed};
+use hss_keygen::{ByteKey, Key, Keyed};
 use hss_lsort::{LocalSortAlgo, RadixSortable};
 use hss_partition::{global_ranks, ExchangeEngine, SplitterIntervals, SplitterSet};
 use hss_sim::{Machine, Phase};
@@ -52,6 +52,70 @@ macro_rules! impl_subdividable_unsigned {
 }
 
 impl_subdividable_unsigned!(u8, u16, u32, u64, usize);
+
+/// Byte-string keys subdivide as big-endian base-256 numerals, so classic
+/// histogram sort's key-space bisection works for any width without a
+/// big-integer dependency: the span `hi − lo` comes from byte-wise borrow
+/// subtraction, `span · i` from an LSB-first multiply with carry,
+/// `⌊span · i / parts⌋` from an MSB-first short division (every dividend
+/// digit is `< 256`, so each quotient digit fits a byte), and `lo + offset`
+/// from byte-wise carry addition.  For `N = 8` this agrees bit for bit with
+/// the `u64` subdivision.
+impl<const N: usize> SubdividableKey for ByteKey<N> {
+    fn subdivide(lo: Self, hi: Self, parts: usize) -> Vec<Self> {
+        if parts <= 1 || hi <= lo {
+            return Vec::new();
+        }
+        // span = hi − lo (byte-wise, MSB at index 0).
+        let mut span = [0u8; N];
+        let mut borrow = 0i16;
+        for j in (0..N).rev() {
+            let d = hi.0[j] as i16 - lo.0[j] as i16 - borrow;
+            span[j] = d.rem_euclid(256) as u8;
+            borrow = i16::from(d < 0);
+        }
+        let mut out = Vec::with_capacity(parts - 1);
+        for i in 1..parts {
+            // prod = span · i, least-significant byte first with room for
+            // the multiplier's carry.
+            let mut prod = vec![0u8; N + 16];
+            let mut carry: u128 = 0;
+            for k in 0..N {
+                let digit = span[N - 1 - k] as u128 * i as u128 + carry;
+                prod[k] = digit as u8;
+                carry = digit >> 8;
+            }
+            let mut k = N;
+            while carry > 0 {
+                prod[k] = carry as u8;
+                carry >>= 8;
+                k += 1;
+            }
+            // offset = ⌊prod / parts⌋ by MSB-first short division; the
+            // quotient is < span, so its top bytes beyond N are zero.
+            let mut rem: u128 = 0;
+            let mut quot = vec![0u8; prod.len()];
+            for k in (0..prod.len()).rev() {
+                let acc = rem * 256 + prod[k] as u128;
+                quot[k] = (acc / parts as u128) as u8;
+                rem = acc % parts as u128;
+            }
+            // key = lo + offset (byte-wise with carry).
+            let mut bytes = lo.0;
+            let mut carry = 0u16;
+            for j in (0..N).rev() {
+                let s = bytes[j] as u16 + quot[N - 1 - j] as u16 + carry;
+                bytes[j] = s as u8;
+                carry = s >> 8;
+            }
+            let key = ByteKey::new(bytes);
+            if key > lo && key < hi && out.last() != Some(&key) {
+                out.push(key);
+            }
+        }
+        out
+    }
+}
 
 /// Configuration of the classic histogram-sort baseline.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -174,21 +238,9 @@ where
     (splitters, report)
 }
 
-/// Classic histogram sort end to end.
-#[deprecated(note = "dispatch through the `Sorter` trait via `SortRequest` instead")]
-pub fn histogram_sort<T>(
-    machine: &mut Machine,
-    config: &HistogramSortConfig,
-    input: Vec<Vec<T>>,
-) -> (Vec<Vec<T>>, SortReport)
-where
-    T: Keyed + Ord + RadixSortable,
-    T::K: SubdividableKey + RadixSortable,
-{
-    histogram_sort_with_engine(machine, config, input, ExchangeEngine::Flat)
-}
-
-/// [`histogram_sort`] with an explicit exchange engine.
+/// Classic histogram sort end to end with an explicit exchange engine.
+/// (Callers that don't care about the engine dispatch through the `Sorter`
+/// trait via `SortRequest` instead.)
 pub fn histogram_sort_with_engine<T>(
     machine: &mut Machine,
     config: &HistogramSortConfig,
@@ -247,12 +299,23 @@ fn clamp_key<K: Key>(k: K, lo: K, hi: K) -> K {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // unit tests exercise the legacy wrappers on purpose
 mod tests {
     use super::*;
     use hss_core::{determine_splitters, HssConfig};
     use hss_keygen::KeyDistribution;
     use hss_partition::verify_global_sort;
+
+    fn histogram_sort<T>(
+        machine: &mut Machine,
+        config: &HistogramSortConfig,
+        input: Vec<Vec<T>>,
+    ) -> (Vec<Vec<T>>, SortReport)
+    where
+        T: Keyed + Ord + RadixSortable,
+        T::K: SubdividableKey + RadixSortable,
+    {
+        histogram_sort_with_engine(machine, config, input, ExchangeEngine::Flat)
+    }
 
     #[test]
     fn subdivide_splits_ranges_evenly() {
@@ -265,6 +328,42 @@ mod tests {
         let probes = u64::subdivide(0, u64::MAX, 4);
         assert_eq!(probes.len(), 3);
         assert!(probes.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn byte_key_subdivide_matches_u64_at_width_8() {
+        // ByteKey<8>'s big-endian bignum arithmetic is exactly u64
+        // arithmetic, so the probes must agree bit for bit.
+        for (lo, hi, parts) in
+            [(0u64, 100, 4), (0, u64::MAX, 7), (17, 19, 5), (u64::MAX - 3, u64::MAX, 4), (5, 5, 3)]
+        {
+            let expect: Vec<ByteKey<8>> =
+                u64::subdivide(lo, hi, parts).into_iter().map(ByteKey::from_u64_prefix).collect();
+            let got = ByteKey::<8>::subdivide(
+                ByteKey::from_u64_prefix(lo),
+                ByteKey::from_u64_prefix(hi),
+                parts,
+            );
+            assert_eq!(got, expect, "lo {lo} hi {hi} parts {parts}");
+        }
+    }
+
+    #[test]
+    fn byte_key_subdivide_handles_wide_keys() {
+        // Full 10-byte range: probes must be strictly increasing and stay
+        // inside the open interval.
+        let probes = ByteKey::<10>::subdivide(ByteKey::<10>::MIN_KEY, ByteKey::<10>::MAX_KEY, 8);
+        assert_eq!(probes.len(), 7);
+        assert!(probes.windows(2).all(|w| w[0] < w[1]));
+        assert!(probes.iter().all(|p| *p > ByteKey::MIN_KEY && *p < ByteKey::MAX_KEY));
+        // The midpoint of the full range starts with 0x7F/0x80-ish bytes.
+        let mid = ByteKey::<10>::subdivide(ByteKey::MIN_KEY, ByteKey::MAX_KEY, 2)[0];
+        assert_eq!(mid.as_bytes()[0], 0x7F);
+        // Span crossing a byte-borrow boundary.
+        let lo = ByteKey::new([0, 0xFF, 0, 0]);
+        let hi = ByteKey::new([1, 0x01, 0, 0]);
+        let probes = ByteKey::<4>::subdivide(lo, hi, 2);
+        assert_eq!(probes, vec![ByteKey::new([1, 0x00, 0, 0])]);
     }
 
     #[test]

@@ -16,9 +16,10 @@
 //!
 //! The preferred entry point is the unified [`hss_core::Sorter`] trait
 //! (see [`sorters`]): every config type here implements it, so one
-//! `SortRequest` drives any algorithm.  The plain free functions
-//! (`sample_sort`, `histogram_sort`, ...) are deprecated thin wrappers
-//! kept for the existing differential suites.
+//! `SortRequest` drives any algorithm — over `u64` keys, 16-byte
+//! [`hss_keygen::Record`]s, byte-string [`hss_keygen::ByteKey`]s or
+//! 100-byte [`hss_keygen::TeraRecord`]s alike.  The `*_with_engine` free
+//! functions remain for callers that pick the exchange engine explicitly.
 
 #![warn(missing_docs)]
 
@@ -30,23 +31,11 @@ pub mod radix;
 pub mod sample_sort;
 pub mod sorters;
 
-// The deprecated free functions stay re-exported so the differential
-// suites keep their historical import paths.
-#[allow(deprecated)]
-pub use bitonic::bitonic_sort;
 pub use bitonic::{bitonic_sort_with, bitonic_sort_with_engine};
-#[allow(deprecated)]
-pub use histogram_sort::histogram_sort;
 pub use histogram_sort::{
     histogram_sort_splitters, histogram_sort_with_engine, HistogramSortConfig, SubdividableKey,
 };
-#[allow(deprecated)]
-pub use over_partitioning::over_partitioning_sort;
 pub use over_partitioning::{over_partitioning_sort_with_engine, OverPartitioningConfig};
-#[allow(deprecated)]
-pub use radix::radix_partition_sort;
 pub use radix::{radix_partition_sort_with_engine, RadixConfig, RadixKeyed};
-#[allow(deprecated)]
-pub use sample_sort::sample_sort;
 pub use sample_sort::{sample_sort_with_engine, SampleSortConfig, SamplingMethod};
-pub use sorters::{standard_sorters, BitonicSorter};
+pub use sorters::{standard_sorters, standard_sorters_for, BitonicSorter};

@@ -46,21 +46,9 @@ impl OverPartitioningConfig {
     }
 }
 
-/// Parallel sorting by over-partitioning, end to end.
-#[deprecated(note = "dispatch through the `Sorter` trait via `SortRequest` instead")]
-pub fn over_partitioning_sort<T>(
-    machine: &mut Machine,
-    config: &OverPartitioningConfig,
-    input: Vec<Vec<T>>,
-) -> (Vec<Vec<T>>, SortReport)
-where
-    T: Keyed + Ord + RadixSortable,
-    T::K: RadixSortable,
-{
-    over_partitioning_sort_with_engine(machine, config, input, ExchangeEngine::Flat)
-}
-
-/// [`over_partitioning_sort`] with an explicit exchange engine.
+/// Parallel sorting by over-partitioning, end to end, with an explicit
+/// exchange engine.  (Callers that don't care about the engine dispatch
+/// through the `Sorter` trait via `SortRequest` instead.)
 pub fn over_partitioning_sort_with_engine<T>(
     machine: &mut Machine,
     config: &OverPartitioningConfig,
@@ -151,11 +139,23 @@ fn group_contiguously(loads: &[u64], groups: usize) -> Vec<usize> {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // unit tests exercise the legacy wrappers on purpose
 mod tests {
     use super::*;
     use hss_keygen::KeyDistribution;
     use hss_partition::verify_global_sort;
+
+    /// Flat-engine shorthand for the unit tests below.
+    fn over_partitioning_sort<T>(
+        machine: &mut Machine,
+        config: &OverPartitioningConfig,
+        input: Vec<Vec<T>>,
+    ) -> (Vec<Vec<T>>, SortReport)
+    where
+        T: Keyed + Ord + RadixSortable,
+        T::K: RadixSortable,
+    {
+        over_partitioning_sort_with_engine(machine, config, input, ExchangeEngine::Flat)
+    }
 
     #[test]
     fn group_contiguously_balances_uniform_loads() {

@@ -63,17 +63,31 @@ impl RadixKeyed for hss_keygen::Record {
     }
 }
 
-/// MSD radix partitioning followed by a local sort.
-#[deprecated(note = "dispatch through the `Sorter` trait via `SortRequest` instead")]
-pub fn radix_partition_sort<T: RadixKeyed + Ord + RadixSortable>(
-    machine: &mut Machine,
-    config: &RadixConfig,
-    input: Vec<Vec<T>>,
-) -> (Vec<Vec<T>>, SortReport) {
-    radix_partition_sort_with_engine(machine, config, input, ExchangeEngine::Flat)
+/// Big-endian prefix view: the first `min(N, 8)` key bytes as a `u64`,
+/// left-aligned for short keys.  Numeric order agrees with the key's
+/// lexicographic order; keys sharing an 8-byte prefix collapse to the same
+/// digit, which only coarsens the distribution pass (the final local sort
+/// still orders them fully).
+impl<const N: usize> RadixKeyed for hss_keygen::ByteKey<N> {
+    fn radix_key(&self) -> u64 {
+        let take = N.min(8);
+        let mut v = 0u64;
+        for &b in &self.as_bytes()[..take] {
+            v = (v << 8) | b as u64;
+        }
+        v << (8 * (8 - take))
+    }
 }
 
-/// [`radix_partition_sort`] with an explicit exchange engine.
+impl<const K: usize, const V: usize> RadixKeyed for hss_keygen::WideRecord<K, V> {
+    fn radix_key(&self) -> u64 {
+        self.key.radix_key()
+    }
+}
+
+/// MSD radix partitioning followed by a local sort, with an explicit
+/// exchange engine.  (Callers that don't care about the engine dispatch
+/// through the `Sorter` trait via `SortRequest` instead.)
 pub fn radix_partition_sort_with_engine<T: RadixKeyed + Ord + RadixSortable>(
     machine: &mut Machine,
     config: &RadixConfig,
@@ -209,11 +223,19 @@ fn merge_received<T: Keyed + Ord>(runs: Vec<Vec<T>>) -> Vec<T> {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // unit tests exercise the legacy wrappers on purpose
 mod tests {
     use super::*;
-    use hss_keygen::KeyDistribution;
+    use hss_keygen::{ByteKey, KeyDistribution, TeraRecord, WideRecord};
     use hss_partition::verify_global_sort;
+
+    /// Flat-engine shorthand for the unit tests below.
+    fn radix_partition_sort<T: RadixKeyed + Ord + RadixSortable>(
+        machine: &mut Machine,
+        config: &RadixConfig,
+        input: Vec<Vec<T>>,
+    ) -> (Vec<Vec<T>>, SortReport) {
+        radix_partition_sort_with_engine(machine, config, input, ExchangeEngine::Flat)
+    }
 
     #[test]
     fn radix_sorts_uniform_input_with_good_balance() {
@@ -248,6 +270,38 @@ mod tests {
         assert_eq!(*a.iter().max().unwrap(), 7);
         // Assignment is monotone non-decreasing (contiguous groups).
         assert!(a.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn byte_key_radix_view_preserves_order() {
+        // 10-byte keys: the u64 view is the 8-byte prefix, so strict byte
+        // order implies non-strict numeric order (ties allowed past byte 8).
+        let keys: Vec<ByteKey<10>> =
+            (0..500u64).map(|i| ByteKey::from_u64_prefix(i.wrapping_mul(0x9E37_79B9))).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        for w in sorted.windows(2) {
+            assert!(w[0].radix_key() <= w[1].radix_key());
+        }
+        // Short keys are left-aligned so the top digit_bits are populated.
+        let short = ByteKey::<2>::new([0xAB, 0xCD]);
+        assert_eq!(short.radix_key(), 0xABCD_0000_0000_0000);
+        // Wide records delegate to their key.
+        let rec = WideRecord::<10, 90>::with_derived_payload(keys[7]);
+        assert_eq!(rec.radix_key(), keys[7].radix_key());
+    }
+
+    #[test]
+    fn tera_records_sort_by_radix_key() {
+        let p = 4;
+        let input = hss_keygen::generate_tera_records_per_rank(p, 300, 11);
+        let mut machine = Machine::flat(p);
+        let cfg = RadixConfig::recommended(p);
+        let (out, _report) = radix_partition_sort(&mut machine, &cfg, input.clone());
+        verify_global_sort(&input, &out).unwrap();
+        let total: usize = out.iter().map(Vec::len).sum();
+        assert_eq!(total, p * 300);
+        assert!(out.iter().flatten().all(TeraRecord::payload_matches_key));
     }
 
     #[test]

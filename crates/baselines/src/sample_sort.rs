@@ -97,22 +97,10 @@ fn algorithm_name(method: SamplingMethod) -> &'static str {
     }
 }
 
-/// Run sample sort end to end and return the per-rank sorted output plus a
-/// report.
-#[deprecated(note = "dispatch through the `Sorter` trait via `SortRequest` instead")]
-pub fn sample_sort<T>(
-    machine: &mut Machine,
-    config: &SampleSortConfig,
-    input: Vec<Vec<T>>,
-) -> (Vec<Vec<T>>, SortReport)
-where
-    T: Keyed + Ord + RadixSortable,
-    T::K: RadixSortable,
-{
-    sample_sort_with_engine(machine, config, input, ExchangeEngine::Flat)
-}
-
-/// [`sample_sort`] with an explicit exchange engine.
+/// Run sample sort end to end with an explicit exchange engine and return
+/// the per-rank sorted output plus a report.  (Callers that don't care
+/// about the engine dispatch through the `Sorter` trait via `SortRequest`
+/// instead.)
 pub fn sample_sort_with_engine<T>(
     machine: &mut Machine,
     config: &SampleSortConfig,
@@ -173,11 +161,23 @@ where
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // unit tests exercise the legacy wrappers on purpose
 mod tests {
     use super::*;
     use hss_keygen::KeyDistribution;
     use hss_partition::verify_global_sort;
+
+    /// Flat-engine shorthand for the unit tests below.
+    fn sample_sort<T>(
+        machine: &mut Machine,
+        config: &SampleSortConfig,
+        input: Vec<Vec<T>>,
+    ) -> (Vec<Vec<T>>, SortReport)
+    where
+        T: Keyed + Ord + RadixSortable,
+        T::K: RadixSortable,
+    {
+        sample_sort_with_engine(machine, config, input, ExchangeEngine::Flat)
+    }
 
     fn run(
         method: SamplingMethod,

@@ -3,9 +3,10 @@
 //! Each baseline's config type implements the unified
 //! [`hss_core::Sorter`] trait, so one `SortRequest` signature serves the
 //! whole comparison field: benchmarks iterate a `Vec<Box<dyn Sorter<u64>>>`
-//! instead of hand-writing one call per algorithm, and the historical free
-//! functions (`sample_sort`, `histogram_sort`, ...) become deprecated thin
-//! wrappers kept for the differential suites.
+//! instead of hand-writing one call per algorithm.  The generic
+//! [`standard_sorters_for`] registry builds the same field over any record
+//! type that satisfies every baseline's key bounds — e.g. 100-byte
+//! [`hss_keygen::TeraRecord`]s.
 
 use hss_core::{SortOutcome, Sorter};
 use hss_keygen::Keyed;
@@ -132,6 +133,20 @@ where
 /// one, recommended settings otherwise).  The bitonic entry requires a
 /// power-of-two `ranks`.
 pub fn standard_sorters(ranks: usize, epsilon: f64) -> Vec<Box<dyn Sorter<u64>>> {
+    standard_sorters_for::<u64>(ranks, epsilon)
+}
+
+/// [`standard_sorters`] generalised to any record type that satisfies every
+/// baseline's key bounds: a subdividable key for classic histogram sort and
+/// an order-preserving `u64` radix view for the radix baseline.  `u64`,
+/// [`hss_keygen::Record`], [`hss_keygen::ByteKey`] and
+/// [`hss_keygen::WideRecord`] (hence [`hss_keygen::TeraRecord`]) all
+/// qualify.
+pub fn standard_sorters_for<T>(ranks: usize, epsilon: f64) -> Vec<Box<dyn Sorter<T>>>
+where
+    T: Keyed + RadixKeyed + Ord + RadixSortable + Clone + 'static,
+    T::K: SubdividableKey + RadixSortable,
+{
     vec![
         Box::new(hss_core::HssSorter::new(hss_core::HssConfig::default().with_epsilon(epsilon))),
         Box::new(SampleSortConfig::regular(epsilon)),

@@ -1,0 +1,54 @@
+//! Record-width scaling: a full HSS sort of bare `u64` keys against
+//! 100-byte terasort records (`TeraRecord`) at matched byte volume, over a
+//! sweep of processor counts.
+//!
+//! Both arms of one point move the same number of payload bytes end to
+//! end; the comparison isolates what the record *shape* costs — the wide
+//! arm's move-by-index local sort and the byte-based β-accounting that
+//! charges ~12.5× the exchange words per record.  Results are written to
+//! `results/record_scaling.json`.
+
+use hss_bench::experiments::record_scaling_rows;
+use hss_bench::output::{print_table, save_json};
+use hss_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    let seed = hss_bench::experiment_seed();
+    let rows = record_scaling_rows(scale, seed);
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.processors.to_string(),
+                r.record_type.clone(),
+                r.records_per_rank.to_string(),
+                r.total_bytes.to_string(),
+                format!("{:.4}", r.wall_seconds),
+                format!("{:.6}", r.simulated_seconds),
+                format!("{:.2}", r.exchange_words_per_record),
+            ]
+        })
+        .collect();
+    print_table(
+        "Record scaling: u64 keys vs 100-byte terasort records (matched bytes)",
+        &["p", "record", "recs/rank", "bytes", "wall s", "sim s", "words/rec"],
+        &table,
+    );
+
+    // Headline: per p, the per-record exchange-cost ratio (β charged in
+    // bytes puts it near 12.5) and the wall-clock cost of the wide shape.
+    for pair in rows.chunks(2) {
+        let (narrow, wide) = (&pair[0], &pair[1]);
+        if narrow.exchange_words_per_record > 0.0 && wide.wall_seconds > 0.0 {
+            println!(
+                "p={:>4}: tera record charges {:.1}x the words/record of u64; wall {:.2}x at equal bytes",
+                wide.processors,
+                wide.exchange_words_per_record / narrow.exchange_words_per_record,
+                wide.wall_seconds / narrow.wall_seconds,
+            );
+        }
+    }
+    save_json("record_scaling.json", &rows);
+}

@@ -205,6 +205,27 @@ impl Scale {
         }
     }
 
+    /// `(ranks, u64 keys per rank)` points for the `record_scaling`
+    /// experiment (u64 keys vs 100-byte `TeraRecord`s at matched byte
+    /// volume: the terasort arm carries `keys_per_rank / 12.5` records per
+    /// rank so both arms move the same number of bytes).
+    pub fn record_scaling_points(&self) -> Vec<(usize, usize)> {
+        match self {
+            Scale::Smoke => vec![(16, 4_000), (32, 2_000)],
+            Scale::Default => vec![(32, 25_000), (64, 25_000), (128, 12_500)],
+            Scale::Full => vec![(32, 50_000), (64, 50_000), (128, 25_000), (256, 12_500)],
+        }
+    }
+
+    /// Timed repetitions per `record_scaling` configuration (the minimum
+    /// wall time is reported, after one untimed warmup).
+    pub fn record_scaling_reps(&self) -> usize {
+        match self {
+            Scale::Smoke => 2,
+            Scale::Default | Scale::Full => 9,
+        }
+    }
+
     /// Host thread counts swept by the self-speedup experiment (real
     /// parallelism of the vendored rayon pool, not simulated ranks).
     pub fn self_speedup_threads(&self) -> Vec<usize> {

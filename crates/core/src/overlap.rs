@@ -243,7 +243,9 @@ fn stage_ready_buckets<T: Keyed>(
                 counts[b] = br[b + 1] - br[b];
                 displs[b] = br[b];
             }
-            ExchangePlan { counts, displs }
+            // Width 0: the stage charges `size_of::<T>()` bytes per record,
+            // so wide records pay their full wire width here too.
+            ExchangePlan { counts, displs, record_width: 0 }
         })
         .collect();
     let stage = ExchangeStage { round, destinations: ready.clone(), plans };

@@ -17,7 +17,7 @@ use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
-use crate::key::Record;
+use crate::key::{ByteKey, Record, TeraRecord, WideRecord};
 
 /// Families of synthetic key distributions used in experiments and tests.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -205,6 +205,39 @@ impl KeyDistribution {
             .collect()
     }
 
+    /// The [`ByteKey`] arm of every distribution: each `u64` arm's output is
+    /// expanded through [`ByteKey::from_u64_prefix`], which is monotone, so
+    /// every per-distribution shape invariant (sortedness, skew, duplicate
+    /// counts, staggered slices) carries over to the byte-string keys
+    /// unchanged.  For `N > 8` the expansion is also injective, so distinct
+    /// integer keys stay distinct.
+    pub fn generate_byte_keys_per_rank<const N: usize>(
+        &self,
+        ranks: usize,
+        keys_per_rank: usize,
+        seed: u64,
+    ) -> Vec<Vec<ByteKey<N>>> {
+        self.generate_per_rank(ranks, keys_per_rank, seed)
+            .into_iter()
+            .map(|v| v.into_iter().map(ByteKey::from_u64_prefix).collect())
+            .collect()
+    }
+
+    /// Wide fixed-width records ([`WideRecord`]) for any distribution: byte
+    /// keys from [`Self::generate_byte_keys_per_rank`] with payloads derived
+    /// from the keys, so tests can verify payloads travel with their keys.
+    pub fn generate_wide_records_per_rank<const K: usize, const V: usize>(
+        &self,
+        ranks: usize,
+        keys_per_rank: usize,
+        seed: u64,
+    ) -> Vec<Vec<WideRecord<K, V>>> {
+        self.generate_byte_keys_per_rank::<K>(ranks, keys_per_rank, seed)
+            .into_iter()
+            .map(|v| v.into_iter().map(WideRecord::with_derived_payload).collect())
+            .collect()
+    }
+
     /// Generate an *uneven* division of the input: rank `r` gets a key count
     /// scaled by a deterministic factor in `[1 - spread, 1 + spread]`.  The
     /// paper notes (§2.1) its proofs do not rely on even input divisions;
@@ -227,6 +260,36 @@ impl KeyDistribution {
             })
             .collect()
     }
+}
+
+/// The deterministic terasort-style workload: full-entropy seeded 10-byte
+/// keys (unlike the [`KeyDistribution`] arms, which expand `u64` draws,
+/// every key byte here is random) with the 90-byte payload derived from the
+/// key.  Indexed by rank; deterministic in `(ranks, records_per_rank,
+/// seed)` regardless of host parallelism.
+pub fn generate_tera_records_per_rank(
+    ranks: usize,
+    records_per_rank: usize,
+    seed: u64,
+) -> Vec<Vec<TeraRecord>> {
+    (0..ranks)
+        .into_par_iter()
+        .map(|rank| {
+            let mut rng = rank_rng(seed ^ 0x7E8A_5047, rank);
+            (0..records_per_rank)
+                .map(|_| {
+                    // 10 key bytes from two u64 draws (big-endian high word
+                    // first, so the draw order matches the byte order).
+                    let hi = rng.gen::<u64>();
+                    let lo = rng.gen::<u64>();
+                    let mut key = [0u8; 10];
+                    key[..8].copy_from_slice(&hi.to_be_bytes());
+                    key[8..].copy_from_slice(&lo.to_be_bytes()[..2]);
+                    TeraRecord::with_derived_payload(ByteKey::new(key))
+                })
+                .collect()
+        })
+        .collect()
 }
 
 /// Deterministic per-rank RNG derived from a global seed.
@@ -357,6 +420,53 @@ mod tests {
                 assert_eq!(*r, Record::with_derived_payload(*k));
             }
         }
+    }
+
+    #[test]
+    fn byte_key_arms_mirror_u64_arms() {
+        for dist in KeyDistribution::catalogue() {
+            let keys = dist.generate_per_rank(4, 50, 17);
+            let bytes = dist.generate_byte_keys_per_rank::<10>(4, 50, 17);
+            for (kr, br) in keys.iter().zip(bytes.iter()) {
+                for (k, b) in kr.iter().zip(br.iter()) {
+                    assert_eq!(*b, ByteKey::from_u64_prefix(*k), "{}", dist.name());
+                }
+            }
+        }
+        // Monotone expansion keeps the sorted arm globally sorted.
+        let v = KeyDistribution::Sorted.generate_byte_keys_per_rank::<10>(6, 50, 3);
+        let flat: Vec<ByteKey<10>> = v.iter().flatten().copied().collect();
+        assert!(flat.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn wide_records_carry_their_keys() {
+        let recs = KeyDistribution::PowerLaw { gamma: 4.0 }
+            .generate_wide_records_per_rank::<10, 90>(3, 40, 23);
+        let keys =
+            KeyDistribution::PowerLaw { gamma: 4.0 }.generate_byte_keys_per_rank::<10>(3, 40, 23);
+        for (rr, kr) in recs.iter().zip(keys.iter()) {
+            for (r, k) in rr.iter().zip(kr.iter()) {
+                assert_eq!(r.key, *k);
+                assert!(r.payload_matches_key());
+            }
+        }
+    }
+
+    #[test]
+    fn tera_generation_is_deterministic_and_full_width() {
+        let a = generate_tera_records_per_rank(4, 200, 42);
+        let b = generate_tera_records_per_rank(4, 200, 42);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 4);
+        assert!(a.iter().all(|r| r.len() == 200));
+        assert!(a.iter().flatten().all(TeraRecord::payload_matches_key));
+        assert_ne!(a, generate_tera_records_per_rank(4, 200, 43));
+        // The trailing key bytes (9th/10th) actually vary: the generator
+        // uses full 10-byte entropy, not a u64 expansion.
+        let tails: std::collections::HashSet<[u8; 2]> =
+            a.iter().flatten().map(|r| [r.key.as_bytes()[8], r.key.as_bytes()[9]]).collect();
+        assert!(tails.len() > 100, "only {} distinct key tails", tails.len());
     }
 
     #[test]

@@ -104,6 +104,165 @@ impl RadixSortable for Record {
     }
 }
 
+/// A fixed-width byte-string key of `N` bytes, ordered big-endian
+/// lexicographically (byte 0 is the most significant digit) — the key shape
+/// of terasort-style record workloads (10-byte keys), log lines, URLs or
+/// genomic reads, as opposed to the paper's 8-byte integer keys.
+///
+/// The sentinels are the all-zero and all-`0xFF` strings, which bracket
+/// every possible value, and the radix digit string is simply the bytes
+/// themselves — so a `ByteKey` flows through the whole stack (sampling,
+/// histogramming, decision trees, the radix local sort) with no conversion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ByteKey<const N: usize>(pub [u8; N]);
+
+impl<const N: usize> ByteKey<N> {
+    /// Wrap raw bytes as a key.
+    pub const fn new(bytes: [u8; N]) -> Self {
+        Self(bytes)
+    }
+
+    /// The raw bytes.
+    pub const fn as_bytes(&self) -> &[u8; N] {
+        &self.0
+    }
+
+    /// An order-preserving expansion of a `u64` key: the first
+    /// `min(N, 8)` bytes are the big-endian integer bytes and (for
+    /// `N > 8`) the remaining bytes are derived deterministically from the
+    /// value, so distinct integers keep distinct, identically ordered byte
+    /// keys.  For `N < 8` the expansion truncates (still monotone, no
+    /// longer injective) — the distribution generators use this to reuse
+    /// their `u64` arms for byte keys of any width.
+    pub fn from_u64_prefix(x: u64) -> Self {
+        let mut bytes = [0u8; N];
+        let be = x.to_be_bytes();
+        let take = N.min(8);
+        bytes[..take].copy_from_slice(&be[..take]);
+        if N > 8 {
+            // SplitMix64-style suffix: non-trivial trailing bytes whose
+            // value cannot affect the order (the 8-byte prefix decides).
+            let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            for b in bytes[8..].iter_mut() {
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                *b = (z >> 56) as u8;
+            }
+        }
+        Self(bytes)
+    }
+}
+
+impl<const N: usize> Key for ByteKey<N> {
+    const MIN_KEY: Self = ByteKey([0x00; N]);
+    const MAX_KEY: Self = ByteKey([0xFF; N]);
+}
+
+/// The digit string of a byte-string key is the key itself.
+impl<const N: usize> RadixSortable for ByteKey<N> {
+    const RADIX_BYTES: usize = N;
+
+    #[inline(always)]
+    fn radix_byte(&self, level: usize) -> u8 {
+        self.0[level]
+    }
+}
+
+/// A fixed-width record: a `K`-byte [`ByteKey`] carrying a `V`-byte opaque
+/// payload.  The flagship instantiation is [`TeraRecord`] (terasort's
+/// 10-byte key + 90-byte value); any other shape is one type alias away.
+///
+/// Records order by `(key, payload)` — a total order, so the comparison
+/// and radix sorting paths agree bitwise even among records with equal
+/// keys — and the radix digit string is the key bytes followed by the
+/// payload bytes.  Both arrays are plain bytes (alignment 1), so
+/// `size_of::<WideRecord<K, V>>() == K + V` with no padding: the exchange
+/// accounting charges exactly the record's wire width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WideRecord<const K: usize, const V: usize> {
+    /// The sort key.
+    pub key: ByteKey<K>,
+    /// Application payload carried along with the key.
+    pub payload: [u8; V],
+}
+
+/// The canonical terasort record: 10-byte key, 90-byte value, 100 bytes on
+/// the wire.
+pub type TeraRecord = WideRecord<10, 90>;
+
+// The exchange accounting charges `size_of` bytes per record; a padded
+// layout would silently overcharge.
+const _: () = assert!(std::mem::size_of::<TeraRecord>() == 100);
+
+impl<const K: usize, const V: usize> WideRecord<K, V> {
+    /// A record whose payload bytes are derived deterministically from the
+    /// key (FNV-1a seed + SplitMix64 stream), so tests can verify that
+    /// every payload still belongs to its key after a sort moved it across
+    /// ranks.
+    pub fn with_derived_payload(key: ByteKey<K>) -> Self {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for &b in key.0.iter() {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let mut payload = [0u8; V];
+        let mut state = h;
+        for chunk in payload.chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            for (dst, src) in chunk.iter_mut().zip(z.to_le_bytes().iter()) {
+                *dst = *src;
+            }
+        }
+        Self { key, payload }
+    }
+
+    /// Whether the payload is exactly what [`Self::with_derived_payload`]
+    /// derives for this record's key — the payload-integrity oracle of the
+    /// record differential suite.
+    pub fn payload_matches_key(&self) -> bool {
+        *self == Self::with_derived_payload(self.key)
+    }
+}
+
+impl<const K: usize, const V: usize> PartialOrd for WideRecord<K, V> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<const K: usize, const V: usize> Ord for WideRecord<K, V> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.key.cmp(&other.key).then_with(|| self.payload.cmp(&other.payload))
+    }
+}
+
+impl<const K: usize, const V: usize> Keyed for WideRecord<K, V> {
+    type K = ByteKey<K>;
+
+    fn key(&self) -> ByteKey<K> {
+        self.key
+    }
+}
+
+/// Wide records order by `(key, payload)`, so the digit string is the key
+/// bytes followed by the payload bytes — the local sort classifies on the
+/// key-prefix digits and only ever reads payload digits for records whose
+/// keys are fully equal.
+impl<const K: usize, const V: usize> RadixSortable for WideRecord<K, V> {
+    const RADIX_BYTES: usize = K + V;
+
+    #[inline(always)]
+    fn radix_byte(&self, level: usize) -> u8 {
+        if level < K {
+            self.key.0[level]
+        } else {
+            self.payload[level - K]
+        }
+    }
+}
+
 /// A key implicitly tagged with its origin, used to break ties among
 /// duplicates (§4.3): "every input key `k` can be thought of as a triplet
 /// `(k, PE, ind)`", where `PE` is the processor the key resides on and
@@ -330,6 +489,114 @@ mod tests {
                 assert_eq!(a.cmp(b), digits(a).cmp(&digits(b)), "{a:?} vs {b:?}");
             }
         }
+    }
+
+    #[test]
+    fn byte_key_sentinels_bracket_everything() {
+        let k = ByteKey::new(*b"hss-sample");
+        assert!(ByteKey::<10>::MIN_KEY <= k && k <= ByteKey::<10>::MAX_KEY);
+        assert_eq!(ByteKey::<10>::MIN_KEY, ByteKey([0u8; 10]));
+        assert_eq!(ByteKey::<10>::MAX_KEY, ByteKey([0xFFu8; 10]));
+    }
+
+    #[test]
+    fn byte_key_orders_lexicographically() {
+        // Big-endian: byte 0 dominates; shared prefixes fall through to the
+        // next byte, exactly like comparing the byte slices.
+        let a = ByteKey::new([0x00, 0x01, 0xFF]);
+        let b = ByteKey::new([0x00, 0x02, 0x00]);
+        let c = ByteKey::new([0x01, 0x00, 0x00]);
+        assert!(a < b && b < c);
+        assert_eq!(a.cmp(&b), a.as_bytes().as_slice().cmp(b.as_bytes().as_slice()));
+    }
+
+    #[test]
+    fn byte_key_digits_match_lexicographic_order() {
+        let samples = [
+            ByteKey::<10>::MIN_KEY,
+            ByteKey::new([0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x01]),
+            ByteKey::new(*b"aaaaaaaaaa"),
+            ByteKey::new(*b"aaaaaaaaab"),
+            ByteKey::new([0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFE]),
+            ByteKey::<10>::MAX_KEY,
+        ];
+        for a in &samples {
+            for b in &samples {
+                assert_eq!(a.cmp(b), digits(a).cmp(&digits(b)), "{a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn byte_key_from_u64_prefix_preserves_order() {
+        let values = [0u64, 1, 0xFF, 0x1_0000, u64::MAX - 1, u64::MAX];
+        for &a in &values {
+            for &b in &values {
+                assert_eq!(
+                    a.cmp(&b),
+                    ByteKey::<10>::from_u64_prefix(a).cmp(&ByteKey::<10>::from_u64_prefix(b)),
+                    "{a} vs {b} (N = 10)"
+                );
+                assert_eq!(
+                    a.cmp(&b),
+                    ByteKey::<8>::from_u64_prefix(a).cmp(&ByteKey::<8>::from_u64_prefix(b)),
+                    "{a} vs {b} (N = 8)"
+                );
+            }
+        }
+        // N > 8: injective, prefix is the exact integer bytes.
+        let k = ByteKey::<10>::from_u64_prefix(0x0102_0304_0506_0708);
+        assert_eq!(&k.as_bytes()[..8], &[1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn wide_record_digits_match_record_order() {
+        let mut samples = vec![
+            TeraRecord::with_derived_payload(ByteKey::<10>::MIN_KEY),
+            TeraRecord::with_derived_payload(ByteKey::new(*b"aaaaaaaaaa")),
+            TeraRecord::with_derived_payload(ByteKey::new(*b"aaaaaaaaab")),
+            TeraRecord::with_derived_payload(ByteKey::<10>::MAX_KEY),
+        ];
+        // Equal keys, different payloads: the payload digits break the tie
+        // the same way `Ord` does.
+        let key = ByteKey::new(*b"duplicate!");
+        let mut other = TeraRecord::with_derived_payload(key);
+        other.payload[89] ^= 0x80;
+        samples.push(TeraRecord::with_derived_payload(key));
+        samples.push(other);
+        for a in &samples {
+            for b in &samples {
+                assert_eq!(a.cmp(b), digits(a).cmp(&digits(b)), "{a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn wide_record_payload_is_derived_deterministically() {
+        let key = ByteKey::new(*b"0123456789");
+        let a = TeraRecord::with_derived_payload(key);
+        let b = TeraRecord::with_derived_payload(key);
+        assert_eq!(a, b);
+        assert!(a.payload_matches_key());
+        let mut corrupted = a;
+        corrupted.payload[0] ^= 1;
+        assert!(!corrupted.payload_matches_key());
+        // Different keys get different payloads (the integrity oracle has
+        // discriminating power).
+        let c = TeraRecord::with_derived_payload(ByteKey::new(*b"0123456780"));
+        assert_ne!(a.payload, c.payload);
+    }
+
+    #[test]
+    fn radix_sort_handles_tera_records() {
+        let mut recs: Vec<TeraRecord> = (0..3000u64)
+            .map(|i| TeraRecord::with_derived_payload(ByteKey::from_u64_prefix((i * 7919) % 257)))
+            .collect();
+        let mut expect = recs.clone();
+        expect.sort_unstable();
+        hss_lsort::radix_sort(&mut recs);
+        assert_eq!(recs, expect);
+        assert!(recs.iter().all(TeraRecord::payload_matches_key));
     }
 
     #[test]

@@ -5,7 +5,9 @@
 //! * [`key`]: the [`key::Key`] / [`key::Keyed`] traits the
 //!   sorting algorithms are generic over, plus concrete types — bare integer
 //!   keys, the Mira experiment's 8-byte-key + 4-byte-payload
-//!   [`key::Record`], the duplicate-breaking
+//!   [`key::Record`], fixed-width byte-string keys ([`key::ByteKey`]) with
+//!   wide payloads ([`key::WideRecord`], flagship [`key::TeraRecord`] =
+//!   terasort's 10-byte key + 90-byte value), the duplicate-breaking
 //!   [`key::TaggedKey`] of §4.3 and a totally ordered `f64`.
 //! * [`distributions`]: seeded, deterministic per-rank input generators for
 //!   uniform, Gaussian, exponential, power-law, staggered, pre-sorted,
@@ -36,5 +38,5 @@ pub mod distributions;
 pub mod key;
 
 pub use changa::{morton_key, ChangaDataset, Cluster, Particle};
-pub use distributions::{rank_rng, KeyDistribution};
-pub use key::{Key, Keyed, OrderedF64, Record, TaggedKey};
+pub use distributions::{generate_tera_records_per_rank, rank_rng, KeyDistribution};
+pub use key::{ByteKey, Key, Keyed, OrderedF64, Record, TaggedKey, TeraRecord, WideRecord};

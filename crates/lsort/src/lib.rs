@@ -47,6 +47,14 @@
 //!    range), and a bucket whose digits are exhausted is Ord-equal by the
 //!    [`RadixSortable`] contract and needs no further work.
 //!
+//! Items wider than [`WIDE_ITEM_BYTES`] (terasort's 100-byte records, any
+//! `WideRecord` shape from `hss-keygen`) take a **move-by-index** variant
+//! of steps 2–4 instead: digits are cached in a dense `u8` side array (the
+//! classification never touches the payload bytes), and a single stable
+//! scatter out of a one-shot spill copy moves every wide item exactly
+//! once — the block write buffers and the double-moving cycle chase only
+//! pay off for narrow items.
+//!
 //! [`par_radix_sort`] parallelises the recursion on the vendored rayon
 //! pool: the top-level pass runs sequentially (its single trailing write
 //! head is what makes it fast), then the top-level buckets are sorted
@@ -99,6 +107,20 @@ pub const COMPARISON_CUTOFF: usize = 2048;
 
 /// Below this length [`par_radix_sort`] does not bother parallelising.
 const PAR_MIN_LEN: usize = 1 << 15;
+
+/// Items wider than this many bytes take the move-by-index partition path
+/// (`partition_level_wide`) instead of the block permutation: a 100-byte
+/// terasort record would blow the software write buffers out of cache
+/// (256 × [`BLOCK`] × 100 B = 1.6 MB) and the cycle-chasing block swaps
+/// move every wide item twice.  The threshold is comfortably above every
+/// narrow key-carrier in this repository (`u64` = 8 B, `Record` = 16 B,
+/// `TaggedKey<u64>` = 16 B), so their hot paths are untouched.
+pub const WIDE_ITEM_BYTES: usize = 32;
+
+/// Whether `T` takes the wide-item partition path.
+const fn is_wide<T>() -> bool {
+    std::mem::size_of::<T>() > WIDE_ITEM_BYTES
+}
 
 /// Which algorithm a local (per-rank, shared-memory) sort uses.
 ///
@@ -263,8 +285,8 @@ pub fn radix_sort<T: RadixSortable>(data: &mut [T]) {
         return;
     }
     if let Some(level) = top_level(data) {
-        let mut scratch = vec![data[0]; 256 * BLOCK];
-        let bounds = partition_level(data, level, &mut scratch);
+        let mut scratch = alloc_scratch(data[0]);
+        let bounds = partition_dispatch(data, level, &mut scratch);
         let mut rest: &mut [T] = data;
         for width in bounds.windows(2).map(|w| w[1] - w[0]) {
             let (bucket, tail) = std::mem::take(&mut rest).split_at_mut(width);
@@ -273,6 +295,29 @@ pub fn radix_sort<T: RadixSortable>(data: &mut [T]) {
                 sort_rec(bucket, level + 1, &mut scratch);
             }
         }
+    }
+}
+
+/// The write-buffer scratch of the block-permutation path; wide items never
+/// touch it (their path spills full-length instead), so it stays empty.
+fn alloc_scratch<T: RadixSortable>(exemplar: T) -> Vec<T> {
+    if is_wide::<T>() {
+        Vec::new()
+    } else {
+        vec![exemplar; 256 * BLOCK]
+    }
+}
+
+/// One MSD level by whichever permutation strategy fits `T`'s width.
+fn partition_dispatch<T: RadixSortable>(
+    data: &mut [T],
+    level: usize,
+    scratch: &mut [T],
+) -> [usize; 257] {
+    if is_wide::<T>() {
+        partition_level_wide(data, level)
+    } else {
+        partition_level(data, level, scratch)
     }
 }
 
@@ -295,8 +340,8 @@ pub fn par_radix_sort<T: RadixSortable + Send + Sync>(data: &mut [T]) {
         Some(l) => l,
         None => return,
     };
-    let mut scratch = vec![data[0]; 256 * BLOCK];
-    let bounds = partition_level(data, level, &mut scratch);
+    let mut scratch = alloc_scratch(data[0]);
+    let bounds = partition_dispatch(data, level, &mut scratch);
     rayon::scope(|s| {
         let mut rest: &mut [T] = data;
         for width in bounds.windows(2).map(|w| w[1] - w[0]) {
@@ -305,7 +350,7 @@ pub fn par_radix_sort<T: RadixSortable + Send + Sync>(data: &mut [T]) {
             if width > 1 {
                 s.spawn(move |_| {
                     if !base_case(bucket) {
-                        let mut scratch = vec![bucket[0]; 256 * BLOCK];
+                        let mut scratch = alloc_scratch(bucket[0]);
                         sort_rec(bucket, level + 1, &mut scratch);
                     }
                 });
@@ -393,7 +438,7 @@ fn sort_rec<T: RadixSortable>(data: &mut [T], mut level: usize, scratch: &mut [T
         None => return,
     }
 
-    let bounds = partition_level(data, level, scratch);
+    let bounds = partition_dispatch(data, level, scratch);
     let next = level + 1;
     let mut rest: &mut [T] = data;
     for width in bounds.windows(2).map(|w| w[1] - w[0]) {
@@ -509,6 +554,45 @@ fn partition_level<T: RadixSortable>(
             data[dst + blk_items..dst + blk_items + l]
                 .copy_from_slice(&scratch[d * BLOCK..d * BLOCK + l]);
         }
+    }
+    bounds
+}
+
+/// One full MSD level for items wider than [`WIDE_ITEM_BYTES`]: classify by
+/// **index**, then move every item exactly once.
+///
+/// The block-permutation path earns its keep by keeping all stores either
+/// in a cache-resident scratch or on one streaming write head — but both
+/// properties die for 100-byte records (the scratch alone would be 1.6 MB,
+/// and the cycle-chase swaps every item twice, 200 bytes of traffic per
+/// record each way).  Here the digit of every item is read once into a
+/// dense `u8` side array — the classification touches only the key-prefix
+/// byte, never the payload — counts become bucket boundaries, and a single
+/// stable scatter out of a one-shot spill copy places each wide item with
+/// exactly one wide write.  Total wide-item traffic: one sequential copy
+/// out plus one scattered write back, the minimum any out-of-place
+/// distribution pass can do.
+fn partition_level_wide<T: RadixSortable>(data: &mut [T], level: usize) -> [usize; 257] {
+    let n = data.len();
+    // Classify by index: one narrow digit read per item.
+    let mut digits: Vec<u8> = Vec::with_capacity(n);
+    let mut counts = [0usize; 256];
+    for x in data.iter() {
+        let d = x.radix_byte(level);
+        digits.push(d);
+        counts[d as usize] += 1;
+    }
+    let mut bounds = [0usize; 257];
+    for d in 0..256 {
+        bounds[d + 1] = bounds[d] + counts[d];
+    }
+    // Move by index: spill once, scatter once (stable within each bucket).
+    let spill = data.to_vec();
+    let mut heads = [0usize; 256];
+    heads.copy_from_slice(&bounds[..256]);
+    for (item, &d) in spill.iter().zip(&digits) {
+        data[heads[d as usize]] = *item;
+        heads[d as usize] += 1;
     }
     bounds
 }
@@ -706,6 +790,87 @@ mod tests {
             algo.sort_slice(&mut got);
             assert_eq!(got, reference_sorted(&v), "{algo}");
         }
+    }
+
+    /// A 40-byte item: wide enough for the move-by-index path, with the
+    /// digit string equal to the bytes themselves.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+    struct Wide([u8; 40]);
+
+    impl RadixSortable for Wide {
+        const RADIX_BYTES: usize = 40;
+
+        fn radix_byte(&self, level: usize) -> u8 {
+            self.0[level]
+        }
+    }
+
+    fn pseudo_random_wide(n: usize, seed: u64, distinct_prefixes: u64) -> Vec<Wide> {
+        pseudo_random(n, seed)
+            .into_iter()
+            .map(|x| {
+                let mut b = [0u8; 40];
+                b[..8].copy_from_slice(&(x % distinct_prefixes).to_be_bytes());
+                b[8..16].copy_from_slice(&x.to_be_bytes());
+                for (i, byte) in b.iter_mut().enumerate().skip(16) {
+                    *byte = (x >> (i % 8)) as u8;
+                }
+                Wide(b)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn wide_items_take_the_move_by_index_path() {
+        assert!(is_wide::<Wide>());
+        assert!(!is_wide::<u64>());
+        assert!(!is_wide::<(u64, u64)>());
+    }
+
+    #[test]
+    fn sorts_wide_items_across_size_regimes() {
+        for n in [0usize, 1, INSERTION_CUTOFF + 1, COMPARISON_CUTOFF + 1, 20_000] {
+            // Few distinct prefixes force deep recursion through shared
+            // leading bytes; many exercise the fan-out.
+            for distinct in [3u64, 1 << 20] {
+                let v = pseudo_random_wide(n, n as u64 + distinct, distinct);
+                let mut got = v.clone();
+                radix_sort(&mut got);
+                assert_eq!(got, reference_sorted(&v), "n = {n}, distinct = {distinct}");
+            }
+        }
+    }
+
+    #[test]
+    fn partition_level_wide_produces_exact_bucket_ranges() {
+        let n = 10_000usize;
+        let v = pseudo_random_wide(n, 5, 1 << 30);
+        let mut data = v.clone();
+        let bounds = partition_level_wide(&mut data, 7);
+        assert_eq!(bounds[0], 0);
+        assert_eq!(bounds[256], n);
+        assert_eq!(reference_sorted(&data), reference_sorted(&v));
+        for d in 0..256 {
+            for x in &data[bounds[d]..bounds[d + 1]] {
+                assert_eq!(x.radix_byte(7) as usize, d);
+            }
+        }
+        // The scatter is stable: the concatenated buckets hold each digit's
+        // items in input order.
+        let mut expect = v.clone();
+        expect.sort_by_key(|x| x.radix_byte(7));
+        assert_eq!(data, expect);
+    }
+
+    #[test]
+    fn par_radix_sort_wide_matches_sequential_bitwise() {
+        let v = pseudo_random_wide(PAR_MIN_LEN * 2, 11, 1 << 40);
+        let mut seq = v.clone();
+        radix_sort(&mut seq);
+        let mut par = v.clone();
+        par_radix_sort(&mut par);
+        assert_eq!(seq, par);
+        assert_eq!(seq, reference_sorted(&v));
     }
 
     #[test]

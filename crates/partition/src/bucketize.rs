@@ -23,7 +23,11 @@ pub fn partition_sorted<T: Keyed>(sorted: &[T], splitters: &SplitterSet<T::K>) -
 /// send buffer of `Machine::all_to_allv_flat`.
 pub fn exchange_plan<T: Keyed>(sorted: &[T], splitters: &SplitterSet<T::K>) -> ExchangePlan {
     debug_assert!(crate::histogram::is_sorted_by_key(sorted));
+    // Stamp the record width so the α-β accounting charges β-volume in
+    // bytes of `T`, not in element counts (a 100-byte terasort record
+    // costs 12.5× a u64 key).
     ExchangePlan::from_boundaries(&splitters.bucket_boundaries(sorted))
+        .with_record_width(std::mem::size_of::<T>())
 }
 
 /// Partition *unsorted* local data into buckets.  Used when the algorithm
@@ -175,6 +179,7 @@ mod tests {
         let buckets = partition_sorted(&data, &s);
         assert_eq!(plan.peers(), buckets.len());
         assert_eq!(plan.total_elems(), data.len());
+        assert_eq!(plan.record_width, std::mem::size_of::<u64>());
         for (i, b) in buckets.iter().enumerate() {
             assert_eq!(plan.run(&data, i), b.as_slice(), "bucket {i}");
         }

@@ -29,9 +29,21 @@
 use rayon::prelude::*;
 
 use crate::cost::CollectiveAlgo;
-use crate::machine::{words_of, ClockAdvance, Machine, Parallelism};
+use crate::machine::{words_of, words_of_width, ClockAdvance, Machine, Parallelism};
 use crate::metrics::{Phase, PhaseMetrics};
 use crate::plan::{ExchangePlan, ExchangeStage, FlatRecv};
+
+/// Bytes one exchanged record of a flat exchange charges: the plans'
+/// declared [`ExchangePlan::record_width`] when any is set (the maximum
+/// across ranks — widths are a per-exchange property, so they normally
+/// agree), otherwise `size_of::<U>()`.  Keeps the byte-based accounting
+/// bitwise identical for every plan built without an explicit width.
+fn exchange_width<U>(plans: &[ExchangePlan]) -> usize {
+    match plans.iter().map(|p| p.record_width).max() {
+        Some(w) if w > 0 => w,
+        _ => std::mem::size_of::<U>(),
+    }
+}
 
 /// Per-rank (or per-node) volume and peer bookkeeping for an irregular
 /// all-to-all, shared by the nested and flat representations so both charge
@@ -205,12 +217,16 @@ impl Machine {
     }
 
     /// Shared charge of a rank-level all-to-all (nested or flat).
-    fn charge_all_to_allv<U>(&mut self, phase: Phase, vol: &ExchangeVolumes) {
-        let cost = self.cost_model().all_to_allv(words_of::<U>(vol.max_elems()), vol.max_peers());
+    /// `width_bytes` is the wire width of one element — `size_of::<U>()`
+    /// unless the exchange plans declare an explicit record width.
+    fn charge_all_to_allv(&mut self, phase: Phase, vol: &ExchangeVolumes, width_bytes: usize) {
+        let cost = self
+            .cost_model()
+            .all_to_allv(words_of_width(vol.max_elems(), width_bytes), vol.max_peers());
         let metrics = PhaseMetrics {
             simulated_seconds: cost,
             messages: vol.messages,
-            comm_words: words_of::<U>(vol.total_elems),
+            comm_words: words_of_width(vol.total_elems, width_bytes),
             supersteps: 1,
             ..Default::default()
         };
@@ -245,7 +261,7 @@ impl Machine {
                 vol.add(src, dst, buf.len());
             }
         }
-        self.charge_all_to_allv::<U>(phase, &vol);
+        self.charge_all_to_allv(phase, &vol, std::mem::size_of::<U>());
 
         // Transpose the send matrix into the receive matrix.
         let mut recv: Vec<Vec<Vec<U>>> = (0..p).map(|_| Vec::with_capacity(p)).collect();
@@ -305,7 +321,7 @@ impl Machine {
                 vol.add(src, dst, c);
             }
         }
-        self.charge_all_to_allv::<U>(phase, &vol);
+        self.charge_all_to_allv(phase, &vol, exchange_width::<U>(plans));
     }
 
     /// Shared input validation of the flat exchange variants.
@@ -394,25 +410,27 @@ impl Machine {
     }
 
     /// Shared charge of a node-combined all-to-all (nested or flat).
-    fn charge_all_to_allv_node_combined<U>(
+    /// `width_bytes` as in [`Machine::charge_all_to_allv`].
+    fn charge_all_to_allv_node_combined(
         &mut self,
         phase: Phase,
         vol: &ExchangeVolumes,
         intra_node_elems: usize,
         total_elems: usize,
+        width_bytes: usize,
     ) {
         let topo = self.topology();
         // A node injects through `cores_per_node` cores, so its effective
         // per-word cost is the per-core cost divided by the injecting cores.
         let cores = topo.cores_per_node().max(1) as u64;
-        let node_words = words_of::<U>(vol.max_elems()).div_ceil(cores);
+        let node_words = words_of_width(vol.max_elems(), width_bytes).div_ceil(cores);
         let comm_cost = self.cost_model().all_to_allv(node_words, vol.max_peers());
         let copy_ops = intra_node_elems as u64 / topo.cores_per_node().max(1) as u64;
         let cost = comm_cost + self.cost_model().compute(copy_ops);
         let metrics = PhaseMetrics {
             simulated_seconds: cost,
             messages: vol.messages,
-            comm_words: words_of::<U>(total_elems - intra_node_elems),
+            comm_words: words_of_width(total_elems - intra_node_elems, width_bytes),
             compute_ops: copy_ops,
             supersteps: 1,
             ..Default::default()
@@ -443,7 +461,7 @@ impl Machine {
             self.node_volumes(sends.iter().enumerate().flat_map(|(src, row)| {
                 row.iter().enumerate().map(move |(dst, buf)| (src, dst, buf.len()))
             }));
-        self.charge_all_to_allv_node_combined::<U>(phase, &vol, intra, total);
+        self.charge_all_to_allv_node_combined(phase, &vol, intra, total, std::mem::size_of::<U>());
 
         // Actual data movement is identical to the rank-level exchange.
         let mut recv: Vec<Vec<Vec<U>>> = (0..p).map(|_| Vec::with_capacity(p)).collect();
@@ -486,7 +504,13 @@ impl Machine {
             self.node_volumes(plans.iter().enumerate().flat_map(|(src, plan)| {
                 plan.counts.iter().enumerate().map(move |(dst, &c)| (src, dst, c))
             }));
-        self.charge_all_to_allv_node_combined::<U>(phase, &vol, intra, total);
+        self.charge_all_to_allv_node_combined(
+            phase,
+            &vol,
+            intra,
+            total,
+            exchange_width::<U>(plans),
+        );
     }
 
     /// Gather contributions from every rank of each node at the node leader
@@ -544,6 +568,7 @@ impl Machine {
                 vol.add(src, dst, c);
             }
         }
+        let width = exchange_width::<U>(&stage.plans);
         // Each sender's NIC is busy only while it injects its own runs (its
         // α·peers latencies plus β·its own volume); the stage's overall
         // completion is bounded by the busiest party — typically a receiver
@@ -553,16 +578,17 @@ impl Machine {
             .map(|src| {
                 let inject = self
                     .cost_model()
-                    .all_to_allv(words_of::<U>(vol.send_elems[src]), vol.send_peers[src]);
+                    .all_to_allv(words_of_width(vol.send_elems[src], width), vol.send_peers[src]);
                 (src, inject)
             })
             .collect();
-        let cost =
-            self.cost_model().all_to_allv(words_of::<U>(vol.max_elems()), vol.max_send_peers());
+        let cost = self
+            .cost_model()
+            .all_to_allv(words_of_width(vol.max_elems(), width), vol.max_send_peers());
         let metrics = PhaseMetrics {
             simulated_seconds: cost,
             messages: vol.messages,
-            comm_words: words_of::<U>(vol.total_elems),
+            comm_words: words_of_width(vol.total_elems, width),
             supersteps: 1,
             ..Default::default()
         };
@@ -814,6 +840,45 @@ mod tests {
         assert_eq!(per_node, vec![vec![1, 2], vec![3, 4]]);
         // Shared-memory combine injects no network messages.
         assert_eq!(m.metrics().phase(Phase::DataExchange).messages, 0);
+    }
+
+    #[test]
+    fn hundred_byte_records_charge_12_5x_the_beta_volume_of_u64() {
+        // The same exchange shape with 100-byte terasort-style records
+        // charges exactly 100/8 = 12.5× the β-volume of u64 keys.
+        let p = 4;
+        let per_peer = 2usize;
+        let bufs_u64: Vec<Vec<u64>> = (0..p).map(|_| vec![7u64; per_peer * p]).collect();
+        let bufs_wide: Vec<Vec<[u8; 100]>> =
+            (0..p).map(|_| vec![[9u8; 100]; per_peer * p]).collect();
+        let plans: Vec<ExchangePlan> =
+            (0..p).map(|_| ExchangePlan::from_counts(vec![per_peer; p])).collect();
+        let mut m1 = Machine::flat(p);
+        let _ = m1.all_to_allv_flat(Phase::DataExchange, &bufs_u64, &plans);
+        let mut m2 = Machine::flat(p);
+        let _ = m2.all_to_allv_flat(Phase::DataExchange, &bufs_wide, &plans);
+        let narrow = m1.metrics().phase(Phase::DataExchange);
+        let wide = m2.metrics().phase(Phase::DataExchange);
+        // 2 · wide = 25 · narrow  ⇔  wide = 12.5 · narrow.
+        assert_eq!(wide.comm_words * 2, narrow.comm_words * 25);
+        // The α-side is unchanged: same messages, same peers...
+        assert_eq!(wide.messages, narrow.messages);
+        // ... and the simulated time grows with the extra β-volume.
+        assert!(wide.simulated_seconds > narrow.simulated_seconds);
+    }
+
+    #[test]
+    fn declared_record_width_overrides_the_element_size() {
+        // u64 elements with a declared 100-byte wire format charge as if
+        // each element were 100 bytes (e.g. modelling serialization).
+        let p = 2;
+        let bufs: Vec<Vec<u64>> = vec![vec![1; 4]; p];
+        let plans: Vec<ExchangePlan> =
+            (0..p).map(|_| ExchangePlan::from_counts(vec![2; p]).with_record_width(100)).collect();
+        let mut m = Machine::flat(p);
+        m.all_to_allv_flat_in_place::<u64>(Phase::DataExchange, &bufs, &plans);
+        // 4 off-rank elements (2 each direction) · 100 B / 8 B per word.
+        assert_eq!(m.metrics().phase(Phase::DataExchange).comm_words, 50);
     }
 
     #[test]

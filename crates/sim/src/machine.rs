@@ -122,6 +122,15 @@ impl Work {
         Self { ops: n as u64 }
     }
 
+    /// Work of moving `n` records of `record_width` bytes each through
+    /// memory (one read + one write per 8-byte word): `2·n·⌈width/8⌉` ops.
+    /// The byte-based sibling of [`Work::scan`] for wide-record phases,
+    /// where "one op per item" would undercharge a 100-byte record by an
+    /// order of magnitude.
+    pub fn move_records(n: usize, record_width: usize) -> Self {
+        Self { ops: 2 * (n as u64) * (record_width as u64).div_ceil(8) }
+    }
+
     /// Work of branch-free decision-tree classification of `n` keys into
     /// buckets via an implicit splitter tree of height `log_buckets`
     /// (`n·log_buckets` descend steps, floored at one op per key).
@@ -524,7 +533,16 @@ impl Machine {
 /// Number of cost-model words occupied by `len` values of type `T`.
 /// A word is 8 bytes; partial words round up.
 pub fn words_of<T>(len: usize) -> u64 {
-    ((len * std::mem::size_of::<T>()) as u64).div_ceil(8)
+    words_of_width(len, std::mem::size_of::<T>())
+}
+
+/// Number of cost-model words occupied by `len` records of `width_bytes`
+/// bytes each — the byte-based core of the β-volume accounting (a word is
+/// 8 bytes; partial words round up).  [`words_of`] is this with
+/// `width_bytes = size_of::<T>()`; exchanges with an explicit
+/// `ExchangePlan::record_width` charge their declared wire width instead.
+pub fn words_of_width(len: usize, width_bytes: usize) -> u64 {
+    ((len * width_bytes) as u64).div_ceil(8)
 }
 
 #[cfg(test)]

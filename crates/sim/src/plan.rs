@@ -26,6 +26,14 @@ pub struct ExchangePlan {
     pub counts: Vec<usize>,
     /// Offset of each peer's run inside the flat buffer.
     pub displs: Vec<usize>,
+    /// Declared width in **bytes** of one exchanged record, consumed by the
+    /// α-β cost accounting so β-volume scales with item size (a 100-byte
+    /// terasort record charges 12.5× the volume of a `u64` key).  `0` (the
+    /// constructor default) means "derive from the element type at charge
+    /// time" (`size_of::<U>()`); set an explicit width with
+    /// [`Self::with_record_width`] to model a wire format that differs from
+    /// the in-memory layout.
+    pub record_width: usize,
 }
 
 impl ExchangePlan {
@@ -38,7 +46,7 @@ impl ExchangePlan {
             displs.push(acc);
             acc += c;
         }
-        Self { counts, displs }
+        Self { counts, displs, record_width: 0 }
     }
 
     /// Build a plan from `peers + 1` monotone boundaries (`bounds[i]` is
@@ -49,7 +57,14 @@ impl ExchangePlan {
         debug_assert!(bounds.windows(2).all(|w| w[0] <= w[1]), "boundaries must be monotone");
         let counts = bounds.windows(2).map(|w| w[1] - w[0]).collect();
         let displs = bounds[..bounds.len() - 1].to_vec();
-        Self { counts, displs }
+        Self { counts, displs, record_width: 0 }
+    }
+
+    /// Declare the wire width (bytes) of one exchanged record; see
+    /// [`Self::record_width`].
+    pub fn with_record_width(mut self, bytes: usize) -> Self {
+        self.record_width = bytes;
+        self
     }
 
     /// Number of peers the plan addresses.
@@ -174,14 +189,23 @@ mod tests {
             round: 2,
             destinations: vec![1],
             plans: vec![
-                ExchangePlan { counts: vec![0, 3, 0], displs: vec![0, 4, 0] },
-                ExchangePlan { counts: vec![0, 2, 0], displs: vec![0, 1, 0] },
+                ExchangePlan { counts: vec![0, 3, 0], displs: vec![0, 4, 0], record_width: 0 },
+                ExchangePlan { counts: vec![0, 2, 0], displs: vec![0, 1, 0], record_width: 0 },
             ],
         };
         assert_eq!(stage.total_elems(), 5);
         assert!(!stage.is_empty());
         let empty = ExchangeStage { round: 0, destinations: vec![], plans: vec![] };
         assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn record_width_defaults_to_type_derived() {
+        assert_eq!(ExchangePlan::from_counts(vec![1, 2]).record_width, 0);
+        assert_eq!(ExchangePlan::from_boundaries(&[0, 3]).record_width, 0);
+        let p = ExchangePlan::from_counts(vec![1, 2]).with_record_width(100);
+        assert_eq!(p.record_width, 100);
+        assert_eq!(p.counts, vec![1, 2]);
     }
 
     #[test]

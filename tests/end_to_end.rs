@@ -3,11 +3,8 @@
 //! distributions, must produce a correct global sort; the algorithms with a
 //! load-balance guarantee must honour it.
 
-#![allow(deprecated)] // the differential suites pin the legacy free-function entry points
-
 use hss_repro::baselines::{
-    bitonic_sort, histogram_sort, over_partitioning_sort, radix_partition_sort, sample_sort,
-    HistogramSortConfig, OverPartitioningConfig, RadixConfig, SampleSortConfig,
+    BitonicSorter, HistogramSortConfig, OverPartitioningConfig, RadixConfig, SampleSortConfig,
 };
 use hss_repro::partition::verify_global_sort;
 use hss_repro::prelude::*;
@@ -97,9 +94,9 @@ fn sample_sort_baselines_sort_every_distribution() {
         let input = dist.generate_per_rank(P, KEYS_PER_RANK, 33);
         for cfg in [SampleSortConfig::regular(EPS), SampleSortConfig::random(EPS)] {
             let mut machine = Machine::flat(P);
-            let (out, report) = sample_sort(&mut machine, &cfg, input.clone());
-            verify_global_sort(&input, &out)
-                .unwrap_or_else(|e| panic!("{} on {}: {e}", report.algorithm, dist.name()));
+            let outcome = cfg.run(&mut machine, SortRequest::new(input.clone())).unwrap();
+            verify_global_sort(&input, &outcome.data)
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", outcome.report.algorithm, dist.name()));
         }
     }
 }
@@ -111,7 +108,10 @@ fn regular_sampling_guarantee_is_deterministic() {
     for dist in [KeyDistribution::Uniform, KeyDistribution::PowerLaw { gamma: 5.0 }] {
         let input = dist.generate_per_rank(P, KEYS_PER_RANK, 17);
         let mut machine = Machine::flat(P);
-        let (_out, report) = sample_sort(&mut machine, &SampleSortConfig::regular(EPS), input);
+        let report = SampleSortConfig::regular(EPS)
+            .run(&mut machine, SortRequest::new(input))
+            .unwrap()
+            .report;
         assert!(
             report.load_balance.satisfies(EPS),
             "{}: imbalance {}",
@@ -126,8 +126,10 @@ fn classic_histogram_sort_matches_hss_output() {
     let input =
         KeyDistribution::Exponential { scale_frac: 0.01 }.generate_per_rank(P, KEYS_PER_RANK, 3);
     let mut m1 = Machine::flat(P);
-    let (out_classic, _r) =
-        histogram_sort(&mut m1, &HistogramSortConfig::new(EPS, P), input.clone());
+    let out_classic = HistogramSortConfig::new(EPS, P)
+        .run(&mut m1, SortRequest::new(input.clone()))
+        .unwrap()
+        .data;
     let mut m2 = Machine::flat(P);
     let hss = HssSorter::new(HssConfig { epsilon: EPS, ..HssConfig::default() })
         .sort(&mut m2, input.clone());
@@ -145,19 +147,21 @@ fn other_baselines_sort_correctly() {
     let input = KeyDistribution::Uniform.generate_per_rank(P, KEYS_PER_RANK, 13);
 
     let mut machine = Machine::flat(P);
-    let (out, _) = over_partitioning_sort(
-        &mut machine,
-        &OverPartitioningConfig::recommended(P),
-        input.clone(),
-    );
+    let out = OverPartitioningConfig::recommended(P)
+        .run(&mut machine, SortRequest::new(input.clone()))
+        .unwrap()
+        .data;
     verify_global_sort(&input, &out).unwrap();
 
     let mut machine = Machine::flat(P);
-    let (out, _) = bitonic_sort(&mut machine, input.clone());
+    let out = BitonicSorter.run(&mut machine, SortRequest::new(input.clone())).unwrap().data;
     verify_global_sort(&input, &out).unwrap();
 
     let mut machine = Machine::flat(P);
-    let (out, _) = radix_partition_sort(&mut machine, &RadixConfig::recommended(P), input.clone());
+    let out = RadixConfig::recommended(P)
+        .run(&mut machine, SortRequest::new(input.clone()))
+        .unwrap()
+        .data;
     verify_global_sort(&input, &out).unwrap();
 }
 
@@ -172,7 +176,8 @@ fn records_keep_their_payloads_through_every_splitter_algorithm() {
     }
     // Sample sort.
     let mut machine = Machine::flat(P);
-    let (out, _) = sample_sort(&mut machine, &SampleSortConfig::regular(0.1), input);
+    let out =
+        SampleSortConfig::regular(0.1).run(&mut machine, SortRequest::new(input)).unwrap().data;
     for rec in out.iter().flatten() {
         assert_eq!(*rec, Record::with_derived_payload(rec.key));
     }
@@ -206,8 +211,10 @@ fn changa_datasets_end_to_end_with_all_algorithms() {
         assert!(outcome.report.satisfies(EPS), "{}: {}", ds.name, outcome.report.imbalance());
 
         let mut machine = Machine::flat(P);
-        let (out, _) =
-            histogram_sort(&mut machine, &HistogramSortConfig::new(EPS, P), input.clone());
+        let out = HistogramSortConfig::new(EPS, P)
+            .run(&mut machine, SortRequest::new(input.clone()))
+            .unwrap()
+            .data;
         verify_global_sort(&input, &out).unwrap();
     }
 }

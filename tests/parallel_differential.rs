@@ -13,13 +13,10 @@
 //! histogram sort, radix, bitonic, over-partitioning) × 3 key
 //! distributions (uniform, power-law skew, duplicate-heavy) × 2 seeds.
 
-#![allow(deprecated)] // the differential suites pin the legacy free-function entry points
-
 use std::sync::OnceLock;
 
 use hss_repro::baselines::{
-    bitonic_sort, histogram_sort, over_partitioning_sort, radix_partition_sort, sample_sort,
-    HistogramSortConfig, OverPartitioningConfig, RadixConfig, SampleSortConfig,
+    BitonicSorter, HistogramSortConfig, OverPartitioningConfig, RadixConfig, SampleSortConfig,
 };
 use hss_repro::partition::verify_global_sort;
 use hss_repro::prelude::*;
@@ -102,40 +99,44 @@ fn hss_differential() {
 #[test]
 fn sample_sort_regular_differential() {
     assert_differential("sample-regular", |machine, _seed, input| {
-        sample_sort(machine, &SampleSortConfig::regular(0.2), input).0
+        SampleSortConfig::regular(0.2).run(machine, SortRequest::new(input)).unwrap().data
     });
 }
 
 #[test]
 fn sample_sort_random_differential() {
     assert_differential("sample-random", |machine, _seed, input| {
-        sample_sort(machine, &SampleSortConfig::random(0.2), input).0
+        SampleSortConfig::random(0.2).run(machine, SortRequest::new(input)).unwrap().data
     });
 }
 
 #[test]
 fn histogram_sort_differential() {
     assert_differential("histogram", |machine, _seed, input| {
-        let config = HistogramSortConfig::new(0.2, RANKS);
-        histogram_sort(machine, &config, input).0
+        HistogramSortConfig::new(0.2, RANKS).run(machine, SortRequest::new(input)).unwrap().data
     });
 }
 
 #[test]
 fn radix_differential() {
     assert_differential("radix", |machine, _seed, input| {
-        radix_partition_sort(machine, &RadixConfig::recommended(RANKS), input).0
+        RadixConfig::recommended(RANKS).run(machine, SortRequest::new(input)).unwrap().data
     });
 }
 
 #[test]
 fn bitonic_differential() {
-    assert_differential("bitonic", |machine, _seed, input| bitonic_sort(machine, input).0);
+    assert_differential("bitonic", |machine, _seed, input| {
+        BitonicSorter.run(machine, SortRequest::new(input)).unwrap().data
+    });
 }
 
 #[test]
 fn over_partitioning_differential() {
     assert_differential("overpartition", |machine, _seed, input| {
-        over_partitioning_sort(machine, &OverPartitioningConfig::recommended(RANKS), input).0
+        OverPartitioningConfig::recommended(RANKS)
+            .run(machine, SortRequest::new(input))
+            .unwrap()
+            .data
     });
 }

@@ -3,10 +3,8 @@
 //! as the processor count grows.  These are the claims behind Figures 4.1,
 //! 6.1 and 6.2, checked at a small executed scale.
 
-#![allow(deprecated)] // the differential suites pin the legacy free-function entry points
-
 use hss_repro::analysis::Algorithm;
-use hss_repro::baselines::{bitonic_sort, sample_sort, SampleSortConfig};
+use hss_repro::baselines::{BitonicSorter, SampleSortConfig};
 use hss_repro::prelude::*;
 use hss_repro::sim::Phase as SimPhase;
 
@@ -63,7 +61,8 @@ fn hss_sample_volume_grows_much_slower_than_regular_sampling() {
         let hss = HssSorter::new(HssConfig { epsilon: eps, ..HssConfig::default() })
             .sort(&mut m1, input.clone());
         let mut m2 = Machine::flat(p);
-        let (_o, reg) = sample_sort(&mut m2, &SampleSortConfig::regular(eps), input);
+        let reg =
+            SampleSortConfig::regular(eps).run(&mut m2, SortRequest::new(input)).unwrap().report;
         (
             hss.report.splitters.as_ref().unwrap().total_sample_size,
             reg.splitters.as_ref().unwrap().total_sample_size,
@@ -111,7 +110,7 @@ fn bitonic_data_movement_grows_with_log_squared_p() {
     let words_moved = |p: usize| -> (u64, u64) {
         let input = KeyDistribution::Uniform.generate_per_rank(p, keys, 9);
         let mut m1 = Machine::flat(p);
-        let _ = bitonic_sort(&mut m1, input.clone());
+        let _ = BitonicSorter.run(&mut m1, SortRequest::new(input.clone())).unwrap();
         let bitonic_words = m1.metrics().phase(SimPhase::DataExchange).comm_words;
         let mut m2 = Machine::flat(p);
         let _ =
