@@ -1,5 +1,6 @@
 //! Configuration of the HSS sorter.
 
+use hss_extsort::{ExtSortConfig, IoMode};
 use hss_lsort::LocalSortAlgo;
 use hss_partition::ExchangeEngine;
 use serde::{Deserialize, Serialize};
@@ -46,6 +47,69 @@ pub enum SplitterRule {
     /// histogram buckets to processors until each reaches `N(1+ε)/p`.
     /// Only meaningful for a single round of histogramming.
     Scanning,
+}
+
+/// When and how a rank falls back to the out-of-core tier
+/// ([`hss_extsort`]): any rank whose working set exceeds
+/// `memory_cap_bytes` — at local-sort time (its input partition) or at
+/// merge time (its received runs) — streams through bounded-memory
+/// external sort/merge instead of the in-memory path.  Output is bitwise
+/// identical either way; only host wall-clock and the modelled disk cost
+/// differ.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExtSortPolicy {
+    /// Per-rank record-buffer budget in bytes.
+    pub memory_cap_bytes: usize,
+    /// Scratch-directory root for run files (a `String`, not a `PathBuf`,
+    /// so the config stays serde-able).
+    pub run_dir: String,
+    /// Merge fan-in (≥ 2); more runs than this forces multi-pass merging.
+    pub fan_in: usize,
+    /// Synchronous vs. overlapped disk scheduling.
+    pub io_mode: IoMode,
+}
+
+impl ExtSortPolicy {
+    /// A policy with the given budget and scratch root, fan-in 16,
+    /// overlapped I/O.
+    pub fn new(memory_cap_bytes: usize, run_dir: impl Into<String>) -> Self {
+        Self { memory_cap_bytes, run_dir: run_dir.into(), fan_in: 16, io_mode: IoMode::default() }
+    }
+
+    /// Set the merge fan-in.
+    pub fn with_fan_in(mut self, fan_in: usize) -> Self {
+        self.fan_in = fan_in;
+        self
+    }
+
+    /// Set the I/O scheduling mode.
+    pub fn with_io_mode(mut self, io_mode: IoMode) -> Self {
+        self.io_mode = io_mode;
+        self
+    }
+
+    /// The [`ExtSortConfig`] this policy denotes, with the sorter's
+    /// local-sort algorithm carried over so external runs are sorted by
+    /// the same code as in-memory partitions.
+    pub fn to_ext_config(&self, local_sort: LocalSortAlgo) -> ExtSortConfig {
+        ExtSortConfig::new(self.memory_cap_bytes, self.run_dir.as_str())
+            .with_fan_in(self.fan_in)
+            .with_io_mode(self.io_mode)
+            .with_local_sort(local_sort)
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        if self.memory_cap_bytes == 0 {
+            return Err("ext_sort.memory_cap_bytes must be positive".to_string());
+        }
+        if self.fan_in < 2 {
+            return Err(format!("ext_sort.fan_in must be at least 2 (got {})", self.fan_in));
+        }
+        if self.run_dir.is_empty() {
+            return Err("ext_sort.run_dir must not be empty".to_string());
+        }
+        Ok(())
+    }
 }
 
 /// Configuration for [`crate::sorter::HssSorter`] and
@@ -99,6 +163,11 @@ pub struct HssConfig {
     /// per peer per stage) cannot eat the overlap win.  `0.0` stages every
     /// ready bucket immediately.  Ignored under Bsp.
     pub min_stage_fraction: f64,
+    /// Out-of-core fallback policy: `Some` lets ranks whose working sets
+    /// exceed the cap spill through [`hss_extsort`]
+    /// ([`crate::sorter::HssSorter::sort_out_of_core`]); `None` (the
+    /// default) keeps everything in memory.
+    pub ext_sort: Option<ExtSortPolicy>,
     /// Seed for all sampling randomness (deterministic runs).
     pub seed: u64,
 }
@@ -116,6 +185,7 @@ impl Default for HssConfig {
             exchange_engine: ExchangeEngine::Flat,
             local_sort: LocalSortAlgo::default(),
             min_stage_fraction: 0.02,
+            ext_sort: None,
             seed: 0xC0FFEE,
         }
     }
@@ -138,6 +208,7 @@ impl HssConfig {
             exchange_engine: ExchangeEngine::Flat,
             local_sort: LocalSortAlgo::default(),
             min_stage_fraction: 0.02,
+            ext_sort: None,
             seed: 0xC0FFEE,
         }
     }
@@ -229,6 +300,12 @@ impl HssConfig {
         self
     }
 
+    /// Enable the out-of-core fallback with the given policy.
+    pub fn with_ext_sort(mut self, policy: ExtSortPolicy) -> Self {
+        self.ext_sort = Some(policy);
+        self
+    }
+
     /// Basic sanity checks; called by the sorter before running.
     pub fn validate(&self) -> Result<(), String> {
         if !self.epsilon.is_finite() || self.epsilon <= 0.0 {
@@ -242,6 +319,9 @@ impl HssConfig {
                 "min_stage_fraction must be in [0, 1] (got {})",
                 self.min_stage_fraction
             ));
+        }
+        if let Some(policy) = &self.ext_sort {
+            policy.validate()?;
         }
         match self.schedule {
             RoundSchedule::Theoretical { rounds: 0 } => {
@@ -348,6 +428,12 @@ impl HssConfigBuilder {
     /// Set the RNG seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.config.seed = seed;
+        self
+    }
+
+    /// Enable the out-of-core fallback with the given policy.
+    pub fn with_ext_sort(mut self, policy: ExtSortPolicy) -> Self {
+        self.config.ext_sort = Some(policy);
         self
     }
 

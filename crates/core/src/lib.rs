@@ -54,6 +54,7 @@ pub mod duplicates;
 pub mod local_sort;
 pub mod multi_round;
 pub mod node_level;
+pub mod out_of_core;
 pub mod overlap;
 pub mod report;
 pub mod request;
@@ -62,7 +63,7 @@ pub mod sorter;
 pub mod theory;
 
 pub use approx_histogram::{ApproxHistogrammer, RepresentativeSample};
-pub use config::{HssConfig, HssConfigBuilder, RoundSchedule, SplitterRule};
+pub use config::{ExtSortPolicy, HssConfig, HssConfigBuilder, RoundSchedule, SplitterRule};
 pub use duplicates::Tagged;
 pub use hss_lsort::{LocalSortAlgo, RadixSortable};
 pub use local_sort::charged_local_sort;

@@ -1,0 +1,283 @@
+//! The distributed out-of-core path: HSS where any rank whose working set
+//! exceeds the [`ExtSortPolicy`] cap falls back to `hss-extsort`.
+//!
+//! Two places can blow the cap, and both spill:
+//!
+//! 1. **Local sort** — a rank's input partition is streamed through run
+//!    formation and merged back (`ExternalSorter::sort_to_vec`) instead of
+//!    being sorted in place.
+//! 2. **Exchange merge** — a rank whose *received* runs exceed the cap
+//!    spills them to disk runs and k-way merges under bounded windows
+//!    (`ExternalSorter::merge_spilled`), via the flat exchange's
+//!    caller-supplied merger hook
+//!    ([`hss_partition::exchange_and_merge_flat_with`]).
+//!
+//! Either way the output is **bitwise identical** to the in-memory sorter:
+//! run formation sorts with the same `LocalSortAlgo`, and both merges use
+//! the same loser tree with the same lower-run-index tie-break.
+//!
+//! # Cost accounting
+//!
+//! External phases charge the same compute `Work` as their in-memory
+//! counterparts *plus* a merge term for the extra run-merge the external
+//! sort performs, *plus* [`Work::disk_bytes`] for the measured scratch
+//! traffic.  The machine routes disk work through its per-rank disk
+//! backlog clock: under `SyncModel::Bsp` the phase serializes compute +
+//! disk; under `SyncModel::Overlapped` the disk reservation stays
+//! outstanding and is only waited for at the next [`Machine::wait_for_disk`]
+//! barrier — mirroring how the real overlapped tier hides I/O behind
+//! compute.
+
+use std::sync::Mutex;
+
+use hss_extsort::{ExtSortReport, ExternalSorter, PlainRecord};
+use hss_keygen::Keyed;
+use hss_lsort::{LocalSortAlgo, RadixSortable};
+use hss_partition::{exchange_and_merge_flat_with, kway_merge_slices, ExchangeMode, LoadBalance};
+use hss_sim::{Machine, Phase, SyncModel, Work};
+
+use crate::config::ExtSortPolicy;
+use crate::multi_round::determine_splitters;
+use crate::report::SortReport;
+use crate::sorter::{HssSorter, SortOutcome};
+
+/// The compute charge for externally sorting `n` records: the in-memory
+/// algorithm's charge (run formation runs the same sort over the same
+/// elements, just chunk by chunk) plus the k-way run merge(s) the external
+/// sort performs on top.
+fn ext_local_sort_work<T: RadixSortable>(
+    algo: LocalSortAlgo,
+    n: usize,
+    rep: &ExtSortReport,
+) -> Work {
+    let base = match algo {
+        LocalSortAlgo::Comparison => Work::sort(n),
+        LocalSortAlgo::Radix => Work::radix_sort(n, T::RADIX_BYTES),
+    };
+    base.and(Work::merge(
+        n.saturating_mul(rep.merge_passes as usize),
+        rep.runs_formed.max(1) as usize,
+    ))
+    .and(Work::disk_bytes(rep.disk_bytes(), rep.disk_transfers()))
+}
+
+impl HssSorter {
+    /// Sort with the out-of-core fallback armed: behaves exactly like
+    /// [`HssSorter::sort`] on the flat rank-level path, except that any
+    /// rank whose local partition or received runs exceed
+    /// `config.ext_sort.memory_cap_bytes` spills through the external
+    /// sorter.  Returns the outcome plus the aggregated
+    /// [`ExtSortReport`] over every spill that happened (all-zero if no
+    /// rank exceeded the cap).
+    ///
+    /// Output is bitwise identical to [`HssSorter::sort`] on the same
+    /// input.  Requires `T: PlainRecord` (raw-byte run files), which is
+    /// why this is a separate entry point rather than a silent fallback
+    /// inside `sort`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.ext_sort` is `None`, if `node_level` or
+    /// `tag_duplicates` is set (the tier is rank-level and tag wrappers
+    /// are not `PlainRecord`), on rank-count mismatch, or on scratch-file
+    /// I/O errors.
+    pub fn sort_out_of_core<T>(
+        &self,
+        machine: &mut Machine,
+        input: Vec<Vec<T>>,
+    ) -> (SortOutcome<T>, ExtSortReport)
+    where
+        T: Keyed + Ord + RadixSortable + PlainRecord,
+        T::K: RadixSortable,
+    {
+        let config = self.config();
+        config.validate().expect("invalid HSS configuration");
+        let policy = config
+            .ext_sort
+            .clone()
+            .expect("sort_out_of_core requires HssConfig::ext_sort to be set");
+        assert_eq!(input.len(), machine.ranks(), "one input vector per rank");
+        assert!(!config.node_level, "the out-of-core tier is rank-level: disable node_level");
+        assert!(
+            !config.tag_duplicates,
+            "duplicate tagging wraps items in non-PlainRecord tags; \
+             disable tag_duplicates for the out-of-core tier"
+        );
+        let total_keys: u64 = input.iter().map(|v| v.len() as u64).sum();
+
+        let ext = ExternalSorter::new(policy.to_ext_config(config.local_sort));
+        let spills = Mutex::new(ExtSortReport::default());
+        let algo = config.local_sort;
+
+        // Local sort: external when the rank's partition exceeds the cap.
+        let data = machine.transform_phase(Phase::LocalSort, input, |_rank, mut local| {
+            if std::mem::size_of_val(local.as_slice()) > policy.memory_cap_bytes {
+                let n = local.len();
+                let (sorted, rep) =
+                    ext.sort_to_vec(local).expect("external local sort: scratch I/O failed");
+                spills.lock().unwrap().absorb(&rep);
+                (sorted, ext_local_sort_work::<T>(algo, n, &rep))
+            } else {
+                let work = crate::local_sort::charged_local_sort(algo, &mut local);
+                (local, work)
+            }
+        });
+        // The exchange sends this data: its runs must be on "disk-stable"
+        // ground first.  Under Bsp this is a no-op; under Overlapped it
+        // waits out any outstanding disk backlog.
+        machine.wait_for_disk();
+
+        let p = machine.ranks();
+        let (splitters, splitter_report) = determine_splitters(machine, &data, p, config);
+
+        // Flat exchange with a spilling merger: a destination whose
+        // received runs exceed the cap merges them through disk.
+        let mode = if machine.topology().cores_per_node() > 1 {
+            ExchangeMode::NodeCombined
+        } else {
+            ExchangeMode::RankLevel
+        };
+        let out = exchange_and_merge_flat_with(machine, &data, &splitters, mode, |_dst, runs| {
+            let total: usize = runs.iter().map(|r| r.len()).sum();
+            let pieces = runs.iter().filter(|r| !r.is_empty()).count();
+            let merge_work = Work::merge(total, pieces.max(1));
+            if total * std::mem::size_of::<T>() > policy.memory_cap_bytes {
+                let (merged, rep) =
+                    ext.merge_spilled(runs).expect("external exchange merge: scratch I/O failed");
+                spills.lock().unwrap().absorb(&rep);
+                (merged, merge_work.and(Work::disk_bytes(rep.disk_bytes(), rep.disk_transfers())))
+            } else {
+                (kway_merge_slices(runs), merge_work)
+            }
+        });
+        machine.wait_for_disk();
+
+        let load_balance = LoadBalance::from_rank_data(&out);
+        let report = SortReport {
+            algorithm: "hss-extsort".to_string(),
+            ranks: machine.ranks(),
+            total_keys,
+            splitters: Some(splitter_report),
+            load_balance,
+            metrics: machine.metrics().clone(),
+            sync_model: machine.sync_model().name().to_string(),
+            local_sort: config.local_sort.name().to_string(),
+            makespan_seconds: machine.simulated_time(),
+        };
+        let ext_report = spills.into_inner().unwrap();
+        (SortOutcome { data: out, report }, ext_report)
+    }
+}
+
+/// True when the machine's sync model lets charged disk work overlap the
+/// following compute (documentation helper for benches/demo output).
+pub fn disk_overlaps(machine: &Machine) -> bool {
+    machine.sync_model() == SyncModel::Overlapped
+}
+
+/// The [`ExtSortPolicy`] that forces *every* rank of an `n`-per-rank
+/// workload through the external path: cap at `1/ratio` of the per-rank
+/// byte volume (at least one record's worth so chunking can progress).
+pub fn forcing_policy<T>(per_rank_elems: usize, ratio: usize, run_dir: &str) -> ExtSortPolicy {
+    let bytes = per_rank_elems * std::mem::size_of::<T>();
+    ExtSortPolicy::new((bytes / ratio.max(1)).max(std::mem::size_of::<T>()), run_dir)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HssConfig;
+    use hss_extsort::IoMode;
+    use hss_keygen::KeyDistribution;
+
+    fn run_dir() -> String {
+        std::env::temp_dir().join("hss-ooc-test").to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn out_of_core_output_is_bitwise_identical_to_in_memory() {
+        let p = 8;
+        let n = 800;
+        let input = KeyDistribution::Uniform.generate_per_rank(p, n, 11);
+
+        let mut m_ref = Machine::flat(p);
+        let reference = HssSorter::default().sort(&mut m_ref, input.clone());
+
+        for io_mode in [IoMode::Synchronous, IoMode::Overlapped] {
+            // Cap = 1/4 of a rank's bytes -> every rank spills in both the
+            // local sort and (typically) the exchange merge.
+            let policy =
+                forcing_policy::<u64>(n, 4, &run_dir()).with_fan_in(2).with_io_mode(io_mode);
+            let cfg = HssConfig::default().with_ext_sort(policy);
+            let mut m = Machine::flat(p);
+            let (outcome, ext) = HssSorter::new(cfg).sort_out_of_core(&mut m, input.clone());
+            assert_eq!(outcome.data, reference.data, "{}", io_mode.name());
+            assert!(ext.runs_formed > 0, "cap must force spills");
+            assert!(ext.bytes_written > 0 && ext.bytes_read > 0);
+            assert_eq!(outcome.report.algorithm, "hss-extsort");
+            // Disk traffic must show up in the modelled phase metrics.
+            assert!(m.metrics().total_disk_words() > 0);
+            assert!(outcome.report.makespan_seconds > reference.report.makespan_seconds);
+        }
+    }
+
+    #[test]
+    fn under_cap_ranks_stay_in_memory() {
+        let p = 4;
+        let input = KeyDistribution::Uniform.generate_per_rank(p, 200, 3);
+        let policy = ExtSortPolicy::new(1 << 20, run_dir()); // cap far above data
+        let cfg = HssConfig::default().with_ext_sort(policy);
+        let mut m = Machine::flat(p);
+        let mut m_ref = Machine::flat(p);
+        let reference = HssSorter::default().sort(&mut m_ref, input.clone());
+        let (outcome, ext) = HssSorter::new(cfg).sort_out_of_core(&mut m, input);
+        assert_eq!(outcome.data, reference.data);
+        assert_eq!(ext, ExtSortReport::default(), "no rank should spill");
+        assert_eq!(m.metrics().total_disk_words(), 0);
+        // With zero disk work the accounting is the historical path:
+        // identical signatures modulo the phase structure of `sort`.
+        assert_eq!(outcome.report.total_keys, 800);
+    }
+
+    #[test]
+    fn overlapped_disk_model_beats_bsp_on_the_same_spills() {
+        let p = 4;
+        let n = 600;
+        let input = KeyDistribution::Uniform.generate_per_rank(p, n, 23);
+        let policy = forcing_policy::<u64>(n, 4, &run_dir());
+        let cfg = HssConfig::default().with_ext_sort(policy);
+        let mut m_bsp = Machine::flat(p);
+        let (out_bsp, _) = HssSorter::new(cfg.clone()).sort_out_of_core(&mut m_bsp, input.clone());
+        let mut m_ovl = Machine::flat(p).with_sync_model(SyncModel::Overlapped);
+        let (out_ovl, _) = HssSorter::new(cfg).sort_out_of_core(&mut m_ovl, input);
+        assert_eq!(out_bsp.data, out_ovl.data);
+        // Same disk words charged; strictly less simulated time when the
+        // backlog can hide behind subsequent compute.
+        assert_eq!(m_bsp.metrics().total_disk_words(), m_ovl.metrics().total_disk_words());
+        assert!(
+            out_ovl.report.makespan_seconds < out_bsp.report.makespan_seconds,
+            "overlapped {} !< bsp {}",
+            out_ovl.report.makespan_seconds,
+            out_bsp.report.makespan_seconds
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "requires HssConfig::ext_sort")]
+    fn missing_policy_panics() {
+        let input = KeyDistribution::Uniform.generate_per_rank(2, 10, 0);
+        let mut m = Machine::flat(2);
+        let _ = HssSorter::default().sort_out_of_core(&mut m, input);
+    }
+
+    #[test]
+    #[should_panic(expected = "disable tag_duplicates")]
+    fn tagging_is_rejected() {
+        let input = KeyDistribution::Uniform.generate_per_rank(2, 10, 0);
+        let mut m = Machine::flat(2);
+        let cfg = HssConfig::default()
+            .with_ext_sort(ExtSortPolicy::new(1 << 20, run_dir()))
+            .with_duplicate_tagging();
+        let _ = HssSorter::new(cfg).sort_out_of_core(&mut m, input);
+    }
+}

@@ -1,0 +1,527 @@
+//! K-way merge of on-disk runs under the memory cap.
+//!
+//! Each run is read through a bounded *window* (one block of
+//! `ExtSortConfig::block_elems` records); the windows feed the generic
+//! [`SourceLoserTree`] from `hss-partition`, so the comparison logic — and
+//! therefore the output order, including the lower-run-index tie-break — is
+//! exactly the in-memory merge's.  More runs than `fan_in` triggers
+//! level-by-level multi-pass merging; because every pass is stable and
+//! groups runs in order, the multi-pass result is bitwise identical to a
+//! single giant merge.
+//!
+//! In [`IoMode::Overlapped`] a single prefetch thread services all runs
+//! (double-buffered per run: one window being consumed, one block in
+//! flight) and a writeback thread drains a double-buffered output stream,
+//! so the merge thread only ever blocks when it outruns the disk.
+
+use std::fs::{self, File};
+use std::io::{self, Read, Write};
+use std::marker::PhantomData;
+use std::path::Path;
+use std::sync::mpsc;
+use std::time::Instant;
+
+use hss_partition::{RunSource, SourceLoserTree};
+
+use crate::config::{ExtSortConfig, IoMode};
+use crate::plain::{bytes_of, bytes_of_mut, PlainRecord};
+use crate::report::ExtSortReport;
+use crate::runs::RunFile;
+
+/// A `Vec<T>` with every byte of its capacity initialized (to zero), so
+/// later `set_len` calls within the capacity are sound.  Zero is a valid
+/// value for any `PlainRecord`.
+fn alloc_zeroed<T: PlainRecord>(elems: usize) -> Vec<T> {
+    let mut v: Vec<T> = Vec::with_capacity(elems);
+    // SAFETY: the allocation holds `elems` elements; zero bytes are a valid
+    // `T` by the `PlainRecord` contract.
+    unsafe {
+        std::ptr::write_bytes(v.as_mut_ptr(), 0, elems);
+        v.set_len(elems);
+    }
+    v
+}
+
+/// Sequential block reader over one run file.
+struct BlockReader<T> {
+    file: File,
+    /// Records not yet read.
+    remaining: u64,
+    _marker: PhantomData<T>,
+}
+
+impl<T: PlainRecord> BlockReader<T> {
+    fn open(run: &RunFile) -> io::Result<Self> {
+        Ok(Self { file: File::open(&run.path)?, remaining: run.elems, _marker: PhantomData })
+    }
+
+    /// Fill `buf` with the next `≤ block_elems` records (empty at EOF).
+    /// `buf` must come from [`alloc_zeroed`] so its capacity is initialized.
+    fn next_block(&mut self, buf: &mut Vec<T>, block_elems: usize) -> io::Result<()> {
+        let k = self.remaining.min(block_elems as u64) as usize;
+        debug_assert!(buf.capacity() >= k, "block buffer must come from alloc_zeroed");
+        // SAFETY: k ≤ capacity and the capacity is fully initialized.
+        unsafe { buf.set_len(k) };
+        if k > 0 {
+            self.file.read_exact(bytes_of_mut(buf))?;
+            self.remaining -= k as u64;
+        }
+        Ok(())
+    }
+}
+
+/// Windowed run reader with inline (blocking) refills.
+pub(crate) struct SyncDiskSource<T: PlainRecord> {
+    reader: BlockReader<T>,
+    window: Vec<T>,
+    pos: usize,
+    block_elems: usize,
+    io_wait: f64,
+    bytes_read: u64,
+    transfers: u64,
+    /// First refill error, surfaced after the pass (the trait's `pop`
+    /// cannot return it); the source then reads as exhausted.
+    error: Option<io::Error>,
+}
+
+impl<T: PlainRecord> SyncDiskSource<T> {
+    fn new(run: &RunFile, block_elems: usize) -> io::Result<Self> {
+        let mut src = Self {
+            reader: BlockReader::open(run)?,
+            window: alloc_zeroed(block_elems),
+            pos: 0,
+            block_elems,
+            io_wait: 0.0,
+            bytes_read: 0,
+            transfers: 0,
+            error: None,
+        };
+        src.refill();
+        Ok(src)
+    }
+
+    fn refill(&mut self) {
+        let t = Instant::now();
+        match self.reader.next_block(&mut self.window, self.block_elems) {
+            Ok(()) => {
+                if !self.window.is_empty() {
+                    self.bytes_read += std::mem::size_of_val(self.window.as_slice()) as u64;
+                    self.transfers += 1;
+                }
+            }
+            Err(e) => {
+                self.error.get_or_insert(e);
+                self.window.clear();
+            }
+        }
+        self.io_wait += t.elapsed().as_secs_f64();
+        self.pos = 0;
+    }
+}
+
+impl<T: PlainRecord + Ord> RunSource for SyncDiskSource<T> {
+    type Item = T;
+
+    fn peek(&self) -> Option<&T> {
+        self.window.get(self.pos)
+    }
+
+    fn pop(&mut self) -> Option<T> {
+        let item = *self.window.get(self.pos)?;
+        self.pos += 1;
+        if self.pos == self.window.len() {
+            self.refill();
+        }
+        Some(item)
+    }
+}
+
+/// Windowed run reader fed by the shared prefetch thread.  Holds one window
+/// while the prefetcher fills the run's second buffer; exhausting the
+/// window swaps them (a recv that only blocks if the disk fell behind).
+pub(crate) struct AsyncDiskSource<T: PlainRecord> {
+    run_idx: usize,
+    data_rx: mpsc::Receiver<Vec<T>>,
+    req_tx: mpsc::Sender<(usize, Vec<T>)>,
+    window: Vec<T>,
+    pos: usize,
+    eof: bool,
+    io_wait: f64,
+}
+
+impl<T: PlainRecord> AsyncDiskSource<T> {
+    fn new(
+        run_idx: usize,
+        data_rx: mpsc::Receiver<Vec<T>>,
+        req_tx: mpsc::Sender<(usize, Vec<T>)>,
+    ) -> Self {
+        let mut src =
+            Self { run_idx, data_rx, req_tx, window: Vec::new(), pos: 0, eof: false, io_wait: 0.0 };
+        // Pull the first block so `peek` works before the tree is built.
+        src.advance_window();
+        src
+    }
+
+    fn advance_window(&mut self) {
+        if self.eof {
+            return;
+        }
+        let t = Instant::now();
+        match self.data_rx.recv() {
+            Ok(next) if !next.is_empty() => {
+                let old = std::mem::replace(&mut self.window, next);
+                // Recycle the drained buffer as the request for the block
+                // after the one already in flight (double buffering).  The
+                // construction-time window is an unallocated placeholder,
+                // not one of the run's two real buffers — dropping it keeps
+                // the budget at exactly two blocks per run.
+                if old.capacity() > 0 {
+                    let _ = self.req_tx.send((self.run_idx, old));
+                }
+            }
+            // Empty block = EOF marker; a disconnect means the prefetcher
+            // died on an I/O error, which the pass surfaces after joining.
+            _ => {
+                self.eof = true;
+                self.window.clear();
+            }
+        }
+        self.io_wait += t.elapsed().as_secs_f64();
+        self.pos = 0;
+    }
+}
+
+impl<T: PlainRecord + Ord> RunSource for AsyncDiskSource<T> {
+    type Item = T;
+
+    fn peek(&self) -> Option<&T> {
+        self.window.get(self.pos)
+    }
+
+    fn pop(&mut self) -> Option<T> {
+        let item = *self.window.get(self.pos)?;
+        self.pos += 1;
+        if self.pos == self.window.len() {
+            self.advance_window();
+        }
+        Some(item)
+    }
+}
+
+/// The prefetch thread: one request queue for all runs (a single spindle
+/// serializes anyway), per-run reply channels.  Returns
+/// `(bytes_read, read_transfers, first_error)`.
+fn prefetch_loop<T: PlainRecord>(
+    mut readers: Vec<BlockReader<T>>,
+    req_rx: mpsc::Receiver<(usize, Vec<T>)>,
+    data_txs: Vec<mpsc::Sender<Vec<T>>>,
+    block_elems: usize,
+) -> (u64, u64, Option<io::Error>) {
+    let (mut bytes, mut transfers) = (0u64, 0u64);
+    let mut error: Option<io::Error> = None;
+    for (idx, mut buf) in req_rx {
+        if error.is_some() {
+            buf.clear();
+            let _ = data_txs[idx].send(buf); // reads as EOF
+            continue;
+        }
+        match readers[idx].next_block(&mut buf, block_elems) {
+            Ok(()) => {
+                if !buf.is_empty() {
+                    bytes += std::mem::size_of_val(buf.as_slice()) as u64;
+                    transfers += 1;
+                }
+                let _ = data_txs[idx].send(buf);
+            }
+            Err(e) => {
+                error = Some(e);
+                buf.clear();
+                let _ = data_txs[idx].send(buf);
+            }
+        }
+    }
+    (bytes, transfers, error)
+}
+
+/// Block-buffered, `sync_data`-per-block writer used by the synchronous
+/// arm's file output.
+struct SyncBlockWriter<T: PlainRecord> {
+    file: File,
+    buf: Vec<T>,
+    block_elems: usize,
+    io_wait: f64,
+    bytes: u64,
+    transfers: u64,
+}
+
+impl<T: PlainRecord> SyncBlockWriter<T> {
+    fn create(path: &Path, block_elems: usize) -> io::Result<Self> {
+        Ok(Self {
+            file: File::create(path)?,
+            buf: Vec::with_capacity(block_elems),
+            block_elems,
+            io_wait: 0.0,
+            bytes: 0,
+            transfers: 0,
+        })
+    }
+
+    fn push(&mut self, x: T) -> io::Result<()> {
+        self.buf.push(x);
+        if self.buf.len() == self.block_elems {
+            self.flush_block()?;
+        }
+        Ok(())
+    }
+
+    fn flush_block(&mut self) -> io::Result<()> {
+        let t = Instant::now();
+        self.file.write_all(bytes_of(&self.buf))?;
+        self.file.sync_data()?;
+        self.io_wait += t.elapsed().as_secs_f64();
+        self.bytes += std::mem::size_of_val(self.buf.as_slice()) as u64;
+        self.transfers += 1;
+        self.buf.clear();
+        Ok(())
+    }
+
+    /// Flush the tail block and return `(io_wait, bytes, transfers)`.
+    fn finish(mut self) -> io::Result<(f64, u64, u64)> {
+        if !self.buf.is_empty() {
+            self.flush_block()?;
+        }
+        Ok((self.io_wait, self.bytes, self.transfers))
+    }
+}
+
+/// The writeback thread: drains full output blocks to the file (with the
+/// same per-block `sync_data` the synchronous arm pays inline) and recycles
+/// them.  Returns `(bytes_written, write_transfers)`.
+fn writeback_loop<T: PlainRecord>(
+    path: &Path,
+    full_rx: mpsc::Receiver<Vec<T>>,
+    free_tx: mpsc::Sender<Vec<T>>,
+) -> io::Result<(u64, u64)> {
+    let mut file = File::create(path)?;
+    let (mut bytes, mut transfers) = (0u64, 0u64);
+    for mut buf in full_rx {
+        file.write_all(bytes_of(&buf))?;
+        file.sync_data()?;
+        bytes += std::mem::size_of_val(buf.as_slice()) as u64;
+        transfers += 1;
+        buf.clear();
+        let _ = free_tx.send(buf);
+    }
+    Ok((bytes, transfers))
+}
+
+/// Where a merge pass delivers its output.
+pub(crate) enum PassOutput<'a, T> {
+    /// Append to an in-memory vector (the final pass of `sort_to_vec`).
+    Vec(&'a mut Vec<T>),
+    /// Write a new run file (intermediate passes and `sort_to_file`).
+    File(&'a Path),
+}
+
+/// Pull every record out of `tree` through `emit`; returns the count.
+fn drive<T, S, F>(tree: &mut SourceLoserTree<S>, mut emit: F) -> io::Result<u64>
+where
+    T: Ord,
+    S: RunSource<Item = T>,
+    F: FnMut(T) -> io::Result<()>,
+{
+    let mut n = 0u64;
+    while let Some(x) = tree.next() {
+        emit(x)?;
+        n += 1;
+    }
+    Ok(n)
+}
+
+/// Merge `runs` (each individually sorted) into `out` in one pass,
+/// accumulating I/O accounting into `report`.  Returns the record count.
+pub(crate) fn merge_pass<T>(
+    runs: &[RunFile],
+    cfg: &ExtSortConfig,
+    out: PassOutput<'_, T>,
+    report: &mut ExtSortReport,
+) -> io::Result<u64>
+where
+    T: PlainRecord + Ord,
+{
+    match cfg.io_mode {
+        IoMode::Synchronous => merge_pass_sync(runs, cfg, out, report),
+        IoMode::Overlapped => merge_pass_overlapped(runs, cfg, out, report),
+    }
+}
+
+fn merge_pass_sync<T>(
+    runs: &[RunFile],
+    cfg: &ExtSortConfig,
+    out: PassOutput<'_, T>,
+    report: &mut ExtSortReport,
+) -> io::Result<u64>
+where
+    T: PlainRecord + Ord,
+{
+    let block_elems = cfg.block_elems::<T>();
+    let sources =
+        runs.iter().map(|r| SyncDiskSource::new(r, block_elems)).collect::<io::Result<Vec<_>>>()?;
+    let mut tree = SourceLoserTree::new(sources);
+    let emitted = match out {
+        PassOutput::Vec(dst) => drive(&mut tree, |x| {
+            dst.push(x);
+            Ok(())
+        })?,
+        PassOutput::File(path) => {
+            let mut writer = SyncBlockWriter::create(path, block_elems)?;
+            let n = drive(&mut tree, |x| writer.push(x))?;
+            let (io_wait, bytes, transfers) = writer.finish()?;
+            report.io_wait_seconds += io_wait;
+            report.bytes_written += bytes;
+            report.write_transfers += transfers;
+            n
+        }
+    };
+    for mut src in tree.into_sources() {
+        report.io_wait_seconds += src.io_wait;
+        report.bytes_read += src.bytes_read;
+        report.read_transfers += src.transfers;
+        if let Some(e) = src.error.take() {
+            return Err(e);
+        }
+    }
+    Ok(emitted)
+}
+
+fn merge_pass_overlapped<T>(
+    runs: &[RunFile],
+    cfg: &ExtSortConfig,
+    out: PassOutput<'_, T>,
+    report: &mut ExtSortReport,
+) -> io::Result<u64>
+where
+    T: PlainRecord + Ord,
+{
+    let block_elems = cfg.block_elems::<T>();
+    let readers =
+        runs.iter().map(BlockReader::open).collect::<io::Result<Vec<BlockReader<T>>>>()?;
+    let (req_tx, req_rx) = mpsc::channel::<(usize, Vec<T>)>();
+    let mut data_txs = Vec::with_capacity(runs.len());
+    let mut data_rxs = Vec::with_capacity(runs.len());
+    for _ in runs {
+        let (tx, rx) = mpsc::channel::<Vec<T>>();
+        data_txs.push(tx);
+        data_rxs.push(rx);
+    }
+
+    std::thread::scope(|s| -> io::Result<u64> {
+        let prefetcher = s.spawn(move || prefetch_loop(readers, req_rx, data_txs, block_elems));
+        // Two buffers per run: both start as queued requests, so every
+        // source's first block is (being) read before the merge starts.
+        for idx in 0..runs.len() {
+            for _ in 0..2 {
+                req_tx.send((idx, alloc_zeroed::<T>(block_elems))).expect("prefetcher alive");
+            }
+        }
+        let sources: Vec<AsyncDiskSource<T>> = data_rxs
+            .into_iter()
+            .enumerate()
+            .map(|(idx, rx)| AsyncDiskSource::new(idx, rx, req_tx.clone()))
+            .collect();
+        drop(req_tx);
+        let mut tree = SourceLoserTree::new(sources);
+
+        let emitted = match out {
+            PassOutput::Vec(dst) => drive(&mut tree, |x| {
+                dst.push(x);
+                Ok(())
+            })?,
+            PassOutput::File(path) => {
+                let (wfull_tx, wfull_rx) = mpsc::channel::<Vec<T>>();
+                let (wfree_tx, wfree_rx) = mpsc::channel::<Vec<T>>();
+                let writer = s.spawn(move || writeback_loop(path, wfull_rx, wfree_tx));
+                let mut out_buf: Vec<T> = Vec::with_capacity(block_elems);
+                let mut spare: Option<Vec<T>> = Some(Vec::with_capacity(block_elems));
+                let mut wait = 0.0f64;
+                let n = drive(&mut tree, |x| {
+                    out_buf.push(x);
+                    if out_buf.len() == block_elems {
+                        let t = Instant::now();
+                        let full = std::mem::replace(
+                            &mut out_buf,
+                            match spare.take() {
+                                Some(b) => b,
+                                // Blocks only while the writeback thread is
+                                // still syncing the previous block.
+                                None => wfree_rx.recv().unwrap_or_default(),
+                            },
+                        );
+                        // A disconnect means the writer died on an I/O
+                        // error, surfaced at the join below.
+                        let _ = wfull_tx.send(full);
+                        wait += t.elapsed().as_secs_f64();
+                    }
+                    Ok(())
+                })?;
+                if !out_buf.is_empty() {
+                    let _ = wfull_tx.send(out_buf);
+                }
+                drop(wfull_tx);
+                let t = Instant::now();
+                let (bytes, transfers) = writer.join().expect("writeback thread does not panic")?;
+                wait += t.elapsed().as_secs_f64();
+                report.io_wait_seconds += wait;
+                report.bytes_written += bytes;
+                report.write_transfers += transfers;
+                n
+            }
+        };
+
+        // Dropping the sources disconnects the request channel, which ends
+        // the prefetch loop.
+        for src in tree.into_sources() {
+            report.io_wait_seconds += src.io_wait;
+        }
+        let (bytes, transfers, error) = prefetcher.join().expect("prefetch thread does not panic");
+        report.bytes_read += bytes;
+        report.read_transfers += transfers;
+        match error {
+            Some(e) => Err(e),
+            None => Ok(emitted),
+        }
+    })
+}
+
+/// Merge an arbitrary number of runs down to `out`, running as many
+/// intermediate `fan_in`-way passes as needed.  Consumed run files are
+/// deleted as soon as their pass completes, so peak scratch usage stays
+/// within ~2× the data volume.  Returns the total record count delivered.
+pub(crate) fn merge_all<T>(
+    mut runs: Vec<RunFile>,
+    cfg: &ExtSortConfig,
+    dir: &Path,
+    out: PassOutput<'_, T>,
+    report: &mut ExtSortReport,
+) -> io::Result<u64>
+where
+    T: PlainRecord + Ord,
+{
+    let mut next_id = 0u64;
+    while runs.len() > cfg.fan_in {
+        report.merge_passes += 1;
+        let mut next = Vec::with_capacity(runs.len().div_ceil(cfg.fan_in));
+        for group in runs.chunks(cfg.fan_in) {
+            let path = dir.join(format!("merge-{next_id:06}.bin"));
+            next_id += 1;
+            let elems = merge_pass(group, cfg, PassOutput::<T>::File(&path), report)?;
+            for r in group {
+                let _ = fs::remove_file(&r.path);
+            }
+            next.push(RunFile { path, elems });
+        }
+        runs = next;
+    }
+    report.merge_passes += 1;
+    merge_pass(&runs, cfg, out, report)
+}

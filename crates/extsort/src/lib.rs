@@ -1,0 +1,346 @@
+//! # hss-extsort — the out-of-core tier
+//!
+//! Bounded-memory external sort for datasets larger than a rank's memory
+//! budget.  The classic two-phase structure (run formation, then k-way
+//! merge) reuses the in-memory pipeline's pieces so the output is **bitwise
+//! identical** to [`hss_lsort`]'s sort of the same data:
+//!
+//! 1. **Run formation** (`runs`): the input streams through fixed-budget
+//!    chunks (half the cap each); every chunk is sorted with the same
+//!    [`hss_lsort::LocalSortAlgo`] the in-memory path uses and written out
+//!    as a sorted run file.
+//! 2. **K-way merge** (`dmerge`): bounded windows over the run files feed
+//!    `hss-partition`'s [`SourceLoserTree`](hss_partition::SourceLoserTree)
+//!    — the same tournament (and tie-break) as the in-memory merge.  More
+//!    than `fan_in` runs triggers stable multi-pass merging.
+//!
+//! Both phases come in two I/O schedules ([`IoMode`]): `Synchronous`
+//! (read–compute–write in sequence; the baseline arm) and `Overlapped`
+//! (dedicated prefetch + writeback threads with double-buffered windows, so
+//! the sort thread only blocks when it outruns the disk).  The two arms
+//! move identical bytes through identical block boundaries and differ only
+//! in scheduling — which is exactly what [`ExtSortReport::io_wait_seconds`]
+//! measures.
+//!
+//! Every written block is `fdatasync`ed in *both* arms: a run the OS still
+//! holds dirty in the page cache would make the "memory cap" fiction, and
+//! it would let the synchronous arm hide its write cost in the background
+//! flusher.  The overlapped arm wins by hiding the cost behind compute,
+//! never by skipping it.
+//!
+//! I/O threads are plain `std::thread::scope` threads, *not* rayon tasks:
+//! they block on disk for their whole lifetime, which would deadlock a
+//! 1-worker rayon pool (and the CI matrix pins `RAYON_NUM_THREADS=1`).
+
+use std::io;
+use std::marker::PhantomData;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use hss_lsort::RadixSortable;
+
+pub mod config;
+mod dmerge;
+pub mod plain;
+pub mod report;
+mod runs;
+
+pub use config::{ExtSortConfig, IoMode};
+pub use plain::{bytes_of, bytes_of_mut, PlainRecord};
+pub use report::ExtSortReport;
+pub use runs::RunDirGuard;
+
+use dmerge::{merge_all, PassOutput};
+use runs::{form_runs, RunFile};
+
+/// A bounded-memory external sorter: at any instant its record buffers
+/// total at most [`ExtSortConfig::memory_cap_bytes`].
+///
+/// Scratch files live in a unique subdirectory of `config.run_dir`, removed
+/// when the sort finishes — including by panic unwind ([`RunDirGuard`]).
+#[derive(Debug, Clone)]
+pub struct ExternalSorter {
+    cfg: ExtSortConfig,
+}
+
+impl ExternalSorter {
+    pub fn new(cfg: ExtSortConfig) -> Self {
+        Self { cfg }
+    }
+
+    pub fn config(&self) -> &ExtSortConfig {
+        &self.cfg
+    }
+
+    /// Sort `input` under the memory cap, materializing the result in
+    /// memory.  The *sorter's* working buffers respect the cap; the output
+    /// vector itself is the caller's memory (this is the variant used when
+    /// a rank's post-exchange partition fits again after spilling).
+    pub fn sort_to_vec<T, I>(&self, input: I) -> io::Result<(Vec<T>, ExtSortReport)>
+    where
+        T: PlainRecord + RadixSortable,
+        I: IntoIterator<Item = T>,
+    {
+        let wall = Instant::now();
+        let mut report = ExtSortReport::default();
+        let guard = RunDirGuard::new(&self.cfg.run_dir)?;
+        let runs = form_runs(input.into_iter(), &self.cfg, guard.path(), &mut report)?;
+        report.runs_formed = runs.len() as u64;
+        let total: u64 = runs.iter().map(|r| r.elems).sum();
+        let mut out = Vec::with_capacity(total as usize);
+        let n = merge_all(runs, &self.cfg, guard.path(), PassOutput::Vec(&mut out), &mut report)?;
+        debug_assert_eq!(n, total);
+        report.elements = n;
+        report.wall_seconds = wall.elapsed().as_secs_f64();
+        Ok((out, report))
+    }
+
+    /// Sort `input` under the memory cap with the result left **on disk**
+    /// — the fully out-of-core variant for data that never fits.  The
+    /// returned handle keeps the scratch directory alive; reading is
+    /// random-access by record range (e.g. for subsampled verification).
+    pub fn sort_to_file<T, I>(&self, input: I) -> io::Result<(SortedRunFile<T>, ExtSortReport)>
+    where
+        T: PlainRecord + RadixSortable,
+        I: IntoIterator<Item = T>,
+    {
+        let wall = Instant::now();
+        let mut report = ExtSortReport::default();
+        let guard = RunDirGuard::new(&self.cfg.run_dir)?;
+        let runs = form_runs(input.into_iter(), &self.cfg, guard.path(), &mut report)?;
+        report.runs_formed = runs.len() as u64;
+        let out_path = guard.path().join("sorted.bin");
+        let n = merge_all(
+            runs,
+            &self.cfg,
+            guard.path(),
+            PassOutput::<T>::File(&out_path),
+            &mut report,
+        )?;
+        report.elements = n;
+        report.wall_seconds = wall.elapsed().as_secs_f64();
+        Ok((
+            SortedRunFile { path: out_path, elems: n, _guard: guard, _marker: PhantomData },
+            report,
+        ))
+    }
+
+    /// Merge already-sorted in-memory runs through disk: each run is
+    /// spilled to a file, then the bounded k-way merge produces the result.
+    ///
+    /// This is the exchange-spill path: a rank whose received runs exceed
+    /// its cap spills them (freeing the receive memory) and merges under
+    /// the bounded windows.  The tie-break is the run's position in
+    /// `sorted_runs`, matching the in-memory merge of the same runs in the
+    /// same order, so output is bitwise identical.
+    pub fn merge_spilled<T>(&self, sorted_runs: &[&[T]]) -> io::Result<(Vec<T>, ExtSortReport)>
+    where
+        T: PlainRecord + Ord,
+    {
+        let wall = Instant::now();
+        let mut report = ExtSortReport::default();
+        let guard = RunDirGuard::new(&self.cfg.run_dir)?;
+        let mut runs = Vec::with_capacity(sorted_runs.len());
+        for (i, slice) in sorted_runs.iter().enumerate() {
+            debug_assert!(slice.windows(2).all(|w| w[0] <= w[1]), "spilled run {i} not sorted");
+            runs.push(spill_run(guard.path(), i as u64, slice, &mut report)?);
+        }
+        report.runs_formed = runs.len() as u64;
+        let total: u64 = runs.iter().map(|r| r.elems).sum();
+        let mut out = Vec::with_capacity(total as usize);
+        let n = merge_all(runs, &self.cfg, guard.path(), PassOutput::Vec(&mut out), &mut report)?;
+        debug_assert_eq!(n, total);
+        report.elements = n;
+        report.wall_seconds = wall.elapsed().as_secs_f64();
+        Ok((out, report))
+    }
+}
+
+/// Write one pre-sorted slice as a spill run (single write + sync: the
+/// slice is already contiguous in memory, so there is nothing to chunk).
+fn spill_run<T: PlainRecord>(
+    dir: &Path,
+    idx: u64,
+    slice: &[T],
+    report: &mut ExtSortReport,
+) -> io::Result<RunFile> {
+    use std::io::Write;
+    let path = dir.join(format!("spill-{idx:06}.bin"));
+    let t = Instant::now();
+    let mut file = std::fs::File::create(&path)?;
+    file.write_all(bytes_of(slice))?;
+    file.sync_data()?;
+    report.io_wait_seconds += t.elapsed().as_secs_f64();
+    report.bytes_written += std::mem::size_of_val(slice) as u64;
+    report.write_transfers += 1;
+    Ok(RunFile { path, elems: slice.len() as u64 })
+}
+
+/// A sorted dataset living on disk, produced by
+/// [`ExternalSorter::sort_to_file`].  Dropping it removes the backing
+/// scratch directory.
+#[derive(Debug)]
+pub struct SortedRunFile<T: PlainRecord> {
+    path: PathBuf,
+    elems: u64,
+    _guard: RunDirGuard,
+    _marker: PhantomData<T>,
+}
+
+impl<T: PlainRecord> SortedRunFile<T> {
+    /// Number of records in the file.
+    pub fn len(&self) -> u64 {
+        self.elems
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.elems == 0
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Read `count` records starting at record index `start` (clamped to
+    /// the file's end).  This is the subsampled-verification primitive: it
+    /// touches `O(count)` bytes regardless of file size.
+    pub fn read_range(&self, start: u64, count: usize) -> io::Result<Vec<T>> {
+        use std::io::{Read, Seek, SeekFrom};
+        let start = start.min(self.elems);
+        let avail = (self.elems - start) as usize;
+        let k = count.min(avail);
+        let mut out: Vec<T> = vec_zeroed(k);
+        if k > 0 {
+            let mut file = std::fs::File::open(&self.path)?;
+            file.seek(SeekFrom::Start(start * std::mem::size_of::<T>() as u64))?;
+            file.read_exact(bytes_of_mut(&mut out))?;
+        }
+        Ok(out)
+    }
+}
+
+/// `vec![T::zeroed(); n]` for any `PlainRecord` (zero bytes are valid).
+fn vec_zeroed<T: PlainRecord>(n: usize) -> Vec<T> {
+    let mut v: Vec<T> = Vec::with_capacity(n);
+    // SAFETY: allocation holds `n` elements; all-zero bytes are a valid `T`
+    // by the `PlainRecord` contract.
+    unsafe {
+        std::ptr::write_bytes(v.as_mut_ptr(), 0, n);
+        v.set_len(n);
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hss_keygen::{ByteKey, TeraRecord};
+
+    fn tmp() -> PathBuf {
+        std::env::temp_dir().join("hss-extsort-lib-test")
+    }
+
+    fn pseudo_u64s(n: u64) -> impl Iterator<Item = u64> {
+        (0..n).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17))
+    }
+
+    #[test]
+    fn sorts_like_the_in_memory_reference_in_both_modes() {
+        let n = 10_000u64;
+        let mut expect: Vec<u64> = pseudo_u64s(n).collect();
+        expect.sort_unstable();
+        for io_mode in [IoMode::Synchronous, IoMode::Overlapped] {
+            // 1/8th of the data volume -> 16 runs, fan_in 4 -> 2 passes.
+            let cfg = ExtSortConfig::new((n as usize) * 8 / 8, tmp())
+                .with_fan_in(4)
+                .with_io_mode(io_mode);
+            let sorter = ExternalSorter::new(cfg);
+            let (got, report) = sorter.sort_to_vec(pseudo_u64s(n)).unwrap();
+            assert_eq!(got, expect, "{}", io_mode.name());
+            assert_eq!(report.elements, n);
+            assert_eq!(report.runs_formed, 16);
+            assert_eq!(report.merge_passes, 2);
+            assert!(report.bytes_written > 0 && report.bytes_read >= report.bytes_written);
+        }
+    }
+
+    #[test]
+    fn single_run_input_takes_one_trivial_pass() {
+        let n = 100u64;
+        let cfg = ExtSortConfig::new(1 << 20, tmp());
+        let (got, report) = ExternalSorter::new(cfg).sort_to_vec(pseudo_u64s(n)).unwrap();
+        let mut expect: Vec<u64> = pseudo_u64s(n).collect();
+        expect.sort_unstable();
+        assert_eq!(got, expect);
+        assert_eq!(report.runs_formed, 1);
+        assert_eq!(report.merge_passes, 1);
+    }
+
+    #[test]
+    fn empty_input_sorts_to_empty() {
+        let cfg = ExtSortConfig::new(1 << 12, tmp());
+        let (got, report) =
+            ExternalSorter::new(cfg.clone()).sort_to_vec(std::iter::empty::<u64>()).unwrap();
+        assert!(got.is_empty());
+        assert_eq!(report.runs_formed, 0);
+        let (file, _) = ExternalSorter::new(cfg).sort_to_file(std::iter::empty::<u64>()).unwrap();
+        assert!(file.is_empty());
+        assert!(file.read_range(0, 10).unwrap().is_empty());
+    }
+
+    #[test]
+    fn sort_to_file_round_trips_and_cleans_up() {
+        let n = 5_000u64;
+        let cfg = ExtSortConfig::new(4096, tmp()).with_fan_in(3);
+        let (file, report) = ExternalSorter::new(cfg).sort_to_file(pseudo_u64s(n)).unwrap();
+        assert_eq!(file.len(), n);
+        assert!(report.merge_passes > 1, "fan_in 3 with many runs must multi-pass");
+        let mut expect: Vec<u64> = pseudo_u64s(n).collect();
+        expect.sort_unstable();
+        // Full read equals reference; subsampled ranges match too.
+        assert_eq!(file.read_range(0, n as usize).unwrap(), expect);
+        assert_eq!(file.read_range(n - 7, 100).unwrap(), expect[(n - 7) as usize..]);
+        let path = file.path().to_path_buf();
+        assert!(path.exists());
+        drop(file);
+        assert!(!path.exists(), "scratch must be removed on drop");
+    }
+
+    #[test]
+    fn merge_spilled_matches_in_memory_merge() {
+        let a: Vec<u64> = (0..500).map(|i| i * 3).collect();
+        let b: Vec<u64> = (0..500).map(|i| i * 3 + 1).collect();
+        let c: Vec<u64> = (0..400).map(|i| i * 4).collect();
+        let mut expect: Vec<u64> = [&a[..], &b[..], &c[..]].concat();
+        expect.sort_unstable();
+        for io_mode in [IoMode::Synchronous, IoMode::Overlapped] {
+            let cfg = ExtSortConfig::new(1024, tmp()).with_io_mode(io_mode).with_fan_in(2);
+            let (got, report) =
+                ExternalSorter::new(cfg).merge_spilled(&[&a[..], &b[..], &c[..]]).unwrap();
+            assert_eq!(got, expect, "{}", io_mode.name());
+            assert_eq!(report.runs_formed, 3);
+            assert_eq!(report.merge_passes, 2, "fan_in 2 over 3 runs is two passes");
+        }
+    }
+
+    #[test]
+    fn tera_records_survive_the_disk_round_trip() {
+        let n = 600u64;
+        let records: Vec<TeraRecord> = (0..n)
+            .map(|i| {
+                let x = i.wrapping_mul(0x2545_F491_4F6C_DD1D);
+                let mut key = [0u8; 10];
+                key[..8].copy_from_slice(&x.to_be_bytes());
+                TeraRecord::with_derived_payload(ByteKey(key))
+            })
+            .collect();
+        let mut expect = records.clone();
+        expect.sort_unstable();
+        // Cap of 50 records' worth of bytes -> 12 runs of 25.
+        let cfg = ExtSortConfig::new(100 * 50, tmp()).with_fan_in(4);
+        let (got, report) = ExternalSorter::new(cfg).sort_to_vec(records.iter().copied()).unwrap();
+        assert_eq!(got, expect);
+        assert_eq!(report.runs_formed, n.div_ceil(25));
+        assert!(got.iter().all(|r| r.payload_matches_key()), "payloads intact");
+    }
+}

@@ -1,0 +1,109 @@
+//! Raw-byte (de)serialization of record types for run files.
+//!
+//! Run files are a process-private scratch format: they are written and read
+//! back within a single execution of a single binary, so the on-disk layout
+//! is simply the in-memory layout.  That makes (de)serialization a `memcpy`
+//! — essential when the whole point of the out-of-core tier is that I/O
+//! bandwidth, not CPU, is the bottleneck.
+
+/// Marker for types whose values can round-trip through disk as their raw
+/// in-memory bytes.
+///
+/// # Safety
+///
+/// Implementors must guarantee **both** of:
+///
+/// 1. **No padding**: `size_of::<T>()` equals the sum of the field sizes, so
+///    viewing a `[T]` as `[u8]` never reads uninitialized padding bytes.
+/// 2. **Any byte pattern is a valid `T`**: every field is an integer, float,
+///    or byte array (no `bool`, `char`, enums, or references), so reading
+///    file bytes back into a `T` cannot produce an invalid value.
+///
+/// Note that run files are only ever read back by the process that wrote
+/// them, so `repr(Rust)` field-order freedom is harmless: whatever layout
+/// the compiler picked, it is the same on both sides of the round-trip.
+pub unsafe trait PlainRecord: Copy + Send + Sync + 'static {}
+
+// Primitive keys and payload scalars: trivially padding-free, all patterns
+// valid.
+unsafe impl PlainRecord for u8 {}
+unsafe impl PlainRecord for u16 {}
+unsafe impl PlainRecord for u32 {}
+unsafe impl PlainRecord for u64 {}
+unsafe impl PlainRecord for u128 {}
+unsafe impl PlainRecord for i32 {}
+unsafe impl PlainRecord for i64 {}
+
+// `ByteKey<N>` is a newtype over `[u8; N]`: align 1, no padding.
+unsafe impl<const N: usize> PlainRecord for hss_keygen::ByteKey<N> {}
+
+// `WideRecord<K, V>` is `ByteKey<K>` + `[u8; V]`, both align 1; its size is
+// exactly `K + V` (the keygen crate asserts this at compile time for
+// `TeraRecord`), so there is no padding anywhere.
+unsafe impl<const K: usize, const V: usize> PlainRecord for hss_keygen::WideRecord<K, V> {}
+
+// `TaggedKey<u64>` is `u64` + `u32` + `u32`: 16 data bytes in a 16-byte
+// struct (checked below), all-integer fields.
+unsafe impl PlainRecord for hss_keygen::TaggedKey<u64> {}
+const _: () = assert!(std::mem::size_of::<hss_keygen::TaggedKey<u64>>() == 16);
+
+// `OrderedF64` is a newtype over `f64`; every bit pattern is a valid f64.
+unsafe impl PlainRecord for hss_keygen::OrderedF64 {}
+
+// `Record { key: u64, payload: u32 }` is deliberately NOT a `PlainRecord`:
+// it has 4 bytes of padding (12 data bytes in a 16-byte struct), so writing
+// it raw would read uninitialized memory.  Out-of-core paths that need a
+// u64+u32 record should use `TaggedKey<u64>` or a `WideRecord`.
+
+/// View a slice of records as its raw bytes (for writing to a run file).
+pub fn bytes_of<T: PlainRecord>(items: &[T]) -> &[u8] {
+    // SAFETY: `PlainRecord` guarantees no padding, so every byte of the
+    // slice's memory is initialized; the length is exact by construction.
+    unsafe { std::slice::from_raw_parts(items.as_ptr() as *const u8, std::mem::size_of_val(items)) }
+}
+
+/// View a mutable slice of records as raw bytes (for reading from a run
+/// file directly into a typed buffer).
+pub fn bytes_of_mut<T: PlainRecord>(items: &mut [T]) -> &mut [u8] {
+    // SAFETY: as above, plus `PlainRecord` guarantees any byte pattern the
+    // read produces is a valid `T`.
+    unsafe {
+        std::slice::from_raw_parts_mut(items.as_mut_ptr() as *mut u8, std::mem::size_of_val(items))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hss_keygen::{ByteKey, TaggedKey, TeraRecord};
+
+    #[test]
+    fn u64_bytes_round_trip() {
+        let xs: Vec<u64> = vec![0, 1, u64::MAX, 0x0123_4567_89AB_CDEF];
+        let bytes = bytes_of(&xs).to_vec();
+        assert_eq!(bytes.len(), 32);
+        let mut back = vec![0u64; 4];
+        bytes_of_mut(&mut back).copy_from_slice(&bytes);
+        assert_eq!(back, xs);
+    }
+
+    #[test]
+    fn tera_record_bytes_round_trip() {
+        let r = TeraRecord::with_derived_payload(ByteKey([7u8; 10]));
+        let bytes = bytes_of(std::slice::from_ref(&r)).to_vec();
+        assert_eq!(bytes.len(), 100);
+        let mut back = [TeraRecord::with_derived_payload(ByteKey([0u8; 10]))];
+        bytes_of_mut(&mut back).copy_from_slice(&bytes);
+        assert_eq!(back[0], r);
+        assert!(back[0].payload_matches_key());
+    }
+
+    #[test]
+    fn tagged_key_bytes_round_trip() {
+        let xs = [TaggedKey { key: 42u64, pe: 3, index: 9 }];
+        let bytes = bytes_of(&xs).to_vec();
+        let mut back = [TaggedKey { key: 0u64, pe: 0, index: 0 }];
+        bytes_of_mut(&mut back).copy_from_slice(&bytes);
+        assert_eq!(back[0], xs[0]);
+    }
+}

@@ -122,35 +122,70 @@ impl KeyDistribution {
         keys_per_rank: usize,
         seed: u64,
     ) -> Vec<u64> {
-        let mut rng = rank_rng(seed, rank);
         let n = keys_per_rank;
         match *self {
-            KeyDistribution::Uniform => (0..n).map(|_| rng.gen::<u64>()).collect(),
-            KeyDistribution::Normal { mean_frac, std_frac } => {
-                let mean = mean_frac * u64::MAX as f64;
-                let std = std_frac * u64::MAX as f64;
-                (0..n)
-                    .map(|_| {
-                        let z = sample_standard_normal(&mut rng);
-                        clamp_to_u64(mean + z * std)
-                    })
-                    .collect()
+            KeyDistribution::Sorted => {
+                let p = ranks as u64;
+                let width = u64::MAX / p.max(1);
+                let lo = rank as u64 * width;
+                let mut v: Vec<u64> =
+                    KeyStream::new(rank_rng(seed, rank), n, StreamKind::Range { lo, width })
+                        .collect();
+                hss_lsort::radix_sort(&mut v);
+                v
             }
-            KeyDistribution::Exponential { scale_frac } => {
-                let scale = scale_frac * u64::MAX as f64;
-                (0..n)
-                    .map(|_| {
-                        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-                        clamp_to_u64(-u.ln() * scale)
-                    })
-                    .collect()
+            KeyDistribution::ReverseSorted => {
+                let p = ranks as u64;
+                let width = u64::MAX / p.max(1);
+                let lo = (p - 1 - rank as u64) * width;
+                let mut v: Vec<u64> =
+                    KeyStream::new(rank_rng(seed, rank), n, StreamKind::Range { lo, width })
+                        .collect();
+                // Radix-sort ascending, then reverse: identical to a
+                // descending comparison sort for integer keys.
+                hss_lsort::radix_sort(&mut v);
+                v.reverse();
+                v
             }
-            KeyDistribution::PowerLaw { gamma } => (0..n)
-                .map(|_| {
-                    let u: f64 = rng.gen_range(0.0..1.0);
-                    clamp_to_u64(u.powf(gamma) * u64::MAX as f64)
-                })
+            // Every other arm is one-pass: collect the streaming generator,
+            // so the streamed and materialised forms are the same code path
+            // (bitwise identity by construction, not by parallel upkeep).
+            _ => self
+                .stream_rank(rank, ranks, n, seed)
+                .expect("non-sorted distributions are streamable")
                 .collect(),
+        }
+    }
+
+    /// Whether this distribution can be generated as a one-pass stream.
+    /// `Sorted` and `ReverseSorted` cannot: they sort their draws, which
+    /// requires materialising the whole rank.
+    pub fn is_streamable(&self) -> bool {
+        !matches!(self, KeyDistribution::Sorted | KeyDistribution::ReverseSorted)
+    }
+
+    /// Streaming form of [`Self::generate_rank`]: yields exactly the same
+    /// keys in the same order without materialising them — the feed for
+    /// the out-of-core tier, where a rank's data deliberately exceeds its
+    /// memory budget.  Returns `None` for non-streamable distributions
+    /// (see [`Self::is_streamable`]).
+    pub fn stream_rank(
+        &self,
+        rank: usize,
+        ranks: usize,
+        keys_per_rank: usize,
+        seed: u64,
+    ) -> Option<KeyStream> {
+        let kind = match *self {
+            KeyDistribution::Uniform => StreamKind::Uniform,
+            KeyDistribution::Normal { mean_frac, std_frac } => StreamKind::Normal {
+                mean: mean_frac * u64::MAX as f64,
+                std: std_frac * u64::MAX as f64,
+            },
+            KeyDistribution::Exponential { scale_frac } => {
+                StreamKind::Exponential { scale: scale_frac * u64::MAX as f64 }
+            }
+            KeyDistribution::PowerLaw { gamma } => StreamKind::PowerLaw { gamma },
             KeyDistribution::Staggered => {
                 // Rank r draws from slice ((r * stride) mod p) of the key
                 // space, where stride is a large odd constant, so that
@@ -159,35 +194,16 @@ impl KeyDistribution {
                 let stride = (0x9E37_79B9_7F4A_7C15u64 % p.max(1)) | 1;
                 let slice = (rank as u64 * stride) % p.max(1);
                 let width = u64::MAX / p.max(1);
-                let lo = slice * width;
-                (0..n).map(|_| lo + rng.gen_range(0..width.max(1))).collect()
+                StreamKind::Range { lo: slice * width, width }
             }
-            KeyDistribution::Sorted => {
-                let p = ranks as u64;
-                let width = u64::MAX / p.max(1);
-                let lo = rank as u64 * width;
-                let mut v: Vec<u64> = (0..n).map(|_| lo + rng.gen_range(0..width.max(1))).collect();
-                hss_lsort::radix_sort(&mut v);
-                v
-            }
-            KeyDistribution::ReverseSorted => {
-                let p = ranks as u64;
-                let width = u64::MAX / p.max(1);
-                let lo = (p - 1 - rank as u64) * width;
-                let mut v: Vec<u64> = (0..n).map(|_| lo + rng.gen_range(0..width.max(1))).collect();
-                // Radix-sort ascending, then reverse: identical to a
-                // descending comparison sort for integer keys.
-                hss_lsort::radix_sort(&mut v);
-                v.reverse();
-                v
-            }
-            KeyDistribution::AllEqual => vec![0x5EED_5EED_5EED_5EEDu64; n],
+            KeyDistribution::AllEqual => StreamKind::Constant(0x5EED_5EED_5EED_5EEDu64),
             KeyDistribution::FewDistinct { distinct } => {
                 let d = distinct.max(1);
-                let spacing = u64::MAX / d;
-                (0..n).map(|_| rng.gen_range(0..d) * spacing).collect()
+                StreamKind::FewDistinct { d, spacing: u64::MAX / d }
             }
-        }
+            KeyDistribution::Sorted | KeyDistribution::ReverseSorted => return None,
+        };
+        Some(KeyStream::new(rank_rng(seed, rank), keys_per_rank, kind))
     }
 
     /// Generate key+payload records ([`Record`]) instead of bare keys, with
@@ -274,23 +290,131 @@ pub fn generate_tera_records_per_rank(
 ) -> Vec<Vec<TeraRecord>> {
     (0..ranks)
         .into_par_iter()
-        .map(|rank| {
-            let mut rng = rank_rng(seed ^ 0x7E8A_5047, rank);
-            (0..records_per_rank)
-                .map(|_| {
-                    // 10 key bytes from two u64 draws (big-endian high word
-                    // first, so the draw order matches the byte order).
-                    let hi = rng.gen::<u64>();
-                    let lo = rng.gen::<u64>();
-                    let mut key = [0u8; 10];
-                    key[..8].copy_from_slice(&hi.to_be_bytes());
-                    key[8..].copy_from_slice(&lo.to_be_bytes()[..2]);
-                    TeraRecord::with_derived_payload(ByteKey::new(key))
-                })
-                .collect()
-        })
+        .map(|rank| stream_tera_records_rank(rank, records_per_rank, seed).collect())
         .collect()
 }
+
+/// Streaming form of one rank of [`generate_tera_records_per_rank`]: the
+/// same records in the same order without materialising them (the
+/// materialised form collects this stream, so the two cannot drift).
+pub fn stream_tera_records_rank(
+    rank: usize,
+    records_per_rank: usize,
+    seed: u64,
+) -> TeraRecordStream {
+    TeraRecordStream { rng: rank_rng(seed ^ 0x7E8A_5047, rank), remaining: records_per_rank }
+}
+
+/// Iterator over one rank's terasort-style records; see
+/// [`stream_tera_records_rank`].
+#[derive(Debug, Clone)]
+pub struct TeraRecordStream {
+    rng: ChaCha8Rng,
+    remaining: usize,
+}
+
+impl Iterator for TeraRecordStream {
+    type Item = TeraRecord;
+
+    fn next(&mut self) -> Option<TeraRecord> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        // 10 key bytes from two u64 draws (big-endian high word first, so
+        // the draw order matches the byte order).
+        let hi = self.rng.gen::<u64>();
+        let lo = self.rng.gen::<u64>();
+        let mut key = [0u8; 10];
+        key[..8].copy_from_slice(&hi.to_be_bytes());
+        key[8..].copy_from_slice(&lo.to_be_bytes()[..2]);
+        Some(TeraRecord::with_derived_payload(ByteKey::new(key)))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for TeraRecordStream {}
+
+/// Iterator over one rank's keys for a streamable distribution; see
+/// [`KeyDistribution::stream_rank`].
+#[derive(Debug, Clone)]
+pub struct KeyStream {
+    rng: ChaCha8Rng,
+    remaining: usize,
+    kind: StreamKind,
+}
+
+/// Per-element draw recipe with the distribution's parameters precomputed.
+#[derive(Debug, Clone, Copy)]
+enum StreamKind {
+    Uniform,
+    Normal {
+        mean: f64,
+        std: f64,
+    },
+    Exponential {
+        scale: f64,
+    },
+    PowerLaw {
+        gamma: f64,
+    },
+    /// `lo + uniform(0..width)`: the staggered slices and the pre-sort
+    /// draws of the sorted arms.
+    Range {
+        lo: u64,
+        width: u64,
+    },
+    Constant(u64),
+    FewDistinct {
+        d: u64,
+        spacing: u64,
+    },
+}
+
+impl KeyStream {
+    fn new(rng: ChaCha8Rng, remaining: usize, kind: StreamKind) -> Self {
+        Self { rng, remaining, kind }
+    }
+}
+
+impl Iterator for KeyStream {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let rng = &mut self.rng;
+        Some(match self.kind {
+            StreamKind::Uniform => rng.gen::<u64>(),
+            StreamKind::Normal { mean, std } => {
+                let z = sample_standard_normal(rng);
+                clamp_to_u64(mean + z * std)
+            }
+            StreamKind::Exponential { scale } => {
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                clamp_to_u64(-u.ln() * scale)
+            }
+            StreamKind::PowerLaw { gamma } => {
+                let u: f64 = rng.gen_range(0.0..1.0);
+                clamp_to_u64(u.powf(gamma) * u64::MAX as f64)
+            }
+            StreamKind::Range { lo, width } => lo + rng.gen_range(0..width.max(1)),
+            StreamKind::Constant(k) => k,
+            StreamKind::FewDistinct { d, spacing } => rng.gen_range(0..d) * spacing,
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for KeyStream {}
 
 /// Deterministic per-rank RNG derived from a global seed.
 pub fn rank_rng(seed: u64, rank: usize) -> ChaCha8Rng {
@@ -493,6 +617,34 @@ mod tests {
         let all = dist.generate_per_rank(4, 64, 99);
         for (rank, per_rank) in all.iter().enumerate() {
             assert_eq!(*per_rank, dist.generate_rank(rank, 4, 64, 99));
+        }
+    }
+
+    #[test]
+    fn streamed_keys_match_materialised_generation() {
+        for dist in KeyDistribution::catalogue() {
+            for rank in [0usize, 3] {
+                let stream = dist.stream_rank(rank, 4, 500, 77);
+                assert_eq!(stream.is_some(), dist.is_streamable(), "{}", dist.name());
+                if let Some(s) = stream {
+                    assert_eq!(s.len(), 500);
+                    let streamed: Vec<u64> = s.collect();
+                    assert_eq!(streamed, dist.generate_rank(rank, 4, 500, 77), "{}", dist.name());
+                }
+            }
+        }
+        assert!(KeyDistribution::Sorted.stream_rank(0, 4, 10, 0).is_none());
+        assert!(!KeyDistribution::ReverseSorted.is_streamable());
+    }
+
+    #[test]
+    fn streamed_tera_records_match_materialised_generation() {
+        let all = generate_tera_records_per_rank(3, 200, 5);
+        for (rank, expect) in all.iter().enumerate() {
+            let stream = stream_tera_records_rank(rank, 200, 5);
+            assert_eq!(stream.len(), 200);
+            let streamed: Vec<TeraRecord> = stream.collect();
+            assert_eq!(streamed, *expect, "rank {rank}");
         }
     }
 }

@@ -38,5 +38,8 @@ pub mod distributions;
 pub mod key;
 
 pub use changa::{morton_key, ChangaDataset, Cluster, Particle};
-pub use distributions::{generate_tera_records_per_rank, rank_rng, KeyDistribution};
+pub use distributions::{
+    generate_tera_records_per_rank, rank_rng, stream_tera_records_rank, KeyDistribution, KeyStream,
+    TeraRecordStream,
+};
 pub use key::{ByteKey, Key, Keyed, OrderedF64, Record, TaggedKey, TeraRecord, WideRecord};

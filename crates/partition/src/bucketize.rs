@@ -155,6 +155,22 @@ mod tests {
     }
 
     #[test]
+    fn partition_sorted_allocates_exact_capacities() {
+        // Allocation audit: every bucket is built with `to_vec` (exact) and
+        // the outer vector collects from an exact-size iterator, so nothing
+        // on this hot path ever grows by push.  The counting-allocator
+        // harness (`exchange_scaling` binary) measures the same property
+        // end-to-end; this pins it structurally.
+        let data: Vec<u64> = (0..257).collect();
+        let s = SplitterSet::new(vec![17u64, 100, 200]);
+        let buckets = partition_sorted(&data, &s);
+        assert_eq!(buckets.capacity(), buckets.len());
+        for (i, b) in buckets.iter().enumerate() {
+            assert_eq!(b.capacity(), b.len(), "bucket {i} over-allocated");
+        }
+    }
+
+    #[test]
     fn empty_input_gives_empty_buckets() {
         let data: Vec<u64> = vec![];
         let s = SplitterSet::new(vec![4u64, 10]);

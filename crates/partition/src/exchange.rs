@@ -16,7 +16,7 @@
 use hss_keygen::Keyed;
 use hss_sim::{ExchangePlan, Machine, Phase, Work};
 
-use crate::merge::{kway_merge, merge_runs_for};
+use crate::merge::kway_merge;
 use crate::splitters::SplitterSet;
 
 /// How the all-to-all exchange injects messages into the network.
@@ -98,6 +98,35 @@ fn exchange_and_merge_flat<T: Keyed + Ord>(
     splitters: &SplitterSet<T::K>,
     mode: ExchangeMode,
 ) -> Vec<Vec<T>> {
+    exchange_and_merge_flat_with(machine, per_rank_sorted, splitters, mode, |_dst, runs| {
+        let total: usize = runs.iter().map(|r| r.len()).sum();
+        let pieces = runs.iter().filter(|r| !r.is_empty()).count();
+        (crate::merge::kway_merge_slices(runs), Work::merge(total, pieces.max(1)))
+    })
+}
+
+/// The flat engine with a caller-supplied merger for the final step: after
+/// the in-place exchange, `merger(dst, runs)` receives destination `dst`'s
+/// runs (slices into the senders' buffers, in sender order, empties
+/// included) and returns the merged output plus the [`Work`] to charge.
+///
+/// The default merger (used by [`exchange_and_merge`]) is the in-memory
+/// loser tree; the out-of-core tier substitutes one that spills oversized
+/// receive sets to disk runs and merges them under a memory cap, adding the
+/// disk traffic to the charged `Work`.  A custom merger must preserve the
+/// in-memory merge's order (stable, ties by lower run index) if callers
+/// rely on bitwise-identical output.
+pub fn exchange_and_merge_flat_with<T, F>(
+    machine: &mut Machine,
+    per_rank_sorted: &[Vec<T>],
+    splitters: &SplitterSet<T::K>,
+    mode: ExchangeMode,
+    merger: F,
+) -> Vec<Vec<T>>
+where
+    T: Keyed + Ord,
+    F: Fn(usize, &[&[T]]) -> (Vec<T>, Work) + Sync,
+{
     // Plan each rank's buckets as counts/displacements over its sorted data
     // — no per-bucket clones.
     let plans: Vec<ExchangePlan> =
@@ -123,10 +152,10 @@ fn exchange_and_merge_flat<T: Keyed + Ord>(
             );
         }
     }
-    // Merge destination `dst`'s runs in place via the loser tree.
+    // Merge destination `dst`'s runs in place.
     machine.map_phase(Phase::Merge, per_rank_sorted, |dst, _local| {
-        let (merged, total, pieces) = merge_runs_for(&plans, per_rank_sorted, dst);
-        (merged, Work::merge(total, pieces.max(1)))
+        let runs = crate::merge::runs_for(&plans, per_rank_sorted, dst);
+        merger(dst, &runs)
     })
 }
 

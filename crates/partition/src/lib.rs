@@ -43,13 +43,19 @@ pub use bucketize::{
     bucket_counts, exchange_plan, partition_sorted, partition_unsorted, splitter_position,
 };
 pub use classify::{classify_strategy, classify_work, tree_height, ClassifyStrategy, DecisionTree};
-pub use exchange::{exchange_and_merge, exchange_and_merge_with, ExchangeEngine, ExchangeMode};
+pub use exchange::{
+    exchange_and_merge, exchange_and_merge_flat_with, exchange_and_merge_with, ExchangeEngine,
+    ExchangeMode,
+};
 pub use histogram::{
     global_ranks, is_sorted_by_key, local_range_counts, local_ranks, local_ranks_le,
     local_ranks_work,
 };
 pub use intervals::{Bound, SplitterIntervals};
-pub use merge::{concat_sort_merge, kway_merge, kway_merge_slices, merge_runs_for};
+pub use merge::{
+    concat_sort_merge, kway_merge, kway_merge_slices, merge_runs_for, runs_for, RunSource,
+    SliceSource, SourceLoserTree,
+};
 pub use sampling::{
     bernoulli_sample, bernoulli_sample_in_intervals, bernoulli_sample_range, count_in_intervals,
     interval_bounds, interval_bounds_work, merge_key_intervals, merge_key_intervals_with,

@@ -49,7 +49,10 @@ fn prefetch_read<T>(slice: &[T], idx: usize) {
 pub fn kway_merge_slices<T: Ord + Clone>(runs: &[&[T]]) -> Vec<T> {
     let total: usize = runs.iter().map(|r| r.len()).sum();
     let mut out = Vec::with_capacity(total);
-    let nonempty: Vec<&[T]> = runs.iter().copied().filter(|r| !r.is_empty()).collect();
+    // Pre-sized at the run count: `filter` erases the size hint, so a bare
+    // `collect` here would grow-by-push on the merge hot path.
+    let mut nonempty: Vec<&[T]> = Vec::with_capacity(runs.len());
+    nonempty.extend(runs.iter().copied().filter(|r| !r.is_empty()));
     match nonempty.len() {
         0 => return out,
         1 => {
@@ -159,6 +162,143 @@ impl<'a, T: Ord> LoserTree<'a, T> {
     }
 }
 
+/// A pull-based producer of one sorted run, consumed by
+/// [`SourceLoserTree`].  Unlike the slice-based [`kway_merge_slices`], the
+/// run's elements need not be resident in memory: the out-of-core tier
+/// (`hss-extsort`) implements this trait with a windowed file reader whose
+/// `pop` refills the window from disk when it empties.
+///
+/// Contract: `peek` and `pop` observe the same element, `pop` advances past
+/// it, and the sequence of popped elements is sorted (ascending).
+pub trait RunSource {
+    /// Element type produced by this run.
+    type Item: Ord;
+    /// The run's current head, or `None` once the run is exhausted.
+    fn peek(&self) -> Option<&Self::Item>;
+    /// Remove and return the current head (the element `peek` showed).
+    fn pop(&mut self) -> Option<Self::Item>;
+}
+
+/// [`RunSource`] view of an in-memory sorted slice — the adapter that lets
+/// the generic tree be differentially tested against the slice tree, and
+/// the degenerate "run already in memory" case of the external merge.
+pub struct SliceSource<'a, T> {
+    slice: &'a [T],
+    pos: usize,
+}
+
+impl<'a, T> SliceSource<'a, T> {
+    /// A source over an already-sorted slice.
+    pub fn new(slice: &'a [T]) -> Self {
+        Self { slice, pos: 0 }
+    }
+}
+
+impl<T: Ord + Clone> RunSource for SliceSource<'_, T> {
+    type Item = T;
+
+    fn peek(&self) -> Option<&T> {
+        self.slice.get(self.pos)
+    }
+
+    fn pop(&mut self) -> Option<T> {
+        let item = self.slice.get(self.pos).cloned();
+        if item.is_some() {
+            self.pos += 1;
+        }
+        item
+    }
+}
+
+/// A loser tree over generic [`RunSource`]s — the same tournament structure
+/// and tie-break rule (equal heads emit in source-index order) as the
+/// slice-based tree above, but pulling from sources whose backing storage
+/// may be a bounded disk window.  Emission order is therefore bitwise
+/// identical to [`kway_merge_slices`] over the same runs, which is what
+/// makes the external merge's output provably equal to the in-memory path.
+pub struct SourceLoserTree<S: RunSource> {
+    sources: Vec<S>,
+    /// Internal nodes `1..leaves`; `usize::MAX` marks "no contender yet"
+    /// during construction (never observed afterwards).
+    tree: Vec<usize>,
+    leaves: usize,
+    winner: usize,
+}
+
+impl<S: RunSource> SourceLoserTree<S> {
+    /// Build the initial tournament over `sources` (exhausted sources are
+    /// permitted and simply lose every comparison).
+    pub fn new(sources: Vec<S>) -> Self {
+        let leaves = sources.len().next_power_of_two();
+        let mut lt = Self { sources, tree: vec![usize::MAX; leaves], leaves, winner: 0 };
+        lt.winner = lt.build(1);
+        lt
+    }
+
+    fn head(&self, i: usize) -> Option<&S::Item> {
+        self.sources.get(i).and_then(|s| s.peek())
+    }
+
+    /// Whether source `a` beats source `b`: same rule as the slice tree —
+    /// exhausted sources lose to live ones, ties go to the lower index.
+    fn beats(&self, a: usize, b: usize) -> bool {
+        match (self.head(a), self.head(b)) {
+            (Some(x), Some(y)) => match x.cmp(y) {
+                std::cmp::Ordering::Less => true,
+                std::cmp::Ordering::Greater => false,
+                std::cmp::Ordering::Equal => a < b,
+            },
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => a < b,
+        }
+    }
+
+    fn build(&mut self, node: usize) -> usize {
+        if node >= self.leaves {
+            return node - self.leaves;
+        }
+        let left = self.build(2 * node);
+        let right = self.build(2 * node + 1);
+        if self.beats(left, right) {
+            self.tree[node] = right;
+            left
+        } else {
+            self.tree[node] = left;
+            right
+        }
+    }
+
+    /// Pop the overall minimum (by the tie-break order) and replay the
+    /// winner's leaf-to-root path; `None` once every source is exhausted.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<S::Item> {
+        // Popping may refill the winner's window from disk, so the replay
+        // below already sees the winner's *next* head — exactly like the
+        // slice tree's `pos` advance.  (`get_mut` also covers the
+        // zero-source tree, whose virtual winner has no backing source.)
+        let item = self.sources.get_mut(self.winner)?.pop()?;
+        let mut contender = self.winner;
+        let mut node = (self.winner + self.leaves) / 2;
+        while node >= 1 {
+            let loser = self.tree[node];
+            if self.beats(loser, contender) {
+                self.tree[node] = contender;
+                contender = loser;
+            }
+            node /= 2;
+        }
+        self.winner = contender;
+        Some(item)
+    }
+
+    /// The sources, returned once merging is done (e.g. to collect per-run
+    /// I/O statistics).
+    pub fn into_sources(self) -> Vec<S> {
+        self.sources
+    }
+}
+
 /// Merge already-sorted runs into one sorted vector (loser-tree k-way
 /// merge over the runs' slices).
 pub fn kway_merge<T: Keyed + Ord>(runs: Vec<Vec<T>>) -> Vec<T> {
@@ -186,10 +326,22 @@ pub fn merge_runs_for<T: Ord + Clone>(
     bufs: &[Vec<T>],
     dst: usize,
 ) -> (Vec<T>, usize, usize) {
-    let runs: Vec<&[T]> = plans.iter().zip(bufs.iter()).map(|(p, b)| p.run(b, dst)).collect();
+    let runs = runs_for(plans, bufs, dst);
     let total: usize = runs.iter().map(|r| r.len()).sum();
     let pieces = runs.iter().filter(|r| !r.is_empty()).count();
     (kway_merge_slices(&runs), total, pieces)
+}
+
+/// The runs destined for `dst` under the flat in-place exchange convention,
+/// as slices into the senders' buffers (in sender order).  Factored out of
+/// [`merge_runs_for`] so alternative mergers — e.g. the out-of-core tier's
+/// spill-to-disk merge — can consume the same runs.
+pub fn runs_for<'a, T>(
+    plans: &[hss_sim::ExchangePlan],
+    bufs: &'a [Vec<T>],
+    dst: usize,
+) -> Vec<&'a [T]> {
+    plans.iter().zip(bufs.iter()).map(|(p, b)| p.run(b, dst)).collect()
 }
 
 #[cfg(test)]
@@ -271,6 +423,48 @@ mod tests {
                 .collect();
             assert_eq!(kway_merge(runs.clone()), concat_sort_merge(runs), "k = {k}");
         }
+    }
+
+    #[test]
+    fn source_tree_matches_slice_tree_on_many_shapes() {
+        // The generic tree must be emission-for-emission identical to the
+        // slice tree, including the tie-break rule, for every run shape the
+        // slice oracle is tested on.
+        for k in [0usize, 1, 2, 3, 5, 8, 13] {
+            let runs: Vec<Vec<u64>> = (0..k)
+                .map(|i| {
+                    let len = (i * 7 + 3) % 11;
+                    let mut v: Vec<u64> =
+                        (0..len).map(|j| ((i * 31 + j * 13) % 9) as u64).collect();
+                    v.sort_unstable();
+                    v
+                })
+                .collect();
+            let slices: Vec<&[u64]> = runs.iter().map(|r| r.as_slice()).collect();
+            let mut tree =
+                SourceLoserTree::new(slices.iter().map(|s| SliceSource::new(s)).collect());
+            let mut got = Vec::new();
+            while let Some(x) = tree.next() {
+                got.push(x);
+            }
+            assert_eq!(got, kway_merge_slices(&slices), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn source_tree_ties_break_by_source_index() {
+        use hss_keygen::Record;
+        // Duplicate keys across sources: source 0's record must come first,
+        // matching the slice tree's run-index tie-break.
+        let a = [Record { key: 5, payload: 0 }];
+        let b = [Record { key: 5, payload: 1 }, Record { key: 7, payload: 2 }];
+        let mut tree =
+            SourceLoserTree::new(vec![SliceSource::new(&a[..]), SliceSource::new(&b[..])]);
+        assert_eq!(tree.next().unwrap().payload, 0);
+        assert_eq!(tree.next().unwrap().payload, 1);
+        assert_eq!(tree.next().unwrap().payload, 2);
+        assert!(tree.next().is_none());
+        assert!(tree.next().is_none());
     }
 
     #[test]

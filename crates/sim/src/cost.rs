@@ -46,6 +46,15 @@ pub struct CostModel {
     pub unit_comm: f64,
     /// alpha: fixed overhead per point-to-point message.
     pub latency: f64,
+    /// Disk beta: time to move one word (8 bytes, the same unit as
+    /// `unit_comm` — β-volume is charged in bytes via `words_of_width`)
+    /// between a rank's memory and its local disk, in either direction.
+    /// The out-of-core tier charges run formation and merge passes here.
+    pub unit_disk: f64,
+    /// Disk alpha: fixed overhead per discrete disk transfer (one block
+    /// read or one written-and-synced block), mirroring `latency` for the
+    /// NIC channel.
+    pub disk_latency: f64,
     /// Algorithm used for broadcasts and reductions.
     pub collective: CollectiveAlgo,
 }
@@ -60,12 +69,16 @@ impl CostModel {
     /// A Blue Gene/Q-flavoured parameter set: ~1 ns per comparison,
     /// ~1 GB/s per-rank effective bandwidth for 8-byte words (8 ns/word),
     /// ~3 us message latency, pipelined collectives (as assumed by
-    /// Table 5.1 for large messages).
+    /// Table 5.1 for large messages); a ~500 MB/s per-rank disk
+    /// (16 ns/word) with ~100 us per discrete transfer, the I/O-node class
+    /// storage the out-of-core tier spills to.
     pub fn bluegene_like() -> Self {
         Self {
             unit_compute: 1.0e-9,
             unit_comm: 8.0e-9,
             latency: 3.0e-6,
+            unit_disk: 1.6e-8,
+            disk_latency: 1.0e-4,
             collective: CollectiveAlgo::Pipelined,
         }
     }
@@ -77,6 +90,8 @@ impl CostModel {
             unit_compute: 1.0e-9,
             unit_comm: 4.0e-8,
             latency: 1.0e-5,
+            unit_disk: 1.6e-8,
+            disk_latency: 1.0e-4,
             collective: CollectiveAlgo::Pipelined,
         }
     }
@@ -88,8 +103,17 @@ impl CostModel {
             unit_compute: 0.0,
             unit_comm: 0.0,
             latency: 0.0,
+            unit_disk: 0.0,
+            disk_latency: 0.0,
             collective: CollectiveAlgo::Pipelined,
         }
+    }
+
+    /// Override the disk channel parameters (β per word, α per transfer).
+    pub fn with_disk(mut self, unit_disk: f64, disk_latency: f64) -> Self {
+        self.unit_disk = unit_disk;
+        self.disk_latency = disk_latency;
+        self
     }
 
     /// Use binomial collectives instead of pipelined ones.
@@ -106,6 +130,15 @@ impl CostModel {
     /// Simulated time for a single point-to-point message of `words` words.
     pub fn point_to_point(&self, words: u64) -> f64 {
         self.latency + self.unit_comm * words as f64
+    }
+
+    /// Simulated time for moving `words` words between memory and the local
+    /// disk in `transfers` discrete operations (the disk channel's α-β
+    /// formula: `transfers·disk_latency + words·unit_disk`).  Reads and
+    /// writes are charged identically; a merge pass that reads and rewrites
+    /// every word therefore pays twice its data volume.
+    pub fn disk_transfer(&self, words: u64, transfers: u64) -> f64 {
+        self.disk_latency * transfers as f64 + self.unit_disk * words as f64
     }
 
     /// `ceil(log2 p)`, the number of rounds of a binomial tree over `p`
@@ -237,6 +270,21 @@ mod tests {
         assert_eq!(m.compute(1_000_000), 0.0);
         assert_eq!(m.broadcast(1 << 20, 4096), 0.0);
         assert_eq!(m.all_to_allv(1 << 30, 4096), 0.0);
+        assert_eq!(m.disk_transfer(1 << 30, 4096), 0.0);
+    }
+
+    #[test]
+    fn disk_transfer_charges_alpha_beta() {
+        let m = CostModel::bluegene_like();
+        let t = m.disk_transfer(1000, 4);
+        let expected = 4.0 * m.disk_latency + 1000.0 * m.unit_disk;
+        assert_eq!(t.to_bits(), expected.to_bits());
+        // The disk is slower than the NIC per word in the default model —
+        // the regime where spilling to disk is a last resort, as on the
+        // paper's target machines.
+        assert!(m.unit_disk > m.unit_comm);
+        let custom = m.with_disk(1.0e-9, 0.0);
+        assert_eq!(custom.disk_transfer(8, 3).to_bits(), 8.0e-9f64.to_bits());
     }
 
     #[test]

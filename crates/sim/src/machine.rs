@@ -76,50 +76,57 @@ pub enum Parallelism {
 }
 
 /// Work report returned by a per-rank closure: how many units of local
-/// computation (comparisons, key moves) the closure performed.  The cost
-/// model converts this into simulated time; the BSP rule charges the
-/// maximum over ranks for the superstep.
+/// computation (comparisons, key moves) the closure performed, plus any
+/// disk traffic it generated (the out-of-core tier's run formation and
+/// merge passes).  The cost model converts this into simulated time; the
+/// BSP rule charges the maximum over ranks for the superstep.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Work {
     /// Units of computation performed by this rank in this superstep.
     pub ops: u64,
+    /// Words (8 bytes each) this rank moved between memory and its local
+    /// disk during the superstep, reads and writes combined.
+    pub disk_words: u64,
+    /// Discrete disk transfers (block reads / synced block writes) behind
+    /// `disk_words` — each pays the disk α.
+    pub disk_transfers: u64,
 }
 
 impl Work {
     /// No work.
     pub fn none() -> Self {
-        Self { ops: 0 }
+        Self::default()
     }
 
     /// `ops` units of computation.
     pub fn ops(ops: u64) -> Self {
-        Self { ops }
+        Self { ops, ..Self::default() }
     }
 
     /// Work of comparison-sorting `n` keys.
     pub fn sort(n: usize) -> Self {
-        Self { ops: CostModel::sort_ops(n as u64) }
+        Self::ops(CostModel::sort_ops(n as u64))
     }
 
     /// Work of an MSD radix sort of `n` keys over `passes` byte levels
     /// (`2·n·passes`: one classify read + one permute move per pass).
     pub fn radix_sort(n: usize, passes: usize) -> Self {
-        Self { ops: CostModel::radix_sort_ops(n as u64, passes as u64) }
+        Self::ops(CostModel::radix_sort_ops(n as u64, passes as u64))
     }
 
     /// Work of merging `n` keys from `pieces` sorted runs.
     pub fn merge(n: usize, pieces: usize) -> Self {
-        Self { ops: CostModel::merge_ops(n as u64, pieces as u64) }
+        Self::ops(CostModel::merge_ops(n as u64, pieces as u64))
     }
 
     /// Work of `queries` binary searches over `n` sorted keys.
     pub fn binary_search(queries: usize, n: usize) -> Self {
-        Self { ops: CostModel::binary_search_ops(queries as u64, n as u64) }
+        Self::ops(CostModel::binary_search_ops(queries as u64, n as u64))
     }
 
     /// Work of a linear pass over `n` keys.
     pub fn scan(n: usize) -> Self {
-        Self { ops: n as u64 }
+        Self::ops(n as u64)
     }
 
     /// Work of moving `n` records of `record_width` bytes each through
@@ -128,19 +135,30 @@ impl Work {
     /// where "one op per item" would undercharge a 100-byte record by an
     /// order of magnitude.
     pub fn move_records(n: usize, record_width: usize) -> Self {
-        Self { ops: 2 * (n as u64) * (record_width as u64).div_ceil(8) }
+        Self::ops(2 * (n as u64) * (record_width as u64).div_ceil(8))
     }
 
     /// Work of branch-free decision-tree classification of `n` keys into
     /// buckets via an implicit splitter tree of height `log_buckets`
     /// (`n·log_buckets` descend steps, floored at one op per key).
     pub fn classify(n: usize, log_buckets: usize) -> Self {
-        Self { ops: CostModel::classify_ops(n as u64, log_buckets as u64) }
+        Self::ops(CostModel::classify_ops(n as u64, log_buckets as u64))
+    }
+
+    /// Disk traffic only: `bytes` moved in `transfers` discrete block
+    /// operations.  Bytes are converted to 8-byte words rounding up — the
+    /// same β-volume convention as the NIC channel.
+    pub fn disk_bytes(bytes: u64, transfers: u64) -> Self {
+        Self { disk_words: bytes.div_ceil(8), disk_transfers: transfers, ..Self::default() }
     }
 
     /// Combine two work reports (sequential composition on one rank).
     pub fn and(self, other: Work) -> Self {
-        Self { ops: self.ops + other.ops }
+        Self {
+            ops: self.ops + other.ops,
+            disk_words: self.disk_words + other.disk_words,
+            disk_transfers: self.disk_transfers + other.disk_transfers,
+        }
     }
 }
 
@@ -165,6 +183,16 @@ pub(crate) enum ClockAdvance {
     /// A local phase: rank `r` advances by its own `per_rank[r]` seconds;
     /// under [`SyncModel::Bsp`] a barrier follows.
     PerRank(Vec<f64>),
+    /// A local phase with disk traffic: rank `r` computes for
+    /// `per_rank[r].0` seconds and occupies its disk for `per_rank[r].1`
+    /// seconds.  Under [`SyncModel::Bsp`] the two serialize (synchronous
+    /// read-then-compute-then-write I/O) and a barrier follows; under
+    /// [`SyncModel::Overlapped`] the disk reservation runs concurrently
+    /// with the compute and stays outstanding like a NIC injection —
+    /// consumers drain it via [`Machine::wait_for_disk`], the makespan
+    /// always covers it.  The overlapped-I/O model of the out-of-core
+    /// tier.
+    PerRankDisk(Vec<(f64, f64)>),
     /// A synchronizing collective: all ranks wait for the slowest, then
     /// advance together by the charged seconds (both sync models).
     Sync,
@@ -342,6 +370,36 @@ impl Machine {
                     SyncModel::Overlapped => self.timeline.max_clock(),
                 }
             }
+            ClockAdvance::PerRankDisk(per_rank) => {
+                assert_eq!(per_rank.len(), self.ranks(), "one duration pair per rank");
+                for (r, &(compute, disk)) in per_rank.iter().enumerate() {
+                    let (start, end) = match self.sync {
+                        // Synchronous I/O: every block read/write blocks the
+                        // rank, so compute and disk time serialize.
+                        SyncModel::Bsp => self.timeline.advance(r, compute + disk),
+                        // Overlapped I/O: the disk transfers queue on the
+                        // rank's disk channel from the moment the phase
+                        // began, concurrent with the compute; like a NIC
+                        // injection they stay outstanding — a later
+                        // consumer drains them via `wait_for_disk`, and
+                        // the makespan always covers them.
+                        SyncModel::Overlapped => {
+                            let span = self.timeline.advance(r, compute);
+                            if disk > 0.0 {
+                                self.timeline.disk_reserve(r, span.0, disk);
+                            }
+                            span
+                        }
+                    };
+                    if tracing {
+                        spans.push(Span { rank: r, start, end });
+                    }
+                }
+                match self.sync {
+                    SyncModel::Bsp => self.timeline.barrier(),
+                    SyncModel::Overlapped => self.timeline.max_clock(),
+                }
+            }
             ClockAdvance::Sync => {
                 bottleneck = Some(self.timeline.bottleneck_rank());
                 let (start, end) = self.timeline.sync_advance(metrics.simulated_seconds);
@@ -395,6 +453,58 @@ impl Machine {
         }
     }
 
+    /// Build the metrics and clock advance for one local superstep from the
+    /// per-rank [`Work`] reports.  Pure-compute phases take the historical
+    /// [`ClockAdvance::PerRank`] path (bitwise-identical accounting);
+    /// phases that report disk traffic charge `max` over ranks of
+    /// `compute + disk` — the synchronous-I/O serial cost, which keeps the
+    /// registry sync-model-neutral — and advance the timeline through
+    /// [`ClockAdvance::PerRankDisk`], where the sync model decides whether
+    /// the disk time hides under the compute.
+    fn phase_charge(&self, works: &[Work], wall: f64) -> (PhaseMetrics, ClockAdvance) {
+        let total_ops = works.iter().map(|w| w.ops).sum();
+        let any_disk = works.iter().any(|w| w.disk_words > 0 || w.disk_transfers > 0);
+        if !any_disk {
+            let max_ops = works.iter().map(|w| w.ops).max().unwrap_or(0);
+            let per_rank = works.iter().map(|w| self.cost.compute(w.ops)).collect();
+            let metrics = PhaseMetrics {
+                simulated_seconds: self.cost.compute(max_ops),
+                wall_seconds: wall,
+                compute_ops: total_ops,
+                supersteps: 1,
+                ..Default::default()
+            };
+            (metrics, ClockAdvance::PerRank(per_rank))
+        } else {
+            let per_rank: Vec<(f64, f64)> = works
+                .iter()
+                .map(|w| {
+                    (
+                        self.cost.compute(w.ops),
+                        self.cost.disk_transfer(w.disk_words, w.disk_transfers),
+                    )
+                })
+                .collect();
+            let max_seconds = per_rank.iter().map(|&(c, d)| c + d).fold(0.0, f64::max);
+            let metrics = PhaseMetrics {
+                simulated_seconds: max_seconds,
+                wall_seconds: wall,
+                compute_ops: total_ops,
+                disk_words: works.iter().map(|w| w.disk_words).sum(),
+                supersteps: 1,
+                ..Default::default()
+            };
+            (metrics, ClockAdvance::PerRankDisk(per_rank))
+        }
+    }
+
+    /// Drain the disk channel: every rank's compute clock is raised to its
+    /// own outstanding disk-free time.  Call before a phase that consumes
+    /// spilled data produced by an earlier disk-bearing superstep.
+    pub fn wait_for_disk(&mut self) {
+        self.timeline.drain_disk();
+    }
+
     /// Run one BSP superstep of purely local work: `f(rank, &mut data[rank])`
     /// for every rank, in parallel, mutating the per-rank data in place.
     ///
@@ -417,17 +527,8 @@ impl Machine {
             }
         };
         let wall = start.elapsed().as_secs_f64();
-        let max_ops = works.iter().map(|w| w.ops).max().unwrap_or(0);
-        let total_ops = works.iter().map(|w| w.ops).sum();
-        let per_rank = works.iter().map(|w| self.cost.compute(w.ops)).collect();
-        let metrics = PhaseMetrics {
-            simulated_seconds: self.cost.compute(max_ops),
-            wall_seconds: wall,
-            compute_ops: total_ops,
-            supersteps: 1,
-            ..Default::default()
-        };
-        self.record(phase, "local_phase", metrics, ClockAdvance::PerRank(per_rank));
+        let (metrics, advance) = self.phase_charge(&works, wall);
+        self.record(phase, "local_phase", metrics, advance);
     }
 
     /// Run one BSP superstep of local work that *produces* a per-rank value
@@ -450,17 +551,9 @@ impl Machine {
             }
         };
         let wall = start.elapsed().as_secs_f64();
-        let max_ops = results.iter().map(|(_, w)| w.ops).max().unwrap_or(0);
-        let total_ops = results.iter().map(|(_, w)| w.ops).sum();
-        let per_rank = results.iter().map(|(_, w)| self.cost.compute(w.ops)).collect();
-        let metrics = PhaseMetrics {
-            simulated_seconds: self.cost.compute(max_ops),
-            wall_seconds: wall,
-            compute_ops: total_ops,
-            supersteps: 1,
-            ..Default::default()
-        };
-        self.record(phase, "map_phase", metrics, ClockAdvance::PerRank(per_rank));
+        let works: Vec<Work> = results.iter().map(|(_, w)| *w).collect();
+        let (metrics, advance) = self.phase_charge(&works, wall);
+        self.record(phase, "map_phase", metrics, advance);
         results.into_iter().map(|(r, _)| r).collect()
     }
 
@@ -483,17 +576,9 @@ impl Machine {
             }
         };
         let wall = start.elapsed().as_secs_f64();
-        let max_ops = results.iter().map(|(_, w)| w.ops).max().unwrap_or(0);
-        let total_ops = results.iter().map(|(_, w)| w.ops).sum();
-        let per_rank = results.iter().map(|(_, w)| self.cost.compute(w.ops)).collect();
-        let metrics = PhaseMetrics {
-            simulated_seconds: self.cost.compute(max_ops),
-            wall_seconds: wall,
-            compute_ops: total_ops,
-            supersteps: 1,
-            ..Default::default()
-        };
-        self.record(phase, "transform_phase", metrics, ClockAdvance::PerRank(per_rank));
+        let works: Vec<Work> = results.iter().map(|(_, w)| *w).collect();
+        let (metrics, advance) = self.phase_charge(&works, wall);
+        self.record(phase, "transform_phase", metrics, advance);
         results.into_iter().map(|(r, _)| r).collect()
     }
 
@@ -769,6 +854,54 @@ mod tests {
             m.metrics().deterministic_signature()
         };
         assert_eq!(run(SyncModel::Bsp), run(SyncModel::Overlapped));
+    }
+
+    #[test]
+    fn disk_work_serializes_under_bsp_and_hides_under_overlapped() {
+        let cost = CostModel::bluegene_like();
+        let work = Work::ops(1_000_000).and(Work::disk_bytes(8_000_000, 10));
+        let compute = cost.compute(1_000_000);
+        let disk = cost.disk_transfer(1_000_000, 10);
+        assert!(disk > 0.0 && compute > 0.0);
+
+        let run = |sync: SyncModel| {
+            let mut m = Machine::new(Topology::flat(2), cost).with_sync_model(sync);
+            let mut data = vec![vec![0u8], vec![0u8]];
+            m.local_phase(Phase::LocalSort, &mut data, |_, _| work);
+            m
+        };
+        // Synchronous I/O (Bsp): compute and disk serialize.
+        let bsp = run(SyncModel::Bsp);
+        assert!((bsp.simulated_time() - (compute + disk)).abs() < 1e-15);
+        // Overlapped I/O: the disk hides under the compute; the phase ends
+        // when the slower of the two does.
+        let ovl = run(SyncModel::Overlapped);
+        assert!((ovl.simulated_time() - compute.max(disk)).abs() < 1e-15);
+        assert!(ovl.simulated_time() < bsp.simulated_time());
+        // The registry is sync-model-neutral: both charge the serial cost.
+        assert_eq!(
+            bsp.metrics().deterministic_signature(),
+            ovl.metrics().deterministic_signature()
+        );
+        assert_eq!(bsp.metrics().phase(Phase::LocalSort).disk_words, 2_000_000);
+        assert_eq!(bsp.metrics().total_disk_words(), 2_000_000);
+    }
+
+    #[test]
+    fn disk_backlog_queues_across_supersteps_and_drains() {
+        // Two consecutive overlapped disk phases on one rank: the second
+        // phase's disk reservation queues behind the first's, and
+        // wait_for_disk raises the rank's clock to the drained time.
+        let cost = CostModel::bluegene_like();
+        let mut m = Machine::new(Topology::flat(1), cost).with_sync_model(SyncModel::Overlapped);
+        let mut data = vec![vec![0u8]];
+        // Pure disk work: clock stays behind the disk channel.
+        m.local_phase(Phase::LocalSort, &mut data, |_, _| Work::disk_bytes(80_000_000, 1));
+        let d1 = cost.disk_transfer(10_000_000, 1);
+        assert!((m.timeline().disk_free(0) - d1).abs() < 1e-15);
+        m.wait_for_disk();
+        assert!((m.timeline().clock(0) - d1).abs() < 1e-15);
+        assert!((m.simulated_time() - d1).abs() < 1e-15);
     }
 
     #[test]

@@ -101,6 +101,9 @@ pub struct PhaseMetrics {
     pub messages: u64,
     /// Words moved across the simulated network.
     pub comm_words: u64,
+    /// Words moved between memory and local disk (the disk channel of the
+    /// out-of-core tier; same 8-byte word unit as `comm_words`).
+    pub disk_words: u64,
     /// Units of local computation (comparisons, key moves) charged.
     pub compute_ops: u64,
     /// Number of supersteps attributed to this phase.
@@ -114,6 +117,7 @@ impl PhaseMetrics {
         self.wall_seconds += other.wall_seconds;
         self.messages += other.messages;
         self.comm_words += other.comm_words;
+        self.disk_words += other.disk_words;
         self.compute_ops += other.compute_ops;
         self.supersteps += other.supersteps;
     }
@@ -183,12 +187,13 @@ impl MetricsRegistry {
     }
 
     /// Parallelism-independent projection of the registry, for differential
-    /// testing: per-phase `(name, simulated_seconds bits, messages, words,
-    /// ops, supersteps)`.  Wall-clock time and host-thread counts are
-    /// excluded, and simulated seconds are compared bit-for-bit, so a
-    /// sequential and a parallel run of the same algorithm must produce
-    /// *identical* signatures.
-    pub fn deterministic_signature(&self) -> Vec<(&'static str, u64, u64, u64, u64, u64)> {
+    /// testing: per-phase `(name, simulated_seconds bits, messages, comm
+    /// words, disk words, ops, supersteps)`.  Wall-clock time and
+    /// host-thread counts are excluded, and simulated seconds are compared
+    /// bit-for-bit, so a sequential and a parallel run of the same
+    /// algorithm must produce *identical* signatures.
+    #[allow(clippy::type_complexity)]
+    pub fn deterministic_signature(&self) -> Vec<(&'static str, u64, u64, u64, u64, u64, u64)> {
         self.phases
             .iter()
             .map(|(phase, m)| {
@@ -197,6 +202,7 @@ impl MetricsRegistry {
                     m.simulated_seconds.to_bits(),
                     m.messages,
                     m.comm_words,
+                    m.disk_words,
                     m.compute_ops,
                     m.supersteps,
                 )
@@ -232,6 +238,11 @@ impl MetricsRegistry {
     /// Total words moved across the simulated network.
     pub fn total_comm_words(&self) -> u64 {
         self.phases.values().map(|m| m.comm_words).sum()
+    }
+
+    /// Total words moved between memory and local disk.
+    pub fn total_disk_words(&self) -> u64 {
+        self.phases.values().map(|m| m.disk_words).sum()
     }
 
     /// Simulated seconds per Figure 6.1 group ("local sort", "histogramming",

@@ -82,12 +82,24 @@ pub struct Timeline {
     /// the network's outstanding tail, included in the makespan even if no
     /// rank explicitly waited for it.
     net_tail: f64,
+    /// When each rank's disk can start the next transfer — the disk-channel
+    /// mirror of `nic_free`, reserved by the out-of-core tier's spills.
+    disk_free: Vec<f64>,
+    /// Latest completion time of any disk reservation issued so far (the
+    /// disk's outstanding tail, mirroring `net_tail`).
+    disk_tail: f64,
 }
 
 impl Timeline {
     /// A timeline for `ranks` ranks, all clocks at zero.
     pub fn new(ranks: usize) -> Self {
-        Self { clocks: vec![0.0; ranks], nic_free: vec![0.0; ranks], net_tail: 0.0 }
+        Self {
+            clocks: vec![0.0; ranks],
+            nic_free: vec![0.0; ranks],
+            net_tail: 0.0,
+            disk_free: vec![0.0; ranks],
+            disk_tail: 0.0,
+        }
     }
 
     /// Number of ranks tracked.
@@ -110,6 +122,11 @@ impl Timeline {
         self.nic_free[r]
     }
 
+    /// When rank `r`'s disk is free to start the next transfer.
+    pub fn disk_free(&self, r: RankId) -> f64 {
+        self.disk_free[r]
+    }
+
     /// The latest compute clock.
     pub fn max_clock(&self) -> f64 {
         self.clocks.iter().copied().fold(0.0, f64::max)
@@ -128,11 +145,16 @@ impl Timeline {
     }
 
     /// Total simulated time: the maximum over all compute clocks, all NIC
-    /// reservations and the outstanding network tail (an asynchronous stage
-    /// that nobody waited for still had to finish before the run can be
-    /// called done).
+    /// and disk reservations and the outstanding network/disk tails (an
+    /// asynchronous stage or disk write-back that nobody waited for still
+    /// had to finish before the run can be called done).
     pub fn makespan(&self) -> f64 {
-        self.clocks.iter().chain(self.nic_free.iter()).copied().fold(self.net_tail, f64::max)
+        self.clocks
+            .iter()
+            .chain(self.nic_free.iter())
+            .chain(self.disk_free.iter())
+            .copied()
+            .fold(self.net_tail.max(self.disk_tail), f64::max)
     }
 
     /// Advance rank `r` by `dt`, returning its `(start, end)` span.
@@ -192,6 +214,32 @@ impl Timeline {
         }
         self.net_tail = self.net_tail.max(end);
         (start, end)
+    }
+
+    /// Reserve rank `r`'s disk for `dt` seconds, queued behind any earlier
+    /// reservation: the transfer starts at `max(after, disk_free(r))` and
+    /// the disk is busy until `start + dt`.  `after` is the time the data
+    /// became available (typically the rank's clock when it issued the
+    /// I/O); the compute clock itself is untouched — overlapping compute
+    /// with the reserved window is the caller's decision, exactly as with
+    /// [`Timeline::async_stage`] and the NIC.  Returns `(start, end)`.
+    pub fn disk_reserve(&mut self, r: RankId, after: f64, dt: f64) -> (f64, f64) {
+        let start = self.disk_free[r].max(after);
+        let end = start + dt;
+        self.disk_free[r] = end;
+        self.disk_tail = self.disk_tail.max(end);
+        (start, end)
+    }
+
+    /// Drain the disk channel: every rank's clock is raised to its own
+    /// disk-free time (a rank that must consume spilled data cannot proceed
+    /// before its disk has finished moving it).
+    pub fn drain_disk(&mut self) {
+        for (c, &d) in self.clocks.iter_mut().zip(self.disk_free.iter()) {
+            if *c < d {
+                *c = d;
+            }
+        }
     }
 }
 
@@ -267,6 +315,28 @@ mod tests {
         assert_eq!((s2, e2), (1.0, 2.0));
         // The makespan covers stage completions nobody waited for.
         assert_eq!(t.makespan(), 6.0);
+    }
+
+    #[test]
+    fn disk_reserve_queues_behind_backlog_and_feeds_makespan() {
+        let mut t = Timeline::new(2);
+        t.advance(0, 1.0);
+        // First reservation starts when the data is ready.
+        let (s, e) = t.disk_reserve(0, 1.0, 2.0);
+        assert_eq!((s, e), (1.0, 3.0));
+        // A second reservation queues behind the first even if issued
+        // "earlier" in data-ready terms (the disk serializes transfers).
+        let (s2, e2) = t.disk_reserve(0, 0.5, 1.0);
+        assert_eq!((s2, e2), (3.0, 4.0));
+        // Compute clocks are untouched; the makespan covers the tail.
+        assert_eq!(t.clock(0), 1.0);
+        assert_eq!(t.disk_free(0), 4.0);
+        assert_eq!(t.disk_free(1), 0.0);
+        assert_eq!(t.makespan(), 4.0);
+        // Draining raises only the owning rank's clock.
+        t.drain_disk();
+        assert_eq!(t.clock(0), 4.0);
+        assert_eq!(t.clock(1), 0.0);
     }
 
     #[test]

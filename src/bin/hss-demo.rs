@@ -48,6 +48,14 @@ OPTIONS:
     --node-level           enable node-level partitioning (hss only)
     --tag-duplicates       enable duplicate tagging (hss only)
     --approx-histograms    answer histograms from representative samples (hss only)
+    --extsort              out-of-core tier: ranks over the memory cap spill
+                           through the external sorter (hss only)
+    --memory-cap <BYTES>   per-rank record-buffer budget for --extsort
+                                                          [default: 1048576]
+    --run-dir <PATH>       scratch root for run files (cleaned up on exit)
+                                                          [default: temp dir]
+    --io-mode <NAME>       sync | overlapped — external-sort I/O scheduling
+                                                          [default: overlapped]
     --seed <N>             RNG seed                               [default: 2019]
     --verify               verify the output is a correct global sort
     --help                 print this help
@@ -69,6 +77,10 @@ struct Args {
     node_level: bool,
     tag_duplicates: bool,
     approx_histograms: bool,
+    extsort: bool,
+    memory_cap: usize,
+    run_dir: Option<String>,
+    io_mode: IoMode,
     seed: u64,
     verify: bool,
 }
@@ -90,6 +102,10 @@ impl Default for Args {
             node_level: false,
             tag_duplicates: false,
             approx_histograms: false,
+            extsort: false,
+            memory_cap: 1 << 20,
+            run_dir: None,
+            io_mode: IoMode::Overlapped,
             seed: 2019,
             verify: false,
         }
@@ -136,6 +152,22 @@ fn parse_args() -> Args {
             "--node-level" => args.node_level = true,
             "--tag-duplicates" => args.tag_duplicates = true,
             "--approx-histograms" => args.approx_histograms = true,
+            "--extsort" => args.extsort = true,
+            "--memory-cap" => {
+                args.memory_cap =
+                    value("--memory-cap").parse().expect("--memory-cap must be an integer")
+            }
+            "--run-dir" => args.run_dir = Some(value("--run-dir")),
+            "--io-mode" => {
+                args.io_mode = match value("--io-mode").as_str() {
+                    "sync" | "synchronous" => IoMode::Synchronous,
+                    "overlapped" => IoMode::Overlapped,
+                    other => {
+                        eprintln!("--io-mode must be 'sync' or 'overlapped' (got {other})");
+                        exit(2);
+                    }
+                }
+            }
             "--verify" => args.verify = true,
             "--help" | "-h" => {
                 print!("{HELP}");
@@ -188,7 +220,10 @@ fn run_sorter(
     (outcome.data, outcome.report)
 }
 
-fn run(args: &Args, input: Vec<Vec<u64>>) -> (Vec<Vec<u64>>, SortReport, Machine) {
+fn run(
+    args: &Args,
+    input: Vec<Vec<u64>>,
+) -> (Vec<Vec<u64>>, SortReport, Machine, Option<ExtSortReport>) {
     let mut machine =
         Machine::new(Topology::new(args.ranks, args.cores_per_node), CostModel::bluegene_like());
     if args.sequential {
@@ -200,6 +235,7 @@ fn run(args: &Args, input: Vec<Vec<u64>>) -> (Vec<Vec<u64>>, SortReport, Machine
     if args.trace.is_some() {
         machine = machine.with_tracing();
     }
+    let mut ext_report = None;
     let (out, report) = match args.algorithm.as_str() {
         "hss" | "hss-one-round" | "hss-scanning" => {
             let mut config =
@@ -215,8 +251,23 @@ fn run(args: &Args, input: Vec<Vec<u64>>) -> (Vec<Vec<u64>>, SortReport, Machine
             config.tag_duplicates = args.tag_duplicates;
             config.approximate_histograms = args.approx_histograms;
             config.local_sort = args.local_sort;
-            let outcome = HssSorter::new(config).sort(&mut machine, input);
-            (outcome.data, outcome.report)
+            if args.extsort {
+                // Scratch runs live under a unique per-process subdirectory
+                // of --run-dir and are removed again when the sort returns
+                // (RAII guard), even on panic.
+                let run_dir = args.run_dir.clone().unwrap_or_else(|| {
+                    std::env::temp_dir().join("hss-demo").to_string_lossy().into_owned()
+                });
+                let policy =
+                    ExtSortPolicy::new(args.memory_cap, run_dir).with_io_mode(args.io_mode);
+                config = config.with_ext_sort(policy);
+                let (outcome, ext) = HssSorter::new(config).sort_out_of_core(&mut machine, input);
+                ext_report = Some(ext);
+                (outcome.data, outcome.report)
+            } else {
+                let outcome = HssSorter::new(config).sort(&mut machine, input);
+                (outcome.data, outcome.report)
+            }
         }
         "sample-regular" => {
             let cfg = SampleSortConfig {
@@ -261,7 +312,7 @@ fn run(args: &Args, input: Vec<Vec<u64>>) -> (Vec<Vec<u64>>, SortReport, Machine
             exit(2);
         }
     };
-    (out, report, machine)
+    (out, report, machine, ext_report)
 }
 
 /// JSON document written by `--trace`: run metadata, the full per-rank
@@ -307,6 +358,17 @@ fn main() {
         );
         exit(2);
     }
+    if args.extsort && !args.algorithm.starts_with("hss") {
+        eprintln!("--extsort only applies to the hss algorithms");
+        exit(2);
+    }
+    if args.extsort && (args.node_level || args.tag_duplicates) {
+        eprintln!(
+            "--extsort cannot be combined with --node-level or --tag-duplicates: \
+             the out-of-core tier is flat and rank-level"
+        );
+        exit(2);
+    }
     if let Some(threads) = args.threads {
         // Must happen before anything touches the pool (key generation
         // below already runs on it).
@@ -326,7 +388,7 @@ fn main() {
     let reference = if args.verify { Some(input.clone()) } else { None };
 
     let start = std::time::Instant::now();
-    let (output, report, machine) = run(&args, input);
+    let (output, report, machine, ext_report) = run(&args, input);
     let wall = start.elapsed().as_secs_f64();
 
     println!("\nalgorithm        : {}", report.algorithm);
@@ -343,6 +405,23 @@ fn main() {
         println!("sample keys      : {}", sp.total_sample_size);
     }
     println!("messages         : {}", report.metrics.total_messages());
+    if let Some(ext) = &ext_report {
+        println!(
+            "\nout-of-core tier ({} I/O, cap {} bytes/rank):",
+            args.io_mode.name(),
+            args.memory_cap
+        );
+        println!("  spilled elems  : {}", ext.elements);
+        println!("  runs formed    : {}", ext.runs_formed);
+        println!("  merge passes   : {}", ext.merge_passes);
+        println!("  disk traffic   : {} B written, {} B read", ext.bytes_written, ext.bytes_read);
+        println!(
+            "  I/O wait       : {:.3} s of {:.3} s wall ({:.1}%)",
+            ext.io_wait_seconds,
+            ext.wall_seconds,
+            100.0 * ext.io_wait_fraction()
+        );
+    }
     println!("\nper-phase breakdown:\n{}", report.metrics);
 
     if let Some(path) = &args.trace {

@@ -10,6 +10,7 @@
 //!   ([`hss_lsort`]);
 //! * [`partition`] — shared partitioning primitives ([`hss_partition`]);
 //! * [`core`] — Histogram Sort with Sampling itself ([`hss_core`]);
+//! * [`extsort`] — the bounded-memory out-of-core tier ([`hss_extsort`]);
 //! * [`baselines`] — the comparison algorithms ([`hss_baselines`]);
 //! * [`analysis`] — the paper's closed-form cost model ([`hss_analysis`]);
 //! * [`service`] — the epoch-based sorting service with warm-started
@@ -31,6 +32,7 @@
 pub use hss_analysis as analysis;
 pub use hss_baselines as baselines;
 pub use hss_core as core;
+pub use hss_extsort as extsort;
 pub use hss_keygen as keygen;
 pub use hss_lsort as lsort;
 pub use hss_partition as partition;
@@ -40,9 +42,10 @@ pub use hss_sim as sim;
 /// The most commonly used types, for glob import.
 pub mod prelude {
     pub use hss_core::{
-        HssConfig, HssConfigBuilder, HssSorter, LocalSortAlgo, RoundSchedule, SortOutcome,
-        SortRequest, Sorter, SplitterRule, WarmStart,
+        ExtSortPolicy, HssConfig, HssConfigBuilder, HssSorter, LocalSortAlgo, RoundSchedule,
+        SortOutcome, SortRequest, Sorter, SplitterRule, WarmStart,
     };
+    pub use hss_extsort::{ExtSortConfig, ExtSortReport, ExternalSorter, IoMode};
     pub use hss_keygen::{ChangaDataset, Key, KeyDistribution, Keyed, Record, TaggedKey};
     pub use hss_partition::{LoadBalance, SplitterSet};
     pub use hss_service::{DriftingWorkload, EpochReport, ServiceConfig, SortService};

@@ -42,7 +42,7 @@ const SEED: u64 = 2019;
 /// algorithms: the phases where the modelled local-sort cost itself lives.
 const LOCAL_PHASES: [&str; 2] = ["local_sort", "node_local_sort"];
 
-type Signature = Vec<(&'static str, u64, u64, u64, u64, u64)>;
+type Signature = Vec<(&'static str, u64, u64, u64, u64, u64, u64)>;
 
 fn distributions() -> [KeyDistribution; 3] {
     [
