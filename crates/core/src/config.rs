@@ -67,13 +67,32 @@ pub struct ExtSortPolicy {
     pub fan_in: usize,
     /// Synchronous vs. overlapped disk scheduling.
     pub io_mode: IoMode,
+    /// Single-pass pipelined drain: instead of materializing each spilled
+    /// rank's sorted array before the exchange, splitters are determined
+    /// straight from the run files and the draining k-way merge streams
+    /// bucket-by-bucket into staged asynchronous exchange sends — one
+    /// fewer full disk round-trip per spilled rank.  Output stays bitwise
+    /// identical; incompatible with `approximate_histograms`.
+    pub pipelined: bool,
+    /// Fixed prefetch depth (blocks in flight per run) for the overlapped
+    /// merge; `None` auto-tunes depth and fan-in per spilled rank from the
+    /// machine's disk cost model and the measured run-formation io-wait
+    /// fraction.
+    pub prefetch_depth: Option<usize>,
 }
 
 impl ExtSortPolicy {
     /// A policy with the given budget and scratch root, fan-in 16,
-    /// overlapped I/O.
+    /// overlapped I/O, materialize-then-exchange (non-pipelined).
     pub fn new(memory_cap_bytes: usize, run_dir: impl Into<String>) -> Self {
-        Self { memory_cap_bytes, run_dir: run_dir.into(), fan_in: 16, io_mode: IoMode::default() }
+        Self {
+            memory_cap_bytes,
+            run_dir: run_dir.into(),
+            fan_in: 16,
+            io_mode: IoMode::default(),
+            pipelined: false,
+            prefetch_depth: None,
+        }
     }
 
     /// Set the merge fan-in.
@@ -88,14 +107,30 @@ impl ExtSortPolicy {
         self
     }
 
+    /// Enable the single-pass pipelined drain.
+    pub fn with_pipelined(mut self) -> Self {
+        self.pipelined = true;
+        self
+    }
+
+    /// Pin the overlapped merge's prefetch depth instead of auto-tuning.
+    pub fn with_prefetch_depth(mut self, depth: usize) -> Self {
+        self.prefetch_depth = Some(depth);
+        self
+    }
+
     /// The [`ExtSortConfig`] this policy denotes, with the sorter's
     /// local-sort algorithm carried over so external runs are sorted by
     /// the same code as in-memory partitions.
     pub fn to_ext_config(&self, local_sort: LocalSortAlgo) -> ExtSortConfig {
-        ExtSortConfig::new(self.memory_cap_bytes, self.run_dir.as_str())
+        let cfg = ExtSortConfig::new(self.memory_cap_bytes, self.run_dir.as_str())
             .with_fan_in(self.fan_in)
             .with_io_mode(self.io_mode)
-            .with_local_sort(local_sort)
+            .with_local_sort(local_sort);
+        match self.prefetch_depth {
+            Some(depth) => cfg.with_prefetch_depth(depth),
+            None => cfg,
+        }
     }
 
     fn validate(&self) -> Result<(), String> {
@@ -107,6 +142,11 @@ impl ExtSortPolicy {
         }
         if self.run_dir.is_empty() {
             return Err("ext_sort.run_dir must not be empty".to_string());
+        }
+        if let Some(depth) = self.prefetch_depth {
+            if depth < 2 {
+                return Err(format!("ext_sort.prefetch_depth must be at least 2 (got {depth})"));
+            }
         }
         Ok(())
     }

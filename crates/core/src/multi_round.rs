@@ -154,22 +154,180 @@ pub fn determine_splitters_seeded<T: Keyed, F>(
     buckets: usize,
     config: &HssConfig,
     warm: Option<&WarmStart<T::K>>,
-    mut on_round: F,
+    on_round: F,
 ) -> (SplitterSet<T::K>, SplitterReport)
 where
     T::K: RadixSortable,
     F: FnMut(&mut Machine, &RoundProgress<'_, T::K>),
 {
+    determine_splitters_from(
+        machine,
+        &mut MemData(per_rank_sorted),
+        buckets,
+        config,
+        warm,
+        on_round,
+    )
+}
+
+/// A distributed per-rank data source splitter determination can sample and
+/// histogram against: fully in-memory sorted vectors ([`MemData`], the
+/// historical path) or the out-of-core tier's mix of in-memory ranks and
+/// spilled run files.
+///
+/// Implementations own the superstep charging: each method runs exactly one
+/// sampling or histogramming superstep against the machine, so the round
+/// structure (and for [`MemData`] the bitwise cost signature) is identical
+/// across sources.
+pub(crate) trait SplitterData<K: Key + RadixSortable> {
+    /// Total number of keys across all ranks.
+    fn total_keys(&self) -> u64;
+
+    /// One sampling superstep ([`Phase::Sampling`]): every rank
+    /// Bernoulli-samples the keys inside `key_intervals` with
+    /// `probability`, its randomness derived from `seed` via
+    /// [`rank_rng`].  Implementations must consume the RNG stream
+    /// identically for identical logical data, so in-memory and spilled
+    /// ranks draw the same sample positions.
+    fn sampling_phase(
+        &mut self,
+        machine: &mut Machine,
+        key_intervals: &[(K, K)],
+        probability: f64,
+        seed: u64,
+    ) -> Vec<Vec<K>>;
+
+    /// One histogramming superstep: global ranks of the sorted `probes`
+    /// (local counts + reduction), charged to [`Phase::Histogramming`].
+    fn histogram_ranks(&mut self, machine: &mut Machine, probes: &[K]) -> Vec<u64>;
+
+    /// Build the §3.4 approximate-histogram oracle over this data.
+    /// Sources that cannot (spilled runs) panic; callers that dispatch to
+    /// such sources must reject `config.approximate_histograms` up front.
+    fn approx_oracle(&self, machine: &mut Machine, config: &HssConfig) -> ApproxHistogrammer<K>;
+}
+
+/// The in-memory [`SplitterData`]: per-rank sorted vectors, exactly the
+/// historical supersteps and charges of `determine_splitters_seeded`.
+pub(crate) struct MemData<'a, T: Keyed>(pub(crate) &'a [Vec<T>]);
+
+impl<T: Keyed> SplitterData<T::K> for MemData<'_, T>
+where
+    T::K: RadixSortable,
+{
+    fn total_keys(&self) -> u64 {
+        self.0.iter().map(|v| v.len() as u64).sum()
+    }
+
+    fn sampling_phase(
+        &mut self,
+        machine: &mut Machine,
+        key_intervals: &[(T::K, T::K)],
+        probability: f64,
+        seed: u64,
+    ) -> Vec<Vec<T::K>> {
+        machine.map_phase(Phase::Sampling, self.0, |rank, local| {
+            let mut rng = rank_rng(seed, rank);
+            let sample = sampling::bernoulli_sample_in_intervals(
+                local,
+                key_intervals,
+                probability,
+                &mut rng,
+            );
+            // Charge the strategy `interval_bounds` actually executed
+            // for this shape (binary search / sweep / decision tree)
+            // plus the geometric-skip draw per emitted sample.
+            let work = sampling::interval_bounds_work(local.len(), key_intervals.len())
+                .and(Work::scan(sample.len()));
+            (sample, work)
+        })
+    }
+
+    fn histogram_ranks(&mut self, machine: &mut Machine, probes: &[T::K]) -> Vec<u64> {
+        global_ranks(machine, self.0, probes, Phase::Histogramming)
+    }
+
+    fn approx_oracle(&self, machine: &mut Machine, config: &HssConfig) -> ApproxHistogrammer<T::K> {
+        let sample_size = ApproxHistogrammer::<T::K>::prescribed_sample_size(
+            machine.ranks().max(2),
+            config.epsilon,
+        );
+        ApproxHistogrammer::build(
+            machine,
+            self.0,
+            sample_size,
+            config.seed ^ 0xA44A_1970,
+            config.local_sort,
+        )
+    }
+}
+
+/// Rank a sorted probe set against the input: exact counting through the
+/// data source or the §3.4 representative-sample oracle, both charged to
+/// the histogramming phase.
+fn ranked<K, D>(
+    machine: &mut Machine,
+    data: &mut D,
+    oracle: &Option<ApproxHistogrammer<K>>,
+    probes: &[K],
+    total_keys: u64,
+) -> Vec<u64>
+where
+    K: Key + RadixSortable,
+    D: SplitterData<K>,
+{
+    match oracle {
+        Some(oracle) => {
+            let estimates = oracle.estimated_global_ranks(machine, probes);
+            // Round, clamp to the valid rank range and force the
+            // sequence non-decreasing (fixed-point rounding can create
+            // one-off inversions on equal estimates).
+            let mut prev = 0u64;
+            estimates
+                .into_iter()
+                .map(|x| {
+                    let mut r = x.clamp(0.0, total_keys as f64) as u64;
+                    if r < prev {
+                        r = prev;
+                    }
+                    prev = r;
+                    r
+                })
+                .collect()
+        }
+        None => data.histogram_ranks(machine, probes),
+    }
+}
+
+/// The generic splitter-determination driver behind
+/// [`determine_splitters_seeded`]: the same rounds, supersteps and
+/// bookkeeping over any [`SplitterData`] source.  With [`MemData`] this is
+/// bitwise the historical algorithm; the out-of-core tier feeds it a
+/// mixed in-memory/spilled source so splitters come straight from run
+/// files without materializing the sorted array.
+pub(crate) fn determine_splitters_from<K, D, F>(
+    machine: &mut Machine,
+    data: &mut D,
+    buckets: usize,
+    config: &HssConfig,
+    warm: Option<&WarmStart<K>>,
+    mut on_round: F,
+) -> (SplitterSet<K>, SplitterReport)
+where
+    K: Key + RadixSortable,
+    D: SplitterData<K>,
+    F: FnMut(&mut Machine, &RoundProgress<'_, K>),
+{
     config.validate().expect("invalid HSS configuration");
     assert!(buckets >= 1, "need at least one bucket");
-    let total_keys: u64 = per_rank_sorted.iter().map(|v| v.len() as u64).sum();
+    let total_keys: u64 = data.total_keys();
     // With approximate histograms (§3.4) every reported rank can be off by
     // up to εN/p ≈ 2·tol, so the finalization tolerance is widened
     // accordingly (the paper makes the same observation: a key reported
     // within εN/p of the target is truly within 2εN/p).
     let base_tolerance = theory::rank_tolerance(total_keys, buckets, config.epsilon);
     let tolerance = if config.approximate_histograms { base_tolerance * 3 } else { base_tolerance };
-    let mut intervals: SplitterIntervals<T::K> = SplitterIntervals::new(total_keys, buckets);
+    let mut intervals: SplitterIntervals<K> = SplitterIntervals::new(total_keys, buckets);
     let mut report = SplitterReport {
         buckets,
         total_keys,
@@ -193,50 +351,14 @@ where
     // returns are within εN/p of the truth w.h.p. (Theorem 3.4.1), so the
     // achieved load balance degrades from (1 + ε) to roughly (1 + 2ε).
     let rank_oracle = if config.approximate_histograms {
-        let sample_size = ApproxHistogrammer::<T::K>::prescribed_sample_size(
-            machine.ranks().max(2),
-            config.epsilon,
-        );
-        Some(ApproxHistogrammer::build(
-            machine,
-            per_rank_sorted,
-            sample_size,
-            config.seed ^ 0xA44A_1970,
-            config.local_sort,
-        ))
+        Some(data.approx_oracle(machine, config))
     } else {
         None
     };
 
     // Keep the probes of the last round around for the scanning rule.
     #[allow(unused_assignments)]
-    let mut last_round: Option<(Vec<T::K>, Vec<u64>)> = None;
-
-    // Rank a sorted probe set against the input: exact counting or the §3.4
-    // representative-sample oracle, both charged to the histogramming phase.
-    let ranks_for = |machine: &mut Machine, probes: &[T::K]| -> Vec<u64> {
-        match &rank_oracle {
-            Some(oracle) => {
-                let estimates = oracle.estimated_global_ranks(machine, probes);
-                // Round, clamp to the valid rank range and force the
-                // sequence non-decreasing (fixed-point rounding can create
-                // one-off inversions on equal estimates).
-                let mut prev = 0u64;
-                estimates
-                    .into_iter()
-                    .map(|x| {
-                        let mut r = x.clamp(0.0, total_keys as f64) as u64;
-                        if r < prev {
-                            r = prev;
-                        }
-                        prev = r;
-                        r
-                    })
-                    .collect()
-            }
-            None => global_ranks(machine, per_rank_sorted, probes, Phase::Histogramming),
-        }
-    };
+    let mut last_round: Option<(Vec<K>, Vec<u64>)> = None;
 
     let mut round = 0usize;
     let mut finished = false;
@@ -250,7 +372,7 @@ where
         let open_before = intervals.unfinalized_count(tolerance);
         let probes = warm.probes().to_vec();
         machine.broadcast(Phase::Histogramming, &probes);
-        let ranks = ranks_for(machine, &probes);
+        let ranks = ranked(machine, data, &rank_oracle, &probes, total_keys);
         intervals.update(&probes, &ranks);
         let open_after =
             record_round(&mut report, &intervals, tolerance, round, 0, probes.len(), open_before);
@@ -275,8 +397,8 @@ where
 
         // The key ranges the sampling phase draws from: the whole key space
         // in round 1, the open splitter intervals afterwards.
-        let key_intervals: Vec<(T::K, T::K)> = if round == 1 {
-            vec![(T::K::MIN_KEY, T::K::MAX_KEY)]
+        let key_intervals: Vec<(K, K)> = if round == 1 {
+            vec![(K::MIN_KEY, K::MAX_KEY)]
         } else {
             merge_key_intervals_with(intervals.open_key_intervals(tolerance), config.local_sort)
         };
@@ -289,22 +411,8 @@ where
 
         // --- Sampling phase -------------------------------------------------
         let seed = config.seed ^ (round as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        let per_rank_samples: Vec<Vec<T::K>> =
-            machine.map_phase(Phase::Sampling, per_rank_sorted, |rank, local| {
-                let mut rng = rank_rng(seed, rank);
-                let sample = sampling::bernoulli_sample_in_intervals(
-                    local,
-                    &key_intervals,
-                    probability,
-                    &mut rng,
-                );
-                // Charge the strategy `interval_bounds` actually executed
-                // for this shape (binary search / sweep / decision tree)
-                // plus the geometric-skip draw per emitted sample.
-                let work = sampling::interval_bounds_work(local.len(), key_intervals.len())
-                    .and(Work::scan(sample.len()));
-                (sample, work)
-            });
+        let per_rank_samples: Vec<Vec<K>> =
+            data.sampling_phase(machine, &key_intervals, probability, seed);
 
         // Gather the sample at the central processor and sort it there.
         // The root's sort of the gathered sample is part of the *sampling*
@@ -314,7 +422,7 @@ where
         // sample sorts are part of the splitter-determination cost the
         // paper compares across algorithms, and they are asymptotically
         // tiny (see the cost convention in `crate::local_sort`).
-        let mut probes: Vec<T::K> = machine.gather_to_root(Phase::Sampling, per_rank_samples);
+        let mut probes: Vec<K> = machine.gather_to_root(Phase::Sampling, per_rank_samples);
         let sample_size = probes.len();
         machine.charge_modelled_compute(Phase::Sampling, CostModel::sort_ops(sample_size as u64));
         config.local_sort.sort_slice(&mut probes);
@@ -325,7 +433,7 @@ where
         // Broadcast the probes, compute local histograms (exact or from the
         // representative samples), reduce.
         machine.broadcast(Phase::Histogramming, &probes);
-        let ranks = ranks_for(machine, &probes);
+        let ranks = ranked(machine, data, &rank_oracle, &probes, total_keys);
         intervals.update(&probes, &ranks);
 
         let open_after = record_round(

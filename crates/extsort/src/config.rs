@@ -48,6 +48,12 @@ pub struct ExtSortConfig {
     pub io_mode: IoMode,
     /// In-memory algorithm used to sort each run before it is written.
     pub local_sort: LocalSortAlgo,
+    /// Blocks kept in flight per merge input window under
+    /// [`IoMode::Overlapped`]: 2 is the classic double buffer; deeper
+    /// queues hide more per-transfer latency at the price of smaller
+    /// blocks (the cap is fixed, so depth and block size trade off).
+    /// Clamped to at least 2.  Ignored by [`IoMode::Synchronous`].
+    pub prefetch_depth: usize,
 }
 
 impl ExtSortConfig {
@@ -60,6 +66,7 @@ impl ExtSortConfig {
             fan_in: 16,
             io_mode: IoMode::default(),
             local_sort: LocalSortAlgo::from_env(),
+            prefetch_depth: 2,
         }
     }
 
@@ -82,6 +89,14 @@ impl ExtSortConfig {
         self
     }
 
+    /// Set the overlapped-merge prefetch depth (clamped up to 2 — one
+    /// block in the merge's hands plus at least one in flight is the
+    /// minimum for any overlap at all).
+    pub fn with_prefetch_depth(mut self, depth: usize) -> Self {
+        self.prefetch_depth = depth.max(2);
+        self
+    }
+
     /// Elements per formation chunk (= per sorted run, except the last).
     ///
     /// Half the cap, so the overlapped mode's two chunk buffers together
@@ -93,10 +108,43 @@ impl ExtSortConfig {
 
     /// Elements per merge-time I/O block.
     ///
-    /// A pass holds `fan_in` input windows plus one output stream, each
-    /// double-buffered: `2 * (fan_in + 1)` blocks within the cap.
+    /// A pass holds `fan_in` input windows with `prefetch_depth` blocks in
+    /// flight each, plus one double-buffered output stream:
+    /// `prefetch_depth * fan_in + 2` blocks within the cap.  At the default
+    /// depth of 2 this is the classic `2 * (fan_in + 1)` split.
     pub fn block_elems<T>(&self) -> usize {
-        (self.memory_cap_bytes / (2 * (self.fan_in + 1)) / std::mem::size_of::<T>()).max(1)
+        let blocks = self.prefetch_depth.max(2) * self.fan_in + 2;
+        (self.memory_cap_bytes / blocks / std::mem::size_of::<T>()).max(1)
+    }
+
+    /// Retune the overlapped arm for a known run count and measured disk
+    /// characteristics: picks `prefetch_depth` via
+    /// [`choose_prefetch_depth`] and widens `fan_in` via [`choose_fan_in`]
+    /// so a single merge pass covers all runs when the cap allows it.
+    /// Synchronous configs are returned unchanged — there is no queue to
+    /// deepen.
+    pub fn tuned_for<T>(
+        mut self,
+        runs: usize,
+        unit_disk: f64,
+        disk_latency: f64,
+        io_wait_fraction: f64,
+    ) -> Self {
+        if self.io_mode != IoMode::Overlapped {
+            return self;
+        }
+        let rec = std::mem::size_of::<T>();
+        self.prefetch_depth = choose_prefetch_depth(
+            self.memory_cap_bytes,
+            rec,
+            self.fan_in,
+            unit_disk,
+            disk_latency,
+            io_wait_fraction,
+        );
+        self.fan_in =
+            choose_fan_in(self.memory_cap_bytes, rec, self.fan_in, self.prefetch_depth, runs);
+        self
     }
 
     /// Number of merge passes needed for `runs` initial runs: levels of a
@@ -110,6 +158,75 @@ impl ExtSortConfig {
             passes += 1;
         }
         passes
+    }
+}
+
+/// Smallest merge I/O block the tuner will accept: below this, per-block
+/// overheads (and the transfer-latency term itself) swamp any queueing win.
+const MIN_TUNED_BLOCK_BYTES: usize = 4 << 10;
+
+/// Pick the overlapped-merge prefetch depth from the machine's disk shape —
+/// the same three-way dispatch style as `classify_strategy`, but over I/O
+/// geometry instead of probe counts:
+///
+/// * a merge that barely waited on the disk (`io_wait_fraction < 0.1`) is
+///   compute-bound — keep the classic double buffer and the biggest blocks;
+/// * while a block's *streaming* time (`unit_disk · words`) fails to
+///   dominate the per-transfer `disk_latency` by 4×, the queue — not the
+///   platter — is the bottleneck: double the depth so more transfer
+///   latencies pipeline behind each other;
+/// * stop once streaming dominates, blocks would fall under
+///   `MIN_TUNED_BLOCK_BYTES` (or a single record), or depth reaches 16.
+///
+/// Deterministic in its inputs, so simulated runs stay replayable.
+pub fn choose_prefetch_depth(
+    memory_cap_bytes: usize,
+    record_bytes: usize,
+    fan_in: usize,
+    unit_disk: f64,
+    disk_latency: f64,
+    io_wait_fraction: f64,
+) -> usize {
+    if io_wait_fraction < 0.10 {
+        return 2;
+    }
+    let mut depth = 2usize;
+    while depth < 16 {
+        let block_bytes = memory_cap_bytes / (depth * fan_in + 2);
+        let words = (block_bytes / 8).max(1) as f64;
+        if unit_disk * words >= 4.0 * disk_latency {
+            break;
+        }
+        let next = depth * 2;
+        let next_block = memory_cap_bytes / (next * fan_in + 2);
+        if next_block < MIN_TUNED_BLOCK_BYTES.max(record_bytes) {
+            break;
+        }
+        depth = next;
+    }
+    depth
+}
+
+/// Widen `fan_in` to cover all `runs` in a single merge pass when the cap
+/// still leaves every input window a block of at least
+/// `MIN_TUNED_BLOCK_BYTES` — one pass instead of two is a whole
+/// read+write round-trip of the data.  Otherwise the configured fan-in is
+/// kept (never narrowed: fewer passes always beats bigger blocks here).
+pub fn choose_fan_in(
+    memory_cap_bytes: usize,
+    record_bytes: usize,
+    fan_in: usize,
+    prefetch_depth: usize,
+    runs: usize,
+) -> usize {
+    if runs <= fan_in {
+        return fan_in;
+    }
+    let block_bytes = memory_cap_bytes / (prefetch_depth * runs + 2);
+    if block_bytes >= MIN_TUNED_BLOCK_BYTES.max(record_bytes) {
+        runs
+    } else {
+        fan_in
     }
 }
 
@@ -150,5 +267,57 @@ mod tests {
     fn fan_in_is_clamped_to_two() {
         let cfg = ExtSortConfig::new(1024, "/tmp/x").with_fan_in(0);
         assert_eq!(cfg.fan_in, 2);
+    }
+
+    #[test]
+    fn default_depth_reproduces_the_classic_double_buffer_split() {
+        let cfg = ExtSortConfig::new(1 << 20, "/tmp/x").with_fan_in(8);
+        assert_eq!(cfg.prefetch_depth, 2);
+        // depth 2: 2*8 + 2 = 2*(8+1) blocks — the historical formula.
+        assert_eq!(cfg.block_elems::<u64>(), (1 << 20) / (2 * 9) / 8);
+        let deep = cfg.clone().with_prefetch_depth(4);
+        assert_eq!(deep.block_elems::<u64>(), (1 << 20) / (4 * 8 + 2) / 8);
+        // Depth is clamped up to 2.
+        assert_eq!(ExtSortConfig::new(1024, "/tmp/x").with_prefetch_depth(0).prefetch_depth, 2);
+        // All depths keep the budget: depth*fan_in+2 blocks within the cap.
+        for d in [2usize, 4, 8] {
+            let c = cfg.clone().with_prefetch_depth(d);
+            assert!((d * c.fan_in + 2) * c.block_elems::<u64>() * 8 <= c.memory_cap_bytes);
+        }
+    }
+
+    #[test]
+    fn depth_chooser_dispatches_on_io_shape() {
+        // Compute-bound: stay at the double buffer regardless of geometry.
+        assert_eq!(choose_prefetch_depth(1 << 20, 8, 16, 1.6e-8, 1.0e-4, 0.02), 2);
+        // Latency-dominated small blocks: deepen, but never below the block
+        // floor (cap 1 MiB, fan-in 16 → depth 8 still gives ≥ 4 KiB blocks,
+        // depth 16 would not).
+        let d = choose_prefetch_depth(1 << 20, 8, 16, 1.6e-8, 1.0e-4, 0.6);
+        assert!(d > 2, "latency-bound merge should deepen, got {d}");
+        assert!((1 << 20) / (d * 16 + 2) >= 4 << 10);
+        // Streaming-dominated huge blocks: no reason to shrink them.
+        assert_eq!(choose_prefetch_depth(1 << 30, 8, 4, 1.6e-8, 1.0e-4, 0.6), 2);
+    }
+
+    #[test]
+    fn fan_in_chooser_only_widens_when_blocks_stay_sane() {
+        // 24 runs, roomy cap: one pass, fan-in widened to cover all runs.
+        assert_eq!(choose_fan_in(1 << 22, 8, 16, 2, 24), 24);
+        // Tiny cap: widening would shatter the blocks — keep the default.
+        assert_eq!(choose_fan_in(1 << 14, 8, 16, 2, 24), 16);
+        // Already covered: unchanged.
+        assert_eq!(choose_fan_in(1 << 22, 8, 16, 2, 10), 16);
+    }
+
+    #[test]
+    fn tuned_for_leaves_synchronous_configs_alone() {
+        let cfg =
+            ExtSortConfig::new(1 << 20, "/tmp/x").with_io_mode(IoMode::Synchronous).with_fan_in(16);
+        let tuned = cfg.clone().tuned_for::<u64>(24, 1.6e-8, 1.0e-4, 0.9);
+        assert_eq!(tuned, cfg);
+        let ovl = cfg.with_io_mode(IoMode::Overlapped).tuned_for::<u64>(24, 1.6e-8, 1.0e-4, 0.9);
+        assert_eq!(ovl.fan_in, 24, "one pass should cover all runs");
+        assert!(ovl.prefetch_depth >= 2);
     }
 }

@@ -417,10 +417,12 @@ where
 
     std::thread::scope(|s| -> io::Result<u64> {
         let prefetcher = s.spawn(move || prefetch_loop(readers, req_rx, data_txs, block_elems));
-        // Two buffers per run: both start as queued requests, so every
-        // source's first block is (being) read before the merge starts.
+        // `prefetch_depth` buffers per run, all starting as queued requests,
+        // so every source has that many blocks read (or in flight) before
+        // the merge starts; each drained window re-queues itself, keeping
+        // the depth constant.  Depth 2 is the classic double buffer.
         for idx in 0..runs.len() {
-            for _ in 0..2 {
+            for _ in 0..cfg.prefetch_depth.max(2) {
                 req_tx.send((idx, alloc_zeroed::<T>(block_elems))).expect("prefetcher alive");
             }
         }
@@ -493,17 +495,17 @@ where
     })
 }
 
-/// Merge an arbitrary number of runs down to `out`, running as many
-/// intermediate `fan_in`-way passes as needed.  Consumed run files are
-/// deleted as soon as their pass completes, so peak scratch usage stays
-/// within ~2× the data volume.  Returns the total record count delivered.
-pub(crate) fn merge_all<T>(
+/// Run intermediate `fan_in`-way passes until at most `fan_in` runs remain
+/// (the precondition for a single final pass — or for opening a pull-based
+/// [`MergeCursor`] over them).  Consumed run files are deleted as soon as
+/// their pass completes, so peak scratch usage stays within ~2× the data
+/// volume.  Does *not* charge the final pass to `report.merge_passes`.
+pub(crate) fn reduce_to_fan_in<T>(
     mut runs: Vec<RunFile>,
     cfg: &ExtSortConfig,
     dir: &Path,
-    out: PassOutput<'_, T>,
     report: &mut ExtSortReport,
-) -> io::Result<u64>
+) -> io::Result<Vec<RunFile>>
 where
     T: PlainRecord + Ord,
 {
@@ -518,10 +520,251 @@ where
             for r in group {
                 let _ = fs::remove_file(&r.path);
             }
-            next.push(RunFile { path, elems });
+            next.push(RunFile { path, elems, fences: Vec::new() });
         }
         runs = next;
     }
+    Ok(runs)
+}
+
+/// Merge an arbitrary number of runs down to `out`, running as many
+/// intermediate `fan_in`-way passes as needed.  Returns the total record
+/// count delivered.
+pub(crate) fn merge_all<T>(
+    runs: Vec<RunFile>,
+    cfg: &ExtSortConfig,
+    dir: &Path,
+    out: PassOutput<'_, T>,
+    report: &mut ExtSortReport,
+) -> io::Result<u64>
+where
+    T: PlainRecord + Ord,
+{
+    let runs = reduce_to_fan_in::<T>(runs, cfg, dir, report)?;
     report.merge_passes += 1;
     merge_pass(&runs, cfg, out, report)
+}
+
+/// Either arm's windowed source behind one type, so a [`MergeCursor`]'s
+/// tree is monomorphic over the I/O mode chosen at open time.
+pub(crate) enum CursorSource<T: PlainRecord> {
+    Sync(SyncDiskSource<T>),
+    Async(AsyncDiskSource<T>),
+}
+
+impl<T: PlainRecord + Ord> RunSource for CursorSource<T> {
+    type Item = T;
+
+    fn peek(&self) -> Option<&T> {
+        match self {
+            CursorSource::Sync(s) => s.peek(),
+            CursorSource::Async(s) => s.peek(),
+        }
+    }
+
+    fn pop(&mut self) -> Option<T> {
+        match self {
+            CursorSource::Sync(s) => s.pop(),
+            CursorSource::Async(s) => s.pop(),
+        }
+    }
+}
+
+/// A pull-based draining merge over at most `fan_in` sorted runs: the final
+/// merge pass of the external sort exposed as a cursor instead of a written
+/// output file.  `peek`/`next` emit the sorted stream block-by-block under
+/// the memory cap — the same loser tree, block windows, and tie-break as
+/// `merge_pass`, so the emission order is bitwise identical to
+/// `sort_to_vec` of the same input — while the consumer classifies and
+/// ships each record without it ever touching disk again.
+///
+/// Under [`IoMode::Overlapped`] a dedicated prefetch thread (plain
+/// `std::thread`, never rayon) keeps `prefetch_depth` blocks in flight per
+/// run for the cursor's whole lifetime; [`finish`](Self::finish) joins it
+/// and returns the accumulated I/O accounting.  Dropping the cursor early
+/// also joins the thread (via channel disconnect), so no scratch file
+/// outlives its `RunDirGuard`.
+pub struct MergeCursor<T: PlainRecord + Ord> {
+    tree: Option<SourceLoserTree<CursorSource<T>>>,
+    prefetcher: Option<std::thread::JoinHandle<(u64, u64, Option<io::Error>)>>,
+    report: ExtSortReport,
+    emitted: u64,
+    total: u64,
+    _guard: crate::runs::RunDirGuard,
+}
+
+impl<T: PlainRecord + Ord> MergeCursor<T> {
+    /// Open a cursor over `runs` (already reduced to ≤ `cfg.fan_in`),
+    /// taking ownership of the scratch directory guard and the report that
+    /// accumulated run formation + reduction passes.  The drain itself
+    /// counts as the final merge pass.
+    pub(crate) fn open(
+        runs: Vec<RunFile>,
+        cfg: &ExtSortConfig,
+        guard: crate::runs::RunDirGuard,
+        mut report: ExtSortReport,
+    ) -> io::Result<Self> {
+        debug_assert!(runs.len() <= cfg.fan_in, "reduce_to_fan_in must run first");
+        report.merge_passes += 1;
+        let total: u64 = runs.iter().map(|r| r.elems).sum();
+        let block_elems = cfg.block_elems::<T>();
+        let (sources, prefetcher) = match cfg.io_mode {
+            IoMode::Synchronous => {
+                let sources = runs
+                    .iter()
+                    .map(|r| SyncDiskSource::new(r, block_elems).map(CursorSource::Sync))
+                    .collect::<io::Result<Vec<_>>>()?;
+                (sources, None)
+            }
+            IoMode::Overlapped => {
+                let readers = runs
+                    .iter()
+                    .map(BlockReader::open)
+                    .collect::<io::Result<Vec<BlockReader<T>>>>()?;
+                let (req_tx, req_rx) = mpsc::channel::<(usize, Vec<T>)>();
+                let mut data_txs = Vec::with_capacity(runs.len());
+                let mut data_rxs = Vec::with_capacity(runs.len());
+                for _ in &runs {
+                    let (tx, rx) = mpsc::channel::<Vec<T>>();
+                    data_txs.push(tx);
+                    data_rxs.push(rx);
+                }
+                // Non-scoped: the cursor outlives this function, so the
+                // prefetcher owns its readers and channels outright.
+                let handle = std::thread::spawn(move || {
+                    prefetch_loop(readers, req_rx, data_txs, block_elems)
+                });
+                for idx in 0..runs.len() {
+                    for _ in 0..cfg.prefetch_depth.max(2) {
+                        req_tx
+                            .send((idx, alloc_zeroed::<T>(block_elems)))
+                            .expect("prefetcher alive");
+                    }
+                }
+                let sources: Vec<CursorSource<T>> = data_rxs
+                    .into_iter()
+                    .enumerate()
+                    .map(|(idx, rx)| {
+                        CursorSource::Async(AsyncDiskSource::new(idx, rx, req_tx.clone()))
+                    })
+                    .collect();
+                drop(req_tx);
+                (sources, Some(handle))
+            }
+        };
+        Ok(Self {
+            tree: Some(SourceLoserTree::new(sources)),
+            prefetcher,
+            report,
+            emitted: 0,
+            total,
+            _guard: guard,
+        })
+    }
+
+    /// The head of the merged stream without consuming it.
+    pub fn peek(&self) -> Option<&T> {
+        self.tree.as_ref().and_then(|t| t.peek())
+    }
+
+    /// Pop the next record of the merged stream.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<T> {
+        let item = self.tree.as_mut()?.next()?;
+        self.emitted += 1;
+        Some(item)
+    }
+
+    /// Records emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Records the fully drained stream will have emitted.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Snapshot of the accumulated I/O report (run formation plus any
+    /// fan-in reduction passes; the cursor's own reads are only harvested
+    /// by [`Self::finish`]).
+    pub fn report(&self) -> &ExtSortReport {
+        &self.report
+    }
+
+    /// Number of runs the draining loser tree merges (≤ the configured
+    /// fan-in).
+    pub fn source_count(&self) -> usize {
+        self.tree.as_ref().map_or(0, |t| t.len())
+    }
+
+    /// Close the cursor: collect per-source I/O accounting, join the
+    /// prefetch thread, and surface the first I/O error (a failed refill
+    /// makes a source read as exhausted, so the error — not a silently
+    /// short stream — is the caller's signal).
+    pub fn finish(mut self) -> io::Result<ExtSortReport> {
+        let mut report = std::mem::take(&mut self.report);
+        report.elements = self.emitted;
+        let mut first_err: Option<io::Error> = None;
+        if let Some(tree) = self.tree.take() {
+            for src in tree.into_sources() {
+                match src {
+                    CursorSource::Sync(mut s) => {
+                        report.io_wait_seconds += s.io_wait;
+                        report.bytes_read += s.bytes_read;
+                        report.read_transfers += s.transfers;
+                        if let Some(e) = s.error.take() {
+                            first_err.get_or_insert(e);
+                        }
+                    }
+                    CursorSource::Async(s) => report.io_wait_seconds += s.io_wait,
+                }
+            }
+        }
+        if let Some(handle) = self.prefetcher.take() {
+            let (bytes, transfers, err) = handle.join().expect("prefetch thread does not panic");
+            report.bytes_read += bytes;
+            report.read_transfers += transfers;
+            if let Some(e) = err {
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(report),
+        }
+    }
+}
+
+impl<T: PlainRecord + Ord> RunSource for MergeCursor<T> {
+    type Item = T;
+
+    fn peek(&self) -> Option<&T> {
+        MergeCursor::peek(self)
+    }
+
+    fn pop(&mut self) -> Option<T> {
+        self.next()
+    }
+}
+
+impl<T: PlainRecord + Ord> Drop for MergeCursor<T> {
+    fn drop(&mut self) {
+        // Dropping the sources disconnects the request channel, which ends
+        // the prefetch loop; joining keeps the thread from touching scratch
+        // files after the guard below removes the directory.
+        self.tree.take();
+        if let Some(handle) = self.prefetcher.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl<T: PlainRecord + Ord> std::fmt::Debug for MergeCursor<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MergeCursor")
+            .field("emitted", &self.emitted)
+            .field("total", &self.total)
+            .finish_non_exhaustive()
+    }
 }

@@ -42,15 +42,18 @@ use hss_lsort::RadixSortable;
 pub mod config;
 mod dmerge;
 pub mod plain;
+pub mod query;
 pub mod report;
 mod runs;
 
-pub use config::{ExtSortConfig, IoMode};
+pub use config::{choose_fan_in, choose_prefetch_depth, ExtSortConfig, IoMode};
+pub use dmerge::MergeCursor;
 pub use plain::{bytes_of, bytes_of_mut, PlainRecord};
+pub use query::{RunReader, RunSetReader};
 pub use report::ExtSortReport;
 pub use runs::RunDirGuard;
 
-use dmerge::{merge_all, PassOutput};
+use dmerge::{merge_all, reduce_to_fan_in, PassOutput};
 use runs::{form_runs, RunFile};
 
 /// A bounded-memory external sorter: at any instant its record buffers
@@ -120,9 +123,36 @@ impl ExternalSorter {
         report.elements = n;
         report.wall_seconds = wall.elapsed().as_secs_f64();
         Ok((
-            SortedRunFile { path: out_path, elems: n, _guard: guard, _marker: PhantomData },
+            SortedRunFile {
+                path: out_path,
+                elems: n,
+                handle: std::sync::Mutex::new(None),
+                _guard: guard,
+                _marker: PhantomData,
+            },
             report,
         ))
+    }
+
+    /// Run formation **only**: stream `input` into sorted runs on disk and
+    /// stop — no merge, no materialized output.  This is the first half of
+    /// the single-pass pipelined path: the returned [`SpilledRuns`] answers
+    /// splitter-round rank queries straight off the run files (via
+    /// [`SpilledRuns::reader`]) and then turns into a draining
+    /// [`MergeCursor`] (via [`SpilledRuns::into_cursor`]), so the rank's
+    /// partition is merged exactly once, on its way out to the network.
+    pub fn form_runs_only<T, I>(&self, input: I) -> io::Result<SpilledRuns<T>>
+    where
+        T: PlainRecord + RadixSortable,
+        I: IntoIterator<Item = T>,
+    {
+        let mut report = ExtSortReport::default();
+        let guard = RunDirGuard::new(&self.cfg.run_dir)?;
+        let runs = form_runs(input.into_iter(), &self.cfg, guard.path(), &mut report)?;
+        report.runs_formed = runs.len() as u64;
+        let total = runs.iter().map(|r| r.elems).sum();
+        report.elements = total;
+        Ok(SpilledRuns { runs, guard, cfg: self.cfg.clone(), total, report, _marker: PhantomData })
     }
 
     /// Merge already-sorted in-memory runs through disk: each run is
@@ -173,7 +203,80 @@ fn spill_run<T: PlainRecord>(
     report.io_wait_seconds += t.elapsed().as_secs_f64();
     report.bytes_written += std::mem::size_of_val(slice) as u64;
     report.write_transfers += 1;
-    Ok(RunFile { path, elems: slice.len() as u64 })
+    Ok(RunFile { path, elems: slice.len() as u64, fences: Vec::new() })
+}
+
+/// A rank's data as sorted runs on disk, produced by
+/// [`ExternalSorter::form_runs_only`] — the intermediate state of the
+/// single-pass pipeline, between run formation and the draining merge.
+/// Dropping it removes the backing scratch directory.
+#[derive(Debug)]
+pub struct SpilledRuns<T: PlainRecord> {
+    runs: Vec<RunFile>,
+    guard: RunDirGuard,
+    cfg: ExtSortConfig,
+    total: u64,
+    report: ExtSortReport,
+    _marker: PhantomData<T>,
+}
+
+impl<T: PlainRecord> SpilledRuns<T> {
+    /// Total records across all runs.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of sorted runs on disk.
+    pub fn runs_formed(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// I/O accounting so far (run formation, plus any reduction passes
+    /// once [`into_cursor`](Self::into_cursor) has run).
+    pub fn report(&self) -> &ExtSortReport {
+        &self.report
+    }
+
+    /// The configuration the cursor will drain under (possibly retuned by
+    /// [`tune`](Self::tune)).
+    pub fn config(&self) -> &ExtSortConfig {
+        &self.cfg
+    }
+
+    /// Retune the merge for this run count and the machine's measured disk
+    /// shape (see [`ExtSortConfig::tuned_for`]); the formation phase's
+    /// io-wait fraction is the live signal.  No-op for synchronous I/O.
+    pub fn tune(&mut self, unit_disk: f64, disk_latency: f64) {
+        self.cfg = self.cfg.clone().tuned_for::<T>(
+            self.runs.len(),
+            unit_disk,
+            disk_latency,
+            self.report.io_wait_fraction(),
+        );
+    }
+
+    /// A rank-query reader over the runs (cached handles, windowed reads):
+    /// the splitter-determination interface.  Independent of the cursor —
+    /// open, query, and drop it before draining.
+    pub fn reader(&self) -> io::Result<RunSetReader<T>> {
+        RunSetReader::open(&self.runs)
+    }
+
+    /// Reduce to ≤ `fan_in` runs (multi-pass if needed) and open the
+    /// pull-based draining merge over what remains.  The cursor inherits
+    /// the scratch guard and the accumulated report.
+    pub fn into_cursor(mut self) -> io::Result<MergeCursor<T>>
+    where
+        T: Ord,
+    {
+        let runs = reduce_to_fan_in::<T>(
+            std::mem::take(&mut self.runs),
+            &self.cfg,
+            self.guard.path(),
+            &mut self.report,
+        )?;
+        MergeCursor::open(runs, &self.cfg, self.guard, self.report)
+    }
 }
 
 /// A sorted dataset living on disk, produced by
@@ -183,6 +286,11 @@ fn spill_run<T: PlainRecord>(
 pub struct SortedRunFile<T: PlainRecord> {
     path: PathBuf,
     elems: u64,
+    /// Cached read handle: `read_range` used to re-open (and re-seek) the
+    /// file on every call, which thrashed file handles under repeated
+    /// windowed reads; the first read now opens once and later calls only
+    /// seek.
+    handle: std::sync::Mutex<Option<std::fs::File>>,
     _guard: RunDirGuard,
     _marker: PhantomData<T>,
 }
@@ -203,7 +311,8 @@ impl<T: PlainRecord> SortedRunFile<T> {
 
     /// Read `count` records starting at record index `start` (clamped to
     /// the file's end).  This is the subsampled-verification primitive: it
-    /// touches `O(count)` bytes regardless of file size.
+    /// touches `O(count)` bytes regardless of file size, through a handle
+    /// opened once and cached across calls.
     pub fn read_range(&self, start: u64, count: usize) -> io::Result<Vec<T>> {
         use std::io::{Read, Seek, SeekFrom};
         let start = start.min(self.elems);
@@ -211,11 +320,22 @@ impl<T: PlainRecord> SortedRunFile<T> {
         let k = count.min(avail);
         let mut out: Vec<T> = vec_zeroed(k);
         if k > 0 {
-            let mut file = std::fs::File::open(&self.path)?;
+            let mut cached = self.handle.lock().expect("no panics while holding the handle");
+            let file = match cached.as_mut() {
+                Some(f) => f,
+                None => cached.insert(std::fs::File::open(&self.path)?),
+            };
             file.seek(SeekFrom::Start(start * std::mem::size_of::<T>() as u64))?;
             file.read_exact(bytes_of_mut(&mut out))?;
         }
         Ok(out)
+    }
+
+    /// A cached-handle windowed reader over the sorted file — the
+    /// random-access interface for sampling-style consumers that probe many
+    /// nearby positions (see [`RunReader`]).
+    pub fn reader(&self) -> io::Result<RunReader<T>> {
+        RunReader::open(&self.path, self.elems)
     }
 }
 

@@ -65,6 +65,23 @@ pub(crate) struct RunFile {
     pub path: PathBuf,
     /// Number of records in the file.
     pub elems: u64,
+    /// Fence records — the bytes of every [`fence_stride_elems`]-th
+    /// record, captured while the sorted chunk was still in memory (so
+    /// they cost no extra I/O).  Rank queries binary-search the fences in
+    /// memory and touch disk only for the stride the answer lands in;
+    /// empty for merge-pass outputs, which are only ever read
+    /// sequentially.
+    ///
+    /// [`fence_stride_elems`]: crate::query::fence_stride_elems
+    pub fences: Vec<u8>,
+}
+
+/// Capture the in-memory fence records for a sorted chunk about to become
+/// a run file: the record at the start of every fence stride.
+fn capture_fences<T: PlainRecord>(sorted: &[T]) -> Vec<u8> {
+    let stride = crate::query::fence_stride_elems::<T>();
+    let picks: Vec<T> = sorted.iter().step_by(stride).copied().collect();
+    bytes_of(&picks).to_vec()
 }
 
 /// Write one sorted chunk as a run file and force it to the device.
@@ -79,7 +96,7 @@ fn write_run<T: PlainRecord>(dir: &Path, idx: u64, sorted: &[T]) -> io::Result<R
     let mut file = File::create(&path)?;
     file.write_all(bytes_of(sorted))?;
     file.sync_data()?;
-    Ok(RunFile { path, elems: sorted.len() as u64 })
+    Ok(RunFile { path, elems: sorted.len() as u64, fences: capture_fences(sorted) })
 }
 
 /// Consume `input`, producing sorted runs of `cfg.chunk_elems::<T>()`

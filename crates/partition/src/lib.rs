@@ -53,13 +53,14 @@ pub use histogram::{
 };
 pub use intervals::{Bound, SplitterIntervals};
 pub use merge::{
-    concat_sort_merge, kway_merge, kway_merge_slices, merge_runs_for, runs_for, RunSource,
-    SliceSource, SourceLoserTree,
+    concat_sort_merge, drain_source_below, drain_source_rest, kway_merge, kway_merge_slices,
+    merge_runs_for, runs_for, RunSource, SliceSource, SourceLoserTree,
 };
 pub use sampling::{
-    bernoulli_sample, bernoulli_sample_in_intervals, bernoulli_sample_range, count_in_intervals,
-    interval_bounds, interval_bounds_work, merge_key_intervals, merge_key_intervals_with,
-    random_block_sample, regular_sample, uniform_sample_discarding,
+    bernoulli_sample, bernoulli_sample_in_intervals, bernoulli_sample_positions,
+    bernoulli_sample_range, count_in_intervals, interval_bounds, interval_bounds_work,
+    merge_key_intervals, merge_key_intervals_with, random_block_sample, regular_sample,
+    uniform_sample_discarding,
 };
 pub use select::{exact_rank, exact_splitters, global_sorted, verify_global_sort};
 pub use splitters::SplitterSet;

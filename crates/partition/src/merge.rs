@@ -292,11 +292,78 @@ impl<S: RunSource> SourceLoserTree<S> {
         Some(item)
     }
 
+    /// The element [`next`](Self::next) would emit, without consuming it —
+    /// what lets a streaming bucketizer drain the merge only up to a
+    /// splitter boundary and leave the rest for the next bucket.
+    pub fn peek(&self) -> Option<&S::Item> {
+        self.head(self.winner)
+    }
+
     /// The sources, returned once merging is done (e.g. to collect per-run
     /// I/O statistics).
     pub fn into_sources(self) -> Vec<S> {
         self.sources
     }
+
+    /// Number of sources the tree merges.
+    pub fn len(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Whether the tree has no sources at all.
+    pub fn is_empty(&self) -> bool {
+        self.sources.is_empty()
+    }
+}
+
+/// A tree of sources is itself a source (its emission stream is sorted),
+/// so trees compose — and the streaming-bucketize helpers below work on a
+/// bare tree, on the out-of-core tier's merge cursor, or on any other
+/// sorted producer alike.
+impl<S: RunSource> RunSource for SourceLoserTree<S> {
+    type Item = S::Item;
+
+    fn peek(&self) -> Option<&S::Item> {
+        SourceLoserTree::peek(self)
+    }
+
+    fn pop(&mut self) -> Option<S::Item> {
+        self.next()
+    }
+}
+
+/// Drain `src` into `out` while the head key is `< bound` — the streaming
+/// equivalent of cutting a sorted slice at `partition_point(key < bound)`
+/// (the `splitter_position` convention), so a pipelined exchange that
+/// drains bucket-by-bucket produces exactly the buckets a materialised
+/// `bucketize` would.  Returns the number of elements emitted.
+pub fn drain_source_below<S>(
+    src: &mut S,
+    bound: <S::Item as Keyed>::K,
+    out: &mut Vec<S::Item>,
+) -> usize
+where
+    S: RunSource,
+    S::Item: Keyed,
+{
+    let before = out.len();
+    while let Some(head) = src.peek() {
+        if head.key() >= bound {
+            break;
+        }
+        out.push(src.pop().expect("peek saw a head"));
+    }
+    out.len() - before
+}
+
+/// Drain `src` to exhaustion into `out` (the final bucket, whose upper
+/// bound is +∞).  Returns the number of elements emitted.
+pub fn drain_source_rest<S: RunSource>(src: &mut S, out: &mut Vec<S::Item>) -> usize {
+    let before = out.len();
+    while let Some(item) = src.pop() {
+        out.push(item);
+    }
+    out.len() - before
 }
 
 /// Merge already-sorted runs into one sorted vector (loser-tree k-way

@@ -56,6 +56,11 @@ OPTIONS:
                                                           [default: temp dir]
     --io-mode <NAME>       sync | overlapped — external-sort I/O scheduling
                                                           [default: overlapped]
+    --pipelined            single-pass out-of-core: splitters from run files,
+                           merge drained straight into staged exchange sends
+                           (requires --extsort)
+    --prefetch-depth <N>   pin the overlapped merge's per-run prefetch depth
+                           (>= 2; default: auto-tuned from the disk cost model)
     --seed <N>             RNG seed                               [default: 2019]
     --verify               verify the output is a correct global sort
     --help                 print this help
@@ -81,6 +86,8 @@ struct Args {
     memory_cap: usize,
     run_dir: Option<String>,
     io_mode: IoMode,
+    pipelined: bool,
+    prefetch_depth: Option<usize>,
     seed: u64,
     verify: bool,
 }
@@ -106,6 +113,8 @@ impl Default for Args {
             memory_cap: 1 << 20,
             run_dir: None,
             io_mode: IoMode::Overlapped,
+            pipelined: false,
+            prefetch_depth: None,
             seed: 2019,
             verify: false,
         }
@@ -167,6 +176,12 @@ fn parse_args() -> Args {
                         exit(2);
                     }
                 }
+            }
+            "--pipelined" => args.pipelined = true,
+            "--prefetch-depth" => {
+                args.prefetch_depth = Some(
+                    value("--prefetch-depth").parse().expect("--prefetch-depth must be an integer"),
+                )
             }
             "--verify" => args.verify = true,
             "--help" | "-h" => {
@@ -258,8 +273,14 @@ fn run(
                 let run_dir = args.run_dir.clone().unwrap_or_else(|| {
                     std::env::temp_dir().join("hss-demo").to_string_lossy().into_owned()
                 });
-                let policy =
+                let mut policy =
                     ExtSortPolicy::new(args.memory_cap, run_dir).with_io_mode(args.io_mode);
+                if args.pipelined {
+                    policy = policy.with_pipelined();
+                }
+                if let Some(depth) = args.prefetch_depth {
+                    policy = policy.with_prefetch_depth(depth);
+                }
                 config = config.with_ext_sort(policy);
                 let (outcome, ext) = HssSorter::new(config).sort_out_of_core(&mut machine, input);
                 ext_report = Some(ext);
@@ -369,6 +390,25 @@ fn main() {
         );
         exit(2);
     }
+    if args.pipelined && !args.extsort {
+        eprintln!("--pipelined requires --extsort");
+        exit(2);
+    }
+    if args.pipelined && args.approx_histograms {
+        eprintln!(
+            "--pipelined determines splitters from run files; \
+             it cannot be combined with --approx-histograms"
+        );
+        exit(2);
+    }
+    if args.prefetch_depth.is_some() && !args.extsort {
+        eprintln!("--prefetch-depth requires --extsort");
+        exit(2);
+    }
+    if args.prefetch_depth.is_some_and(|d| d < 2) {
+        eprintln!("--prefetch-depth must be at least 2 (double buffering)");
+        exit(2);
+    }
     if let Some(threads) = args.threads {
         // Must happen before anything touches the pool (key generation
         // below already runs on it).
@@ -421,6 +461,40 @@ fn main() {
             ext.wall_seconds,
             100.0 * ext.io_wait_fraction()
         );
+        // Where the modelled disk traffic landed: formation (LocalSort),
+        // splitter probes (Sampling + Histogramming), the drain or
+        // bucketized sends (DataExchange), and spill merges (Merge).
+        println!("  disk by phase  :");
+        for phase in [
+            Phase::LocalSort,
+            Phase::Sampling,
+            Phase::Histogramming,
+            Phase::DataExchange,
+            Phase::Merge,
+        ] {
+            let pm = machine.metrics().phase(phase);
+            if pm.disk_words > 0 {
+                println!(
+                    "    {:<13}: {} words ({:.6} s simulated I/O wait share)",
+                    format!("{phase:?}"),
+                    pm.disk_words,
+                    pm.simulated_seconds
+                );
+            }
+        }
+        if args.pipelined {
+            // The materialized arm writes each spilled rank's merged array
+            // to scratch and reads it back before the exchange; the
+            // pipelined drain skips both directions.
+            let rank_bytes = args.keys * std::mem::size_of::<u64>();
+            let spilled_ranks = if rank_bytes > args.memory_cap { args.ranks } else { 0 };
+            let avoided = 2 * spilled_ranks * rank_bytes;
+            println!(
+                "  round-trips avoided: {} B of scratch traffic across {} spilled ranks \
+                 (merged-file write + read-back elided)",
+                avoided, spilled_ranks
+            );
+        }
     }
     println!("\nper-phase breakdown:\n{}", report.metrics);
 
